@@ -1,0 +1,330 @@
+package hydra
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/lt"
+	"hydra/internal/passage"
+	"hydra/internal/pipeline"
+)
+
+// Options configures an analysis run. The zero value selects the paper's
+// defaults: Euler inversion (A=18.4, 33 s-points per t-point), one
+// worker, mass-bound truncation at 1e-8, no checkpointing.
+type Options struct {
+	// Method selects the inverter: "euler" (default), "laguerre",
+	// "talbot" or "auto". The paper's guidance applies — Euler is the
+	// safe choice for densities with discontinuities; Laguerre and
+	// Talbot suit smooth densities (Talbot with the smallest point
+	// budget). "auto" implements §4's selection rule mechanically: it
+	// evaluates the Laguerre contour first, accepts the result when the
+	// Laguerre coefficients decay (a smooth original), and falls back to
+	// Euler otherwise.
+	Method string
+	// Euler overrides the Euler parameters when non-zero.
+	Euler lt.Euler
+	// Laguerre overrides the Laguerre parameters when non-zero.
+	Laguerre lt.Laguerre
+	// Workers is the in-process worker count (default 1).
+	Workers int
+	// CheckpointPath enables disk checkpointing of s-point results.
+	CheckpointPath string
+	// Solver tunes the iterative passage-time algorithm.
+	Solver passage.Options
+}
+
+func (o *Options) inverter() (lt.Inverter, error) {
+	if o == nil {
+		return lt.DefaultEuler(), nil
+	}
+	switch o.Method {
+	case "", "euler":
+		e := o.Euler
+		if e.M == 0 {
+			e = lt.DefaultEuler()
+		}
+		return e, nil
+	case "laguerre":
+		l := o.Laguerre
+		if l.N == 0 {
+			l = lt.DefaultLaguerre()
+		}
+		return l, nil
+	case "talbot":
+		return lt.DefaultTalbot(), nil
+	default:
+		return nil, fmt.Errorf("hydra: unknown inversion method %q", o.Method)
+	}
+}
+
+func (o *Options) workers() int {
+	if o == nil || o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+func (o *Options) solver() passage.Options {
+	if o == nil {
+		return passage.Options{}
+	}
+	return o.Solver
+}
+
+// Result is a computed curve: Values[i] estimates the measure at
+// Times[i].
+type Result struct {
+	Times  []float64
+	Values []float64
+	// Stats reports pipeline behaviour (cache hits, wall time, worker
+	// share) for the run that produced the values.
+	Stats *pipeline.RunStats
+}
+
+// sourceWeights derives the α̃ vector of Eq. (5) for the source set: the
+// trivial weighting for a single source, the embedded chain's
+// steady-state weighting for several (using the model's cached vector).
+func (m *Model) sourceWeights(sources []int) (passage.SourceWeights, error) {
+	if len(sources) == 0 {
+		return passage.SourceWeights{}, fmt.Errorf("hydra: empty source set")
+	}
+	if len(sources) == 1 {
+		return passage.SingleSource(sources[0]), nil
+	}
+	pi, err := m.steadyState()
+	if err != nil {
+		return passage.SourceWeights{}, err
+	}
+	var total float64
+	for _, s := range sources {
+		if s < 0 || s >= len(pi) {
+			return passage.SourceWeights{}, fmt.Errorf("hydra: source %d out of range", s)
+		}
+		total += pi[s]
+	}
+	if total <= 0 {
+		return passage.SourceWeights{}, fmt.Errorf("hydra: source states have no steady-state probability")
+	}
+	w := make([]float64, len(sources))
+	for i, s := range sources {
+		w[i] = pi[s] / total
+	}
+	return passage.SourceWeights{States: sources, Weights: w}, nil
+}
+
+// run assembles a job for the quantity, executes it over the worker
+// pool, and inverts.
+func (m *Model) run(q pipeline.Quantity, sources, targets []int, times []float64, opts *Options) (*Result, error) {
+	if opts != nil && opts.Method == "auto" {
+		for _, t := range times {
+			if !(t > 0) {
+				return nil, fmt.Errorf("hydra: analysis times must be positive, got %v", t)
+			}
+		}
+		return m.autoRun(q, sources, targets, times, opts)
+	}
+	inv, err := opts.inverter()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range times {
+		if !(t > 0) {
+			return nil, fmt.Errorf("hydra: analysis times must be positive, got %v", t)
+		}
+	}
+	src, err := m.sourceWeights(sources)
+	if err != nil {
+		return nil, err
+	}
+	job := &pipeline.Job{
+		Name:     fmt.Sprintf("%s[%d states]", q, m.NumStates()),
+		Quantity: q,
+		Sources:  src.States,
+		Weights:  src.Weights,
+		Targets:  targets,
+		Points:   inv.Points(times),
+	}
+	if err := job.Validate(m.NumStates()); err != nil {
+		return nil, err
+	}
+	var ckpt *pipeline.Checkpoint
+	if opts != nil && opts.CheckpointPath != "" {
+		ckpt, err = pipeline.OpenCheckpoint(opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+	}
+	solverOpts := opts.solver()
+	model := m.ss.Model
+	values, stats, err := pipeline.Run(job, func() pipeline.Evaluator {
+		return pipeline.NewSolverEvaluator(model, solverOpts)
+	}, opts.workers(), ckpt)
+	if err != nil {
+		return nil, err
+	}
+	f, err := inv.Invert(times, values)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Times: times, Values: f, Stats: stats}, nil
+}
+
+// PassageDensity computes the first-passage-time density f(t) from the
+// source set into the target set at the given times. Multiple sources
+// are weighted at steady state per Eq. (5).
+func (m *Model) PassageDensity(sources, targets []int, times []float64, opts *Options) (*Result, error) {
+	return m.run(pipeline.PassageDensity, sources, targets, times, opts)
+}
+
+// PassageCDF computes the passage-time distribution F(t) (by inverting
+// L(s)/s, the Fig. 5 construction).
+func (m *Model) PassageCDF(sources, targets []int, times []float64, opts *Options) (*Result, error) {
+	return m.run(pipeline.PassageCDF, sources, targets, times, opts)
+}
+
+// TransientDistribution computes P(Z(t) ∈ targets | Z(0) ∼ sources) via
+// Eq. (7).
+func (m *Model) TransientDistribution(sources, targets []int, times []float64, opts *Options) (*Result, error) {
+	return m.run(pipeline.TransientDist, sources, targets, times, opts)
+}
+
+// PassageQuantile returns the time t* with F(t*) = p (a response-time
+// quantile, the headline §1 metric: e.g. p = 0.9858 reproduces the
+// paper's "processes 175 voters in under 440s" statement). The CDF is
+// bracketed by doubling from hint and refined by bisection to relTol
+// (default 1e-4 of the bracket width).
+func (m *Model) PassageQuantile(sources, targets []int, p float64, hint float64, opts *Options) (float64, error) {
+	if !(p > 0 && p < 1) {
+		return 0, fmt.Errorf("hydra: quantile probability %v outside (0,1)", p)
+	}
+	if !(hint > 0) {
+		return 0, fmt.Errorf("hydra: quantile hint must be positive")
+	}
+	cdfAt := func(t float64) (float64, error) {
+		r, err := m.PassageCDF(sources, targets, []float64{t}, opts)
+		if err != nil {
+			return 0, err
+		}
+		return r.Values[0], nil
+	}
+	lo, hi := 0.0, hint
+	fhi, err := cdfAt(hi)
+	if err != nil {
+		return 0, err
+	}
+	for iter := 0; fhi < p; iter++ {
+		if iter > 60 {
+			return 0, fmt.Errorf("hydra: CDF never reaches %v (last F(%v)=%v)", p, hi, fhi)
+		}
+		lo = hi
+		hi *= 2
+		if fhi, err = cdfAt(hi); err != nil {
+			return 0, err
+		}
+	}
+	for i := 0; i < 48 && hi-lo > 1e-4*hi; i++ {
+		mid := (lo + hi) / 2
+		fm, err := cdfAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if fm < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// MeanPassageTime integrates t·f(t) numerically from a density result —
+// a convenience for quick summaries (prefer analytic means for rigour).
+func MeanPassageTime(r *Result) float64 {
+	if len(r.Times) < 2 {
+		return math.NaN()
+	}
+	var mean, mass float64
+	for i := 0; i+1 < len(r.Times); i++ {
+		dt := r.Times[i+1] - r.Times[i]
+		tm := (r.Times[i] + r.Times[i+1]) / 2
+		fm := (r.Values[i] + r.Values[i+1]) / 2
+		mean += tm * fm * dt
+		mass += fm * dt
+	}
+	if mass <= 0 {
+		return math.NaN()
+	}
+	return mean / mass
+}
+
+// PassageMoments returns the exact mean and variance of the passage time
+// from the (steady-state-weighted) source set into the target set,
+// computed by first-step analysis in the time domain — an independent
+// oracle for the transform pipeline and the cheap route to mean response
+// times. All sojourn distributions must have known second moments.
+func (m *Model) PassageMoments(sources, targets []int) (mean, variance float64, err error) {
+	src, err := m.sourceWeights(sources)
+	if err != nil {
+		return 0, 0, err
+	}
+	mo, err := passage.PassageMoments(m.ss.Model, targets, passage.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	mean, variance = mo.WeightedMoments(src)
+	return mean, variance, nil
+}
+
+// autoRun implements Method "auto": evaluate on the Laguerre contour,
+// keep the result if the coefficient decay certifies a smooth original,
+// otherwise rerun with Euler (the paper's discontinuity-safe method).
+func (m *Model) autoRun(q pipeline.Quantity, sources, targets []int, times []float64, opts *Options) (*Result, error) {
+	lag := opts.Laguerre
+	if lag.N == 0 {
+		lag = lt.DefaultLaguerre()
+	}
+	lagOpts := *opts
+	lagOpts.Method = "laguerre"
+	lagOpts.Laguerre = lag
+	src, err := m.sourceWeights(sources)
+	if err != nil {
+		return nil, err
+	}
+	job := &pipeline.Job{
+		Name:     fmt.Sprintf("auto-%s[%d states]", q, m.NumStates()),
+		Quantity: q,
+		Sources:  src.States,
+		Weights:  src.Weights,
+		Targets:  targets,
+		Points:   lag.Points(times),
+	}
+	if err := job.Validate(m.NumStates()); err != nil {
+		return nil, err
+	}
+	solverOpts := opts.solver()
+	model := m.ss.Model
+	values, stats, err := pipeline.Run(job, func() pipeline.Evaluator {
+		return pipeline.NewSolverEvaluator(model, solverOpts)
+	}, opts.workers(), nil)
+	if err != nil {
+		return nil, err
+	}
+	decay, err := lag.CoefficientDecay(times, values)
+	if err != nil {
+		return nil, err
+	}
+	// Coefficients of a smooth original decay by many orders of
+	// magnitude across the expansion; 1e-3 is a conservative cut.
+	if decay < 1e-3 {
+		f, err := lag.Invert(times, values)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Times: times, Values: f, Stats: stats}, nil
+	}
+	eulerOpts := *opts
+	eulerOpts.Method = "euler"
+	return m.run(q, sources, targets, times, &eulerOpts)
+}

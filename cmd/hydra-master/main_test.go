@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadModelSelection(t *testing.T) {
+	if _, err := loadModel("", -1); err == nil {
+		t.Error("no model source accepted")
+	}
+	if _, err := loadModel("x.dnamaca", 0); err == nil {
+		t.Error("both -spec and -voting accepted")
+	}
+	if _, err := loadModel("", 9); err == nil {
+		t.Error("unknown voting system accepted")
+	}
+	if _, err := loadModel(filepath.Join(t.TempDir(), "missing.dnamaca"), -1); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	// A real spec file loads.
+	path := filepath.Join(t.TempDir(), "ok.dnamaca")
+	spec := `\model{ \statevector{ \type{short}{a, b} } \initial{a=1; b=0;}
+	  \transition{f}{\condition{a>0}\action{next->a=a-1; next->b=b+1;}\sojourntimeLT{expLT(1,s)}}
+	  \transition{g}{\condition{b>0}\action{next->b=b-1; next->a=a+1;}\sojourntimeLT{expLT(2,s)}}}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadModel(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 2 {
+		t.Errorf("states = %d, want 2", m.NumStates())
+	}
+	m2, err := loadModel("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumStates() != 2061 {
+		t.Errorf("voting system 0 states = %d", m2.NumStates())
+	}
+}

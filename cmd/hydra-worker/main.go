@@ -1,0 +1,70 @@
+// Command hydra-worker is the worker side of the distributed analysis
+// pipeline (§4): it builds the model locally (workers never receive
+// matrices over the network — only s-values and results travel), then
+// connects to a hydra-master and evaluates assigned s-points until the
+// job completes.
+//
+// The worker must be started with the same model the master serves; the
+// handshake cross-checks the state count.
+//
+// Usage:
+//
+//	hydra-worker -spec model.dnamaca -master host:9441 [-name node7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hydra"
+)
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "extended-DNAmaca model specification file")
+		votingSys = flag.Int("voting", -1, "built-in voting system 0-5")
+		master    = flag.String("master", "", "master address host:port")
+		name      = flag.String("name", hostname(), "worker name shown in diagnostics")
+	)
+	flag.Parse()
+	if *master == "" {
+		fatal(fmt.Errorf("-master address is required"))
+	}
+	model, err := loadModel(*specPath, *votingSys)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hydra-worker %s: model has %d states, connecting to %s\n",
+		*name, model.NumStates(), *master)
+	if err := model.RunWorker(*master, *name, nil); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hydra-worker %s: job complete\n", *name)
+}
+
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return "worker"
+	}
+	return h
+}
+
+func loadModel(specPath string, votingSys int) (*hydra.Model, error) {
+	switch {
+	case specPath != "" && votingSys >= 0:
+		return nil, fmt.Errorf("use either -spec or -voting, not both")
+	case specPath != "":
+		return hydra.LoadSpecFile(specPath)
+	case votingSys >= 0:
+		return hydra.VotingSystem(votingSys)
+	default:
+		return nil, fmt.Errorf("a model is required: -spec file or -voting N")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hydra-worker:", err)
+	os.Exit(1)
+}

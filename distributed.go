@@ -1,0 +1,99 @@
+package hydra
+
+import (
+	"fmt"
+	"net"
+
+	"hydra/internal/lt"
+	"hydra/internal/pipeline"
+)
+
+// Job re-exports the pipeline job so masters and workers can be driven
+// from the public API.
+type Job = pipeline.Job
+
+// RunStats re-exports the pipeline run statistics.
+type RunStats = pipeline.RunStats
+
+// NewPassageJob builds a distributed job for the passage density (or
+// CDF when cdf is true) of a measure at the given times.
+func (m *Model) NewPassageJob(name string, sources, targets []int, times []float64, cdf bool, opts *Options) (*Job, error) {
+	q := pipeline.PassageDensity
+	if cdf {
+		q = pipeline.PassageCDF
+	}
+	return m.newJob(name, q, sources, targets, times, opts)
+}
+
+// NewTransientJob builds a distributed job for a transient measure.
+func (m *Model) NewTransientJob(name string, sources, targets []int, times []float64, opts *Options) (*Job, error) {
+	return m.newJob(name, pipeline.TransientDist, sources, targets, times, opts)
+}
+
+func (m *Model) newJob(name string, q pipeline.Quantity, sources, targets []int, times []float64, opts *Options) (*Job, error) {
+	inv, err := opts.inverter()
+	if err != nil {
+		return nil, err
+	}
+	src, err := m.sourceWeights(sources)
+	if err != nil {
+		return nil, err
+	}
+	job := &pipeline.Job{
+		Name:     name,
+		Quantity: q,
+		Sources:  src.States,
+		Weights:  src.Weights,
+		Targets:  targets,
+		Points:   inv.Points(times),
+	}
+	if err := job.Validate(m.NumStates()); err != nil {
+		return nil, err
+	}
+	return job, nil
+}
+
+// ServeMaster runs the distributed master on the listener until every
+// s-point of the job has been computed by connected workers, then
+// inverts with the same inverter configuration used to build the job.
+// checkpointPath may be empty.
+func (m *Model) ServeMaster(ln net.Listener, job *Job, times []float64, checkpointPath string, opts *Options) (*Result, error) {
+	inv, err := opts.inverter()
+	if err != nil {
+		return nil, err
+	}
+	var ckpt *pipeline.Checkpoint
+	if checkpointPath != "" {
+		ckpt, err = pipeline.OpenCheckpoint(checkpointPath)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+	}
+	values, stats, err := pipeline.Serve(ln, job, ckpt, pipeline.MasterOptions{ModelStates: m.NumStates()})
+	if err != nil {
+		return nil, err
+	}
+	f, err := inv.Invert(times, values)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Times: times, Values: f, Stats: stats}, nil
+}
+
+// RunWorker connects this model to a master at addr and evaluates
+// assignments until the master completes. The worker must hold the same
+// model as the master expects; the handshake verifies the state count.
+func (m *Model) RunWorker(addr, name string, opts *Options) error {
+	eval := pipeline.NewSolverEvaluator(m.ss.Model, opts.solver())
+	return pipeline.Work(addr, eval, m.NumStates(), pipeline.WorkerOptions{Name: name})
+}
+
+// EulerPointsPerT exposes the s-point cost model of the default Euler
+// inverter (the paper's n = k·m accounting for Table 2).
+func EulerPointsPerT() int { return lt.DefaultEuler().PointsPerT() }
+
+// String renders a Result compactly for CLI output.
+func (r *Result) String() string {
+	return fmt.Sprintf("Result{%d points, %v}", len(r.Times), r.Stats)
+}

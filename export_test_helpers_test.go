@@ -1,0 +1,9 @@
+package hydra_test
+
+import "hydra/internal/passage"
+
+// passageOptionsIntra builds solver options with intra-point parallelism
+// for facade tests.
+func passageOptionsIntra(w int) passage.Options {
+	return passage.Options{IntraPointWorkers: w}
+}

@@ -1,0 +1,88 @@
+package hydra_test
+
+import (
+	"math"
+	"testing"
+
+	"hydra"
+)
+
+// TestSystem1VoterPassageAnalyticVsSimulation runs the paper's Table 2
+// model (system 1, 106,540 states) end to end: analytic CDF of the
+// all-voters passage against 4,000 simulated walks. This is the largest
+// routine integration test; -short skips it.
+func TestSystem1VoterPassageAnalyticVsSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system 1 has 106,540 states; skipped with -short")
+	}
+	m, err := hydra.VotingSystem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 106540 {
+		t.Fatalf("system 1 has %d states, want 106540", m.NumStates())
+	}
+	p2 := m.PlaceIndex("p2")
+	targets := m.States(func(mk hydra.Marking) bool { return mk[p2] >= 60 })
+	sources := []int{m.InitialState()}
+
+	samples, err := m.SimulatePassage(sources, targets, &hydra.SimOptions{
+		Replications: 4000, Seed: 21, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q25 := hydra.SampleQuantile(samples, 0.25)
+	q75 := hydra.SampleQuantile(samples, 0.75)
+	ts := []float64{q25, q75}
+	cdf, err := m.PassageCDF(sources, targets, ts, &hydra.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []float64{0.25, 0.75}
+	for i := range ts {
+		// Quantile estimation noise at 4,000 walks plus inversion error:
+		// a 3-percentage-point band is tight enough to catch real defects.
+		if math.Abs(cdf.Values[i]-wants[i]) > 0.03 {
+			t.Errorf("F(%v) = %v, want ≈ %v", ts[i], cdf.Values[i], wants[i])
+		}
+	}
+
+	// Exact mean via first-step analysis brackets the simulated mean.
+	mean, _, err := m.PassageMoments(sources, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simMean, simSD := hydra.SampleStats(samples)
+	if math.Abs(mean-simMean) > 4*simSD/math.Sqrt(4000) {
+		t.Errorf("exact mean %v vs simulated %v ± %v", mean, simMean, simSD/math.Sqrt(4000))
+	}
+}
+
+// TestSystem1FailureModeMomentsFinite checks the rare-event passage on
+// system 1 stays analysable: the exact mean time to complete failure is
+// finite and large relative to the voting timescale.
+func TestSystem1FailureModeMomentsFinite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system 1 moments solve 106,540 unknowns; skipped with -short")
+	}
+	m, err := hydra.VotingSystem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p6, p7 := m.PlaceIndex("p6"), m.PlaceIndex("p7")
+	targets := m.States(func(mk hydra.Marking) bool { return mk[p7] >= 25 || mk[p6] >= 4 })
+	if len(targets) == 0 {
+		t.Fatal("no failure-mode states in system 1")
+	}
+	mean, variance, err := m.PassageMoments([]int{m.InitialState()}, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mean > 100) || math.IsInf(mean, 0) || math.IsNaN(mean) {
+		t.Errorf("failure-mode mean = %v, expected a large finite value", mean)
+	}
+	if !(variance > 0) {
+		t.Errorf("failure-mode variance = %v", variance)
+	}
+}

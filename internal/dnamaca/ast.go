@@ -1,0 +1,200 @@
+package dnamaca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Expr is a node of the expression language shared by conditions,
+// actions, weights, priorities and sojourn-time transforms.
+type Expr interface {
+	// String renders a canonical form (used for distribution interning).
+	String() string
+}
+
+type numLit struct{ v float64 }
+
+type varRef struct{ name string }
+
+type unary struct {
+	op string // "-" or "!"
+	x  Expr
+}
+
+type binary struct {
+	op   string
+	l, r Expr
+}
+
+type call struct {
+	fn   string
+	args []Expr
+}
+
+func (n numLit) String() string { return trimFloat(n.v) }
+func (v varRef) String() string { return v.name }
+func (u unary) String() string  { return u.op + "(" + u.x.String() + ")" }
+func (b binary) String() string {
+	return "(" + b.l.String() + b.op + b.r.String() + ")"
+}
+func (c call) String() string {
+	parts := make([]string, len(c.args))
+	for i, a := range c.args {
+		parts[i] = a.String()
+	}
+	return c.fn + "(" + strings.Join(parts, ",") + ")"
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// env resolves variable values during real-valued evaluation: place
+// markings and constants.
+type env interface {
+	lookup(name string) (float64, bool)
+}
+
+type mapEnv map[string]float64
+
+func (m mapEnv) lookup(name string) (float64, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// evalReal evaluates an expression to a float64. Boolean subexpressions
+// yield 1 or 0; relational and logical operators treat non-zero as true.
+func evalReal(e Expr, en env) (float64, error) {
+	switch n := e.(type) {
+	case numLit:
+		return n.v, nil
+	case varRef:
+		if v, ok := en.lookup(n.name); ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("dnamaca: unknown identifier %q", n.name)
+	case unary:
+		v, err := evalReal(n.x, en)
+		if err != nil {
+			return 0, err
+		}
+		switch n.op {
+		case "-":
+			return -v, nil
+		case "!":
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("dnamaca: unknown unary operator %q", n.op)
+	case binary:
+		l, err := evalReal(n.l, en)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit logicals.
+		switch n.op {
+		case "&&":
+			if l == 0 {
+				return 0, nil
+			}
+			r, err := evalReal(n.r, en)
+			if err != nil {
+				return 0, err
+			}
+			return boolVal(r != 0), nil
+		case "||":
+			if l != 0 {
+				return 1, nil
+			}
+			r, err := evalReal(n.r, en)
+			if err != nil {
+				return 0, err
+			}
+			return boolVal(r != 0), nil
+		}
+		r, err := evalReal(n.r, en)
+		if err != nil {
+			return 0, err
+		}
+		switch n.op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, fmt.Errorf("dnamaca: division by zero")
+			}
+			return l / r, nil
+		case "==":
+			return boolVal(l == r), nil
+		case "!=":
+			return boolVal(l != r), nil
+		case "<":
+			return boolVal(l < r), nil
+		case "<=":
+			return boolVal(l <= r), nil
+		case ">":
+			return boolVal(l > r), nil
+		case ">=":
+			return boolVal(l >= r), nil
+		}
+		return 0, fmt.Errorf("dnamaca: unknown operator %q", n.op)
+	case call:
+		return 0, fmt.Errorf("dnamaca: transform function %q is only valid inside \\sojourntimeLT", n.fn)
+	default:
+		return 0, fmt.Errorf("dnamaca: unexpected expression node %T", e)
+	}
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// freeVars collects identifiers referenced by the expression, excluding
+// the Laplace variable s.
+func freeVars(e Expr, into map[string]bool) {
+	switch n := e.(type) {
+	case varRef:
+		if n.name != "s" {
+			into[n.name] = true
+		}
+	case unary:
+		freeVars(n.x, into)
+	case binary:
+		freeVars(n.l, into)
+		freeVars(n.r, into)
+	case call:
+		for _, a := range n.args {
+			freeVars(a, into)
+		}
+	}
+}
+
+// sortedVars returns the sorted free variables of an expression.
+func sortedVars(e Expr) []string {
+	set := map[string]bool{}
+	freeVars(e, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// isInteger reports whether v is close enough to an integer for token
+// counts and priorities.
+func isInteger(v float64) bool {
+	return math.Abs(v-math.Round(v)) < 1e-9
+}

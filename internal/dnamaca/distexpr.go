@@ -1,0 +1,410 @@
+package dnamaca
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"hydra/internal/dist"
+)
+
+// The transform functions of the specification language. Each takes its
+// distribution parameters followed by the Laplace variable s, matching
+// the paper's uniformLT(1.5, 10, s) and erlangLT(0.001, 5, s).
+var distConstructors = map[string]struct {
+	args  int // parameter count excluding the trailing s
+	build func(args []float64) (dist.Distribution, error)
+}{
+	"uniformLT": {2, func(a []float64) (dist.Distribution, error) {
+		return safeDist(func() dist.Distribution { return dist.NewUniform(a[0], a[1]) })
+	}},
+	"erlangLT": {2, func(a []float64) (dist.Distribution, error) {
+		if !isInteger(a[1]) || a[1] < 1 {
+			return nil, fmt.Errorf("erlangLT phase count %v is not a positive integer", a[1])
+		}
+		return safeDist(func() dist.Distribution { return dist.NewErlang(a[0], int(math.Round(a[1]))) })
+	}},
+	"expLT": {1, func(a []float64) (dist.Distribution, error) {
+		return safeDist(func() dist.Distribution { return dist.NewExponential(a[0]) })
+	}},
+	"detLT": {1, func(a []float64) (dist.Distribution, error) {
+		return safeDist(func() dist.Distribution { return dist.NewDeterministic(a[0]) })
+	}},
+	"gammaLT": {2, func(a []float64) (dist.Distribution, error) {
+		return safeDist(func() dist.Distribution { return dist.NewGamma(a[0], a[1]) })
+	}},
+	"weibullLT": {2, func(a []float64) (dist.Distribution, error) {
+		return safeDist(func() dist.Distribution { return dist.NewWeibull(a[0], a[1]) })
+	}},
+	"immediateLT": {0, func([]float64) (dist.Distribution, error) {
+		return dist.NewDeterministic(0), nil
+	}},
+	"paretoLT": {2, func(a []float64) (dist.Distribution, error) {
+		return safeDist(func() dist.Distribution { return dist.NewPareto(a[0], a[1]) })
+	}},
+	"lognormalLT": {2, func(a []float64) (dist.Distribution, error) {
+		return safeDist(func() dist.Distribution { return dist.NewLogNormal(a[0], a[1]) })
+	}},
+}
+
+func safeDist(build func() dist.Distribution) (d dist.Distribution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return build(), nil
+}
+
+// BuildDistribution interprets a \sojourntimeLT expression structurally
+// against an environment (marking values and constants), producing a
+// full Distribution — samplable by the simulator — whenever the
+// expression is a weighted sum of products of the known transform
+// functions. Expressions that use s in other ways fall back to an
+// analysis-only transform (see exprLST).
+func BuildDistribution(e Expr, en env) (dist.Distribution, error) {
+	terms, err := convertSum(e, en)
+	if err == nil {
+		return assemble(terms)
+	}
+	structuralErr := err
+	// Fallback: arbitrary transform, analysis-only.
+	d, err := newExprLST(e, en)
+	if err != nil {
+		return nil, fmt.Errorf("dnamaca: sojourn expression is neither structural (%v) nor a valid transform (%v)", structuralErr, err)
+	}
+	return d, nil
+}
+
+// wTerm is one mixture branch: weight times a distribution.
+type wTerm struct {
+	w float64
+	d dist.Distribution
+}
+
+func assemble(terms []wTerm) (dist.Distribution, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("empty sojourn expression")
+	}
+	var sum float64
+	for _, t := range terms {
+		if t.w <= 0 {
+			return nil, fmt.Errorf("mixture weight %v is not positive", t.w)
+		}
+		sum += t.w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("mixture weights sum to %v, not 1 — the expression is not a probability transform", sum)
+	}
+	if len(terms) == 1 {
+		return terms[0].d, nil
+	}
+	ws := make([]float64, len(terms))
+	ds := make([]dist.Distribution, len(terms))
+	for i, t := range terms {
+		ws[i] = t.w
+		ds[i] = t.d
+	}
+	return dist.NewMixture(ws, ds), nil
+}
+
+// convertSum flattens the expression into mixture terms.
+func convertSum(e Expr, en env) ([]wTerm, error) {
+	switch n := e.(type) {
+	case binary:
+		if n.op == "+" {
+			l, err := convertSum(n.l, en)
+			if err != nil {
+				return nil, err
+			}
+			r, err := convertSum(n.r, en)
+			if err != nil {
+				return nil, err
+			}
+			return append(l, r...), nil
+		}
+	}
+	t, err := convertProduct(e, en)
+	if err != nil {
+		return nil, err
+	}
+	return []wTerm{t}, nil
+}
+
+// convertProduct interprets scalar·LT·LT… products: scalars multiply the
+// weight, transform factors convolve.
+func convertProduct(e Expr, en env) (wTerm, error) {
+	factors, err := flattenProduct(e, en)
+	if err != nil {
+		return wTerm{}, err
+	}
+	out := wTerm{w: 1}
+	var convParts []dist.Distribution
+	for _, f := range factors {
+		if f.isScalar {
+			out.w *= f.scalar
+			continue
+		}
+		convParts = append(convParts, f.d)
+	}
+	switch len(convParts) {
+	case 0:
+		return wTerm{}, fmt.Errorf("term %q has no transform factor", e)
+	case 1:
+		out.d = convParts[0]
+	default:
+		out.d = dist.NewConvolution(convParts...)
+	}
+	return out, nil
+}
+
+type factor struct {
+	isScalar bool
+	scalar   float64
+	d        dist.Distribution
+}
+
+func flattenProduct(e Expr, en env) ([]factor, error) {
+	switch n := e.(type) {
+	case binary:
+		switch n.op {
+		case "*":
+			l, err := flattenProduct(n.l, en)
+			if err != nil {
+				return nil, err
+			}
+			r, err := flattenProduct(n.r, en)
+			if err != nil {
+				return nil, err
+			}
+			return append(l, r...), nil
+		case "/":
+			l, err := flattenProduct(n.l, en)
+			if err != nil {
+				return nil, err
+			}
+			den, err := evalReal(n.r, en)
+			if err != nil {
+				return nil, fmt.Errorf("divisor in %q is not scalar: %v", e, err)
+			}
+			if den == 0 {
+				return nil, fmt.Errorf("division by zero in %q", e)
+			}
+			return append(l, factor{isScalar: true, scalar: 1 / den}), nil
+		}
+	case call:
+		d, err := buildCall(n, en)
+		if err != nil {
+			return nil, err
+		}
+		return []factor{{d: d}}, nil
+	case unary:
+		if n.op == "-" {
+			inner, err := flattenProduct(n.x, en)
+			if err != nil {
+				return nil, err
+			}
+			return append(inner, factor{isScalar: true, scalar: -1}), nil
+		}
+	}
+	// Anything else must be a scalar subexpression (no s, no calls).
+	v, err := evalReal(e, en)
+	if err != nil {
+		return nil, fmt.Errorf("%q is not a scalar: %v", e, err)
+	}
+	return []factor{{isScalar: true, scalar: v}}, nil
+}
+
+// buildCall turns a transform-function call into a distribution.
+func buildCall(c call, en env) (dist.Distribution, error) {
+	ctor, ok := distConstructors[c.fn]
+	if !ok {
+		return nil, fmt.Errorf("unknown transform function %q", c.fn)
+	}
+	if len(c.args) != ctor.args+1 {
+		return nil, fmt.Errorf("%s takes %d parameters plus s, got %d arguments", c.fn, ctor.args, len(c.args))
+	}
+	last := c.args[len(c.args)-1]
+	if v, ok := last.(varRef); !ok || v.name != "s" {
+		return nil, fmt.Errorf("the final argument of %s must be the Laplace variable s", c.fn)
+	}
+	vals := make([]float64, ctor.args)
+	for i := 0; i < ctor.args; i++ {
+		v, err := evalReal(c.args[i], en)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d of %s: %v", i+1, c.fn, err)
+		}
+		vals[i] = v
+	}
+	d, err := ctor.build(vals)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", c.fn, err)
+	}
+	return d, nil
+}
+
+// exprLST is the analysis-only fallback distribution: its transform is
+// the expression evaluated over ℂ with s bound, so any transform the
+// modeller can write is admissible for passage-time analysis (§5.2:
+// "any arbitrary Laplace transform function can be specified"); it
+// cannot be sampled, so simulation of such models is refused.
+type exprLST struct {
+	e     Expr
+	bound map[string]float64 // captured free-variable values
+	canon string
+}
+
+func newExprLST(e Expr, en env) (*exprLST, error) {
+	bound := map[string]float64{}
+	for _, v := range sortedVars(e) {
+		val, ok := en.lookup(v)
+		if !ok {
+			return nil, fmt.Errorf("unknown identifier %q", v)
+		}
+		bound[v] = val
+	}
+	x := &exprLST{e: e, bound: bound}
+	// Validate by probing one point, and check total probability: any
+	// genuine sojourn transform satisfies L(0) = 1.
+	if _, err := x.eval(1 + 1i); err != nil {
+		return nil, err
+	}
+	at0, err := x.eval(0)
+	if err != nil {
+		// Some transforms (e.g. containing 1/s factors) are singular at
+		// exactly 0; probe just right of it instead.
+		at0, err = x.eval(1e-9)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if math.Abs(real(at0)-1) > 1e-6 || math.Abs(imag(at0)) > 1e-6 {
+		return nil, fmt.Errorf("transform evaluates to %v at s=0, want 1 (not a probability distribution)", at0)
+	}
+	var parts []string
+	keys := make([]string, 0, len(bound))
+	for k := range bound {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, bound[k]))
+	}
+	x.canon = fmt.Sprintf("lt[%s|%s]", e.String(), strings.Join(parts, ","))
+	return x, nil
+}
+
+func (x *exprLST) eval(s complex128) (complex128, error) {
+	return evalComplex(x.e, x.bound, s)
+}
+
+// LST implements dist.Distribution.
+func (x *exprLST) LST(s complex128) complex128 {
+	v, err := x.eval(s)
+	if err != nil {
+		// Construction validated the expression; an error here means a
+		// genuine singularity at this s.
+		panic(fmt.Sprintf("dnamaca: evaluating transform at s=%v: %v", s, err))
+	}
+	return v
+}
+
+// Mean estimates −L′(0) by central difference.
+func (x *exprLST) Mean() float64 {
+	const h = 1e-6
+	lp, err1 := x.eval(complex(h, 0))
+	lm, err2 := x.eval(complex(-h, 0))
+	if err1 != nil || err2 != nil {
+		panic("dnamaca: transform not differentiable at 0")
+	}
+	return real((lm - lp) / complex(2*h, 0))
+}
+
+// Sample is unavailable for analysis-only transforms.
+func (x *exprLST) Sample(*rand.Rand) float64 {
+	panic(fmt.Sprintf("dnamaca: %s is an analysis-only transform and cannot be sampled; use structural mixtures of the *LT functions for simulation", x.canon))
+}
+
+func (x *exprLST) String() string { return x.canon }
+
+// evalComplex evaluates an expression over ℂ with s bound and all other
+// identifiers resolved to reals.
+func evalComplex(e Expr, bound map[string]float64, s complex128) (complex128, error) {
+	switch n := e.(type) {
+	case numLit:
+		return complex(n.v, 0), nil
+	case varRef:
+		if n.name == "s" {
+			return s, nil
+		}
+		if v, ok := bound[n.name]; ok {
+			return complex(v, 0), nil
+		}
+		return 0, fmt.Errorf("unknown identifier %q", n.name)
+	case unary:
+		v, err := evalComplex(n.x, bound, s)
+		if err != nil {
+			return 0, err
+		}
+		if n.op == "-" {
+			return -v, nil
+		}
+		return 0, fmt.Errorf("operator %q not defined on transforms", n.op)
+	case binary:
+		l, err := evalComplex(n.l, bound, s)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalComplex(n.r, bound, s)
+		if err != nil {
+			return 0, err
+		}
+		switch n.op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return l / r, nil
+		default:
+			return 0, fmt.Errorf("operator %q not defined on transforms", n.op)
+		}
+	case call:
+		ctor, ok := distConstructors[n.fn]
+		if !ok {
+			return 0, fmt.Errorf("unknown transform function %q", n.fn)
+		}
+		if len(n.args) != ctor.args+1 {
+			return 0, fmt.Errorf("%s takes %d parameters plus s", n.fn, ctor.args)
+		}
+		vals := make([]float64, ctor.args)
+		for i := 0; i < ctor.args; i++ {
+			v, err := evalComplex(n.args[i], bound, s)
+			if err != nil {
+				return 0, err
+			}
+			if imag(v) != 0 {
+				return 0, fmt.Errorf("parameter %d of %s is not real", i+1, n.fn)
+			}
+			vals[i] = real(v)
+		}
+		sv, err := evalComplex(n.args[len(n.args)-1], bound, s)
+		if err != nil {
+			return 0, err
+		}
+		d, err := ctor.build(vals)
+		if err != nil {
+			return 0, err
+		}
+		return d.LST(sv), nil
+	default:
+		return 0, fmt.Errorf("unexpected node %T", e)
+	}
+}

@@ -1,0 +1,685 @@
+package dnamaca
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Spec is a parsed specification file: one model plus any number of
+// measure blocks.
+type Spec struct {
+	Model         *ModelSpec
+	Passages      []*MeasureSpec
+	Transients    []*MeasureSpec
+	StateMeasures []*StateMeasureSpec
+}
+
+// StateMeasureSpec is a \statemeasure block: the long-run probability of
+// a marking condition (DNAmaca's steady-state estimator, evaluated here
+// through the SMP's time-average distribution).
+type StateMeasureSpec struct {
+	Name      string
+	Condition Expr
+}
+
+// ModelSpec is the parsed \model block.
+type ModelSpec struct {
+	Places      []string
+	Initial     map[string]Expr
+	Constants   []ConstDef
+	Transitions []*TransitionSpec
+}
+
+// ConstDef is one \constant{name}{expr}; later constants may reference
+// earlier ones.
+type ConstDef struct {
+	Name  string
+	Value Expr
+}
+
+// TransitionSpec is one \transition block, mirroring Fig. 3.
+type TransitionSpec struct {
+	Name      string
+	Condition Expr
+	Actions   []Assign
+	Weight    Expr
+	Priority  Expr
+	Sojourn   Expr // the \sojourntimeLT body, an expression in s
+	Line      int
+}
+
+// Assign is one `next->place = expr;` action.
+type Assign struct {
+	Place string
+	Value Expr
+}
+
+// MeasureSpec is a \passage or \transient block.
+type MeasureSpec struct {
+	Kind    string // "passage" or "transient"
+	Source  Expr   // \sourcecondition over the marking
+	Target  Expr   // \targetcondition over the marking
+	TStart  Expr
+	TStop   Expr
+	TPoints Expr
+	Method  string // "euler" (default) or "laguerre"
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+// Parse parses a complete specification.
+func Parse(src string) (*Spec, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	spec := &Spec{}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind != tokCommand {
+			return nil, p.errf("expected a \\command at top level, found %s", p.tok)
+		}
+		switch p.tok.text {
+		case "model":
+			if spec.Model != nil {
+				return nil, p.errf("duplicate \\model block")
+			}
+			m, err := p.parseModel()
+			if err != nil {
+				return nil, err
+			}
+			spec.Model = m
+		case "passage":
+			ms, err := p.parseMeasure("passage")
+			if err != nil {
+				return nil, err
+			}
+			spec.Passages = append(spec.Passages, ms)
+		case "transient":
+			ms, err := p.parseMeasure("transient")
+			if err != nil {
+				return nil, err
+			}
+			spec.Transients = append(spec.Transients, ms)
+		case "statemeasure":
+			sm, err := p.parseStateMeasure()
+			if err != nil {
+				return nil, err
+			}
+			spec.StateMeasures = append(spec.StateMeasures, sm)
+		default:
+			return nil, p.errf("unknown top-level block \\%s", p.tok.text)
+		}
+	}
+	if spec.Model == nil {
+		return nil, &SyntaxError{Line: 1, Msg: "specification has no \\model block"}
+	}
+	return spec, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Line: p.tok.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errf("expected %s, found %s", what, p.tok)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// parseModel parses \model{ ... } with the cursor on the "model" command.
+func (p *parser) parseModel() (*ModelSpec, error) {
+	if err := p.advance(); err != nil { // consume \model
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "'{' after \\model"); err != nil {
+		return nil, err
+	}
+	m := &ModelSpec{Initial: map[string]Expr{}}
+	for p.tok.kind == tokCommand {
+		switch p.tok.text {
+		case "statevector":
+			if err := p.parseStateVector(m); err != nil {
+				return nil, err
+			}
+		case "initial":
+			if err := p.parseInitial(m); err != nil {
+				return nil, err
+			}
+		case "constant":
+			if err := p.parseConstant(m); err != nil {
+				return nil, err
+			}
+		case "transition":
+			if err := p.parseTransition(m); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unknown \\%s inside \\model", p.tok.text)
+		}
+	}
+	if _, err := p.expect(tokRBrace, "'}' closing \\model"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseStateVector parses \statevector{ \type{short}{p1, p2, ...} ... }.
+func (p *parser) parseStateVector(m *ModelSpec) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace, "'{' after \\statevector"); err != nil {
+		return err
+	}
+	for p.tok.kind == tokCommand {
+		if p.tok.text != "type" {
+			return p.errf("expected \\type inside \\statevector, found \\%s", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokLBrace, "'{' after \\type"); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokIdent, "a type name (e.g. short)"); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokRBrace, "'}' after type name"); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokLBrace, "'{' before place list"); err != nil {
+			return err
+		}
+		for {
+			id, err := p.expect(tokIdent, "a place name")
+			if err != nil {
+				return err
+			}
+			m.Places = append(m.Places, id.text)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRBrace, "'}' after place list"); err != nil {
+			return err
+		}
+	}
+	_, err := p.expect(tokRBrace, "'}' closing \\statevector")
+	return err
+}
+
+// parseInitial parses \initial{ p1 = 18; p2 = 0; ... }.
+func (p *parser) parseInitial(m *ModelSpec) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace, "'{' after \\initial"); err != nil {
+		return err
+	}
+	for p.tok.kind == tokIdent {
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokOp || p.tok.text != "=" {
+			return p.errf("expected '=' in initial assignment, found %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		m.Initial[name] = e
+		if p.tok.kind == tokSemi {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := p.expect(tokRBrace, "'}' closing \\initial")
+	return err
+}
+
+// parseConstant parses \constant{NAME}{expr}.
+func (p *parser) parseConstant(m *ModelSpec) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace, "'{' after \\constant"); err != nil {
+		return err
+	}
+	name, err := p.expect(tokIdent, "constant name")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRBrace, "'}' after constant name"); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace, "'{' before constant value"); err != nil {
+		return err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRBrace, "'}' after constant value"); err != nil {
+		return err
+	}
+	m.Constants = append(m.Constants, ConstDef{Name: name.text, Value: e})
+	return nil
+}
+
+// parseTransition parses \transition{name}{ \condition{...} ... }.
+func (p *parser) parseTransition(m *ModelSpec) error {
+	line := p.tok.line
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace, "'{' after \\transition"); err != nil {
+		return err
+	}
+	name, err := p.expect(tokIdent, "transition name")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRBrace, "'}' after transition name"); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace, "'{' opening transition body"); err != nil {
+		return err
+	}
+	ts := &TransitionSpec{Name: name.text, Line: line}
+	for p.tok.kind == tokCommand {
+		cmd := p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokLBrace, "'{' after \\"+cmd); err != nil {
+			return err
+		}
+		switch cmd {
+		case "condition":
+			if ts.Condition, err = p.parseExpr(); err != nil {
+				return err
+			}
+		case "action":
+			if ts.Actions, err = p.parseActions(); err != nil {
+				return err
+			}
+		case "weight":
+			if ts.Weight, err = p.parseExpr(); err != nil {
+				return err
+			}
+		case "priority":
+			if ts.Priority, err = p.parseExpr(); err != nil {
+				return err
+			}
+		case "sojourntimeLT":
+			// Optional `return` keyword and trailing semicolon, as in
+			// the paper's excerpt.
+			if p.tok.kind == tokIdent && p.tok.text == "return" {
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+			if ts.Sojourn, err = p.parseExpr(); err != nil {
+				return err
+			}
+			if p.tok.kind == tokSemi {
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+		default:
+			return p.errf("unknown \\%s inside \\transition{%s}", cmd, ts.Name)
+		}
+		if _, err := p.expect(tokRBrace, "'}' closing \\"+cmd); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tokRBrace, "'}' closing transition body"); err != nil {
+		return err
+	}
+	m.Transitions = append(m.Transitions, ts)
+	return nil
+}
+
+// parseActions parses `next->place = expr; ...`.
+func (p *parser) parseActions() ([]Assign, error) {
+	var out []Assign
+	for p.tok.kind == tokIdent && p.tok.text == "next" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokOp || p.tok.text != "->" {
+			return nil, p.errf("expected '->' after next, found %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		place, err := p.expect(tokIdent, "place name after next->")
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokOp || p.tok.text != "=" {
+			return nil, p.errf("expected '=' in action, found %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Assign{Place: place.text, Value: e})
+		if p.tok.kind == tokSemi {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseMeasure parses \passage{...} or \transient{...}.
+func (p *parser) parseMeasure(kind string) (*MeasureSpec, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "'{' after \\"+kind); err != nil {
+		return nil, err
+	}
+	ms := &MeasureSpec{Kind: kind, Method: "euler"}
+	for p.tok.kind == tokCommand {
+		cmd := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLBrace, "'{' after \\"+cmd); err != nil {
+			return nil, err
+		}
+		var err error
+		switch cmd {
+		case "sourcecondition":
+			ms.Source, err = p.parseExpr()
+		case "targetcondition":
+			ms.Target, err = p.parseExpr()
+		case "t_start":
+			ms.TStart, err = p.parseExpr()
+		case "t_stop":
+			ms.TStop, err = p.parseExpr()
+		case "t_points":
+			ms.TPoints, err = p.parseExpr()
+		case "method":
+			tok, e := p.expect(tokIdent, "inversion method name")
+			if e != nil {
+				return nil, e
+			}
+			if tok.text != "euler" && tok.text != "laguerre" {
+				return nil, p.errf("unknown inversion method %q", tok.text)
+			}
+			ms.Method = tok.text
+		default:
+			return nil, p.errf("unknown \\%s inside \\%s", cmd, kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrace, "'}' closing \\"+cmd); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRBrace, "'}' closing \\"+kind); err != nil {
+		return nil, err
+	}
+	if ms.Source == nil || ms.Target == nil {
+		return nil, p.errf("\\%s needs \\sourcecondition and \\targetcondition", kind)
+	}
+	return ms, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.text == "||" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseRel()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.text == "&&" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseRel()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseRel() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp {
+		switch p.tok.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			op := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return binary{op: op, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.kind == tokOp && (p.tok.text == "-" || p.tok.text == "!") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unary{op: op, x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return numLit{v: v}, nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokLParen {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			if p.tok.kind != tokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.tok.kind == tokComma {
+						if err := p.advance(); err != nil {
+							return nil, err
+						}
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(tokRParen, "')' closing call"); err != nil {
+				return nil, err
+			}
+			return call{fn: name, args: args}, nil
+		}
+		return varRef{name: name}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("expected an expression, found %s", p.tok)
+	}
+}
+
+// parseStateMeasure parses \statemeasure{name}{ \condition{expr} }.
+func (p *parser) parseStateMeasure() (*StateMeasureSpec, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "'{' after \\statemeasure"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "state measure name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBrace, "'}' after measure name"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "'{' opening measure body"); err != nil {
+		return nil, err
+	}
+	sm := &StateMeasureSpec{Name: name.text}
+	for p.tok.kind == tokCommand {
+		cmd := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLBrace, "'{' after \\"+cmd); err != nil {
+			return nil, err
+		}
+		switch cmd {
+		case "condition":
+			if sm.Condition, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unknown \\%s inside \\statemeasure", cmd)
+		}
+		if _, err := p.expect(tokRBrace, "'}' closing \\"+cmd); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRBrace, "'}' closing \\statemeasure"); err != nil {
+		return nil, err
+	}
+	if sm.Condition == nil {
+		return nil, p.errf("\\statemeasure{%s} needs a \\condition", sm.Name)
+	}
+	return sm, nil
+}

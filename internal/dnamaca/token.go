@@ -1,0 +1,206 @@
+// Package dnamaca implements the model-specification language of §5: an
+// extended, semi-Markovian dialect of the DNAmaca Markov-chain
+// specification language. A specification declares a state vector,
+// constants, an initial marking and a set of transitions — each with a
+// \condition, \action, \weight, \priority and \sojourntimeLT exactly as
+// in the paper's Fig. 3 — plus \passage and \transient measure blocks.
+// The compiler lowers a parsed model onto the SM-SPN engine of package
+// petri.
+package dnamaca
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF     tokenKind = iota
+	tokCommand           // \transition, \condition, ...
+	tokIdent             // p1, MM, s, next, return, uniformLT
+	tokNumber            // 1.5, 10, 0.8
+	tokLBrace            // {
+	tokRBrace            // }
+	tokLParen            // (
+	tokRParen            // )
+	tokComma             // ,
+	tokSemi              // ;
+	tokOp                // + - * / == != <= >= < > && || ! = ->
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset for diagnostics
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer produces tokens from a specification source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// SyntaxError is a positioned lexing or parsing failure.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("dnamaca: line %d: %s", e.Line, e.Msg)
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	c, ok := l.peekByte()
+	if !ok {
+		return token{kind: tokEOF, pos: start, line: l.line}, nil
+	}
+	switch {
+	case c == '\\':
+		l.pos++
+		ident := l.readIdent()
+		if ident == "" {
+			return token{}, l.errf("empty command after '\\'")
+		}
+		return token{kind: tokCommand, text: ident, pos: start, line: l.line}, nil
+	case c == '{':
+		l.pos++
+		return token{kind: tokLBrace, text: "{", pos: start, line: l.line}, nil
+	case c == '}':
+		l.pos++
+		return token{kind: tokRBrace, text: "}", pos: start, line: l.line}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start, line: l.line}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start, line: l.line}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start, line: l.line}, nil
+	case c == ';':
+		l.pos++
+		return token{kind: tokSemi, text: ";", pos: start, line: l.line}, nil
+	case unicode.IsDigit(rune(c)) || c == '.':
+		return l.readNumber()
+	case unicode.IsLetter(rune(c)) || c == '_':
+		ident := l.readIdent()
+		return token{kind: tokIdent, text: ident, pos: start, line: l.line}, nil
+	default:
+		return l.readOperator()
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '%' || (c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/'):
+			// DNAmaca-style % comments and C++-style // comments run to
+			// the end of the line.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) readIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) readNumber() (token, error) {
+	start := l.pos
+	seenDot := false
+	seenExp := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if b, ok := l.peekByte(); ok && (b == '+' || b == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	if text == "." {
+		return token{}, l.errf("stray '.'")
+	}
+	return token{kind: tokNumber, text: text, pos: start, line: l.line}, nil
+}
+
+var twoByteOps = []string{"->", "==", "!=", "<=", ">=", "&&", "||"}
+
+func (l *lexer) readOperator() (token, error) {
+	start := l.pos
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		for _, op := range twoByteOps {
+			if two == op {
+				l.pos += 2
+				return token{kind: tokOp, text: op, pos: start, line: l.line}, nil
+			}
+		}
+	}
+	c := l.src[l.pos]
+	if strings.ContainsRune("+-*/<>=!", rune(c)) {
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start, line: l.line}, nil
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}

@@ -1,0 +1,215 @@
+// Package dtmc computes steady-state distributions of discrete-time
+// Markov chains. The passage-time method needs the stationary vector π̃
+// of the SMP's embedded DTMC to weight multiple source states: Eq. (5) of
+// the paper sets α_k = π_k / Σ_{j∈i⃗} π_j for source states k ∈ i⃗.
+package dtmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hydra/internal/sparse"
+)
+
+// ErrNotConverged is returned when an iterative solver exhausts its
+// iteration budget before meeting its tolerance.
+var ErrNotConverged = errors.New("dtmc: steady-state iteration did not converge")
+
+// ErrReducible is returned when the chain is not irreducible, in which
+// case no unique stationary vector exists.
+var ErrReducible = errors.New("dtmc: chain is reducible")
+
+// Options configures the steady-state solvers.
+type Options struct {
+	// Tol is the convergence tolerance on the successive-iterate
+	// infinity norm (default 1e-12).
+	Tol float64
+	// MaxIter bounds the number of sweeps (default 100000).
+	MaxIter int
+	// Damping mixes the identity into the power iteration:
+	// π ← (1−d)·πP + d·π. It leaves the fixed point unchanged but breaks
+	// periodicity; 0 disables (default 0.05).
+	Damping float64
+	// SkipIrreducibilityCheck bypasses the SCC pre-check for callers that
+	// have already verified the chain (the reachability generator
+	// guarantees every state is reachable from the initial one, but not
+	// the converse).
+	SkipIrreducibilityCheck bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol == 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 100000
+	}
+	if o.Damping == 0 {
+		o.Damping = 0.05
+	}
+	return o
+}
+
+// validateStochastic confirms that every row of P sums to 1 (within tol)
+// and entries are non-negative.
+func validateStochastic(p *sparse.Matrix) error {
+	rows, cols := p.Dims()
+	if rows != cols {
+		return fmt.Errorf("dtmc: transition matrix is %dx%d, want square", rows, cols)
+	}
+	for i, sum := range p.RowSums() {
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("dtmc: row %d sums to %v, want 1", i, sum)
+		}
+	}
+	bad := -1
+	for i := 0; i < rows && bad < 0; i++ {
+		p.Row(i, func(j int, v float64) {
+			if v < 0 {
+				bad = i
+			}
+		})
+	}
+	if bad >= 0 {
+		return fmt.Errorf("dtmc: row %d has a negative probability", bad)
+	}
+	return nil
+}
+
+// SteadyState computes the stationary distribution of the stochastic
+// matrix P (π = πP, Σπ = 1) by damped power iteration. P must be
+// irreducible; reducibility is detected up front via Tarjan SCC unless
+// skipped in opts.
+func SteadyState(p *sparse.Matrix, opts Options) ([]float64, error) {
+	opts = opts.withDefaults()
+	if err := validateStochastic(p); err != nil {
+		return nil, err
+	}
+	if !opts.SkipIrreducibilityCheck && !IsIrreducible(p) {
+		return nil, ErrReducible
+	}
+	n, _ := p.Dims()
+	pi := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	d := opts.Damping
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		p.VecMul(pi, next)
+		var diff, sum float64
+		for i := range next {
+			if d > 0 {
+				next[i] = (1-d)*next[i] + d*pi[i]
+			}
+			sum += next[i]
+		}
+		// Renormalise to counter drift.
+		inv := 1 / sum
+		for i := range next {
+			next[i] *= inv
+			if delta := math.Abs(next[i] - pi[i]); delta > diff {
+				diff = delta
+			}
+		}
+		pi, next = next, pi
+		if diff < opts.Tol {
+			return pi, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d iterations", ErrNotConverged, opts.MaxIter)
+}
+
+// SteadyStateGS computes the stationary vector by Gauss–Seidel sweeps on
+// the normal equations π_i = Σ_{j≠i} π_j·p_ji / (1 − p_ii). It converges
+// in far fewer sweeps than power iteration on the stiff chains produced
+// by models with rare failure events.
+func SteadyStateGS(p *sparse.Matrix, opts Options) ([]float64, error) {
+	opts = opts.withDefaults()
+	if err := validateStochastic(p); err != nil {
+		return nil, err
+	}
+	if !opts.SkipIrreducibilityCheck && !IsIrreducible(p) {
+		return nil, ErrReducible
+	}
+	n, _ := p.Dims()
+	pt := p.Transpose() // row i of pt holds the incoming probabilities p_ji
+	selfLoop := make([]float64, n)
+	for i := 0; i < n; i++ {
+		selfLoop[i] = p.At(i, i)
+	}
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		var diff float64
+		for i := 0; i < n; i++ {
+			var in float64
+			pt.Row(i, func(j int, v float64) {
+				if j != i {
+					in += v * pi[j]
+				}
+			})
+			denom := 1 - selfLoop[i]
+			if denom <= 0 {
+				// Absorbing state: impossible in an irreducible chain
+				// with n > 1, but guard against degenerate input.
+				denom = 1
+			}
+			next := in / denom
+			if d := math.Abs(next - pi[i]); d > diff {
+				diff = d
+			}
+			pi[i] = next
+		}
+		var sum float64
+		for _, v := range pi {
+			sum += v
+		}
+		inv := 1 / sum
+		for i := range pi {
+			pi[i] *= inv
+		}
+		if diff < opts.Tol*sum {
+			return pi, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d iterations", ErrNotConverged, opts.MaxIter)
+}
+
+// Residual returns ‖πP − π‖∞, the stationarity defect of a candidate
+// vector.
+func Residual(p *sparse.Matrix, pi []float64) float64 {
+	n, _ := p.Dims()
+	out := make([]float64, n)
+	p.VecMul(pi, out)
+	var r float64
+	for i := range out {
+		if d := math.Abs(out[i] - pi[i]); d > r {
+			r = d
+		}
+	}
+	return r
+}
+
+// Alpha computes the Eq. (5) source weights: the steady-state
+// probabilities of the source states, renormalised over the source set.
+func Alpha(pi []float64, sources []int) ([]float64, error) {
+	var total float64
+	for _, k := range sources {
+		if k < 0 || k >= len(pi) {
+			return nil, fmt.Errorf("dtmc: source state %d outside chain of %d states", k, len(pi))
+		}
+		total += pi[k]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("dtmc: source states have zero steady-state mass")
+	}
+	alpha := make([]float64, len(sources))
+	for i, k := range sources {
+		alpha[i] = pi[k] / total
+	}
+	return alpha, nil
+}

@@ -1,0 +1,216 @@
+package dtmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hydra/internal/sparse"
+)
+
+// chain builds a sparse stochastic matrix from dense rows.
+func chain(rows [][]float64) *sparse.Matrix {
+	n := len(rows)
+	b := sparse.NewBuilder(n, n)
+	for i, row := range rows {
+		for j, v := range row {
+			if v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func vecNear(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSteadyStateTwoState(t *testing.T) {
+	// π = (b, a)/(a+b) for P = [[1-a, a], [b, 1-b]].
+	p := chain([][]float64{{0.7, 0.3}, {0.2, 0.8}})
+	pi, err := SteadyState(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.4, 0.6}
+	if !vecNear(pi, want, 1e-10) {
+		t.Errorf("pi = %v, want %v", pi, want)
+	}
+}
+
+func TestSteadyStatePeriodicChain(t *testing.T) {
+	// A 3-cycle is periodic; plain power iteration would oscillate but
+	// damping must still converge to the uniform distribution.
+	p := chain([][]float64{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+	pi, err := SteadyState(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1. / 3, 1. / 3, 1. / 3}
+	if !vecNear(pi, want, 1e-9) {
+		t.Errorf("pi = %v, want %v", pi, want)
+	}
+}
+
+func TestGaussSeidelMatchesPower(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(25)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, n)
+			// Ring structure for guaranteed irreducibility plus random
+			// extra edges.
+			rows[i][(i+1)%n] = 0.2
+			var rest float64 = 0.8
+			for k := 0; k < 3; k++ {
+				j := r.Intn(n)
+				v := rest * r.Float64()
+				rows[i][j] += v
+				rest -= v
+			}
+			rows[i][i] += rest
+		}
+		p := chain(rows)
+		pw, err := SteadyState(p, Options{})
+		if err != nil {
+			t.Fatalf("power: %v", err)
+		}
+		gs, err := SteadyStateGS(p, Options{})
+		if err != nil {
+			t.Fatalf("gs: %v", err)
+		}
+		if !vecNear(pw, gs, 1e-8) {
+			t.Fatalf("trial %d: power %v vs GS %v", trial, pw, gs)
+		}
+	}
+}
+
+func TestSteadyStateResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(15)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, n)
+			rows[i][(i+1)%n] = 0.3
+			left := 0.7
+			j := r.Intn(n)
+			rows[i][j] += left * r.Float64()
+			var sum float64
+			for _, v := range rows[i] {
+				sum += v
+			}
+			rows[i][i] += 1 - sum
+		}
+		p := chain(rows)
+		pi, err := SteadyState(p, Options{})
+		if err != nil {
+			return false
+		}
+		var total float64
+		for _, v := range pi {
+			total += v
+			if v < -1e-15 {
+				return false
+			}
+		}
+		return math.Abs(total-1) < 1e-9 && Residual(p, pi) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReducibleChainRejected(t *testing.T) {
+	// Two absorbing halves.
+	p := chain([][]float64{{1, 0}, {0, 1}})
+	if _, err := SteadyState(p, Options{}); err != ErrReducible {
+		t.Errorf("err = %v, want ErrReducible", err)
+	}
+	if _, err := SteadyStateGS(p, Options{}); err != ErrReducible {
+		t.Errorf("GS err = %v, want ErrReducible", err)
+	}
+}
+
+func TestNonStochasticRejected(t *testing.T) {
+	p := chain([][]float64{{0.5, 0.2}, {0.5, 0.5}})
+	if _, err := SteadyState(p, Options{}); err == nil {
+		t.Error("accepted non-stochastic matrix")
+	}
+}
+
+func TestSCCKnownDigraph(t *testing.T) {
+	// 0↔1 one component; 2 isolated-ish (only outgoing); 3↔4.
+	b := sparse.NewBuilder(5, 5)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	b.Add(2, 0, 1)
+	b.Add(3, 4, 1)
+	b.Add(4, 3, 1)
+	comp, count := StronglyConnectedComponents(b.Build())
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if comp[0] != comp[1] {
+		t.Error("0 and 1 must share a component")
+	}
+	if comp[3] != comp[4] {
+		t.Error("3 and 4 must share a component")
+	}
+	if comp[2] == comp[0] || comp[2] == comp[3] {
+		t.Error("2 must be alone")
+	}
+}
+
+func TestSCCRingIsSingleComponent(t *testing.T) {
+	n := 1000
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, (i+1)%n, 1)
+	}
+	if !IsIrreducible(b.Build()) {
+		t.Error("ring must be irreducible")
+	}
+}
+
+func TestSCCLargeChainIterativeSafety(t *testing.T) {
+	// A long path (plus back edge) exercises the iterative Tarjan: a
+	// recursive version would blow the stack at this depth.
+	n := 200000
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n-1; i++ {
+		b.Add(i, i+1, 1)
+	}
+	b.Add(n-1, 0, 1)
+	if !IsIrreducible(b.Build()) {
+		t.Error("long cycle must be one component")
+	}
+}
+
+func TestAlphaWeights(t *testing.T) {
+	pi := []float64{0.1, 0.2, 0.3, 0.4}
+	alpha, err := Alpha(pi, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecNear(alpha, []float64{1. / 3, 2. / 3}, 1e-12) {
+		t.Errorf("alpha = %v, want [1/3 2/3]", alpha)
+	}
+	if _, err := Alpha(pi, []int{9}); err == nil {
+		t.Error("accepted out-of-range source")
+	}
+	if _, err := Alpha([]float64{0, 1}, []int{0}); err == nil {
+		t.Error("accepted zero-mass source set")
+	}
+}

@@ -1,0 +1,109 @@
+package dtmc
+
+import "hydra/internal/sparse"
+
+// StronglyConnectedComponents runs an iterative Tarjan algorithm over the
+// sparsity pattern of the matrix (edge i→j wherever a non-zero entry
+// exists) and returns the component index of every state. Components are
+// numbered in reverse topological order (a Tarjan property). The
+// implementation is iterative because model state spaces reach 10⁶ states
+// and recursion would overflow the stack.
+func StronglyConnectedComponents(p *sparse.Matrix) (comp []int, count int) {
+	n, _ := p.Dims()
+	const unvisited = -1
+	comp = make([]int, n)
+	index := make([]int, n)
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int // Tarjan stack
+	var callStack []frame
+	next := 0
+
+	// adjacency via CSR rows
+	adj := func(v int) []int {
+		out := make([]int, 0, p.RowNNZ(v))
+		p.Row(v, func(j int, val float64) {
+			if val != 0 {
+				out = append(out, j)
+			}
+		})
+		return out
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack = append(callStack[:0], frame{v: root})
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.edges == nil {
+				index[f.v] = next
+				lowlink[f.v] = next
+				next++
+				stack = append(stack, f.v)
+				onStack[f.v] = true
+				f.edges = adj(f.v)
+			}
+			advanced := false
+			for f.i < len(f.edges) {
+				w := f.edges[f.i]
+				f.i++
+				if index[w] == unvisited {
+					callStack = append(callStack, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Post-order: pop and propagate lowlink to parent.
+			if lowlink[f.v] == index[f.v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == f.v {
+						break
+					}
+				}
+				count++
+			}
+			child := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if lowlink[child] < lowlink[parent.v] {
+					lowlink[parent.v] = lowlink[child]
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+type frame struct {
+	v     int
+	i     int
+	edges []int
+}
+
+// IsIrreducible reports whether the chain consists of a single strongly
+// connected component.
+func IsIrreducible(p *sparse.Matrix) bool {
+	n, _ := p.Dims()
+	if n == 0 {
+		return false
+	}
+	_, count := StronglyConnectedComponents(p)
+	return count == 1
+}

@@ -1,0 +1,27 @@
+// Package lt implements numerical Laplace-transform inversion and the
+// sampled-transform representation that §4 of Bradley et al. (IPDPS 2003)
+// builds the whole pipeline around.
+//
+// Two inverters are provided, as in the paper:
+//
+//   - Euler (Abate–Whitt 1995): for each output time t it samples the
+//     transform at n = k·m points (k per t-point, m t-points) on a
+//     Bromwich-like contour and applies alternating-series Euler
+//     summation. It is the method of choice when the target density or
+//     its derivatives contain discontinuities (deterministic or uniform
+//     firing delays).
+//
+//   - Laguerre (Abate–Choudhury–Whitt 1996, with the modifications used
+//     by Harrison–Knottenbelt 2002): expands f in Laguerre functions
+//     whose coefficients come from a fixed 400-point Cauchy contour —
+//     crucially independent of the number of t-points — making it the
+//     cheap choice for smooth densities evaluated at many times.
+//
+// Whichever inverter is chosen, the set of demanded s-points is known in
+// advance. A distribution, and any composition of distributions, is
+// therefore fully described by its transform values at those points: the
+// Sampled type stores exactly that, giving every distribution identical,
+// constant storage no matter how many compositions it has been through.
+// This is the representation the distributed pipeline caches, checkpoints
+// and ships between master and workers.
+package lt

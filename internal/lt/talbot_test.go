@@ -1,0 +1,89 @@
+package lt
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/dist"
+)
+
+func TestTalbotInvertsSmoothDensities(t *testing.T) {
+	cases := []struct {
+		d    dist.Distribution
+		f    func(float64) float64
+		ts   []float64
+		name string
+	}{
+		{dist.NewExponential(1.5), func(tt float64) float64 { return 1.5 * math.Exp(-1.5*tt) },
+			[]float64{0.2, 0.7, 1.5, 3}, "exp"},
+		{dist.NewErlang(2, 3), func(tt float64) float64 { return 4 * tt * tt * math.Exp(-2*tt) },
+			[]float64{0.3, 1, 2, 4}, "erlang"},
+		{dist.NewGamma(2.5, 1.2), nil, nil, ""},
+	}
+	for _, c := range cases[:2] {
+		inv := DefaultTalbot()
+		pts := inv.Points(c.ts)
+		vals := make([]complex128, len(pts))
+		for i, s := range pts {
+			vals[i] = c.d.LST(s)
+		}
+		got, err := inv.Invert(c.ts, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tt := range c.ts {
+			if want := c.f(tt); math.Abs(got[i]-want) > 1e-7 {
+				t.Errorf("%s: f(%v) = %v, want %v", c.name, tt, got[i], want)
+			}
+		}
+	}
+}
+
+func TestTalbotPointBudgetBelowEuler(t *testing.T) {
+	ts := []float64{1, 2, 3, 4, 5}
+	talbot := len(DefaultTalbot().Points(ts))
+	euler := len(DefaultEuler().Points(ts))
+	if talbot >= euler {
+		t.Errorf("talbot uses %d points, euler %d — expected fewer", talbot, euler)
+	}
+}
+
+func TestTalbotAgreesWithEulerOnSmoothPassage(t *testing.T) {
+	// Mixture of Erlangs: smooth; the three inverters should agree.
+	d := dist.NewMixture([]float64{0.3, 0.7},
+		[]dist.Distribution{dist.NewErlang(1, 2), dist.NewErlang(4, 3)})
+	ts := []float64{0.5, 1.5, 3}
+	run := func(inv Inverter) []float64 {
+		pts := inv.Points(ts)
+		vals := make([]complex128, len(pts))
+		for i, s := range pts {
+			vals[i] = d.LST(s)
+		}
+		f, err := inv.Invert(ts, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	fe := run(DefaultEuler())
+	ft := run(DefaultTalbot())
+	for i := range ts {
+		if math.Abs(fe[i]-ft[i]) > 1e-6 {
+			t.Errorf("t=%v: euler %v vs talbot %v", ts[i], fe[i], ft[i])
+		}
+	}
+}
+
+func TestTalbotValidation(t *testing.T) {
+	if _, err := DefaultTalbot().Invert([]float64{1}, make([]complex128, 5)); err == nil {
+		t.Error("accepted wrong value count")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("accepted t=0")
+			}
+		}()
+		DefaultTalbot().Points([]float64{0})
+	}()
+}

@@ -1,0 +1,180 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hydra/internal/sparse"
+)
+
+func TestBalancedRowsCoverAndBalance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		parts := 1 + r.Intn(8)
+		weights := make([]int, n)
+		var total int
+		for i := range weights {
+			weights[i] = 1 + r.Intn(50)
+			total += weights[i]
+		}
+		ranges := BalancedRows(weights, parts)
+		// Coverage: contiguous, disjoint, complete.
+		pos := 0
+		for _, rg := range ranges {
+			if rg.Lo != pos || rg.Hi <= rg.Lo {
+				return false
+			}
+			pos = rg.Hi
+		}
+		if pos != n {
+			return false
+		}
+		// Balance: no part above 2× the ideal share plus one max row
+		// (contiguity limits how well small n can balance).
+		if len(ranges) > 1 {
+			ideal := float64(total) / float64(len(ranges))
+			maxRow := 0
+			for _, w := range weights {
+				if w > maxRow {
+					maxRow = w
+				}
+			}
+			for _, rg := range ranges {
+				var sum int
+				for i := rg.Lo; i < rg.Hi; i++ {
+					sum += weights[i]
+				}
+				if float64(sum) > 2*ideal+float64(maxRow) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancedRowsMorePartsThanRows(t *testing.T) {
+	ranges := BalancedRows([]int{5, 5}, 10)
+	if len(ranges) != 2 {
+		t.Fatalf("got %d ranges, want 2", len(ranges))
+	}
+}
+
+// ring builds a cyclic adjacency matrix of n states.
+func ring(n int) *sparse.CMatrix {
+	b := sparse.NewCBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, (i+1)%n, 1)
+		b.Add((i+1)%n, i, 1)
+	}
+	return b.Build()
+}
+
+func TestCutEdgesRing(t *testing.T) {
+	// A ring split into k contiguous arcs has exactly 2k cut edges in
+	// each direction = 4k/2... precisely: k boundaries × 2 directed
+	// edges crossing each = 2k? Each boundary between arcs cuts the two
+	// directed edges spanning it: 2 per boundary, k boundaries (cyclic).
+	n := 100
+	m := ring(n)
+	for _, parts := range []int{2, 4, 5} {
+		weights := make([]int, n)
+		for i := range weights {
+			weights[i] = 2
+		}
+		a := FromRanges(BalancedRows(weights, parts), n)
+		cut := CutEdges(m, a)
+		if cut != 2*parts {
+			t.Errorf("parts=%d: cut = %d, want %d", parts, cut, 2*parts)
+		}
+	}
+}
+
+func TestLocalityBeatsRandomPlacement(t *testing.T) {
+	// On a 2D-grid-like kernel, contiguous BFS placement must cut far
+	// fewer edges than a random permutation — the (hyper)graph
+	// partitioning argument in miniature.
+	const side = 40
+	n := side * side
+	b := sparse.NewCBuilder(n, n)
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			i := x*side + y
+			if x+1 < side {
+				b.Add(i, i+side, 1)
+				b.Add(i+side, i, 1)
+			}
+			if y+1 < side {
+				b.Add(i, i+1, 1)
+				b.Add(i+1, i, 1)
+			}
+		}
+	}
+	m := b.Build()
+	weights := make([]int, n)
+	for i := range weights {
+		weights[i] = m.RowNNZ(i)
+	}
+	const parts = 8
+
+	bfs := AssignByOrder(BFSOrder(m), weights, parts)
+	bfsCut := CutEdges(m, bfs)
+
+	r := rand.New(rand.NewSource(5))
+	perm := r.Perm(n)
+	random := AssignByOrder(perm, weights, parts)
+	randomCut := CutEdges(m, random)
+
+	if bfsCut*3 > randomCut {
+		t.Errorf("BFS cut %d not clearly below random cut %d", bfsCut, randomCut)
+	}
+	if bv := BoundaryVertices(m, bfs); bv <= 0 || bv > n {
+		t.Errorf("boundary vertices = %d", bv)
+	}
+}
+
+func TestParallelProductMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(60)
+		b := sparse.NewCBuilder(n, n)
+		for k := 0; k < 6*n; k++ {
+			b.Add(r.Intn(n), r.Intn(n), complex(r.NormFloat64(), r.NormFloat64()))
+		}
+		m := b.Build()
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		skip := make([]bool, n)
+		for i := range skip {
+			skip[i] = r.Intn(5) == 0
+		}
+		want := make([]complex128, n)
+		m.VecMulSkipRows(x, want, skip)
+
+		weights := make([]int, n)
+		for i := range weights {
+			weights[i] = m.RowNNZ(i) + 1
+		}
+		parts := 1 + r.Intn(4)
+		pp := NewParallelProduct(BalancedRows(weights, parts), n)
+		got := make([]complex128, n)
+		pp.VecMulSkipRows(m, x, got, skip)
+		for i := range got {
+			d := got[i] - want[i]
+			if real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

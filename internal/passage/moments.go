@@ -1,0 +1,149 @@
+package passage
+
+import (
+	"fmt"
+	"math"
+
+	"hydra/internal/dist"
+	"hydra/internal/smp"
+)
+
+// Moments computes the exact first and second moments of the
+// first-passage time into the target set from every state, by first-step
+// analysis in the time domain — no Laplace transforms involved, which
+// makes it both an independent oracle for the transform pipeline and the
+// cheap way to get mean response times:
+//
+//	E[T_i]   = m_i + Σ_{k∉j⃗} p_ik·E[T_k]
+//	E[T_i²]  = m2_i + 2·Σ_{k∉j⃗} c_ik·E[T_k] + Σ_{k∉j⃗} p_ik·E[T_k²]
+//
+// where m_i, m2_i are the first and second moments of the sojourn in i
+// and c_ik = p_ik·E[sojourn_i,k] couples the sojourn before the jump to
+// the remaining passage. The convention matches Eq. (9)'s leading U
+// term: the first transition is always taken, so cycle times
+// (source ∈ targets) are well defined.
+//
+// Every sojourn distribution must implement dist.Varer for the second
+// moment; Moments returns an error naming the offending distribution
+// otherwise.
+type Moments struct {
+	Mean   []float64 // E[T_i]
+	Second []float64 // E[T_i²]
+}
+
+// Variance returns Var[T_i] for state i.
+func (mo *Moments) Variance(i int) float64 {
+	return mo.Second[i] - mo.Mean[i]*mo.Mean[i]
+}
+
+// PassageMoments solves the two linear systems by Gauss–Seidel sweeps.
+func PassageMoments(m *smp.Model, targets []int, opts Options) (*Moments, error) {
+	opts = opts.withDefaults()
+	n := m.N()
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("passage: empty target set")
+	}
+	inTarget := make([]bool, n)
+	for _, t := range targets {
+		if t < 0 || t >= n {
+			return nil, fmt.Errorf("passage: target %d outside model", t)
+		}
+		inTarget[t] = true
+	}
+
+	// Per-state sojourn moments and per-term data.
+	type term struct {
+		to   int
+		p    float64
+		mean float64
+	}
+	terms := make([][]term, n)
+	m1 := make([]float64, n) // E[sojourn_i]
+	m2 := make([]float64, n) // E[sojourn_i²]
+	var badDist dist.Distribution
+	for i := 0; i < n; i++ {
+		m.Terms(i, func(t smp.Term) {
+			mean := t.Dist.Mean()
+			v, ok := t.Dist.(dist.Varer)
+			if !ok {
+				badDist = t.Dist
+				return
+			}
+			second := v.Variance() + mean*mean
+			m1[i] += t.Prob * mean
+			m2[i] += t.Prob * second
+			terms[i] = append(terms[i], term{to: t.To, p: t.Prob, mean: mean})
+		})
+		if badDist != nil {
+			return nil, fmt.Errorf("passage: distribution %s has no second moment; PassageMoments requires dist.Varer", badDist)
+		}
+	}
+
+	// First moments: E_i = m1_i + Σ_{k∉j} p_ik·E_k, where the sum is over
+	// successor states (post-jump), so the "absorbing" truncation applies
+	// to the *destination*.
+	mean := make([]float64, n)
+	solve := func(update func(i int) float64, x []float64) error {
+		for iter := 0; iter < opts.GSMaxIter; iter++ {
+			var worst float64
+			for i := 0; i < n; i++ {
+				next := update(i)
+				if d := math.Abs(next - x[i]); d > worst {
+					worst = d
+				}
+				x[i] = next
+			}
+			if worst < opts.GSEpsilon*(1+l1Real(x)/float64(n)) {
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: moment Gauss–Seidel after %d sweeps", ErrNoConvergence, opts.GSMaxIter)
+	}
+	if err := solve(func(i int) float64 {
+		sum := m1[i]
+		for _, t := range terms[i] {
+			if !inTarget[t.to] {
+				sum += t.p * mean[t.to]
+			}
+		}
+		return sum
+	}, mean); err != nil {
+		return nil, err
+	}
+
+	// Second moments: E[T_i²] = E[(τ + T')²] = m2_i + 2·Σ p_ik·E[τ_ik]·E[T_k]
+	// + Σ p_ik·E[T_k²] over non-target successors; for target successors
+	// the remaining passage is zero.
+	second := make([]float64, n)
+	if err := solve(func(i int) float64 {
+		sum := m2[i]
+		for _, t := range terms[i] {
+			if !inTarget[t.to] {
+				sum += 2*t.p*t.mean*mean[t.to] + t.p*second[t.to]
+			}
+		}
+		return sum
+	}, second); err != nil {
+		return nil, err
+	}
+	return &Moments{Mean: mean, Second: second}, nil
+}
+
+// WeightedMoments reduces per-state moments over a source weighting:
+// the passage time from α̃ is the α-mixture of the per-state passages.
+func (mo *Moments) WeightedMoments(src SourceWeights) (mean, variance float64) {
+	var m, s float64
+	for k, i := range src.States {
+		m += src.Weights[k] * mo.Mean[i]
+		s += src.Weights[k] * mo.Second[i]
+	}
+	return m, s - m*m
+}
+
+func l1Real(v []float64) float64 {
+	var sum float64
+	for _, x := range v {
+		sum += math.Abs(x)
+	}
+	return sum
+}

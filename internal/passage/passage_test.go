@@ -1,0 +1,474 @@
+package passage
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"hydra/internal/dist"
+	"hydra/internal/dtmc"
+	"hydra/internal/lt"
+	"hydra/internal/smp"
+)
+
+func mustModel(t *testing.T, b *smp.Builder) *smp.Model {
+	t.Helper()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// twoCycle is 0 →exp(a) 1 →exp(b) 0.
+func twoCycle(t *testing.T, a, b float64) *smp.Model {
+	bd := smp.NewBuilder(2)
+	bd.Add(0, 1, 1, dist.NewExponential(a))
+	bd.Add(1, 0, 1, dist.NewExponential(b))
+	return mustModel(t, bd)
+}
+
+func TestSingleHopPassageIsSojournLST(t *testing.T) {
+	m := twoCycle(t, 2, 3)
+	sv := NewSolver(m, Options{})
+	s := complex128(0.7 + 1.3i)
+	got, r, err := sv.IterativeLST(s, SingleSource(0), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dist.NewExponential(2).LST(s)
+	if cmplx.Abs(got-want) > 1e-12 {
+		t.Errorf("L_01 = %v, want %v", got, want)
+	}
+	if r > 2 {
+		t.Errorf("single hop took r=%d transitions to converge", r)
+	}
+}
+
+func TestChainPassageIsConvolution(t *testing.T) {
+	// 0 →exp(2) 1 →uniform(1,3) 2 →exp(5) 0: L_02 = exp·uniform product.
+	b := smp.NewBuilder(3)
+	b.Add(0, 1, 1, dist.NewExponential(2))
+	b.Add(1, 2, 1, dist.NewUniform(1, 3))
+	b.Add(2, 0, 1, dist.NewExponential(5))
+	m := mustModel(t, b)
+	sv := NewSolver(m, Options{})
+	s := complex128(0.4 + 0.9i)
+	got, _, err := sv.IterativeLST(s, SingleSource(0), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dist.NewExponential(2).LST(s) * dist.NewUniform(1, 3).LST(s)
+	if cmplx.Abs(got-want) > 1e-12 {
+		t.Errorf("L_02 = %v, want %v", got, want)
+	}
+}
+
+func TestCycleTimeUsesInitialUTerm(t *testing.T) {
+	// L_00 for the 2-cycle is the LST of the full cycle — it must not be
+	// reported as 0 (the reason Eq. 9 keeps the leading U).
+	m := twoCycle(t, 2, 3)
+	sv := NewSolver(m, Options{})
+	s := complex128(0.5 + 0.2i)
+	got, _, err := sv.IterativeLST(s, SingleSource(0), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dist.NewExponential(2).LST(s) * dist.NewExponential(3).LST(s)
+	if cmplx.Abs(got-want) > 1e-12 {
+		t.Errorf("L_00 = %v, want %v", got, want)
+	}
+}
+
+func TestProbabilisticBranchingPassage(t *testing.T) {
+	// 0 →(0.4, exp(1)) 1, 0 →(0.6, exp(1)) 2 →exp(4) 1; 1 →exp(9) 0.
+	// L_01 = 0.4·e₁ + 0.6·e₁·e₄ with e_λ the exp LSTs.
+	b := smp.NewBuilder(3)
+	b.Add(0, 1, 0.4, dist.NewExponential(1))
+	b.Add(0, 2, 0.6, dist.NewExponential(1))
+	b.Add(2, 1, 1, dist.NewExponential(4))
+	b.Add(1, 0, 1, dist.NewExponential(9))
+	m := mustModel(t, b)
+	sv := NewSolver(m, Options{})
+	s := complex128(1.1 - 0.3i)
+	got, _, err := sv.IterativeLST(s, SingleSource(0), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := dist.NewExponential(1).LST(s)
+	e4 := dist.NewExponential(4).LST(s)
+	want := 0.4*e1 + 0.6*e1*e4
+	if cmplx.Abs(got-want) > 1e-12 {
+		t.Errorf("L_01 = %v, want %v", got, want)
+	}
+}
+
+// randomSMP builds a random irreducible SMP with assorted distributions.
+func randomSMP(r *rand.Rand, n int) *smp.Model {
+	pool := []dist.Distribution{
+		dist.NewExponential(0.5 + 3*r.Float64()),
+		dist.NewErlang(1+2*r.Float64(), 1+r.Intn(3)),
+		dist.NewUniform(0.1, 0.1+3*r.Float64()),
+		dist.NewDeterministic(0.2 + r.Float64()),
+	}
+	b := smp.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		// Ring edge guarantees irreducibility; split remaining mass over
+		// up to two random extra successors.
+		pRing := 0.3 + 0.4*r.Float64()
+		b.Add(i, (i+1)%n, pRing, pool[r.Intn(len(pool))])
+		rest := 1 - pRing
+		j := r.Intn(n)
+		split := rest * r.Float64()
+		if split > 1e-9 {
+			b.Add(i, j, split, pool[r.Intn(len(pool))])
+		}
+		if rem := rest - split; rem > 1e-9 {
+			b.Add(i, r.Intn(n), rem, pool[r.Intn(len(pool))])
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestIterativeMatchesDirectSolvers(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + r.Intn(12)
+		m := randomSMP(r, n)
+		sv := NewSolver(m, Options{})
+		src := SingleSource(r.Intn(n))
+		nT := 1 + r.Intn(2)
+		targets := make([]int, 0, nT)
+		seen := map[int]bool{}
+		for len(targets) < nT {
+			k := r.Intn(n)
+			if !seen[k] {
+				seen[k] = true
+				targets = append(targets, k)
+			}
+		}
+		s := complex(0.2+2*r.Float64(), 4*(r.Float64()-0.5))
+		it, _, err := sv.IterativeLST(s, src, targets)
+		if err != nil {
+			t.Fatalf("trial %d: iterative: %v", trial, err)
+		}
+		gs, err := sv.DirectLST(s, src, targets)
+		if err != nil {
+			t.Fatalf("trial %d: GS: %v", trial, err)
+		}
+		dn, err := sv.DirectDenseLST(s, src, targets)
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		if cmplx.Abs(it-dn) > 1e-6 {
+			t.Errorf("trial %d: iterative %v vs dense %v (diff %g)", trial, it, dn, cmplx.Abs(it-dn))
+		}
+		if cmplx.Abs(gs-dn) > 1e-8 {
+			t.Errorf("trial %d: GS %v vs dense %v (diff %g)", trial, gs, dn, cmplx.Abs(gs-dn))
+		}
+	}
+}
+
+func TestMultiSourceWeightingIsLinear(t *testing.T) {
+	// Eq. (4): L_i⃗j⃗ = Σ α_k L_kj⃗.
+	r := rand.New(rand.NewSource(33))
+	m := randomSMP(r, 8)
+	sv := NewSolver(m, Options{})
+	src := SourceWeights{States: []int{0, 3, 5}, Weights: []float64{0.2, 0.5, 0.3}}
+	targets := []int{6}
+	s := complex128(0.8 + 0.6i)
+	combined, _, err := sv.IterativeLST(s, src, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want complex128
+	for k, i := range src.States {
+		li, _, err := sv.IterativeLST(s, SingleSource(i), targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += complex(src.Weights[k], 0) * li
+	}
+	if cmplx.Abs(combined-want) > 1e-9 {
+		t.Errorf("multi-source %v, want Σα·L = %v", combined, want)
+	}
+}
+
+func TestComputeSourceWeightsMatchesEmbeddedChain(t *testing.T) {
+	m := twoCycle(t, 2, 3)
+	// Single source short-circuits.
+	sw, err := ComputeSourceWeights(m, []int{1})
+	if err != nil || len(sw.States) != 1 || sw.Weights[0] != 1 {
+		t.Fatalf("single source weights = %+v, err %v", sw, err)
+	}
+	// Multi source: embedded chain of the 2-cycle alternates, π = (½, ½),
+	// so α = (½, ½).
+	sw, err = ComputeSourceWeights(m, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sw.Weights[0]-0.5) > 1e-9 || math.Abs(sw.Weights[1]-0.5) > 1e-9 {
+		t.Errorf("alpha = %v, want [0.5 0.5]", sw.Weights)
+	}
+	pi, err := dtmc.SteadyState(m.EmbeddedDTMC(), dtmc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dtmc.Alpha(pi, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-sw.Weights[i]) > 1e-9 {
+			t.Errorf("alpha[%d] = %v, want %v", i, sw.Weights[i], a[i])
+		}
+	}
+}
+
+func TestEndToEndHypoexponentialDensity(t *testing.T) {
+	// 0 →exp(2) 1 →exp(5) 2, passage 0→2 has the hypoexponential density
+	// f(t) = λμ/(μ−λ)·(e^{−λt} − e^{−μt}); run the full pipeline: solver
+	// at the inverter's s-points, then Euler inversion.
+	b := smp.NewBuilder(3)
+	b.Add(0, 1, 1, dist.NewExponential(2))
+	b.Add(1, 2, 1, dist.NewExponential(5))
+	b.Add(2, 0, 1, dist.NewExponential(1))
+	m := mustModel(t, b)
+	sv := NewSolver(m, Options{})
+	inv := lt.DefaultEuler()
+	ts := []float64{0.1, 0.3, 0.6, 1, 1.5, 2.5}
+	pts := inv.Points(ts)
+	vals := make([]complex128, len(pts))
+	for i, s := range pts {
+		v, _, err := sv.IterativeLST(s, SingleSource(0), []int{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[i] = v
+	}
+	f, err := inv.Invert(ts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range ts {
+		want := 2 * 5 / 3.0 * (math.Exp(-2*tt) - math.Exp(-5*tt))
+		if math.Abs(f[i]-want) > 1e-6 {
+			t.Errorf("f(%v) = %v, want %v", tt, f[i], want)
+		}
+	}
+}
+
+func TestTransientMatchesCTMCClosedForm(t *testing.T) {
+	// For the exponential 2-cycle with rates a, b the transient is the
+	// classical P(Z(t)=1 | Z(0)=0) = a/(a+b)·(1 − e^{−(a+b)t}).
+	a, bb := 2.0, 3.0
+	m := twoCycle(t, a, bb)
+	sv := NewSolver(m, Options{})
+	inv := lt.DefaultEuler()
+	ts := []float64{0.05, 0.2, 0.5, 1, 2, 4}
+	pts := inv.Points(ts)
+	vals := make([]complex128, len(pts))
+	for i, s := range pts {
+		v, err := sv.TransientLST(s, SingleSource(0), []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[i] = v
+	}
+	f, err := inv.Invert(ts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range ts {
+		want := a / (a + bb) * (1 - math.Exp(-(a+bb)*tt))
+		if math.Abs(f[i]-want) > 1e-6 {
+			t.Errorf("T_01(%v) = %v, want %v", tt, f[i], want)
+		}
+	}
+}
+
+func TestTransientMultiTargetAdditivity(t *testing.T) {
+	// T*_i{j1,j2} = T*_i{j1} + T*_i{j2} for disjoint targets (Eq. 7).
+	r := rand.New(rand.NewSource(55))
+	m := randomSMP(r, 7)
+	sv := NewSolver(m, Options{})
+	s := complex128(0.9 + 1.2i)
+	src := SingleSource(2)
+	both, err := sv.TransientLST(s, src, []int{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := sv.TransientLST(s, src, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t6, err := sv.TransientLST(s, src, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(both-(t4+t6)) > 1e-8 {
+		t.Errorf("T(4,6) = %v, want T(4)+T(6) = %v", both, t4+t6)
+	}
+}
+
+func TestTransientOfWholeStateSpaceIsOne(t *testing.T) {
+	// P(Z(t) ∈ S) ≡ 1, so T*(s) = 1/s.
+	r := rand.New(rand.NewSource(77))
+	m := randomSMP(r, 6)
+	sv := NewSolver(m, Options{})
+	s := complex128(0.6 + 0.8i)
+	all := []int{0, 1, 2, 3, 4, 5}
+	got, err := sv.TransientLST(s, SingleSource(3), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(got-1/s) > 1e-7 {
+		t.Errorf("T*_S(s) = %v, want 1/s = %v", got, 1/s)
+	}
+}
+
+func TestIterativeNonConvergenceReported(t *testing.T) {
+	// A sticky self-loop with tiny exit probability needs thousands of
+	// transitions; MaxR=16 must fail loudly.
+	b := smp.NewBuilder(2)
+	b.Add(0, 0, 0.999, dist.NewExponential(1))
+	b.Add(0, 1, 0.001, dist.NewExponential(1))
+	b.Add(1, 0, 1, dist.NewExponential(1))
+	m := mustModel(t, b)
+	sv := NewSolver(m, Options{MaxR: 16})
+	_, _, err := sv.IterativeLST(0.01+0.01i, SingleSource(0), []int{1})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	m := twoCycle(t, 1, 1)
+	sv := NewSolver(m, Options{})
+	if _, _, err := sv.IterativeLST(1, SingleSource(0), nil); err == nil {
+		t.Error("accepted empty target set")
+	}
+	if _, _, err := sv.IterativeLST(1, SingleSource(9), []int{1}); err == nil {
+		t.Error("accepted out-of-range source")
+	}
+	if _, _, err := sv.IterativeLST(1, SingleSource(0), []int{7}); err == nil {
+		t.Error("accepted out-of-range target")
+	}
+	bad := SourceWeights{States: []int{0, 1}, Weights: []float64{0.2, 0.2}}
+	if _, _, err := sv.IterativeLST(1, bad, []int{1}); err == nil {
+		t.Error("accepted weights not summing to 1")
+	}
+	if _, err := sv.TransientLST(0, SingleSource(0), []int{1}); err == nil {
+		t.Error("accepted s=0 transient")
+	}
+	if _, err := ComputeSourceWeights(m, nil); err == nil {
+		t.Error("accepted empty source set")
+	}
+}
+
+func TestKernelMemoisationAcrossCalls(t *testing.T) {
+	// Same s, different targets: second call must reuse the filled U and
+	// still be correct (regression guard for the memo key).
+	m := twoCycle(t, 2, 3)
+	sv := NewSolver(m, Options{})
+	s := complex128(0.4 + 0.1i)
+	l01, _, err := sv.IterativeLST(s, SingleSource(0), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l00, _, err := sv.IterativeLST(s, SingleSource(0), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := dist.NewExponential(2).LST(s)
+	e3 := dist.NewExponential(3).LST(s)
+	if cmplx.Abs(l01-e2) > 1e-12 || cmplx.Abs(l00-e2*e3) > 1e-12 {
+		t.Errorf("memoised kernel gave L01=%v (want %v), L00=%v (want %v)", l01, e2, l00, e2*e3)
+	}
+}
+
+func TestPaperIncrementCriterionCanTruncateEarly(t *testing.T) {
+	// Ablation evidence: on a passage whose first increments are zero
+	// (target three hops away), the literal Eq. (11) rule stops at r=1
+	// with L=0 while MassBound is exact. This motivates the default.
+	b := smp.NewBuilder(4)
+	b.Add(0, 1, 1, dist.NewExponential(1))
+	b.Add(1, 2, 1, dist.NewExponential(1))
+	b.Add(2, 3, 1, dist.NewExponential(1))
+	b.Add(3, 0, 1, dist.NewExponential(1))
+	m := mustModel(t, b)
+	s := complex128(0.5)
+
+	paper := NewSolver(m, Options{Criterion: PaperIncrement})
+	lp, rp, err := paper.IterativeLST(s, SingleSource(0), []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := NewSolver(m, Options{})
+	lm, _, err := mass.IterativeLST(s, SingleSource(0), []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := dist.NewExponential(1).LST(s)
+	want := e * e * e
+	if cmplx.Abs(lm-want) > 1e-12 {
+		t.Errorf("MassBound L = %v, want %v", lm, want)
+	}
+	if lp != 0 || rp != 1 {
+		t.Errorf("expected the paper criterion to truncate at r=1 with 0, got L=%v at r=%d", lp, rp)
+	}
+}
+
+func TestPaperIncrementWithHitsRecoversAccuracy(t *testing.T) {
+	// With enough consecutive hits required, the increment criterion
+	// survives the zero prefix and matches the closed form.
+	b := smp.NewBuilder(4)
+	b.Add(0, 1, 1, dist.NewExponential(1))
+	b.Add(1, 2, 1, dist.NewExponential(1))
+	b.Add(2, 3, 1, dist.NewExponential(1))
+	b.Add(3, 0, 1, dist.NewExponential(1))
+	m := mustModel(t, b)
+	s := complex128(0.5)
+	sv := NewSolver(m, Options{Criterion: PaperIncrement, ConsecutiveHits: 8})
+	got, _, err := sv.IterativeLST(s, SingleSource(0), []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := dist.NewExponential(1).LST(s)
+	if cmplx.Abs(got-e*e*e) > 1e-8 {
+		t.Errorf("L = %v, want %v", got, e*e*e)
+	}
+}
+
+// newTestEuler provides the default inverter without importing lt into
+// the production code paths of this package's tests twice.
+func newTestEuler() lt.Euler { return lt.DefaultEuler() }
+
+func TestIntraPointParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	m := randomSMP(r, 40)
+	serial := NewSolver(m, Options{})
+	par := NewSolver(m, Options{IntraPointWorkers: 3})
+	for trial := 0; trial < 8; trial++ {
+		s := complex(0.2+r.Float64(), 3*(r.Float64()-0.5))
+		targets := []int{r.Intn(40), r.Intn(40)}
+		src := SingleSource(r.Intn(40))
+		a, ra, err := serial.IterativeLST(s, src, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, rb, err := par.IterativeLST(s, src, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(a-b) > 1e-12 || ra != rb {
+			t.Fatalf("trial %d: serial %v (r=%d) vs parallel %v (r=%d)", trial, a, ra, b, rb)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package petri
+
+import (
+	"errors"
+	"fmt"
+
+	"hydra/internal/dist"
+	"hydra/internal/smp"
+)
+
+// ErrDeadMarking is returned when reachability encounters a marking with
+// no priority-enabled transitions: the underlying process would be
+// absorbing, which the passage-time theory (irreducible SMP) excludes.
+var ErrDeadMarking = errors.New("petri: dead marking reached")
+
+// ErrStateSpaceTooLarge is returned when exploration exceeds MaxStates.
+var ErrStateSpaceTooLarge = errors.New("petri: state space exceeds MaxStates")
+
+// ExploreOptions bounds and tunes state-space generation.
+type ExploreOptions struct {
+	// MaxStates aborts exploration beyond this many markings
+	// (default 5,000,000).
+	MaxStates int
+	// StoreLabels attaches marking strings as state labels on the SMP —
+	// convenient for debugging, expensive at millions of states.
+	StoreLabels bool
+}
+
+func (o ExploreOptions) withDefaults() ExploreOptions {
+	if o.MaxStates == 0 {
+		o.MaxStates = 5_000_000
+	}
+	return o
+}
+
+// StateSpace is the result of reachability analysis: the tangible
+// markings, their index mapping, and the induced semi-Markov process.
+type StateSpace struct {
+	Net    *Net
+	States []Marking // state index → marking
+	Model  *smp.Model
+}
+
+// NumStates returns the number of reachable markings.
+func (ss *StateSpace) NumStates() int { return len(ss.States) }
+
+// FindStates returns the indices of all states whose marking satisfies
+// the predicate — how passage source and target sets are specified
+// (e.g. "all markings with MM tokens in p7").
+func (ss *StateSpace) FindStates(pred func(Marking) bool) []int {
+	var out []int
+	for i, m := range ss.States {
+		if pred(m) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// StateIndex returns the index of a marking, or -1 if unreachable.
+func (ss *StateSpace) StateIndex(m Marking) int {
+	// Linear rebuild of the key is fine for the occasional lookup; bulk
+	// queries should use FindStates.
+	key := m.Key()
+	for i, s := range ss.States {
+		if s.Key() == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// Explore performs a breadth-first reachability analysis from the
+// initial marking, building the SMP kernel as it goes: in each marking m
+// the priority-enabled transitions EP(m) fire with probability
+// w_t(m)/Σw(m) after a delay drawn from d_t(m) (§5.1).
+func Explore(n *Net, opts ExploreOptions) (*StateSpace, error) {
+	opts = opts.withDefaults()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+
+	index := make(map[string]int32, 1024)
+	var states []Marking
+	intern := func(m Marking) (int32, bool) {
+		key := m.Key()
+		if id, ok := index[key]; ok {
+			return id, false
+		}
+		id := int32(len(states))
+		index[key] = id
+		states = append(states, m)
+		return id, true
+	}
+
+	type edge struct {
+		from, to int32
+		prob     float64
+		distID   int32
+	}
+	// Distribution interning happens again inside smp.Builder; here we
+	// only hold references.
+	var edges []edge
+	dists := make([]distRef, 0, 16)
+	distIdx := make(map[string]int32, 16)
+	internDist := func(d distRef) int32 {
+		if id, ok := distIdx[d.key]; ok {
+			return id
+		}
+		id := int32(len(dists))
+		dists = append(dists, d)
+		distIdx[d.key] = id
+		return id
+	}
+
+	root, _ := intern(n.Initial.Clone())
+	queue := []int32{root}
+	var epBuf []*Transition
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		m := states[id]
+		ep := n.enabledMaxPriority(m, epBuf)
+		epBuf = ep
+		if len(ep) == 0 {
+			return nil, fmt.Errorf("%w: %v", ErrDeadMarking, m)
+		}
+		var totalW float64
+		for _, t := range ep {
+			w := t.Weight(m)
+			if !(w > 0) {
+				return nil, fmt.Errorf("petri: transition %q has non-positive weight %v in marking %v", t.Name, w, m)
+			}
+			totalW += w
+		}
+		for _, t := range ep {
+			next := t.Fire(m)
+			if len(next) != len(n.Places) {
+				return nil, fmt.Errorf("petri: transition %q produced marking of wrong size", t.Name)
+			}
+			for p, v := range next {
+				if v < 0 {
+					return nil, fmt.Errorf("petri: transition %q drove place %s negative in %v", t.Name, n.Places[p], m)
+				}
+			}
+			nid, fresh := intern(next)
+			if fresh {
+				if len(states) > opts.MaxStates {
+					return nil, fmt.Errorf("%w (%d)", ErrStateSpaceTooLarge, opts.MaxStates)
+				}
+				queue = append(queue, nid)
+			}
+			d := t.Dist(m)
+			edges = append(edges, edge{
+				from:   id,
+				to:     nid,
+				prob:   t.Weight(m) / totalW,
+				distID: internDist(distRef{key: d.String(), d: d}),
+			})
+		}
+	}
+
+	b := smp.NewBuilder(len(states))
+	if opts.StoreLabels {
+		for i, m := range states {
+			b.SetLabel(i, m.String())
+		}
+	}
+	for _, e := range edges {
+		b.Add(int(e.from), int(e.to), e.prob, dists[e.distID].d)
+	}
+	model, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("petri: building SMP from reachability graph: %w", err)
+	}
+	return &StateSpace{Net: n, States: states, Model: model}, nil
+}
+
+type distRef struct {
+	key string
+	d   dist.Distribution
+}

@@ -1,0 +1,114 @@
+package pipeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Checkpoint is the disk-backed result cache of §4: every computed
+// (s-point, value) pair is appended as it is returned, so an interrupted
+// run resumes exactly where it stopped. Records are JSON lines keyed by
+// the job fingerprint; a file may interleave records of several jobs.
+type Checkpoint struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+type ckptRecord struct {
+	Job   string  `json:"job"`
+	Index int     `json:"idx"`
+	Re    float64 `json:"re"`
+	Im    float64 `json:"im"`
+}
+
+// OpenCheckpoint opens (creating if needed) a checkpoint file for
+// appending.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: opening checkpoint: %w", err)
+	}
+	return &Checkpoint{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Load returns the cached values for the job, indexed by point position.
+func (c *Checkpoint) Load(job *Job) (map[int]complex128, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	fp := job.Fingerprint()
+	out := make(map[int]complex128)
+	sc := bufio.NewScanner(c.f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec ckptRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final line from a crashed run is expected; anything
+			// later would be unreadable anyway, so stop here.
+			break
+		}
+		if rec.Job != fp || rec.Index < 0 || rec.Index >= len(job.Points) {
+			continue
+		}
+		out[rec.Index] = complex(rec.Re, rec.Im)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return nil, fmt.Errorf("pipeline: reading checkpoint: %w", err)
+	}
+	if _, err := c.f.Seek(0, io.SeekEnd); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Append records one computed value. It is safe for concurrent use.
+func (c *Checkpoint) Append(job *Job, index int, v complex128) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec := ckptRecord{Job: job.Fingerprint(), Index: index, Re: real(v), Im: imag(v)}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := c.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("pipeline: appending checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered records to the OS.
+func (c *Checkpoint) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
+// Close flushes and closes the file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.Flush(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}

@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RunStats reports what a run did — used by the Table 2 reproduction.
+type RunStats struct {
+	Evaluated  int           // s-points computed this run
+	FromCache  int           // s-points restored from the checkpoint
+	Workers    int           // worker count
+	WallTime   time.Duration // total time inside Run
+	PerWorker  []int         // evaluations per worker
+	TotalDepth int64         // summed iteration depths (0 if unknown)
+}
+
+// Run evaluates every s-point of the job with an in-process worker pool,
+// mirroring the master/worker split: the master goroutine owns the queue
+// and the checkpoint, each worker owns one Evaluator (its own kernel
+// matrices), and results stream back over a channel.
+//
+// newEval is called once per worker; ckpt may be nil for an uncached
+// run.
+func Run(job *Job, newEval func() Evaluator, workers int, ckpt *Checkpoint) ([]complex128, *RunStats, error) {
+	if workers < 1 {
+		return nil, nil, fmt.Errorf("pipeline: need at least one worker")
+	}
+	start := time.Now()
+	values := make([]complex128, len(job.Points))
+	have := make([]bool, len(job.Points))
+	stats := &RunStats{Workers: workers, PerWorker: make([]int, workers)}
+
+	if ckpt != nil {
+		cached, err := ckpt.Load(job)
+		if err != nil {
+			return nil, nil, err
+		}
+		for idx, v := range cached {
+			values[idx] = v
+			have[idx] = true
+			stats.FromCache++
+		}
+	}
+
+	type result struct {
+		idx    int
+		worker int
+		v      complex128
+		err    error
+	}
+	work := make(chan int)
+	results := make(chan result)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eval := newEval()
+			for idx := range work {
+				v, err := eval.Evaluate(job.Points[idx], job)
+				results <- result{idx: idx, worker: w, v: v, err: err}
+			}
+		}(w)
+	}
+	go func() {
+		for idx := range job.Points {
+			if !have[idx] {
+				work <- idx
+			}
+		}
+		close(work)
+		wg.Wait()
+		close(results)
+	}()
+
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("pipeline: point %d (s=%v): %w", r.idx, job.Points[r.idx], r.err)
+			}
+			continue
+		}
+		values[r.idx] = r.v
+		have[r.idx] = true
+		stats.Evaluated++
+		stats.PerWorker[r.worker]++
+		if ckpt != nil {
+			if err := ckpt.Append(job, r.idx, r.v); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if ckpt != nil {
+		if err := ckpt.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	for idx, ok := range have {
+		if !ok {
+			return nil, nil, fmt.Errorf("pipeline: point %d never computed", idx)
+		}
+	}
+	stats.WallTime = time.Since(start)
+	return values, stats, nil
+}

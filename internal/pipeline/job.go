@@ -1,0 +1,149 @@
+// Package pipeline implements the distributed analysis architecture of
+// §4: a master that knows every Laplace-space point the inverter will
+// need, a global work queue of those s-points, worker processes that
+// build the kernel matrices locally and run the iterative algorithm per
+// point, and a memory+disk cache so that all computation is
+// checkpointed. Workers never talk to each other, which is what gives
+// the pipeline its near-linear scalability (§5.3.3).
+//
+// Two transports are provided: an in-process worker pool (goroutines)
+// and a TCP master/worker pair using encoding/gob, mirroring the paper's
+// cluster deployment on a single machine or a real network.
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"hydra/internal/passage"
+	"hydra/internal/smp"
+)
+
+// Quantity selects the transform a job evaluates at each s-point.
+type Quantity int32
+
+const (
+	// PassageDensity is L_i⃗j⃗(s), the passage-time density transform.
+	PassageDensity Quantity = iota
+	// PassageCDF is L_i⃗j⃗(s)/s, whose inversion yields the cumulative
+	// distribution (quantile extraction, Fig. 5).
+	PassageCDF
+	// TransientDist is T*_i⃗j⃗(s) of Eq. (7).
+	TransientDist
+)
+
+// String names the quantity for logs and checkpoints.
+func (q Quantity) String() string {
+	switch q {
+	case PassageDensity:
+		return "density"
+	case PassageCDF:
+		return "cdf"
+	case TransientDist:
+		return "transient"
+	default:
+		return fmt.Sprintf("quantity(%d)", int32(q))
+	}
+}
+
+// Job is a complete transform-evaluation task: the measure definition
+// plus every s-point the chosen inverter demands.
+type Job struct {
+	// Name identifies the model+measure for humans and checkpoint files.
+	Name     string
+	Quantity Quantity
+	Sources  []int
+	Weights  []float64
+	Targets  []int
+	Points   []complex128
+}
+
+// Validate performs structural checks against a model size.
+func (j *Job) Validate(n int) error {
+	if len(j.Sources) == 0 || len(j.Sources) != len(j.Weights) {
+		return fmt.Errorf("pipeline: malformed sources/weights")
+	}
+	for _, s := range j.Sources {
+		if s < 0 || s >= n {
+			return fmt.Errorf("pipeline: source %d outside model of %d states", s, n)
+		}
+	}
+	if len(j.Targets) == 0 {
+		return fmt.Errorf("pipeline: empty target set")
+	}
+	for _, t := range j.Targets {
+		if t < 0 || t >= n {
+			return fmt.Errorf("pipeline: target %d outside model of %d states", t, n)
+		}
+	}
+	if len(j.Points) == 0 {
+		return fmt.Errorf("pipeline: no s-points")
+	}
+	return nil
+}
+
+// Fingerprint hashes everything that determines the job's results, so a
+// checkpoint is only ever reused for an identical computation.
+func (j *Job) Fingerprint() string {
+	h := sha256.New()
+	write := func(v any) {
+		_ = binary.Write(h, binary.LittleEndian, v)
+	}
+	h.Write([]byte(j.Name))
+	write(int64(j.Quantity))
+	write(int64(len(j.Sources)))
+	for i, s := range j.Sources {
+		write(int64(s))
+		write(math.Float64bits(j.Weights[i]))
+	}
+	write(int64(len(j.Targets)))
+	for _, t := range j.Targets {
+		write(int64(t))
+	}
+	write(int64(len(j.Points)))
+	for _, p := range j.Points {
+		write(math.Float64bits(real(p)))
+		write(math.Float64bits(imag(p)))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Evaluator computes a job's transform at a single s-point. It is the
+// worker-side contract; implementations need not be safe for concurrent
+// use (each worker owns one).
+type Evaluator interface {
+	Evaluate(s complex128, job *Job) (complex128, error)
+}
+
+// SolverEvaluator adapts a passage.Solver to the Evaluator contract.
+type SolverEvaluator struct {
+	sv *passage.Solver
+}
+
+// NewSolverEvaluator builds an evaluator with its own solver workspace.
+func NewSolverEvaluator(m *smp.Model, opts passage.Options) *SolverEvaluator {
+	return &SolverEvaluator{sv: passage.NewSolver(m, opts)}
+}
+
+// Evaluate implements Evaluator.
+func (e *SolverEvaluator) Evaluate(s complex128, job *Job) (complex128, error) {
+	src := passage.SourceWeights{States: job.Sources, Weights: job.Weights}
+	switch job.Quantity {
+	case PassageDensity:
+		v, _, err := e.sv.IterativeLST(s, src, job.Targets)
+		return v, err
+	case PassageCDF:
+		v, _, err := e.sv.IterativeLST(s, src, job.Targets)
+		if err != nil {
+			return 0, err
+		}
+		return v / s, nil
+	case TransientDist:
+		return e.sv.TransientLST(s, src, job.Targets)
+	default:
+		return 0, fmt.Errorf("pipeline: unknown quantity %v", job.Quantity)
+	}
+}

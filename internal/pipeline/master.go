@@ -1,0 +1,253 @@
+package pipeline
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire protocol: after the worker's hello and the master's job header,
+// the master pushes assignments and the worker answers each with a
+// result. Workers never exchange data with each other (§4).
+
+type helloMsg struct {
+	ModelStates int
+	WorkerName  string
+}
+
+type jobHeaderMsg struct {
+	Quantity    Quantity
+	Sources     []int
+	Weights     []float64
+	Targets     []int
+	ModelStates int
+}
+
+type assignMsg struct {
+	Done  bool
+	Index int
+	S     complex128
+}
+
+type resultMsg struct {
+	Index int
+	Value complex128
+	Err   string
+}
+
+// dispatcher hands out pending point indices and re-queues the ones lost
+// to failed workers.
+type dispatcher struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []int
+	finished bool
+}
+
+func newDispatcher(pending []int) *dispatcher {
+	d := &dispatcher{pending: pending}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// next blocks until an index is available or the run has finished.
+func (d *dispatcher) next() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.pending) == 0 && !d.finished {
+		d.cond.Wait()
+	}
+	if d.finished {
+		return 0, false
+	}
+	idx := d.pending[len(d.pending)-1]
+	d.pending = d.pending[:len(d.pending)-1]
+	return idx, true
+}
+
+func (d *dispatcher) requeue(idx int) {
+	d.mu.Lock()
+	d.pending = append(d.pending, idx)
+	d.mu.Unlock()
+	d.cond.Signal()
+}
+
+func (d *dispatcher) finish() {
+	d.mu.Lock()
+	d.finished = true
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// MasterOptions tunes the TCP master.
+type MasterOptions struct {
+	// ModelStates is the state count workers must report (0 disables the
+	// check).
+	ModelStates int
+	// IdleTimeout bounds how long the master waits for a single worker
+	// result before declaring the connection dead (default 10 minutes —
+	// a single s-point on a million-state model is legitimately slow).
+	IdleTimeout time.Duration
+}
+
+// Serve runs the master side of the distributed pipeline: it accepts
+// worker connections on ln, farms out every (uncached) s-point of the
+// job, checkpoints results as they return, and completes when all points
+// are in. The listener is closed before returning.
+func Serve(ln net.Listener, job *Job, ckpt *Checkpoint, opts MasterOptions) ([]complex128, *RunStats, error) {
+	if opts.IdleTimeout == 0 {
+		opts.IdleTimeout = 10 * time.Minute
+	}
+	start := time.Now()
+	values := make([]complex128, len(job.Points))
+	have := make([]bool, len(job.Points))
+	stats := &RunStats{}
+	if ckpt != nil {
+		cached, err := ckpt.Load(job)
+		if err != nil {
+			return nil, nil, err
+		}
+		for idx, v := range cached {
+			values[idx] = v
+			have[idx] = true
+			stats.FromCache++
+		}
+	}
+	var pending []int
+	for idx := range job.Points {
+		if !have[idx] {
+			pending = append(pending, idx)
+		}
+	}
+	if len(pending) == 0 {
+		stats.WallTime = time.Since(start)
+		return values, stats, nil
+	}
+
+	disp := newDispatcher(pending)
+	results := make(chan pointResult, 64)
+
+	var connWG sync.WaitGroup
+	var acceptErr error
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				if !errors.Is(err, net.ErrClosed) {
+					acceptErr = err
+				}
+				return
+			}
+			connWG.Add(1)
+			stats.Workers++
+			go func() {
+				defer connWG.Done()
+				serveWorker(conn, job, disp, results, opts)
+			}()
+		}
+	}()
+
+	var firstErr error
+	remaining := len(pending)
+	for remaining > 0 {
+		r := <-results
+		if r.err != "" {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("pipeline: worker failed on point %d: %s", r.idx, r.err)
+			}
+			disp.finish()
+			break
+		}
+		if have[r.idx] {
+			continue // duplicate after a re-queue race; first result wins
+		}
+		values[r.idx] = r.v
+		have[r.idx] = true
+		remaining--
+		stats.Evaluated++
+		if ckpt != nil {
+			if err := ckpt.Append(job, r.idx, r.v); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	disp.finish()
+	ln.Close()
+	connWG.Wait()
+	if ckpt != nil {
+		if err := ckpt.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if acceptErr != nil {
+		return nil, nil, fmt.Errorf("pipeline: accept: %w", acceptErr)
+	}
+	stats.WallTime = time.Since(start)
+	return values, stats, nil
+}
+
+// pointResult is one worker answer routed back to the collector.
+type pointResult struct {
+	idx int
+	v   complex128
+	err string
+}
+
+// serveWorker drives one connection: hello/header handshake, then an
+// assign/result loop. Any failure re-queues the in-flight index.
+func serveWorker(conn net.Conn, job *Job, disp *dispatcher, results chan<- pointResult, opts MasterOptions) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var hello helloMsg
+	conn.SetReadDeadline(time.Now().Add(opts.IdleTimeout))
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	if opts.ModelStates != 0 && hello.ModelStates != opts.ModelStates {
+		// A worker with the wrong model would silently compute garbage;
+		// refuse the handshake.
+		enc.Encode(jobHeaderMsg{ModelStates: -1})
+		return
+	}
+	header := jobHeaderMsg{
+		Quantity:    job.Quantity,
+		Sources:     job.Sources,
+		Weights:     job.Weights,
+		Targets:     job.Targets,
+		ModelStates: opts.ModelStates,
+	}
+	if err := enc.Encode(header); err != nil {
+		return
+	}
+
+	for {
+		idx, ok := disp.next()
+		if !ok {
+			enc.Encode(assignMsg{Done: true})
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(opts.IdleTimeout))
+		if err := enc.Encode(assignMsg{Index: idx, S: job.Points[idx]}); err != nil {
+			disp.requeue(idx)
+			return
+		}
+		var res resultMsg
+		conn.SetReadDeadline(time.Now().Add(opts.IdleTimeout))
+		if err := dec.Decode(&res); err != nil || res.Index != idx {
+			disp.requeue(idx)
+			return
+		}
+		results <- pointResult{idx: res.Index, v: res.Value, err: res.Err}
+		if res.Err != "" {
+			return
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hydra/internal/dist"
+	"hydra/internal/lt"
+	"hydra/internal/passage"
+	"hydra/internal/smp"
+)
+
+func testModel(t *testing.T) *smp.Model {
+	t.Helper()
+	b := smp.NewBuilder(3)
+	b.Add(0, 1, 1, dist.NewExponential(2))
+	b.Add(1, 2, 1, dist.NewExponential(5))
+	b.Add(2, 0, 1, dist.NewExponential(1))
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func densityJob(m *smp.Model, ts []float64) *Job {
+	inv := lt.DefaultEuler()
+	return &Job{
+		Name:     "test-hypo",
+		Quantity: PassageDensity,
+		Sources:  []int{0},
+		Weights:  []float64{1},
+		Targets:  []int{2},
+		Points:   inv.Points(ts),
+	}
+}
+
+func TestRunMatchesClosedFormEndToEnd(t *testing.T) {
+	m := testModel(t)
+	ts := []float64{0.2, 0.5, 1, 2}
+	job := densityJob(m, ts)
+	if err := job.Validate(m.N()); err != nil {
+		t.Fatal(err)
+	}
+	vals, stats, err := Run(job, func() Evaluator {
+		return NewSolverEvaluator(m, passage.Options{})
+	}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Evaluated != len(job.Points) {
+		t.Errorf("evaluated %d, want %d", stats.Evaluated, len(job.Points))
+	}
+	f, err := lt.DefaultEuler().Invert(ts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range ts {
+		want := 10.0 / 3 * (math.Exp(-2*tt) - math.Exp(-5*tt))
+		if math.Abs(f[i]-want) > 1e-6 {
+			t.Errorf("f(%v) = %v, want %v", tt, f[i], want)
+		}
+	}
+	// Work distribution: all three workers took part (work queue, not
+	// pre-partitioning).
+	var busy int
+	for _, n := range stats.PerWorker {
+		if n > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d workers participated: %v", busy, stats.PerWorker)
+	}
+}
+
+func TestCheckpointRestartComputesNothing(t *testing.T) {
+	m := testModel(t)
+	job := densityJob(m, []float64{0.5, 1.5})
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals1, stats1, err := Run(job, func() Evaluator {
+		return NewSolverEvaluator(m, passage.Options{})
+	}, 2, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.FromCache != 0 || stats1.Evaluated != len(job.Points) {
+		t.Fatalf("first run: %+v", stats1)
+	}
+	ck.Close()
+
+	ck2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	vals2, stats2, err := Run(job, func() Evaluator {
+		return NewSolverEvaluator(m, passage.Options{})
+	}, 2, ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Evaluated != 0 || stats2.FromCache != len(job.Points) {
+		t.Fatalf("restart run recomputed: %+v", stats2)
+	}
+	for i := range vals1 {
+		if vals1[i] != vals2[i] {
+			t.Fatalf("value %d changed across restart", i)
+		}
+	}
+}
+
+func TestCheckpointPartialResume(t *testing.T) {
+	m := testModel(t)
+	job := densityJob(m, []float64{0.5})
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-seed a third of the points as if a previous run was killed.
+	eval := NewSolverEvaluator(m, passage.Options{})
+	seeded := 0
+	for idx := 0; idx < len(job.Points); idx += 3 {
+		v, err := eval.Evaluate(job.Points[idx], job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ck.Append(job, idx, v); err != nil {
+			t.Fatal(err)
+		}
+		seeded++
+	}
+	_, stats, err := Run(job, func() Evaluator {
+		return NewSolverEvaluator(m, passage.Options{})
+	}, 2, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FromCache != seeded {
+		t.Errorf("FromCache = %d, want %d", stats.FromCache, seeded)
+	}
+	if stats.Evaluated != len(job.Points)-seeded {
+		t.Errorf("Evaluated = %d, want %d", stats.Evaluated, len(job.Points)-seeded)
+	}
+	ck.Close()
+}
+
+func TestCheckpointIgnoresOtherJobs(t *testing.T) {
+	m := testModel(t)
+	jobA := densityJob(m, []float64{0.5})
+	jobB := densityJob(m, []float64{0.5})
+	jobB.Targets = []int{1} // different measure → different fingerprint
+	if jobA.Fingerprint() == jobB.Fingerprint() {
+		t.Fatal("distinct jobs share a fingerprint")
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if err := ck.Append(jobA, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ck.Load(jobB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("job B loaded %d foreign records", len(got))
+	}
+	gotA, err := ck.Load(jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotA) != 1 || gotA[0] != 42 {
+		t.Errorf("job A records = %v", gotA)
+	}
+}
+
+func TestCheckpointToleratesTornTail(t *testing.T) {
+	m := testModel(t)
+	job := densityJob(m, []float64{0.5})
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Append(job, 3, 1+2i); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	// Simulate a crash mid-write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"job":"abc","idx":`)
+	f.Close()
+
+	ck2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	got, err := ck2.Load(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[3] != 1+2i {
+		t.Errorf("recovered records = %v", got)
+	}
+}
+
+func TestDispatcherRequeue(t *testing.T) {
+	d := newDispatcher([]int{1, 2})
+	a, ok := d.next()
+	if !ok {
+		t.Fatal("no first item")
+	}
+	b, ok := d.next()
+	if !ok {
+		t.Fatal("no second item")
+	}
+	if a == b {
+		t.Fatal("duplicate dispatch")
+	}
+	d.requeue(a)
+	c, ok := d.next()
+	if !ok || c != a {
+		t.Fatalf("requeued item not redelivered: got %d ok=%v", c, ok)
+	}
+	done := make(chan struct{})
+	go func() {
+		_, ok := d.next()
+		if ok {
+			t.Error("next returned an item after finish")
+		}
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	d.finish()
+	<-done
+}
+
+func TestTCPMasterWorkerEndToEnd(t *testing.T) {
+	m := testModel(t)
+	ts := []float64{0.3, 0.8, 1.6}
+	job := densityJob(m, ts)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 3)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eval := NewSolverEvaluator(m, passage.Options{})
+			workerErrs[w] = Work(addr, eval, m.N(), WorkerOptions{Name: fmt.Sprintf("w%d", w)})
+		}(w)
+	}
+
+	vals, stats, err := Serve(ln, job, nil, MasterOptions{ModelStates: m.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for w, werr := range workerErrs {
+		if werr != nil {
+			t.Errorf("worker %d: %v", w, werr)
+		}
+	}
+	if stats.Evaluated != len(job.Points) {
+		t.Errorf("evaluated %d, want %d", stats.Evaluated, len(job.Points))
+	}
+
+	// Same values as the in-process pool.
+	ref, _, err := Run(job, func() Evaluator {
+		return NewSolverEvaluator(m, passage.Options{})
+	}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if cmplx.Abs(vals[i]-ref[i]) > 1e-12 {
+			t.Fatalf("point %d: tcp %v vs inproc %v", i, vals[i], ref[i])
+		}
+	}
+}
+
+func TestTCPRejectsWrongModel(t *testing.T) {
+	m := testModel(t)
+	job := densityJob(m, []float64{0.5})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	wrongDone := make(chan error, 1)
+	go func() {
+		eval := NewSolverEvaluator(m, passage.Options{})
+		wrongDone <- Work(addr, eval, 999, WorkerOptions{Name: "wrong"})
+	}()
+	// A correct worker finishes the job so Serve returns.
+	goodDone := make(chan error, 1)
+	go func() {
+		eval := NewSolverEvaluator(m, passage.Options{})
+		goodDone <- Work(addr, eval, m.N(), WorkerOptions{Name: "good"})
+	}()
+
+	_, _, err = Serve(ln, job, nil, MasterOptions{ModelStates: m.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-wrongDone; err == nil {
+		t.Error("mismatched worker was not rejected")
+	}
+	if err := <-goodDone; err != nil {
+		t.Errorf("good worker: %v", err)
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	m := testModel(t)
+	job := densityJob(m, []float64{1})
+	if err := job.Validate(m.N()); err != nil {
+		t.Fatal(err)
+	}
+	bad := *job
+	bad.Targets = nil
+	if bad.Validate(m.N()) == nil {
+		t.Error("empty targets accepted")
+	}
+	bad = *job
+	bad.Sources = []int{5}
+	bad.Weights = []float64{1}
+	if bad.Validate(m.N()) == nil {
+		t.Error("out-of-range source accepted")
+	}
+	bad = *job
+	bad.Points = nil
+	if bad.Validate(m.N()) == nil {
+		t.Error("no points accepted")
+	}
+}
+
+func TestQuantityEvaluatorsAgreeWithSolver(t *testing.T) {
+	m := testModel(t)
+	sv := passage.NewSolver(m, passage.Options{})
+	eval := NewSolverEvaluator(m, passage.Options{})
+	s := complex128(0.4 + 1.1i)
+	src := passage.SingleSource(0)
+
+	for _, q := range []Quantity{PassageDensity, PassageCDF, TransientDist} {
+		job := &Job{Quantity: q, Sources: []int{0}, Weights: []float64{1}, Targets: []int{2}}
+		got, err := eval.Evaluate(s, job)
+		if err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		var want complex128
+		switch q {
+		case PassageDensity:
+			want, _, err = sv.IterativeLST(s, src, []int{2})
+		case PassageCDF:
+			want, _, err = sv.IterativeLST(s, src, []int{2})
+			want /= s
+		case TransientDist:
+			want, err = sv.TransientLST(s, src, []int{2})
+		}
+		if err != nil {
+			t.Fatalf("%v solver: %v", q, err)
+		}
+		if cmplx.Abs(got-want) > 1e-12 {
+			t.Errorf("%v: evaluator %v vs solver %v", q, got, want)
+		}
+	}
+}
+
+// failingEvaluator errors on every point.
+type failingEvaluator struct{}
+
+func (failingEvaluator) Evaluate(complex128, *Job) (complex128, error) {
+	return 0, fmt.Errorf("synthetic evaluator failure")
+}
+
+func TestRunPropagatesEvaluatorErrors(t *testing.T) {
+	m := testModel(t)
+	job := densityJob(m, []float64{0.5})
+	_, _, err := Run(job, func() Evaluator { return failingEvaluator{} }, 2, nil)
+	if err == nil || !strings.Contains(err.Error(), "synthetic evaluator failure") {
+		t.Errorf("err = %v, want evaluator failure", err)
+	}
+}
+
+func TestServePropagatesWorkerErrors(t *testing.T) {
+	m := testModel(t)
+	job := densityJob(m, []float64{0.5})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- Work(ln.Addr().String(), failingEvaluator{}, m.N(), WorkerOptions{Name: "bad"})
+	}()
+	_, _, err = Serve(ln, job, nil, MasterOptions{ModelStates: m.N()})
+	if err == nil {
+		t.Error("Serve did not report the worker failure")
+	}
+	if werr := <-done; werr == nil {
+		t.Error("worker did not report its own failure")
+	}
+}

@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// WorkerOptions tunes the TCP worker.
+type WorkerOptions struct {
+	// Name identifies the worker in master-side diagnostics.
+	Name string
+	// DialTimeout bounds the connection attempt (default 10s).
+	DialTimeout time.Duration
+}
+
+// Work connects to a master, performs the handshake, and evaluates
+// assignments until the master signals completion. modelStates is the
+// local model's state count, cross-checked against the master's
+// expectation. The evaluator's job view is reconstructed from the
+// master's header, so the worker binary only needs the model itself.
+func Work(addr string, eval Evaluator, modelStates int, opts WorkerOptions) error {
+	if opts.DialTimeout == 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("pipeline: dialing master: %w", err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	if err := enc.Encode(helloMsg{ModelStates: modelStates, WorkerName: opts.Name}); err != nil {
+		return fmt.Errorf("pipeline: hello: %w", err)
+	}
+	var header jobHeaderMsg
+	if err := dec.Decode(&header); err != nil {
+		return fmt.Errorf("pipeline: job header: %w", err)
+	}
+	if header.ModelStates == -1 {
+		return fmt.Errorf("pipeline: master rejected handshake: model has %d states but the master expects a different size", modelStates)
+	}
+	job := &Job{
+		Quantity: header.Quantity,
+		Sources:  header.Sources,
+		Weights:  header.Weights,
+		Targets:  header.Targets,
+	}
+
+	for {
+		var a assignMsg
+		if err := dec.Decode(&a); err != nil {
+			return fmt.Errorf("pipeline: receiving assignment: %w", err)
+		}
+		if a.Done {
+			return nil
+		}
+		v, err := eval.Evaluate(a.S, job)
+		res := resultMsg{Index: a.Index, Value: v}
+		if err != nil {
+			res.Err = err.Error()
+		}
+		if err := enc.Encode(res); err != nil {
+			return fmt.Errorf("pipeline: sending result: %w", err)
+		}
+		if res.Err != "" {
+			return fmt.Errorf("pipeline: evaluation failed: %s", res.Err)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package sim is a discrete-event simulator for semi-Markov processes,
+// used — exactly as in §5.3 of the paper — to validate the analytic
+// passage-time and transient results. It samples the kernel directly:
+// from state i a transition term is chosen with its embedded probability
+// and the sojourn is drawn from that term's firing distribution, which
+// reproduces the SM-SPN's probabilistic-selection (non-race) semantics.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"hydra/internal/smp"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Replications is the number of independent passage walks or
+	// transient observations (default 100000).
+	Replications int
+	// Seed makes runs reproducible; worker w derives its stream from
+	// Seed + w.
+	Seed int64
+	// Workers is the number of parallel simulation goroutines
+	// (default 1; the walks are embarrassingly parallel).
+	Workers int
+	// MaxTransitions aborts a single walk after this many jumps
+	// (default 50 million) to catch unreachable targets.
+	MaxTransitions int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replications == 0 {
+		o.Replications = 100000
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	if o.MaxTransitions == 0 {
+		o.MaxTransitions = 50_000_000
+	}
+	return o
+}
+
+// Simulator holds per-state sampling tables for a model.
+type Simulator struct {
+	m       *smp.Model
+	termPtr []int
+	cumProb []float64
+	termTo  []int
+	termIdx []int // interned distribution id per term
+}
+
+// New builds the sampling tables for a model.
+func New(m *smp.Model) *Simulator {
+	n := m.N()
+	s := &Simulator{m: m, termPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		var cum float64
+		m.Terms(i, func(t smp.Term) {
+			cum += t.Prob
+			s.cumProb = append(s.cumProb, cum)
+			s.termTo = append(s.termTo, t.To)
+			s.termIdx = append(s.termIdx, len(s.termIdx))
+		})
+		s.termPtr[i+1] = len(s.cumProb)
+	}
+	return s
+}
+
+// buildSamplers caches one sampling closure per flattened term, aligned
+// with the cumulative-probability tables. Each worker builds its own set
+// so no state is shared across goroutines.
+func (s *Simulator) buildSamplers() []func(*rand.Rand) float64 {
+	out := make([]func(*rand.Rand) float64, 0, len(s.termTo))
+	n := s.m.N()
+	for i := 0; i < n; i++ {
+		s.m.Terms(i, func(t smp.Term) {
+			d := t.Dist
+			out = append(out, d.Sample)
+		})
+	}
+	return out
+}
+
+// step samples one transition from state i: successor and sojourn.
+func step(s *Simulator, samplers []func(*rand.Rand) float64, rng *rand.Rand, i int) (next int, dt float64) {
+	lo, hi := s.termPtr[i], s.termPtr[i+1]
+	u := rng.Float64() * s.cumProb[hi-1] // guard against rounding in the final slot
+	k := lo + sort.SearchFloat64s(s.cumProb[lo:hi], u)
+	if k >= hi {
+		k = hi - 1
+	}
+	return s.termTo[k], samplers[k](rng)
+}
+
+// PassageSamples simulates first-passage times from the weighted source
+// states into the target set. The first transition is always taken (the
+// leading-U convention of Eq. 9), so cycle times from a source inside
+// the target set are supported.
+func (s *Simulator) PassageSamples(states []int, weights []float64, targets []int, opts Options) ([]float64, error) {
+	opts = opts.withDefaults()
+	if err := s.check(states, weights, targets); err != nil {
+		return nil, err
+	}
+	inTarget := make([]bool, s.m.N())
+	for _, k := range targets {
+		inTarget[k] = true
+	}
+	cumW := cumulative(weights)
+	samples := make([]float64, opts.Replications)
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	per := opts.Replications / opts.Workers
+	for w := 0; w < opts.Workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if w == opts.Workers-1 {
+			hi = opts.Replications
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)))
+			samplers := s.buildSamplers()
+			for r := lo; r < hi; r++ {
+				state := states[pick(cumW, rng)]
+				var elapsed float64
+				ok := false
+				for jump := 0; jump < opts.MaxTransitions; jump++ {
+					next, dt := step(s, samplers, rng, state)
+					elapsed += dt
+					state = next
+					if inTarget[state] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sim: walk %d did not reach a target within %d transitions", r, opts.MaxTransitions)
+					}
+					errMu.Unlock()
+					return
+				}
+				samples[r] = elapsed
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return samples, nil
+}
+
+// Transient estimates P(Z(t) ∈ targets | Z(0) ∼ sources) for every time
+// in ts (which must be sorted ascending) with one walk per replication.
+func (s *Simulator) Transient(states []int, weights []float64, targets []int, ts []float64, opts Options) ([]float64, error) {
+	opts = opts.withDefaults()
+	if err := s.check(states, weights, targets); err != nil {
+		return nil, err
+	}
+	if !sort.Float64sAreSorted(ts) {
+		return nil, fmt.Errorf("sim: transient times must be sorted")
+	}
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("sim: no observation times")
+	}
+	inTarget := make([]bool, s.m.N())
+	for _, k := range targets {
+		inTarget[k] = true
+	}
+	cumW := cumulative(weights)
+	counts := make([][]int64, opts.Workers)
+	var wg sync.WaitGroup
+	per := opts.Replications / opts.Workers
+	for w := 0; w < opts.Workers; w++ {
+		reps := per
+		if w == opts.Workers-1 {
+			reps = opts.Replications - per*(opts.Workers-1)
+		}
+		counts[w] = make([]int64, len(ts))
+		wg.Add(1)
+		go func(w, reps int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)))
+			samplers := s.buildSamplers()
+			tmax := ts[len(ts)-1]
+			for r := 0; r < reps; r++ {
+				state := states[pick(cumW, rng)]
+				var elapsed float64
+				idx := 0
+				for elapsed <= tmax && idx < len(ts) {
+					next, dt := step(s, samplers, rng, state)
+					// The process sits in `state` during [elapsed,
+					// elapsed+dt): every observation time in that window
+					// sees `state`.
+					for idx < len(ts) && ts[idx] < elapsed+dt {
+						if inTarget[state] {
+							counts[w][idx]++
+						}
+						idx++
+					}
+					elapsed += dt
+					state = next
+				}
+			}
+		}(w, reps)
+	}
+	wg.Wait()
+	out := make([]float64, len(ts))
+	for _, c := range counts {
+		for i, v := range c {
+			out[i] += float64(v)
+		}
+	}
+	for i := range out {
+		out[i] /= float64(opts.Replications)
+	}
+	return out, nil
+}
+
+func (s *Simulator) check(states []int, weights []float64, targets []int) error {
+	if len(states) == 0 || len(states) != len(weights) {
+		return fmt.Errorf("sim: malformed source weighting")
+	}
+	var sum float64
+	for k, i := range states {
+		if i < 0 || i >= s.m.N() {
+			return fmt.Errorf("sim: source %d outside model", i)
+		}
+		if weights[k] < 0 {
+			return fmt.Errorf("sim: negative weight")
+		}
+		sum += weights[k]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("sim: source weights sum to %v", sum)
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("sim: empty target set")
+	}
+	for _, k := range targets {
+		if k < 0 || k >= s.m.N() {
+			return fmt.Errorf("sim: target %d outside model", k)
+		}
+	}
+	return nil
+}
+
+func cumulative(w []float64) []float64 {
+	out := make([]float64, len(w))
+	var c float64
+	for i, v := range w {
+		c += v
+		out[i] = c
+	}
+	return out
+}
+
+func pick(cum []float64, rng *rand.Rand) int {
+	u := rng.Float64() * cum[len(cum)-1]
+	i := sort.SearchFloat64s(cum, u)
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return i
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a density estimate over equal-width bins.
+type Histogram struct {
+	Lo, Hi  float64
+	Density []float64 // per-bin density (integrates to ≤ 1 over [Lo,Hi])
+}
+
+// NewHistogram bins the samples into a density estimate; samples outside
+// [lo, hi] are dropped (their mass is simply missing, as on a plot).
+func NewHistogram(samples []float64, bins int, lo, hi float64) (*Histogram, error) {
+	if bins < 1 || !(hi > lo) {
+		return nil, fmt.Errorf("sim: invalid histogram range [%v,%v]/%d", lo, hi, bins)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Density: make([]float64, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, s := range samples {
+		if s < lo || s >= hi {
+			continue
+		}
+		h.Density[int((s-lo)/width)]++
+	}
+	norm := 1 / (float64(len(samples)) * width)
+	for i := range h.Density {
+		h.Density[i] *= norm
+	}
+	return h, nil
+}
+
+// BinCenters returns the mid-point of every bin.
+func (h *Histogram) BinCenters() []float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Density))
+	out := make([]float64, len(h.Density))
+	for i := range out {
+		out[i] = h.Lo + width*(float64(i)+0.5)
+	}
+	return out
+}
+
+// Mean returns the sample mean.
+func Mean(samples []float64) float64 {
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / float64(len(samples))
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(samples []float64) float64 {
+	m := Mean(samples)
+	var ss float64
+	for _, s := range samples {
+		ss += (s - m) * (s - m)
+	}
+	return math.Sqrt(ss / float64(len(samples)-1))
+}
+
+// Quantile returns the p-quantile (0 < p < 1) of the samples.
+func Quantile(samples []float64, p float64) float64 {
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// ECDF returns the empirical CDF evaluated at the given (sorted or
+// unsorted) time points.
+func ECDF(samples []float64, ts []float64) []float64 {
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = float64(sort.SearchFloat64s(sorted, math.Nextafter(t, math.Inf(1)))) / float64(len(sorted))
+	}
+	return out
+}
+
+// KSDistance computes sup |ECDF(t) − cdf(t)| over the sample points —
+// the statistic used to compare analytic and simulated passage CDFs.
+func KSDistance(samples []float64, cdf func(float64) float64) float64 {
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var ks float64
+	for i, x := range sorted {
+		f := cdf(x)
+		if d := math.Abs(f - float64(i)/n); d > ks {
+			ks = d
+		}
+		if d := math.Abs(float64(i+1)/n - f); d > ks {
+			ks = d
+		}
+	}
+	return ks
+}

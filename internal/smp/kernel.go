@@ -1,0 +1,118 @@
+package smp
+
+import (
+	"hydra/internal/dist"
+	"hydra/internal/sparse"
+)
+
+// NewKernelMatrix allocates a matrix over the model's kernel pattern for
+// use with FillKernel. One matrix can be reused across all s-points.
+func (m *Model) NewKernelMatrix() *sparse.CMatrix {
+	return m.pattern.NewCMatrix()
+}
+
+// FillKernel assembles U(s) with u_pq = r*_pq(s) = Σ_t p_t·h*_t(s) into
+// dst, which must come from NewKernelMatrix. Each interned distribution's
+// transform is evaluated exactly once.
+func (m *Model) FillKernel(s complex128, dst *sparse.CMatrix) {
+	lsts := make([]complex128, len(m.dists))
+	for id, d := range m.dists {
+		lsts[id] = d.LST(s)
+	}
+	m.fillKernelWith(lsts, dst)
+}
+
+// FillKernelSampled assembles U(s_i) from pre-sampled distribution
+// transforms: lsts[id] is the transform value of interned distribution id
+// at the current s-point. Used by workers that batch-evaluate
+// distributions across s-points.
+func (m *Model) FillKernelSampled(lsts []complex128, dst *sparse.CMatrix) {
+	if len(lsts) != len(m.dists) {
+		panic("smp: FillKernelSampled with wrong transform count")
+	}
+	m.fillKernelWith(lsts, dst)
+}
+
+func (m *Model) fillKernelWith(lsts []complex128, dst *sparse.CMatrix) {
+	vals := dst.Values()
+	for i := range vals {
+		vals[i] = 0
+	}
+	for k := range m.termTo {
+		vals[m.termSlot[k]] += complex(m.termProb[k], 0) * lsts[m.termDist[k]]
+	}
+}
+
+// SojournLSTs returns h*_i(s) = Σ_j r*_ij(s) for every state — the LST of
+// the unconditional sojourn-time distribution in state i, needed by the
+// transient computation of Eq. (6)–(7).
+func (m *Model) SojournLSTs(s complex128) []complex128 {
+	lsts := make([]complex128, len(m.dists))
+	for id, d := range m.dists {
+		lsts[id] = d.LST(s)
+	}
+	h := make([]complex128, m.n)
+	for i := 0; i < m.n; i++ {
+		for k := m.termPtr[i]; k < m.termPtr[i+1]; k++ {
+			h[i] += complex(m.termProb[k], 0) * lsts[m.termDist[k]]
+		}
+	}
+	return h
+}
+
+// Distributions returns the interned distribution table; index positions
+// match the ids used by FillKernelSampled.
+func (m *Model) Distributions() []dist.Distribution {
+	return m.dists
+}
+
+// EmbeddedDTMC returns the one-step transition probability matrix
+// P = [p_ij] of the embedded discrete-time chain (Eq. 5's P).
+func (m *Model) EmbeddedDTMC() *sparse.Matrix {
+	b := sparse.NewBuilder(m.n, m.n)
+	for i := 0; i < m.n; i++ {
+		for k := m.termPtr[i]; k < m.termPtr[i+1]; k++ {
+			b.Add(i, int(m.termTo[k]), m.termProb[k])
+		}
+	}
+	return b.Build()
+}
+
+// MeanSojourns returns E[sojourn in state i] = Σ_t p_t·E[dist_t] for
+// every state. Together with the embedded chain's stationary vector this
+// yields the SMP's time-average steady state.
+func (m *Model) MeanSojourns() []float64 {
+	means := make([]float64, len(m.dists))
+	for id, d := range m.dists {
+		means[id] = d.Mean()
+	}
+	out := make([]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		for k := m.termPtr[i]; k < m.termPtr[i+1]; k++ {
+			out[i] += m.termProb[k] * means[m.termDist[k]]
+		}
+	}
+	return out
+}
+
+// SteadyState converts the embedded chain's stationary vector pi into the
+// SMP's time-average state distribution: π^SMP_i ∝ π_i·m_i with m_i the
+// mean sojourn in state i. This is the t→∞ limit the Fig. 7 transient
+// converges to.
+func (m *Model) SteadyState(pi []float64) []float64 {
+	if len(pi) != m.n {
+		panic("smp: SteadyState with wrong vector length")
+	}
+	means := m.MeanSojourns()
+	out := make([]float64, m.n)
+	var total float64
+	for i := range out {
+		out[i] = pi[i] * means[i]
+		total += out[i]
+	}
+	inv := 1 / total
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

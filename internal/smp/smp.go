@@ -1,0 +1,189 @@
+// Package smp defines the in-memory representation of a finite
+// semi-Markov process: the kernel R(i,j,t) = p_ij·H_ij(t) of §2.1,
+// factored into one-step transition probabilities and sojourn-time
+// distributions held by reference.
+//
+// The representation is tuned for the iterative passage-time algorithm:
+// the sparsity pattern of the kernel matrix U (u_pq = r*_pq(s)) is fixed
+// across all Laplace points s, and every distinct distribution is
+// interned so that each is evaluated exactly once per s no matter how
+// many transitions share it. On the voting models of §5 a handful of
+// distribution shapes cover hundreds of thousands of transitions, which
+// is what makes per-s assembly cheap.
+package smp
+
+import (
+	"fmt"
+
+	"hydra/internal/dist"
+	"hydra/internal/sparse"
+)
+
+// Term is one transition of the SMP: with probability Prob (conditioned
+// on being in the source state) the process jumps to state To after a
+// delay drawn from Dist.
+type Term struct {
+	To   int
+	Prob float64
+	Dist dist.Distribution
+}
+
+// Model is an immutable semi-Markov process over states 0..N-1.
+type Model struct {
+	n int
+	// Interned distributions and their canonical strings.
+	dists []dist.Distribution
+	// Per-state transition terms, flattened: terms[termPtr[i]:termPtr[i+1]].
+	termPtr  []int
+	termTo   []int32
+	termProb []float64
+	termDist []int32
+	// Kernel matrix structure: one slot per distinct (from,to) pair.
+	pattern  *sparse.Pattern
+	termSlot []int32 // pattern slot of each term
+	// Optional state labels (e.g. net markings) for diagnostics.
+	labels []string
+}
+
+// N returns the number of states.
+func (m *Model) N() int { return m.n }
+
+// NumTerms returns the total number of transition terms.
+func (m *Model) NumTerms() int { return len(m.termTo) }
+
+// NumDistributions returns the number of distinct (interned)
+// distributions.
+func (m *Model) NumDistributions() int { return len(m.dists) }
+
+// KernelNNZ returns the number of distinct (from, to) kernel entries.
+func (m *Model) KernelNNZ() int { return m.pattern.NNZ() }
+
+// Label returns the state label, or a numeric fallback.
+func (m *Model) Label(i int) string {
+	if m.labels != nil && m.labels[i] != "" {
+		return m.labels[i]
+	}
+	return fmt.Sprintf("state-%d", i)
+}
+
+// Terms calls fn for every transition term of state i.
+func (m *Model) Terms(i int, fn func(t Term)) {
+	for k := m.termPtr[i]; k < m.termPtr[i+1]; k++ {
+		fn(Term{To: int(m.termTo[k]), Prob: m.termProb[k], Dist: m.dists[m.termDist[k]]})
+	}
+}
+
+// Builder accumulates transitions and assembles a Model.
+type Builder struct {
+	n       int
+	from    []int32
+	to      []int32
+	prob    []float64
+	distID  []int32
+	distIdx map[string]int32
+	dists   []dist.Distribution
+	labels  []string
+}
+
+// NewBuilder returns a builder for an n-state SMP.
+func NewBuilder(n int) *Builder {
+	if n <= 0 {
+		panic(fmt.Sprintf("smp: non-positive state count %d", n))
+	}
+	return &Builder{n: n, distIdx: make(map[string]int32)}
+}
+
+// SetLabel attaches a diagnostic label to a state.
+func (b *Builder) SetLabel(i int, label string) {
+	if b.labels == nil {
+		b.labels = make([]string, b.n)
+	}
+	b.labels[i] = label
+}
+
+// Add records a transition from→to with conditional probability prob and
+// sojourn distribution d. Distributions are interned by their canonical
+// string.
+func (b *Builder) Add(from, to int, prob float64, d dist.Distribution) {
+	if from < 0 || from >= b.n || to < 0 || to >= b.n {
+		panic(fmt.Sprintf("smp: transition (%d→%d) outside %d states", from, to, b.n))
+	}
+	if !(prob > 0) {
+		panic(fmt.Sprintf("smp: transition (%d→%d) with non-positive probability %v", from, to, prob))
+	}
+	if d == nil {
+		panic("smp: nil distribution")
+	}
+	key := d.String()
+	id, ok := b.distIdx[key]
+	if !ok {
+		id = int32(len(b.dists))
+		b.dists = append(b.dists, d)
+		b.distIdx[key] = id
+	}
+	b.from = append(b.from, int32(from))
+	b.to = append(b.to, int32(to))
+	b.prob = append(b.prob, prob)
+	b.distID = append(b.distID, id)
+}
+
+// Build validates and assembles the model. Every state must have
+// outgoing probability summing to 1 (within 1e-9); the builder remains
+// usable afterwards.
+func (b *Builder) Build() (*Model, error) {
+	sums := make([]float64, b.n)
+	counts := make([]int, b.n)
+	for k, f := range b.from {
+		sums[f] += b.prob[k]
+		counts[f]++
+	}
+	for i, s := range sums {
+		if counts[i] == 0 {
+			return nil, fmt.Errorf("smp: state %d has no outgoing transitions (SMP must not have absorbing states)", i)
+		}
+		if s < 1-1e-9 || s > 1+1e-9 {
+			return nil, fmt.Errorf("smp: state %d outgoing probability sums to %v, want 1", i, s)
+		}
+	}
+	m := &Model{n: b.n, dists: b.dists, labels: b.labels}
+
+	// Group terms by source state.
+	m.termPtr = make([]int, b.n+1)
+	for _, f := range b.from {
+		m.termPtr[f+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		m.termPtr[i+1] += m.termPtr[i]
+	}
+	nT := len(b.from)
+	m.termTo = make([]int32, nT)
+	m.termProb = make([]float64, nT)
+	m.termDist = make([]int32, nT)
+	pos := make([]int, b.n)
+	copy(pos, m.termPtr[:b.n])
+	for k := range b.from {
+		p := pos[b.from[k]]
+		pos[b.from[k]]++
+		m.termTo[p] = b.to[k]
+		m.termProb[p] = b.prob[k]
+		m.termDist[p] = b.distID[k]
+	}
+
+	// Kernel pattern over the distinct (from,to) pairs, with the slot of
+	// each grouped term.
+	is := make([]int, nT)
+	js := make([]int, nT)
+	for i := 0; i < b.n; i++ {
+		for k := m.termPtr[i]; k < m.termPtr[i+1]; k++ {
+			is[k] = i
+			js[k] = int(m.termTo[k])
+		}
+	}
+	pattern, idx := sparse.NewPattern(b.n, b.n, is, js)
+	m.pattern = pattern
+	m.termSlot = make([]int32, nT)
+	for k, slot := range idx {
+		m.termSlot[k] = int32(slot)
+	}
+	return m, nil
+}

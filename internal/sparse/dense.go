@@ -1,0 +1,98 @@
+package sparse
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// ErrSingular is returned by SolveDense when elimination encounters a
+// pivot that is numerically zero.
+var ErrSingular = errors.New("sparse: singular matrix")
+
+// Dense is a small dense complex matrix in row-major order. It exists as a
+// reference implementation: the direct-solve baseline and several tests
+// verify the sparse iterative machinery against dense Gaussian
+// elimination on models small enough to afford O(N³).
+type Dense struct {
+	N   int
+	Val []complex128 // row-major, len N*N
+}
+
+// NewDense returns an N×N zero matrix.
+func NewDense(n int) *Dense {
+	return &Dense{N: n, Val: make([]complex128, n*n)}
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) complex128 { return d.Val[i*d.N+j] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v complex128) { d.Val[i*d.N+j] = v }
+
+// Add accumulates into element (i, j).
+func (d *Dense) Add(i, j int, v complex128) { d.Val[i*d.N+j] += v }
+
+// DenseFromCSR expands a sparse complex matrix to dense form.
+func DenseFromCSR(m *CMatrix) *Dense {
+	rows, cols := m.Dims()
+	if rows != cols {
+		panic("sparse: DenseFromCSR requires a square matrix")
+	}
+	d := NewDense(rows)
+	for i := 0; i < rows; i++ {
+		m.Row(i, func(j int, v complex128) {
+			d.Add(i, j, v)
+		})
+	}
+	return d
+}
+
+// SolveDense solves A·x = b by Gaussian elimination with partial
+// pivoting, overwriting A and b. It returns the solution (aliasing b).
+func SolveDense(a *Dense, b []complex128) ([]complex128, error) {
+	n := a.N
+	if len(b) != n {
+		panic("sparse: SolveDense dimension mismatch")
+	}
+	const tiny = 1e-300
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column at or below the
+		// diagonal.
+		pivot, best := col, cmplx.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if mag := cmplx.Abs(a.At(r, col)); mag > best {
+				pivot, best = r, mag
+			}
+		}
+		if best < tiny {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				a.Val[col*n+j], a.Val[pivot*n+j] = a.Val[pivot*n+j], a.Val[col*n+j]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			a.Set(r, col, 0)
+			for j := col + 1; j < n; j++ {
+				a.Val[r*n+j] -= f * a.Val[col*n+j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < n; j++ {
+			sum -= a.At(i, j) * b[j]
+		}
+		b[i] = sum / a.At(i, i)
+	}
+	return b, nil
+}

@@ -1,0 +1,11 @@
+// Package sparse provides compressed sparse row (CSR) matrices over
+// float64 and complex128, together with the small set of kernels the
+// passage-time pipeline needs: matrix–vector and vector–matrix products,
+// transposition, and in-place value refresh over a fixed sparsity pattern.
+//
+// The complex matrices are the workhorse of the iterative algorithm of
+// Bradley et al. (IPDPS 2003): for every Laplace-space point s the kernel
+// matrix U with u_pq = r*_pq(s) is re-assembled over an unchanging pattern,
+// so CMatrix separates its structure (row pointers, column indices) from
+// its values and allows the values to be overwritten without reallocation.
+package sparse

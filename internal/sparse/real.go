@@ -1,0 +1,190 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Matrix is an immutable real-valued CSR matrix.
+type Matrix struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	val        []float64
+}
+
+// Dims returns the number of rows and columns.
+func (m *Matrix) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *Matrix) NNZ() int { return len(m.val) }
+
+// At returns the value at (i, j), which is zero for entries outside the
+// sparsity pattern. It is O(log nnz(row i)) and intended for tests and
+// small matrices, not inner loops.
+func (m *Matrix) At(i, j int) float64 {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.val[k]
+	}
+	return 0
+}
+
+// Row calls fn for every stored entry (j, v) of row i in column order.
+func (m *Matrix) Row(i int, fn func(j int, v float64)) {
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		fn(m.colIdx[k], m.val[k])
+	}
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *Matrix) RowNNZ(i int) int { return m.rowPtr[i+1] - m.rowPtr[i] }
+
+// MulVec computes y = M·x. It panics if the dimensions disagree.
+func (m *Matrix) MulVec(x, y []float64) {
+	if len(x) != m.cols || len(y) != m.rows {
+		panic(fmt.Sprintf("sparse: MulVec dims %dx%d with |x|=%d |y|=%d", m.rows, m.cols, len(x), len(y)))
+	}
+	for i := 0; i < m.rows; i++ {
+		var sum float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			sum += m.val[k] * x[m.colIdx[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// VecMul computes y = x·M, the product of a row vector with the matrix.
+// It panics if the dimensions disagree.
+func (m *Matrix) VecMul(x, y []float64) {
+	if len(x) != m.rows || len(y) != m.cols {
+		panic(fmt.Sprintf("sparse: VecMul dims %dx%d with |x|=%d |y|=%d", m.rows, m.cols, len(x), len(y)))
+	}
+	for j := range y {
+		y[j] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			y[m.colIdx[k]] += xi * m.val[k]
+		}
+	}
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := &Matrix{
+		rows:   m.cols,
+		cols:   m.rows,
+		rowPtr: make([]int, m.cols+1),
+		colIdx: make([]int, len(m.colIdx)),
+		val:    make([]float64, len(m.val)),
+	}
+	// Count entries per column of m (= rows of t).
+	for _, j := range m.colIdx {
+		t.rowPtr[j+1]++
+	}
+	for j := 0; j < m.cols; j++ {
+		t.rowPtr[j+1] += t.rowPtr[j]
+	}
+	next := make([]int, m.cols)
+	copy(next, t.rowPtr[:m.cols])
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			j := m.colIdx[k]
+			p := next[j]
+			next[j]++
+			t.colIdx[p] = i
+			t.val[p] = m.val[k]
+		}
+	}
+	return t
+}
+
+// RowSums returns the vector of row sums.
+func (m *Matrix) RowSums() []float64 {
+	sums := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			sums[i] += m.val[k]
+		}
+	}
+	return sums
+}
+
+// Builder accumulates coordinate-format entries and assembles a CSR
+// matrix. Duplicate (i, j) entries are summed, matching the convention of
+// stochastic-model generators where several transitions may connect the
+// same pair of states.
+type Builder struct {
+	rows, cols int
+	is, js     []int
+	vs         []float64
+}
+
+// NewBuilder returns a builder for a rows×cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	if rows < 0 || cols < 0 {
+		panic("sparse: negative dimension")
+	}
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add records the entry (i, j) = v. Entries with v == 0 are kept so that
+// explicitly provided pattern positions survive assembly.
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: Add(%d,%d) outside %dx%d", i, j, b.rows, b.cols))
+	}
+	b.is = append(b.is, i)
+	b.js = append(b.js, j)
+	b.vs = append(b.vs, v)
+}
+
+// NNZ returns the number of accumulated (pre-assembly) entries.
+func (b *Builder) NNZ() int { return len(b.vs) }
+
+// Build assembles the CSR matrix, summing duplicates. The builder can be
+// reused afterwards; it keeps its accumulated entries.
+func (b *Builder) Build() *Matrix {
+	m := &Matrix{rows: b.rows, cols: b.cols, rowPtr: make([]int, b.rows+1)}
+	order := sortCOO(b.is, b.js)
+	m.colIdx = make([]int, 0, len(order))
+	m.val = make([]float64, 0, len(order))
+	prevI, prevJ := -1, -1
+	for _, k := range order {
+		i, j, v := b.is[k], b.js[k], b.vs[k]
+		if i == prevI && j == prevJ {
+			m.val[len(m.val)-1] += v
+			continue
+		}
+		m.rowPtr[i+1]++
+		m.colIdx = append(m.colIdx, j)
+		m.val = append(m.val, v)
+		prevI, prevJ = i, j
+	}
+	for i := 0; i < b.rows; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	return m
+}
+
+// sortCOO returns a permutation ordering the coordinate entries by (i, j).
+func sortCOO(is, js []int) []int {
+	order := make([]int, len(is))
+	for k := range order {
+		order[k] = k
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := order[a], order[b]
+		if is[ka] != is[kb] {
+			return is[ka] < is[kb]
+		}
+		return js[ka] < js[kb]
+	})
+	return order
+}

@@ -1,0 +1,225 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBuilderBuildAndAt(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.Add(0, 1, 2.5)
+	b.Add(2, 3, -1)
+	b.Add(0, 1, 0.5) // duplicate, must sum
+	b.Add(1, 0, 4)
+	m := b.Build()
+	if got := m.At(0, 1); got != 3.0 {
+		t.Errorf("At(0,1) = %v, want 3", got)
+	}
+	if got := m.At(1, 0); got != 4.0 {
+		t.Errorf("At(1,0) = %v, want 4", got)
+	}
+	if got := m.At(2, 3); got != -1.0 {
+		t.Errorf("At(2,3) = %v, want -1", got)
+	}
+	if got := m.At(2, 0); got != 0 {
+		t.Errorf("At(2,0) = %v, want 0", got)
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3 (duplicates merged)", m.NNZ())
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add outside bounds did not panic")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := NewBuilder(3, 3).Build()
+	if m.NNZ() != 0 {
+		t.Fatalf("NNZ = %d, want 0", m.NNZ())
+	}
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	m.MulVec(x, y)
+	for i, v := range y {
+		if v != 0 {
+			t.Errorf("y[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	// [1 2; 3 4] * [5, 6] = [17, 39]
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 2)
+	b.Add(1, 0, 3)
+	b.Add(1, 1, 4)
+	m := b.Build()
+	y := make([]float64, 2)
+	m.MulVec([]float64{5, 6}, y)
+	if y[0] != 17 || y[1] != 39 {
+		t.Errorf("MulVec = %v, want [17 39]", y)
+	}
+	// [5 6] * [1 2; 3 4] = [23, 34]
+	m.VecMul([]float64{5, 6}, y)
+	if y[0] != 23 || y[1] != 34 {
+		t.Errorf("VecMul = %v, want [23 34]", y)
+	}
+}
+
+func TestRowIteration(t *testing.T) {
+	b := NewBuilder(2, 5)
+	b.Add(1, 4, 1)
+	b.Add(1, 0, 2)
+	b.Add(1, 2, 3)
+	m := b.Build()
+	var cols []int
+	m.Row(1, func(j int, v float64) { cols = append(cols, j) })
+	if len(cols) != 3 || cols[0] != 0 || cols[1] != 2 || cols[2] != 4 {
+		t.Errorf("Row iteration order = %v, want [0 2 4]", cols)
+	}
+	if m.RowNNZ(0) != 0 || m.RowNNZ(1) != 3 {
+		t.Errorf("RowNNZ = %d,%d want 0,3", m.RowNNZ(0), m.RowNNZ(1))
+	}
+}
+
+func TestRowSums(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 0.25)
+	b.Add(0, 1, 0.75)
+	b.Add(1, 1, 1)
+	sums := b.Build().RowSums()
+	if !almostEq(sums[0], 1, 1e-15) || !almostEq(sums[1], 1, 1e-15) {
+		t.Errorf("RowSums = %v, want [1 1]", sums)
+	}
+}
+
+// randomMatrix builds a random sparse matrix and a dense mirror.
+func randomMatrix(rng *rand.Rand, rows, cols, nnz int) (*Matrix, [][]float64) {
+	b := NewBuilder(rows, cols)
+	dense := make([][]float64, rows)
+	for i := range dense {
+		dense[i] = make([]float64, cols)
+	}
+	for k := 0; k < nnz; k++ {
+		i, j := rng.Intn(rows), rng.Intn(cols)
+		v := rng.NormFloat64()
+		b.Add(i, j, v)
+		dense[i][j] += v
+	}
+	return b.Build(), dense
+}
+
+func TestMulVecAgainstDenseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m, dense := randomMatrix(rng, rows, cols, rng.Intn(60))
+		x := make([]float64, cols)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		y := make([]float64, rows)
+		m.MulVec(x, y)
+		for i := 0; i < rows; i++ {
+			var want float64
+			for j := 0; j < cols; j++ {
+				want += dense[i][j] * x[j]
+			}
+			if !almostEq(y[i], want, 1e-9) {
+				t.Fatalf("trial %d: y[%d] = %v, want %v", trial, i, y[i], want)
+			}
+		}
+	}
+}
+
+func TestTransposeProperty(t *testing.T) {
+	// (x·M) == (Mᵀ·x) for all x: VecMul against the transpose's MulVec.
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(15), 1+r.Intn(15)
+		m, _ := randomMatrix(r, rows, cols, r.Intn(50))
+		mt := m.Transpose()
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		y1 := make([]float64, cols)
+		y2 := make([]float64, cols)
+		m.VecMul(x, y1)
+		mt.MulVec(x, y2)
+		for j := range y1 {
+			if !almostEq(y1[j], y2[j], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, dense := randomMatrix(rng, 7, 5, 18)
+	tt := m.Transpose().Transpose()
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			if !almostEq(tt.At(i, j), dense[i][j], 1e-12) {
+				t.Fatalf("(Mᵀ)ᵀ(%d,%d) = %v, want %v", i, j, tt.At(i, j), dense[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVecLinearityProperty(t *testing.T) {
+	// M(ax + by) == a·Mx + b·My
+	f := func(seed int64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 100)
+		b = math.Mod(b, 100)
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		m, _ := randomMatrix(r, n, n, r.Intn(40))
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i], y[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		comb := make([]float64, n)
+		for i := range comb {
+			comb[i] = a*x[i] + b*y[i]
+		}
+		got := make([]float64, n)
+		m.MulVec(comb, got)
+		mx := make([]float64, n)
+		my := make([]float64, n)
+		m.MulVec(x, mx)
+		m.MulVec(y, my)
+		for i := range got {
+			want := a*mx[i] + b*my[i]
+			if !almostEq(got[i], want, 1e-6*(1+math.Abs(want))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package unif implements uniformization (randomization) for the special
+// case of an all-exponential semi-Markov process, i.e. a continuous-time
+// Markov chain. The paper's §3 points out that its iterative method
+// resembles uniformization but cannot actually uniformize general
+// distributions; this package exists as the classical baseline
+// ([Muppala–Trivedi 92], [Melamed–Yadin 84]) to cross-validate the
+// Laplace-space pipeline on models where both apply.
+package unif
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hydra/internal/dist"
+	"hydra/internal/smp"
+	"hydra/internal/sparse"
+)
+
+// ErrNotMarkovian is returned by FromSMP when a state's sojourn times are
+// not exponential with one rate per state.
+var ErrNotMarkovian = errors.New("unif: model is not an all-exponential SMP")
+
+// CTMC is a continuous-time Markov chain extracted from an SMP.
+type CTMC struct {
+	n     int
+	rates []float64      // exit rate per state
+	jump  *sparse.Matrix // embedded jump probabilities p_ij
+}
+
+// FromSMP verifies that every transition of the model carries an
+// exponential sojourn distribution and that all transitions out of a
+// state share the same rate (the condition under which the SMP is a
+// CTMC), and extracts the chain.
+func FromSMP(m *smp.Model) (*CTMC, error) {
+	n := m.N()
+	c := &CTMC{n: n, rates: make([]float64, n), jump: m.EmbeddedDTMC()}
+	for i := 0; i < n; i++ {
+		rate := math.NaN()
+		var bad error
+		m.Terms(i, func(t smp.Term) {
+			e, ok := t.Dist.(dist.Exponential)
+			if !ok {
+				bad = fmt.Errorf("%w: state %d has sojourn %s", ErrNotMarkovian, i, t.Dist)
+				return
+			}
+			if math.IsNaN(rate) {
+				rate = e.Rate
+			} else if math.Abs(rate-e.Rate) > 1e-12*rate {
+				bad = fmt.Errorf("%w: state %d mixes rates %v and %v", ErrNotMarkovian, i, rate, e.Rate)
+			}
+		})
+		if bad != nil {
+			return nil, bad
+		}
+		c.rates[i] = rate
+	}
+	return c, nil
+}
+
+// N returns the number of states.
+func (c *CTMC) N() int { return c.n }
+
+// poissonWeights returns the Poisson(μ) pmf for n = 0..N where N covers
+// the mass up to roughly 1e-14, computed in log space for stability.
+func poissonWeights(mu float64) []float64 {
+	if mu <= 0 {
+		return []float64{1}
+	}
+	max := int(mu + 12*math.Sqrt(mu) + 30)
+	w := make([]float64, max+1)
+	for n := 0; n <= max; n++ {
+		lg, _ := math.Lgamma(float64(n + 1))
+		w[n] = math.Exp(float64(n)*math.Log(mu) - mu - lg)
+	}
+	return w
+}
+
+// uniformizedJumps returns the uniformized DTMC P = I + Q/Λ, with target
+// rows made absorbing when absorb is non-nil (absorb[i] true keeps state
+// i's mass in place).
+func (c *CTMC) uniformizedJumps(lambda float64, absorb []bool) *sparse.Matrix {
+	b := sparse.NewBuilder(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		if absorb != nil && absorb[i] {
+			b.Add(i, i, 1)
+			continue
+		}
+		ratio := c.rates[i] / lambda
+		// Self mass from uniformization: 1 − λ_i/Λ, plus any real self
+		// loop probability folded in by the jump matrix below.
+		b.Add(i, i, 1-ratio)
+		c.jump.Row(i, func(j int, p float64) {
+			b.Add(i, j, ratio*p)
+		})
+	}
+	return b.Build()
+}
+
+// maxRate returns the uniformization constant Λ ≥ max λ_i.
+func (c *CTMC) maxRate() float64 {
+	var m float64
+	for _, r := range c.rates {
+		if r > m {
+			m = r
+		}
+	}
+	return m * 1.02 // slack keeps self-loop probabilities strictly positive
+}
+
+// Transient returns P(Z(t) ∈ targets | Z(0) ∼ (states, weights)) for each
+// time in ts by standard uniformization.
+func (c *CTMC) Transient(states []int, weights []float64, targets []int, ts []float64) ([]float64, error) {
+	if err := c.checkSets(states, weights, targets); err != nil {
+		return nil, err
+	}
+	lambda := c.maxRate()
+	p := c.uniformizedJumps(lambda, nil)
+	// Precompute π₀Pⁿ target masses up to the largest needed n.
+	var maxN int
+	for _, t := range ts {
+		w := poissonWeights(lambda * t)
+		if len(w) > maxN {
+			maxN = len(w)
+		}
+	}
+	inTarget := make([]bool, c.n)
+	for _, k := range targets {
+		inTarget[k] = true
+	}
+	cur := make([]float64, c.n)
+	for k, i := range states {
+		cur[i] = weights[k]
+	}
+	next := make([]float64, c.n)
+	mass := make([]float64, maxN) // Σ_{k∈targets} (π₀Pⁿ)_k
+	for n := 0; n < maxN; n++ {
+		var sum float64
+		for i, ok := range inTarget {
+			if ok {
+				sum += cur[i]
+			}
+		}
+		mass[n] = sum
+		if n+1 < maxN {
+			p.VecMul(cur, next)
+			cur, next = next, cur
+		}
+	}
+	out := make([]float64, len(ts))
+	for idx, t := range ts {
+		w := poissonWeights(lambda * t)
+		var sum float64
+		for n, pw := range w {
+			sum += pw * mass[n]
+		}
+		out[idx] = sum
+	}
+	return out, nil
+}
+
+// PassageDensity returns the first-passage density f(t) from the weighted
+// source states into the target set, for each time in ts: the targets are
+// made absorbing and absorption increments are spread over Erlang jump
+// times, f(t) = Σ_n (A_{n+1} − A_n)·Λ·e^{−Λt}(Λt)ⁿ/n!.
+func (c *CTMC) PassageDensity(states []int, weights []float64, targets []int, ts []float64) ([]float64, error) {
+	absorbed, lambda, err := c.absorptionCurve(states, weights, targets, ts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ts))
+	for idx, t := range ts {
+		w := poissonWeights(lambda * t)
+		var sum float64
+		for n := 0; n+1 < len(absorbed) && n < len(w); n++ {
+			sum += (absorbed[n+1] - absorbed[n]) * lambda * w[n]
+		}
+		out[idx] = sum
+	}
+	return out, nil
+}
+
+// PassageCDF returns P(passage ≤ t) for each t in ts.
+func (c *CTMC) PassageCDF(states []int, weights []float64, targets []int, ts []float64) ([]float64, error) {
+	absorbed, lambda, err := c.absorptionCurve(states, weights, targets, ts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ts))
+	for idx, t := range ts {
+		w := poissonWeights(lambda * t)
+		var sum float64
+		for n := 0; n < len(absorbed) && n < len(w); n++ {
+			sum += absorbed[n] * w[n]
+		}
+		out[idx] = sum
+	}
+	return out, nil
+}
+
+// absorptionCurve computes A_n: the probability of having been absorbed
+// into the target set within n uniformized jumps.
+//
+// Source states must be disjoint from the targets: the uniformized
+// chain's fictitious self-loops make it impossible to distinguish "never
+// left a target source" from "left and returned", so cycle-time passages
+// are outside this baseline's scope (the Laplace-space solver handles
+// them via the leading U term of Eq. 9).
+func (c *CTMC) absorptionCurve(states []int, weights []float64, targets []int, ts []float64) ([]float64, float64, error) {
+	if err := c.checkSets(states, weights, targets); err != nil {
+		return nil, 0, err
+	}
+	inTarget := make(map[int]bool, len(targets))
+	for _, k := range targets {
+		inTarget[k] = true
+	}
+	for _, i := range states {
+		if inTarget[i] {
+			return nil, 0, fmt.Errorf("unif: source %d is also a target; cycle-time passages are not supported by the uniformization baseline", i)
+		}
+	}
+	lambda := c.maxRate()
+	var maxN int
+	for _, t := range ts {
+		if w := poissonWeights(lambda * t); len(w) > maxN {
+			maxN = len(w)
+		}
+	}
+	absorb := make([]bool, c.n)
+	for _, k := range targets {
+		absorb[k] = true
+	}
+	pAbs := c.uniformizedJumps(lambda, absorb)
+
+	cur := make([]float64, c.n)
+	for k, i := range states {
+		cur[i] = weights[k]
+	}
+	next := make([]float64, c.n)
+	curve := make([]float64, maxN+1)
+	for n := 1; n <= maxN; n++ {
+		pAbs.VecMul(cur, next)
+		cur, next = next, cur
+		var sum float64
+		for i, ok := range absorb {
+			if ok {
+				sum += cur[i]
+			}
+		}
+		curve[n] = sum
+	}
+	return curve, lambda, nil
+}
+
+func (c *CTMC) checkSets(states []int, weights []float64, targets []int) error {
+	if len(states) == 0 || len(states) != len(weights) {
+		return fmt.Errorf("unif: malformed source weighting")
+	}
+	var sum float64
+	for k, i := range states {
+		if i < 0 || i >= c.n {
+			return fmt.Errorf("unif: source %d outside chain", i)
+		}
+		sum += weights[k]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("unif: source weights sum to %v", sum)
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("unif: empty target set")
+	}
+	for _, k := range targets {
+		if k < 0 || k >= c.n {
+			return fmt.Errorf("unif: target %d outside chain", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package voting
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DNAmacaSource renders the reference voting model as an extended-
+// DNAmaca specification (the paper's Fig. 3 format), including passage
+// and transient measure blocks for the three experiments. Compiling the
+// returned text through internal/dnamaca reproduces exactly the same
+// state space as BuildNet — the round-trip is asserted in tests.
+func DNAmacaSource(cfg Config) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	w("%% Distributed voting system (Bradley/Dingle/Harrison/Knottenbelt, IPDPS 2003)\n")
+	w("%% system configuration: CC=%d voters, MM=%d polling units, NN=%d central units\n", cfg.CC, cfg.MM, cfg.NN)
+	w("\\model{\n")
+	w("  \\statevector{ \\type{short}{p1, p2, p3, p4, p5, p6, p7} }\n")
+	w("  \\constant{CC}{%d}\n", cfg.CC)
+	w("  \\constant{MM}{%d}\n", cfg.MM)
+	w("  \\constant{NN}{%d}\n", cfg.NN)
+	w("  \\initial{ p1 = CC; p2 = 0; p3 = MM; p4 = 0; p5 = NN; p6 = 0; p7 = 0; }\n\n")
+
+	w("  %% t1: a free polling unit receives a vote; the agent is marked voted\n")
+	w("  \\transition{t1}{\n")
+	w("    \\condition{p1 > 0 && p3 > 0}\n")
+	w("    \\action{ next->p1 = p1 - 1; next->p2 = p2 + 1; next->p3 = p3 - 1; next->p4 = p4 + 1; }\n")
+	w("    \\weight{20} \\priority{1}\n")
+	w("    \\sojourntimeLT{ return uniformLT(0.2, 1.0, s); }\n")
+	w("  }\n\n")
+
+	w("  %% t2: the vote is registered with the operational central units\n")
+	w("  \\transition{t2}{\n")
+	w("    \\condition{p4 > 0 && p5 > 0}\n")
+	w("    \\action{ next->p4 = p4 - 1; next->p3 = p3 + 1; }\n")
+	w("    \\weight{20} \\priority{1}\n")
+	w("    \\sojourntimeLT{ return erlangLT(4, 2, s); }\n")
+	w("  }\n\n")
+
+	w("  %% t_think: a voted agent re-queues while a free unit exists\n")
+	w("  \\transition{t_think}{\n")
+	w("    \\condition{p2 > 0 && p3 > 0}\n")
+	w("    \\action{ next->p2 = p2 - 1; next->p1 = p1 + 1; }\n")
+	w("    \\weight{2} \\priority{1}\n")
+	w("    \\sojourntimeLT{ return erlangLT(0.4, 2, s); }\n")
+	w("  }\n\n")
+
+	w("  %% t3: a free polling unit breaks down (only once voting started)\n")
+	w("  \\transition{t3}{\n")
+	w("    \\condition{p2 > 0 && p3 > 0}\n")
+	w("    \\action{ next->p3 = p3 - 1; next->p7 = p7 + 1; }\n")
+	w("    \\weight{0.6} \\priority{1}\n")
+	w("    \\sojourntimeLT{ return expLT(1, s); }\n")
+	w("  }\n\n")
+
+	w("  %% t4: a central voting unit breaks down\n")
+	w("  \\transition{t4}{\n")
+	w("    \\condition{p2 > 0 && p5 > 0}\n")
+	w("    \\action{ next->p5 = p5 - 1; next->p6 = p6 + 1; }\n")
+	w("    \\weight{0.42} \\priority{1}\n")
+	w("    \\sojourntimeLT{ return expLT(1, s); }\n")
+	w("  }\n\n")
+
+	w("  %% single-unit self-recovery\n")
+	w("  \\transition{t_rec_poll}{\n")
+	w("    \\condition{p7 > 0}\n")
+	w("    \\action{ next->p7 = p7 - 1; next->p3 = p3 + 1; }\n")
+	w("    \\weight{0.3} \\priority{1}\n")
+	w("    \\sojourntimeLT{ return uniformLT(5, 20, s); }\n")
+	w("  }\n")
+	w("  \\transition{t_rec_ctr}{\n")
+	w("    \\condition{p6 > 0}\n")
+	w("    \\action{ next->p6 = p6 - 1; next->p5 = p5 + 1; }\n")
+	w("    \\weight{0.3} \\priority{1}\n")
+	w("    \\sojourntimeLT{ return uniformLT(5, 15, s); }\n")
+	w("  }\n\n")
+
+	w("  %% t5: high-priority mass repair of the polling units (paper Fig. 3)\n")
+	w("  \\transition{t5}{\n")
+	w("    \\condition{p7 > MM-1}\n")
+	w("    \\action{\n")
+	w("      next->p3 = p3 + MM;\n")
+	w("      next->p7 = p7 - MM;\n")
+	w("    }\n")
+	w("    \\weight{1.0}\n")
+	w("    \\priority{2}\n")
+	w("    \\sojourntimeLT{\n")
+	w("      return (0.8 * uniformLT(1.5,10,s)\n")
+	w("      + 0.2 * erlangLT(0.001,5,s));\n")
+	w("    }\n")
+	w("  }\n\n")
+
+	w("  %% t6: high-priority mass repair of the central units\n")
+	w("  \\transition{t6}{\n")
+	w("    \\condition{p6 > NN-1}\n")
+	w("    \\action{ next->p5 = p5 + NN; next->p6 = p6 - NN; }\n")
+	w("    \\weight{1.0} \\priority{2}\n")
+	w("    \\sojourntimeLT{ return uniformLT(1, 5, s); }\n")
+	w("  }\n")
+	w("}\n\n")
+
+	w("%% Fig. 4/5: time for all CC voters to pass from p1 to p2\n")
+	w("\\passage{\n")
+	w("  \\sourcecondition{p1 == CC && p3 == MM && p5 == NN}\n")
+	w("  \\targetcondition{p2 == CC}\n")
+	w("  \\t_start{1} \\t_stop{120} \\t_points{30}\n")
+	w("}\n\n")
+	w("%% Fig. 6: time from fully operational to a failure mode\n")
+	w("\\passage{\n")
+	w("  \\sourcecondition{p1 == CC && p3 == MM && p5 == NN}\n")
+	w("  \\targetcondition{p7 == MM || p6 == NN}\n")
+	w("  \\t_start{5} \\t_stop{400} \\t_points{30}\n")
+	w("}\n\n")
+	w("%% Fig. 7: transient probability that exactly 5 voters are in p2\n")
+	w("\\transient{\n")
+	w("  \\sourcecondition{p1 == CC && p3 == MM && p5 == NN}\n")
+	w("  \\targetcondition{p2 == 5}\n")
+	w("  \\t_start{0.5} \\t_stop{60} \\t_points{30}\n")
+	w("}\n\n")
+	w("%% long-run probability that the system is degraded (any unit down)\n")
+	w("\\statemeasure{degraded}{\n")
+	w("  \\condition{p6 > 0 || p7 > 0}\n")
+	w("}\n")
+	return b.String()
+}

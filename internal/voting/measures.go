@@ -1,0 +1,63 @@
+package voting
+
+import (
+	"fmt"
+
+	"hydra/internal/petri"
+)
+
+// Build explores the reference voting net for a configuration and
+// returns its state space and SMP.
+func Build(cfg Config, d Durations, opts petri.ExploreOptions) (*petri.StateSpace, error) {
+	ss, err := petri.Explore(BuildNet(cfg, ReferenceVariant, d), opts)
+	if err != nil {
+		return nil, fmt.Errorf("voting: exploring %+v: %w", cfg, err)
+	}
+	return ss, nil
+}
+
+// BuildSystem is Build for one of the paper's numbered systems.
+func BuildSystem(system int, d Durations, opts petri.ExploreOptions) (*petri.StateSpace, error) {
+	for _, row := range Table1 {
+		if row.System == system {
+			return Build(row.Config, d, opts)
+		}
+	}
+	return nil, fmt.Errorf("voting: unknown system %d (have 0..5)", system)
+}
+
+// InitialState returns the index of the initial marking. Exploration
+// interns the initial marking first, so this is always state 0; the
+// function exists to make call sites self-documenting.
+func InitialState(ss *petri.StateSpace) int { return 0 }
+
+// VotedExactly returns the states in which exactly k voters are in p2 —
+// the Fig. 7 transient target ("transit of 5 voters … to place p2").
+func VotedExactly(ss *petri.StateSpace, k int) []int {
+	return ss.FindStates(func(m petri.Marking) bool { return int(m[P2]) == k })
+}
+
+// VotedAtLeast returns the states with at least k voters in p2. For a
+// passage from the initial marking the first entry into {p2 ≥ k} is the
+// first entry into {p2 = k} (p2 moves by single tokens), so either set
+// gives the same passage density; the ≥ form is what Fig. 4 describes
+// ("time taken for the passage of 175 voters from p1 to p2").
+func VotedAtLeast(ss *petri.StateSpace, k int) []int {
+	k32 := int32(k)
+	return ss.FindStates(func(m petri.Marking) bool { return m[P2] >= k32 })
+}
+
+// FailureModes returns the states in which the system is in a failure
+// mode: all MM polling units in p7 or all NN central units in p6 — the
+// Fig. 6 passage target.
+func FailureModes(ss *petri.StateSpace, cfg Config) []int {
+	mm, nn := int32(cfg.MM), int32(cfg.NN)
+	return ss.FindStates(func(m petri.Marking) bool { return m[P7] >= mm || m[P6] >= nn })
+}
+
+// FullyOperational returns the states with every polling and central
+// unit working — the Fig. 6 source description ("an initially fully
+// operational voting system").
+func FullyOperational(ss *petri.StateSpace) []int {
+	return ss.FindStates(func(m petri.Marking) bool { return m[P6] == 0 && m[P7] == 0 && m[P4]+m[P3] > 0 })
+}

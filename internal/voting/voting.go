@@ -1,0 +1,480 @@
+// Package voting builds the distributed voting system SM-SPN of §5.2:
+// CC voting agents, MM polling units and NN central voting units with
+// breakdowns, self-recovery and high-priority mass repairs.
+//
+// The paper's Fig. 2 gives the places (p1 voters queueing, p2 voted, p3
+// polling units free, p4 polling units busy, p5 central units
+// operational, p6 central units failed, p7 polling units failed) and the
+// prose fixes most arcs; the remaining structural choices are encoded in
+// Variant and pinned down by matching the exact reachable-state counts of
+// Table 1 (see search_test.go and EXPERIMENTS.md).
+package voting
+
+import (
+	"fmt"
+
+	"hydra/internal/dist"
+	"hydra/internal/petri"
+)
+
+// Place indices of the voting net, named after the paper's Fig. 2.
+const (
+	P1 = iota // voters yet to vote (queueing)
+	P2        // voters who have voted
+	P3        // polling units free
+	P4        // polling units busy
+	P5        // central voting units operational
+	P6        // central voting units failed
+	P7        // polling units failed
+	NumPlaces
+)
+
+// Config selects a system size from Table 1.
+type Config struct {
+	CC int // voters
+	MM int // polling units
+	NN int // central voting units
+}
+
+// Table1 lists the paper's six configurations with their published state
+// counts.
+var Table1 = []struct {
+	System int
+	Config Config
+	States int
+}{
+	{0, Config{18, 6, 3}, 2061},
+	{1, Config{60, 25, 4}, 106540},
+	{2, Config{100, 30, 4}, 249760},
+	{3, Config{125, 40, 4}, 541280},
+	{4, Config{150, 40, 5}, 778850},
+	{5, Config{175, 45, 5}, 1140050},
+}
+
+// FailMode selects which polling units may break down.
+type FailMode int
+
+const (
+	FailFree FailMode = iota // only idle units in p3 fail
+	FailBusy                 // only busy units in p4 fail
+	FailBoth                 // both idle and busy units fail
+)
+
+// BusyVoterOutcome says what happens to the voter whose polling unit
+// fails mid-service.
+type BusyVoterOutcome int
+
+const (
+	// VoterRevotes returns the interrupted voter to the queue p1.
+	VoterRevotes BusyVoterOutcome = iota
+	// VoterCounted treats the interrupted vote as cast (to p2 in held
+	// flow; no token change in early flow).
+	VoterCounted
+)
+
+// VoterFlow selects when the voter token moves to p2.
+type VoterFlow int
+
+const (
+	// FlowEarly moves the voter to p2 at t1, when the polling unit
+	// receives the vote ("the agent can be marked as having voted").
+	FlowEarly VoterFlow = iota
+	// FlowHeld keeps the voter inside the busy polling unit and releases
+	// it to p2 at t2, when registration completes.
+	FlowHeld
+)
+
+// Recirculation selects how voters return from p2 to p1.
+type Recirculation int
+
+const (
+	// NoRecirc keeps voters in p2 forever (one-shot election).
+	NoRecirc Recirculation = iota
+	// PerVoter returns voters one at a time after a think delay.
+	PerVoter
+	// BatchReset returns all CC voters at once when everyone has voted.
+	BatchReset
+)
+
+// Variant encodes the structural choices left open by the paper's prose.
+type Variant struct {
+	Flow           VoterFlow
+	Fail           FailMode
+	BusyVoter      BusyVoterOutcome
+	RegNeedsCentre bool          // t2 requires an operational central unit
+	Recirc         Recirculation // how voters re-queue
+	CtrFailBusy    bool          // t4 fires only while a registration is in progress (p4>0)
+	PollFailIdleOn bool          // idle-unit failure requires no vote waiting (p1==0)
+	NoSelfRecovery bool          // drop single-unit self-recovery transitions
+	VoteNeedsCtr   bool          // t1 requires an operational central unit
+	FailNeedsVotes bool          // breakdowns require p2>0 (election in progress)
+	ThinkNeedsFree bool          // re-queueing requires a free polling unit (p3>0)
+}
+
+// ReferenceVariant is the structure recovered by the variant search in
+// search_test.go: its reachable-state counts match Table 1 exactly for
+// all six configurations. Two guards beyond the obvious arc structure
+// were pinned down by the count fingerprint: breakdowns are enabled only
+// once voting is under way (p2 > 0), and a voted agent re-queues only
+// while a free polling unit exists (p3 > 0). The semantic reading of
+// these guards is reconstruction, not quotation — the paper prints only
+// transition t5 — but the state spaces they induce are exactly the
+// published ones, which is the property the experiments depend on.
+var ReferenceVariant = Variant{
+	Flow:           FlowEarly,
+	Fail:           FailFree,
+	BusyVoter:      VoterCounted,
+	RegNeedsCentre: true,
+	Recirc:         PerVoter,
+	FailNeedsVotes: true,
+	ThinkNeedsFree: true,
+}
+
+// Durations collects the firing-time distributions and the transition
+// weights of the net. SM-SPN semantics make these orthogonal levers: the
+// weights set the probabilistic choice among the priority-enabled
+// transitions (NOT a race of sampled delays, §5.1), and the firing-time
+// distribution of the chosen transition sets the state holding time.
+//
+// The paper publishes only t5's firing time (the polling-unit mass
+// repair); the remaining distributions and all weights are calibrated
+// here to give the qualitative behaviour of §5.3 — fast voting rounds,
+// occasional breakdowns, rare complete failures — and are recorded so
+// every experiment is reproducible. None of them affect the Table 1
+// state counts, which depend only on the net structure.
+type Durations struct {
+	Vote        dist.Distribution // t1: polling unit receives a vote
+	Register    dist.Distribution // t2: registration with central units
+	Think       dist.Distribution // voter returns to the queue
+	FailPoll    dist.Distribution // a polling unit breaks down
+	FailCentre  dist.Distribution // a central unit breaks down
+	RecoverPoll dist.Distribution // polling unit self-recovery
+	RecoverCtr  dist.Distribution // central unit self-recovery
+	RepairPoll  dist.Distribution // t5: mass repair of all polling units
+	RepairCtr   dist.Distribution // t6: mass repair of all central units
+
+	// Transition weights (probabilistic selection, §5.1). Repairs fire
+	// alone at priority 2, so their weights only matter against each
+	// other.
+	WVote        float64
+	WRegister    float64
+	WThink       float64
+	WFailPoll    float64
+	WFailCentre  float64
+	WRecoverPoll float64
+	WRecoverCtr  float64
+	WRepairPoll  float64
+	WRepairCtr   float64
+}
+
+// DefaultDurations returns the calibrated parameter set used throughout
+// the experiments. RepairPoll is exactly the paper's t5 firing time:
+// 0.8·uniform(1.5,10) + 0.2·erlang(0.001,5).
+func DefaultDurations() Durations {
+	return Durations{
+		Vote:        dist.NewUniform(0.2, 1.0), // mean 0.6
+		Register:    dist.NewErlang(4, 2),      // mean 0.5
+		Think:       dist.NewErlang(0.4, 2),    // mean 5
+		FailPoll:    dist.NewExponential(1),    // mean 1
+		FailCentre:  dist.NewExponential(1),
+		RecoverPoll: dist.NewUniform(5, 20),
+		RecoverCtr:  dist.NewUniform(5, 15),
+		RepairPoll: dist.NewMixture([]float64{0.8, 0.2},
+			[]dist.Distribution{dist.NewUniform(1.5, 10), dist.NewErlang(0.001, 5)}),
+		RepairCtr: dist.NewUniform(1, 5),
+
+		WVote:        20,
+		WRegister:    20,
+		WThink:       2,
+		WFailPoll:    0.6,
+		WFailCentre:  0.42,
+		WRecoverPoll: 0.3,
+		WRecoverCtr:  0.3,
+		WRepairPoll:  1,
+		WRepairCtr:   1,
+	}
+}
+
+// uniformCountDurations makes every firing time exp(1) with unit
+// weights; used when only the reachability graph matters (counting).
+func uniformCountDurations() Durations {
+	e := dist.NewExponential(1)
+	return Durations{
+		Vote: e, Register: e, Think: e, FailPoll: e, FailCentre: e,
+		RecoverPoll: e, RecoverCtr: e, RepairPoll: e, RepairCtr: e,
+		WVote: 1, WRegister: 1, WThink: 1, WFailPoll: 1, WFailCentre: 1,
+		WRecoverPoll: 1, WRecoverCtr: 1, WRepairPoll: 1, WRepairCtr: 1,
+	}
+}
+
+// BuildNet assembles the SM-SPN for a configuration and variant.
+func BuildNet(cfg Config, v Variant, d Durations) *petri.Net {
+	if cfg.CC < 1 || cfg.MM < 1 || cfg.NN < 1 {
+		panic(fmt.Sprintf("voting: invalid configuration %+v", cfg))
+	}
+	mm32 := int32(cfg.MM)
+	nn32 := int32(cfg.NN)
+
+	net := &petri.Net{
+		Places:  []string{"p1", "p2", "p3", "p4", "p5", "p6", "p7"},
+		Initial: petri.Marking{int32(cfg.CC), 0, mm32, 0, nn32, 0, 0},
+	}
+	add := func(t *petri.Transition) { net.Transitions = append(net.Transitions, t) }
+
+	constDist := func(dd dist.Distribution) func(petri.Marking) dist.Distribution {
+		return func(petri.Marking) dist.Distribution { return dd }
+	}
+	weight := func(w float64) func(petri.Marking) float64 {
+		return func(petri.Marking) float64 { return w }
+	}
+	prio := func(p int) func(petri.Marking) int {
+		return func(petri.Marking) int { return p }
+	}
+
+	// t1 — a free polling unit receives a vote.
+	add(&petri.Transition{
+		Name: "t1",
+		Enabled: func(m petri.Marking) bool {
+			if v.VoteNeedsCtr && m[P5] == 0 {
+				return false
+			}
+			return m[P1] > 0 && m[P3] > 0
+		},
+		Fire: func(m petri.Marking) petri.Marking {
+			n := m.Clone()
+			n[P1]--
+			n[P3]--
+			n[P4]++
+			if v.Flow == FlowEarly {
+				n[P2]++
+			}
+			return n
+		},
+		Weight:   weight(d.WVote),
+		Priority: prio(1),
+		Dist:     constDist(d.Vote),
+	})
+
+	// t2 — the busy unit registers the vote with the operational central
+	// units and frees up.
+	add(&petri.Transition{
+		Name: "t2",
+		Enabled: func(m petri.Marking) bool {
+			if m[P4] == 0 {
+				return false
+			}
+			return !v.RegNeedsCentre || m[P5] > 0
+		},
+		Fire: func(m petri.Marking) petri.Marking {
+			n := m.Clone()
+			n[P4]--
+			n[P3]++
+			if v.Flow == FlowHeld {
+				n[P2]++
+			}
+			return n
+		},
+		Weight:   weight(d.WRegister),
+		Priority: prio(1),
+		Dist:     constDist(d.Register),
+	})
+
+	// Voter recirculation: voted agents re-queue either one at a time
+	// after a think delay or all at once when the election round ends.
+	switch v.Recirc {
+	case PerVoter:
+		add(&petri.Transition{
+			Name: "t_think",
+			Enabled: func(m petri.Marking) bool {
+				if v.ThinkNeedsFree && m[P3] == 0 {
+					return false
+				}
+				return m[P2] > 0
+			},
+			Fire: func(m petri.Marking) petri.Marking {
+				n := m.Clone()
+				n[P2]--
+				n[P1]++
+				return n
+			},
+			Weight:   weight(d.WThink),
+			Priority: prio(1),
+			Dist:     constDist(d.Think),
+		})
+	case BatchReset:
+		cc32 := int32(cfg.CC)
+		add(&petri.Transition{
+			Name:    "t_reset",
+			Enabled: func(m petri.Marking) bool { return m[P2] >= cc32 },
+			Fire: func(m petri.Marking) petri.Marking {
+				n := m.Clone()
+				n[P2] -= cc32
+				n[P1] += cc32
+				return n
+			},
+			Weight:   weight(d.WThink),
+			Priority: prio(1),
+			Dist:     constDist(d.Think),
+		})
+	}
+
+	// t3 — polling-unit breakdowns.
+	if v.Fail == FailFree || v.Fail == FailBoth {
+		add(&petri.Transition{
+			Name: "t3_free",
+			Enabled: func(m petri.Marking) bool {
+				if v.PollFailIdleOn && m[P1] > 0 {
+					return false
+				}
+				if v.FailNeedsVotes && m[P2] == 0 {
+					return false
+				}
+				return m[P3] > 0
+			},
+			Fire: func(m petri.Marking) petri.Marking {
+				n := m.Clone()
+				n[P3]--
+				n[P7]++
+				return n
+			},
+			Weight:   weight(d.WFailPoll),
+			Priority: prio(1),
+			Dist:     constDist(d.FailPoll),
+		})
+	}
+	if v.Fail == FailBusy || v.Fail == FailBoth {
+		add(&petri.Transition{
+			Name: "t3_busy",
+			Enabled: func(m petri.Marking) bool {
+				if m[P4] == 0 {
+					return false
+				}
+				if v.FailNeedsVotes && m[P2] == 0 {
+					return false
+				}
+				// Early flow with a revoting outcome needs a voted token
+				// to pull back.
+				if v.Flow == FlowEarly && v.BusyVoter == VoterRevotes {
+					return m[P2] > 0
+				}
+				return true
+			},
+			Fire: func(m petri.Marking) petri.Marking {
+				n := m.Clone()
+				n[P4]--
+				n[P7]++
+				switch v.Flow {
+				case FlowEarly:
+					if v.BusyVoter == VoterRevotes {
+						n[P2]--
+						n[P1]++
+					}
+				case FlowHeld:
+					if v.BusyVoter == VoterRevotes {
+						n[P1]++
+					} else {
+						n[P2]++
+					}
+				}
+				return n
+			},
+			Weight:   weight(d.WFailPoll),
+			Priority: prio(1),
+			Dist:     constDist(d.FailPoll),
+		})
+	}
+
+	// t4 — central-unit breakdown.
+	add(&petri.Transition{
+		Name: "t4",
+		Enabled: func(m petri.Marking) bool {
+			if v.CtrFailBusy && m[P4] == 0 {
+				return false
+			}
+			if v.FailNeedsVotes && m[P2] == 0 {
+				return false
+			}
+			return m[P5] > 0
+		},
+		Fire: func(m petri.Marking) petri.Marking {
+			n := m.Clone()
+			n[P5]--
+			n[P6]++
+			return n
+		},
+		Weight:   weight(d.WFailCentre),
+		Priority: prio(1),
+		Dist:     constDist(d.FailCentre),
+	})
+
+	// Self-recovery of single failed units (priority 1, masked by the
+	// mass repairs below on complete failure).
+	if !v.NoSelfRecovery {
+		add(&petri.Transition{
+			Name:    "t_recover_poll",
+			Enabled: func(m petri.Marking) bool { return m[P7] > 0 },
+			Fire: func(m petri.Marking) petri.Marking {
+				n := m.Clone()
+				n[P7]--
+				n[P3]++
+				return n
+			},
+			Weight:   weight(d.WRecoverPoll),
+			Priority: prio(1),
+			Dist:     constDist(d.RecoverPoll),
+		})
+		add(&petri.Transition{
+			Name:    "t_recover_ctr",
+			Enabled: func(m petri.Marking) bool { return m[P6] > 0 },
+			Fire: func(m petri.Marking) petri.Marking {
+				n := m.Clone()
+				n[P6]--
+				n[P5]++
+				return n
+			},
+			Weight:   weight(d.WRecoverCtr),
+			Priority: prio(1),
+			Dist:     constDist(d.RecoverCtr),
+		})
+	}
+
+	// t5 — high-priority mass repair of the polling units; the paper's
+	// Fig. 3 excerpt verbatim: \condition{p7 > MM-1}, \action{next->p3 =
+	// p3 + MM; next->p7 = p7 - MM}, \weight{1.0}, \priority{2}.
+	add(&petri.Transition{
+		Name:    "t5",
+		Enabled: func(m petri.Marking) bool { return m[P7] > mm32-1 },
+		Fire: func(m petri.Marking) petri.Marking {
+			n := m.Clone()
+			n[P3] += mm32
+			n[P7] -= mm32
+			return n
+		},
+		Weight:   weight(d.WRepairPoll),
+		Priority: prio(2),
+		Dist:     constDist(d.RepairPoll),
+	})
+
+	// t6 — high-priority mass repair of the central units.
+	add(&petri.Transition{
+		Name:    "t6",
+		Enabled: func(m petri.Marking) bool { return m[P6] > nn32-1 },
+		Fire: func(m petri.Marking) petri.Marking {
+			n := m.Clone()
+			n[P5] += nn32
+			n[P6] -= nn32
+			return n
+		},
+		Weight:   weight(d.WRepairCtr),
+		Priority: prio(2),
+		Dist:     constDist(d.RepairCtr),
+	})
+
+	return net
+}
+
+// CountStates returns the number of reachable markings for a
+// configuration and variant (distributions are irrelevant to counting).
+func CountStates(cfg Config, v Variant, maxStates int) (int, error) {
+	return petri.CountReachable(BuildNet(cfg, v, uniformCountDurations()), maxStates)
+}

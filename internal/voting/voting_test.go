@@ -1,0 +1,136 @@
+package voting
+
+import (
+	"math"
+	"testing"
+
+	"hydra/internal/dnamaca"
+	"hydra/internal/dtmc"
+	"hydra/internal/petri"
+)
+
+func TestBuildSystem0SMP(t *testing.T) {
+	ss, err := BuildSystem(0, DefaultDurations(), petri.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.NumStates() != 2061 {
+		t.Fatalf("system 0 has %d states, want 2061", ss.NumStates())
+	}
+	if ss.Model.N() != 2061 {
+		t.Fatalf("SMP has %d states", ss.Model.N())
+	}
+	// The interned distribution table must stay tiny — the §4 storage
+	// argument rests on a handful of distinct shapes.
+	if n := ss.Model.NumDistributions(); n > 12 {
+		t.Errorf("%d distinct distributions, expected ≤ 12", n)
+	}
+}
+
+func TestMeasureSetsSystem0(t *testing.T) {
+	cfg := Table1[0].Config
+	ss, err := BuildSystem(0, DefaultDurations(), petri.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if InitialState(ss) != 0 {
+		t.Error("initial state index must be 0")
+	}
+	m0 := ss.States[0]
+	if int(m0[P1]) != cfg.CC || int(m0[P3]) != cfg.MM || int(m0[P5]) != cfg.NN {
+		t.Errorf("initial marking %v does not match configuration %+v", m0, cfg)
+	}
+
+	all := VotedAtLeast(ss, cfg.CC)
+	if len(all) == 0 {
+		t.Fatal("no all-voted states")
+	}
+	for _, i := range all {
+		if int(ss.States[i][P2]) != cfg.CC {
+			t.Fatalf("state %d has p2=%d, want %d", i, ss.States[i][P2], cfg.CC)
+		}
+	}
+
+	fail := FailureModes(ss, cfg)
+	if len(fail) == 0 {
+		t.Fatal("no failure-mode states")
+	}
+	for _, i := range fail {
+		m := ss.States[i]
+		if int(m[P7]) != cfg.MM && int(m[P6]) != cfg.NN {
+			t.Fatalf("state %d marked failure mode but marking is %v", i, m)
+		}
+	}
+
+	voted5 := VotedExactly(ss, 5)
+	atLeast5 := VotedAtLeast(ss, 5)
+	if len(voted5) >= len(atLeast5) {
+		t.Errorf("|p2=5| = %d should be below |p2≥5| = %d", len(voted5), len(atLeast5))
+	}
+}
+
+func TestSystem0SMPIsIrreducible(t *testing.T) {
+	// The reference model recirculates voters, so the full chain is one
+	// strongly connected component — required for the Eq. (5) α weights.
+	ss, err := BuildSystem(0, DefaultDurations(), petri.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dtmc.IsIrreducible(ss.Model.EmbeddedDTMC()) {
+		t.Error("system 0 embedded chain is reducible")
+	}
+}
+
+func TestDefaultDurationsIncludePaperT5(t *testing.T) {
+	d := DefaultDurations()
+	want := "mix(0.8*uniform(1.5,10)+0.2*erlang(0.001,5))"
+	if d.RepairPoll.String() != want {
+		t.Errorf("RepairPoll = %s, want the paper's t5 distribution %s", d.RepairPoll, want)
+	}
+	// Sanity: mean dominated by the heavy erlang branch
+	// (0.8·5.75 + 0.2·5000 = 1004.6).
+	if math.Abs(d.RepairPoll.Mean()-1004.6) > 1e-9 {
+		t.Errorf("RepairPoll mean = %v, want 1004.6", d.RepairPoll.Mean())
+	}
+}
+
+func TestUnknownSystemRejected(t *testing.T) {
+	if _, err := BuildSystem(9, DefaultDurations(), petri.ExploreOptions{}); err == nil {
+		t.Error("accepted unknown system id")
+	}
+}
+
+func TestBuildNetPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero-unit configuration")
+		}
+	}()
+	BuildNet(Config{0, 0, 0}, ReferenceVariant, DefaultDurations())
+}
+
+func TestDNAmacaRoundTripMatchesTable1(t *testing.T) {
+	// The textual toolchain (parse → compile → explore) must produce the
+	// same state space as the programmatic net for systems 0 and 1.
+	for _, row := range Table1[:2] {
+		src := DNAmacaSource(row.Config)
+		spec, err := dnamaca.Parse(src)
+		if err != nil {
+			t.Fatalf("system %d: parse: %v", row.System, err)
+		}
+		c, err := dnamaca.Compile(spec)
+		if err != nil {
+			t.Fatalf("system %d: compile: %v", row.System, err)
+		}
+		n, err := petri.CountReachable(c.Net, 500000)
+		if err != nil {
+			t.Fatalf("system %d: count: %v", row.System, err)
+		}
+		if n != row.States {
+			t.Errorf("system %d via DNAmaca: %d states, want %d", row.System, n, row.States)
+		}
+		if len(spec.Passages) != 2 || len(spec.Transients) != 1 {
+			t.Errorf("system %d: %d passage, %d transient blocks", row.System, len(spec.Passages), len(spec.Transients))
+		}
+	}
+}

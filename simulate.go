@@ -1,0 +1,70 @@
+package hydra
+
+import (
+	"hydra/internal/sim"
+)
+
+// SimOptions configures validating simulations.
+type SimOptions struct {
+	// Replications is the number of independent walks (default 100000).
+	Replications int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Workers parallelises the walks (default 1).
+	Workers int
+}
+
+func (o *SimOptions) internal() sim.Options {
+	if o == nil {
+		return sim.Options{}
+	}
+	return sim.Options{Replications: o.Replications, Seed: o.Seed, Workers: o.Workers}
+}
+
+// SimulatePassage draws first-passage-time samples by discrete-event
+// simulation — the validation counterpart the paper plots against every
+// analytic density (Figs. 4, 6). Multiple sources are weighted at steady
+// state exactly as in the analytic path.
+func (m *Model) SimulatePassage(sources, targets []int, opts *SimOptions) ([]float64, error) {
+	src, err := m.sourceWeights(sources)
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(m.ss.Model).PassageSamples(src.States, src.Weights, targets, opts.internal())
+}
+
+// SimulateTransient estimates P(Z(t) ∈ targets) at the given sorted
+// times by simulation.
+func (m *Model) SimulateTransient(sources, targets []int, times []float64, opts *SimOptions) ([]float64, error) {
+	src, err := m.sourceWeights(sources)
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(m.ss.Model).Transient(src.States, src.Weights, targets, times, opts.internal())
+}
+
+// HistogramDensity bins passage samples into a density estimate aligned
+// with analysis times: bins span [lo, hi].
+func HistogramDensity(samples []float64, bins int, lo, hi float64) (centers, density []float64, err error) {
+	h, err := sim.NewHistogram(samples, bins, lo, hi)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h.BinCenters(), h.Density, nil
+}
+
+// SampleStats summarises passage samples.
+func SampleStats(samples []float64) (mean, stddev float64) {
+	return sim.Mean(samples), sim.StdDev(samples)
+}
+
+// SampleQuantile returns the empirical p-quantile of the samples.
+func SampleQuantile(samples []float64, p float64) float64 {
+	return sim.Quantile(samples, p)
+}
+
+// KSDistance returns the Kolmogorov–Smirnov distance between the
+// samples' empirical CDF and an analytic CDF.
+func KSDistance(samples []float64, cdf func(float64) float64) float64 {
+	return sim.KSDistance(samples, cdf)
+}
