@@ -124,51 +124,11 @@ func (m *Model) run(q pipeline.Quantity, sources, targets []int, times []float64
 		}
 		return m.autoRun(q, sources, targets, times, opts)
 	}
-	inv, err := opts.inverter()
+	job, err := m.newJob(fmt.Sprintf("%s[%d states]", q, m.NumStates()), q, sources, targets, times, opts)
 	if err != nil {
 		return nil, err
 	}
-	for _, t := range times {
-		if !(t > 0) {
-			return nil, fmt.Errorf("hydra: analysis times must be positive, got %v", t)
-		}
-	}
-	src, err := m.sourceWeights(sources)
-	if err != nil {
-		return nil, err
-	}
-	job := &pipeline.Job{
-		Name:     fmt.Sprintf("%s[%d states]", q, m.NumStates()),
-		Quantity: q,
-		Sources:  src.States,
-		Weights:  src.Weights,
-		Targets:  targets,
-		Points:   inv.Points(times),
-	}
-	if err := job.Validate(m.NumStates()); err != nil {
-		return nil, err
-	}
-	var ckpt *pipeline.Checkpoint
-	if opts != nil && opts.CheckpointPath != "" {
-		ckpt, err = pipeline.OpenCheckpoint(opts.CheckpointPath)
-		if err != nil {
-			return nil, err
-		}
-		defer ckpt.Close()
-	}
-	solverOpts := opts.solver()
-	model := m.ss.Model
-	values, stats, err := pipeline.Run(job, func() pipeline.Evaluator {
-		return pipeline.NewSolverEvaluator(model, solverOpts)
-	}, opts.workers(), ckpt)
-	if err != nil {
-		return nil, err
-	}
-	f, err := inv.Invert(times, values)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Times: times, Values: f, Stats: stats}, nil
+	return m.RunJob(job, times, nil, opts)
 }
 
 // PassageDensity computes the first-passage-time density f(t) from the
@@ -196,18 +156,28 @@ func (m *Model) TransientDistribution(sources, targets []int, times []float64, o
 // bracketed by doubling from hint and refined by bisection to relTol
 // (default 1e-4 of the bracket width).
 func (m *Model) PassageQuantile(sources, targets []int, p float64, hint float64, opts *Options) (float64, error) {
-	if !(p > 0 && p < 1) {
-		return 0, fmt.Errorf("hydra: quantile probability %v outside (0,1)", p)
-	}
-	if !(hint > 0) {
-		return 0, fmt.Errorf("hydra: quantile hint must be positive")
-	}
-	cdfAt := func(t float64) (float64, error) {
+	return QuantileSearch(p, hint, func(t float64) (float64, error) {
 		r, err := m.PassageCDF(sources, targets, []float64{t}, opts)
 		if err != nil {
 			return 0, err
 		}
 		return r.Values[0], nil
+	})
+}
+
+// QuantileSearch solves F(t*) = p for a monotone CDF supplied as an
+// evaluator: the bracket grows by doubling from hint until F(hi) ≥ p,
+// then bisection refines to a relative tolerance of 1e-4. It is the
+// search loop behind PassageQuantile, exported so callers that evaluate
+// the CDF through their own machinery (a caching scheduler, a remote
+// worker pool) reuse the identical bracketing policy — and therefore
+// the identical cacheable CDF evaluations.
+func QuantileSearch(p, hint float64, cdfAt func(float64) (float64, error)) (float64, error) {
+	if !(p > 0 && p < 1) {
+		return 0, fmt.Errorf("hydra: quantile probability %v outside (0,1)", p)
+	}
+	if !(hint > 0) {
+		return 0, fmt.Errorf("hydra: quantile hint must be positive")
 	}
 	lo, hi := 0.0, hint
 	fhi, err := cdfAt(hi)

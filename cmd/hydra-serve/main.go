@@ -1,0 +1,94 @@
+// Command hydra-serve runs the resident analysis service: a model
+// registry, a job scheduler over the in-process pipeline, and a
+// fingerprint-keyed result cache behind an HTTP/JSON API.
+//
+// Where the batch tools (hydra, hydra-master) explore a state space,
+// run one job and exit, hydra-serve keeps the expensive artifacts —
+// explored state spaces and evaluated transform points — alive between
+// requests, so repeated and concurrent queries on the same model cost
+// one computation.
+//
+// Usage:
+//
+//	hydra-serve -addr :8700 -checkpoint serve.ckpt
+//
+// API sketch (see README.md for request bodies):
+//
+//	POST   /v1/models                      upload a DNAmaca spec or pick a voting config
+//	GET    /v1/models                      list resident models
+//	GET    /v1/models/{id}                 model detail
+//	DELETE /v1/models/{id}                 evict a model
+//	POST   /v1/models/{id}/passage         passage density/CDF curve
+//	POST   /v1/models/{id}/transient       transient state distribution curve
+//	POST   /v1/models/{id}/quantile        passage-time quantile
+//	GET    /v1/jobs                        recent job records
+//	GET    /v1/jobs/{id}                   one job record (status, stats, result)
+//	GET    /v1/stats                       registry / cache / scheduler counters
+//	GET    /healthz                        liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"hydra/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8700", "HTTP listen address")
+		maxModels     = flag.Int("max-models", 16, "resident model bound (LRU beyond it)")
+		cachePoints   = flag.Int("cache-points", 1<<20, "memory result-cache bound (resident s-point values)")
+		checkpoint    = flag.String("checkpoint", "", "disk checkpoint file backing the result cache")
+		workers       = flag.Int("workers", runtime.NumCPU(), "worker pool size per computation")
+		maxConcurrent = flag.Int("max-concurrent", 2, "computations allowed to run at once")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		MaxModels:      *maxModels,
+		CachePoints:    *cachePoints,
+		CheckpointPath: *checkpoint,
+		Workers:        *workers,
+		MaxConcurrent:  *maxConcurrent,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hydra-serve: listening on %s (workers=%d, max-concurrent=%d)\n",
+		*addr, *workers, *maxConcurrent)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "hydra-serve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hydra-serve:", err)
+	os.Exit(1)
+}

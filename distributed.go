@@ -15,6 +15,12 @@ type Job = pipeline.Job
 // RunStats re-exports the pipeline run statistics.
 type RunStats = pipeline.RunStats
 
+// Cache re-exports the pipeline point-cache contract: the store a run
+// consults before evaluating transform points and feeds as results
+// return. Long-running services layer a memory LRU over a disk
+// checkpoint through this interface (see internal/server).
+type Cache = pipeline.Cache
+
 // NewPassageJob builds a distributed job for the passage density (or
 // CDF when cdf is true) of a measure at the given times.
 func (m *Model) NewPassageJob(name string, sources, targets []int, times []float64, cdf bool, opts *Options) (*Job, error) {
@@ -31,6 +37,11 @@ func (m *Model) NewTransientJob(name string, sources, targets []int, times []flo
 }
 
 func (m *Model) newJob(name string, q pipeline.Quantity, sources, targets []int, times []float64, opts *Options) (*Job, error) {
+	for _, t := range times {
+		if !(t > 0) {
+			return nil, fmt.Errorf("hydra: analysis times must be positive, got %v", t)
+		}
+	}
 	inv, err := opts.inverter()
 	if err != nil {
 		return nil, err
@@ -53,6 +64,45 @@ func (m *Model) newJob(name string, q pipeline.Quantity, sources, targets []int,
 	return job, nil
 }
 
+// RunJob executes a prepared job (from NewPassageJob or NewTransientJob)
+// on the in-process worker pool and inverts the transform values at the
+// given times. The job's s-points must have been built with the same
+// inverter configuration opts selects — which NewPassageJob and
+// NewTransientJob guarantee when handed the same opts.
+//
+// cache may be nil; when it is, opts.CheckpointPath (if set) is opened
+// for the duration of the run. Passing a persistent cache instead is how
+// a resident service reuses transform evaluations across requests: the
+// run loads every point the cache already holds (reported as
+// Stats.FromCache) and evaluates only the remainder.
+func (m *Model) RunJob(job *Job, times []float64, cache Cache, opts *Options) (*Result, error) {
+	inv, err := opts.inverter()
+	if err != nil {
+		return nil, err
+	}
+	if cache == nil && opts != nil && opts.CheckpointPath != "" {
+		ckpt, err := pipeline.OpenCheckpoint(opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+		cache = ckpt
+	}
+	solverOpts := opts.solver()
+	model := m.ss.Model
+	values, stats, err := pipeline.Run(job, func() pipeline.Evaluator {
+		return pipeline.NewSolverEvaluator(model, solverOpts)
+	}, opts.workers(), cache)
+	if err != nil {
+		return nil, err
+	}
+	f, err := inv.Invert(times, values)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Times: times, Values: f, Stats: stats}, nil
+}
+
 // ServeMaster runs the distributed master on the listener until every
 // s-point of the job has been computed by connected workers, then
 // inverts with the same inverter configuration used to build the job.
@@ -62,15 +112,16 @@ func (m *Model) ServeMaster(ln net.Listener, job *Job, times []float64, checkpoi
 	if err != nil {
 		return nil, err
 	}
-	var ckpt *pipeline.Checkpoint
+	var cache pipeline.Cache
 	if checkpointPath != "" {
-		ckpt, err = pipeline.OpenCheckpoint(checkpointPath)
+		ckpt, err := pipeline.OpenCheckpoint(checkpointPath)
 		if err != nil {
 			return nil, err
 		}
 		defer ckpt.Close()
+		cache = ckpt
 	}
-	values, stats, err := pipeline.Serve(ln, job, ckpt, pipeline.MasterOptions{ModelStates: m.NumStates()})
+	values, stats, err := pipeline.Serve(ln, job, cache, pipeline.MasterOptions{ModelStates: m.NumStates()})
 	if err != nil {
 		return nil, err
 	}

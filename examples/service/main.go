@@ -1,0 +1,178 @@
+// Service: drive hydra-serve over HTTP — upload a model once, query it
+// repeatedly, and watch the second identical request come back from the
+// fingerprint-keyed result cache without a single transform evaluation.
+//
+// The example embeds the server in-process on a loopback port so it is
+// self-contained; against a deployed hydra-serve only the base URL
+// changes.
+//
+// Run with:
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+
+	"hydra/internal/server"
+)
+
+const spec = `
+\model{
+  \statevector{ \type{short}{queued, active, done} }
+  \constant{JOBS}{2}
+  \initial{ queued = JOBS; active = 0; done = 0; }
+  \transition{dispatch}{
+    \condition{queued > 0 && active == 0}
+    \action{ next->queued = queued - 1; next->active = active + 1; }
+    \sojourntimeLT{ erlangLT(6, 2, s) }
+  }
+  \transition{complete}{
+    \condition{active > 0}
+    \action{ next->active = active - 1; next->done = done + 1; }
+    \sojourntimeLT{ uniformLT(0.1, 0.9, s) }
+  }
+  \transition{recycle}{
+    \condition{done == JOBS}
+    \action{ next->done = 0; next->queued = JOBS; }
+    \sojourntimeLT{ expLT(0.5, s) }
+  }
+}
+\passage{
+  \sourcecondition{queued == JOBS}
+  \targetcondition{done == JOBS}
+  \t_start{0.5} \t_stop{3} \t_points{5}
+}
+`
+
+func main() {
+	// Embedded server on a loopback port.
+	srv, err := server.New(server.Config{Workers: runtime.NumCPU()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("hydra-serve at %s\n\n", base)
+
+	// Upload the model: explored once, resident thereafter.
+	var model struct {
+		ID     string `json:"id"`
+		States int    `json:"states"`
+	}
+	post(base+"/v1/models", map[string]any{"name": "batch-pipeline", "spec": spec}, &model)
+	fmt.Printf("uploaded model %s (%d states)\n\n", model.ID, model.States)
+
+	// The spec's \passage block resolves source/target markings to state
+	// indices server-side; fetch them instead of guessing indices.
+	var detail struct {
+		Measures []struct {
+			Sources []int     `json:"sources"`
+			Targets []int     `json:"targets"`
+			Times   []float64 `json:"times"`
+		} `json:"measures_resolved"`
+	}
+	get(base+"/v1/models/"+model.ID, &detail)
+	ms := detail.Measures[0]
+
+	// A passage-time CDF curve: all jobs done, starting from the full
+	// queue.
+	curve := map[string]any{
+		"sources": ms.Sources, "targets": ms.Targets,
+		"times": ms.Times, "cdf": true,
+	}
+	var rec struct {
+		Result struct {
+			Times  []float64 `json:"times"`
+			Values []float64 `json:"values"`
+			Stats  struct {
+				Evaluated int `json:"evaluated"`
+				FromCache int `json:"from_cache"`
+			} `json:"stats"`
+		} `json:"result"`
+		CacheHit bool `json:"cache_hit"`
+	}
+	post(base+"/v1/models/"+model.ID+"/passage", curve, &rec)
+	fmt.Println("first request (cold):")
+	for i, t := range rec.Result.Times {
+		fmt.Printf("  F(%.1f) = %.6f\n", t, rec.Result.Values[i])
+	}
+	fmt.Printf("  evaluated %d s-points, %d from cache\n\n",
+		rec.Result.Stats.Evaluated, rec.Result.Stats.FromCache)
+
+	post(base+"/v1/models/"+model.ID+"/passage", curve, &rec)
+	fmt.Printf("second request (identical): evaluated %d, from cache %d, cache_hit=%v\n\n",
+		rec.Result.Stats.Evaluated, rec.Result.Stats.FromCache, rec.CacheHit)
+
+	// A quantile on the same model reuses the resident state space.
+	var q struct {
+		Result struct {
+			Quantile float64 `json:"quantile"`
+		} `json:"result"`
+	}
+	post(base+"/v1/models/"+model.ID+"/quantile", map[string]any{
+		"sources": ms.Sources, "targets": ms.Targets, "p": 0.95, "hint": 1,
+	}, &q)
+	fmt.Printf("95%% of cycles finish within %.4f time units\n\n", q.Result.Quantile)
+
+	// Service-wide counters.
+	var stats json.RawMessage
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	pretty, _ := json.MarshalIndent(stats, "", "  ")
+	fmt.Printf("/v1/stats:\n%s\n", pretty)
+}
+
+// get decodes a JSON response.
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// post sends a JSON body and decodes the response.
+func post(url string, body, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, apiErr.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

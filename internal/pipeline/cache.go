@@ -1,0 +1,218 @@
+package pipeline
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the point-level result store the pipeline consults before
+// evaluating and feeds as results stream back. The disk Checkpoint is
+// the durable implementation; MemoryCache is the resident one; a server
+// typically layers the two (memory in front, disk behind) so repeated
+// queries on a resident model never re-evaluate the transform.
+//
+// Implementations must be safe for concurrent use.
+type Cache interface {
+	// Load returns the known values for the job, indexed by point
+	// position. Missing points are simply absent.
+	Load(job *Job) (map[int]complex128, error)
+	// Append records one computed value.
+	Append(job *Job, index int, v complex128) error
+	// Sync makes appended values durable (no-op for volatile caches).
+	Sync() error
+}
+
+// memEntry holds the cached points of one job fingerprint.
+type memEntry struct {
+	fp     string
+	points map[int]complex128
+}
+
+// MemoryCache is a bounded in-memory Cache: an LRU over job
+// fingerprints, each holding the s-point values computed for that job so
+// far. The bound is on resident *points* (the actual memory), not entry
+// count, so a swarm of tiny single-time jobs — a quantile search issues
+// dozens — cannot evict one large curve job's worth of work. Eviction is
+// per job: all of a fingerprint's points leave together, matching how
+// the scheduler reuses results — a job is either resident and answered
+// instantly or recomputed whole.
+type MemoryCache struct {
+	mu        sync.Mutex
+	maxPoints int
+	points    int                      // resident point values
+	ll        *list.List               // front = most recently used
+	byFP      map[string]*list.Element // fingerprint → *memEntry element
+
+	hits      int64 // points served by Load
+	misses    int64 // points Load was asked for but did not have
+	evictions int64 // jobs evicted to respect maxPoints
+}
+
+// MemoryCacheStats is a snapshot of cache behaviour.
+type MemoryCacheStats struct {
+	Jobs      int   // resident job fingerprints
+	Points    int   // resident point values
+	MaxPoints int   // the configured bound
+	Hits      int64 // points served across all Loads
+	Misses    int64 // points requested but absent across all Loads
+	Evictions int64 // jobs evicted
+}
+
+// NewMemoryCache returns a memory cache bounded to maxPoints resident
+// point values (minimum 1; one complex128 plus map overhead each, so
+// 1<<20 points is on the order of 50 MB).
+func NewMemoryCache(maxPoints int) *MemoryCache {
+	if maxPoints < 1 {
+		maxPoints = 1
+	}
+	return &MemoryCache{maxPoints: maxPoints, ll: list.New(), byFP: make(map[string]*list.Element)}
+}
+
+// Load implements Cache.
+func (c *MemoryCache) Load(job *Job) (map[int]complex128, error) {
+	fp := job.Fingerprint()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byFP[fp]
+	if !ok {
+		c.misses += int64(len(job.Points))
+		return nil, nil
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*memEntry)
+	out := make(map[int]complex128, len(e.points))
+	for idx, v := range e.points {
+		if idx >= 0 && idx < len(job.Points) {
+			out[idx] = v
+		}
+	}
+	c.hits += int64(len(out))
+	c.misses += int64(len(job.Points) - len(out))
+	return out, nil
+}
+
+// Append implements Cache.
+func (c *MemoryCache) Append(job *Job, index int, v complex128) error {
+	fp := job.Fingerprint()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(fp, index, v)
+	return nil
+}
+
+// put inserts one point under the caller's lock, evicting whole jobs
+// from the LRU tail while the point budget is exceeded (the entry being
+// written is never evicted, so a single job larger than the budget
+// still completes).
+func (c *MemoryCache) put(fp string, index int, v complex128) {
+	el, ok := c.byFP[fp]
+	if !ok {
+		el = c.ll.PushFront(&memEntry{fp: fp, points: make(map[int]complex128)})
+		c.byFP[fp] = el
+	} else {
+		c.ll.MoveToFront(el)
+	}
+	e := el.Value.(*memEntry)
+	if _, exists := e.points[index]; !exists {
+		c.points++
+	}
+	e.points[index] = v
+	for c.points > c.maxPoints && c.ll.Len() > 1 {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		old := oldest.Value.(*memEntry)
+		delete(c.byFP, old.fp)
+		c.points -= len(old.points)
+		c.evictions++
+	}
+}
+
+// Merge bulk-inserts points for a job (used to promote disk-checkpoint
+// hits into memory).
+func (c *MemoryCache) Merge(job *Job, points map[int]complex128) {
+	if len(points) == 0 {
+		return
+	}
+	fp := job.Fingerprint()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for idx, v := range points {
+		c.put(fp, idx, v)
+	}
+}
+
+// Sync implements Cache (volatile: nothing to do).
+func (c *MemoryCache) Sync() error { return nil }
+
+// Stats returns a snapshot of the cache counters.
+func (c *MemoryCache) Stats() MemoryCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MemoryCacheStats{
+		Jobs: c.ll.Len(), Points: c.points, MaxPoints: c.maxPoints,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}
+
+// Tiered layers a fast front cache over a durable back cache: Loads
+// consult the front first and fall back to the back only for missing
+// points (promoting what they find), Appends write through to both.
+type Tiered struct {
+	front *MemoryCache
+	back  Cache
+}
+
+// NewTiered returns the two-level cache. back may be nil, in which case
+// the front is used alone.
+func NewTiered(front *MemoryCache, back Cache) *Tiered {
+	return &Tiered{front: front, back: back}
+}
+
+// Load implements Cache.
+func (t *Tiered) Load(job *Job) (map[int]complex128, error) {
+	out, err := t.front.Load(job)
+	if err != nil {
+		return nil, err
+	}
+	if t.back == nil || len(out) == len(job.Points) {
+		return out, nil
+	}
+	disk, err := t.back.Load(job)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = make(map[int]complex128, len(disk))
+	}
+	promoted := make(map[int]complex128)
+	for idx, v := range disk {
+		if _, ok := out[idx]; !ok {
+			out[idx] = v
+			promoted[idx] = v
+		}
+	}
+	t.front.Merge(job, promoted)
+	return out, nil
+}
+
+// Append implements Cache.
+func (t *Tiered) Append(job *Job, index int, v complex128) error {
+	if err := t.front.Append(job, index, v); err != nil {
+		return err
+	}
+	if t.back != nil {
+		return t.back.Append(job, index, v)
+	}
+	return nil
+}
+
+// Sync implements Cache.
+func (t *Tiered) Sync() error {
+	if t.back != nil {
+		return t.back.Sync()
+	}
+	return nil
+}
+
+// FrontStats exposes the memory layer's counters.
+func (t *Tiered) FrontStats() MemoryCacheStats { return t.front.Stats() }

@@ -1,0 +1,138 @@
+package pipeline
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func cacheJob(name string, points int) *Job {
+	j := &Job{
+		Name:    name,
+		Sources: []int{0}, Weights: []float64{1},
+		Targets: []int{1},
+	}
+	for i := 0; i < points; i++ {
+		j.Points = append(j.Points, complex(float64(i), 1))
+	}
+	return j
+}
+
+func TestMemoryCachePointBoundEviction(t *testing.T) {
+	c := NewMemoryCache(4)
+	a, b := cacheJob("a", 3), cacheJob("b", 3)
+	for i := range a.Points {
+		if err := c.Append(a, i, complex(1, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Filling b (3 points) pushes the budget to 6 > 4: a is evicted
+	// whole, b stays.
+	for i := range b.Points {
+		if err := c.Append(b, i, complex(2, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := c.Load(a); len(got) != 0 {
+		t.Errorf("job a still resident after eviction: %v", got)
+	}
+	if got, _ := c.Load(b); len(got) != len(b.Points) {
+		t.Errorf("job b lost points: %v", got)
+	}
+	s := c.Stats()
+	if s.Jobs != 1 || s.Points != 3 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want 1 job, 3 points, 1 eviction", s)
+	}
+}
+
+func TestMemoryCacheOversizedJobSurvives(t *testing.T) {
+	c := NewMemoryCache(2)
+	j := cacheJob("big", 5)
+	for i := range j.Points {
+		if err := c.Append(j, i, complex(3, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The entry being written is never evicted, even over budget.
+	if got, _ := c.Load(j); len(got) != 5 {
+		t.Errorf("oversized job truncated to %d points", len(got))
+	}
+}
+
+func TestTieredPromotesDiskHits(t *testing.T) {
+	ckpt, err := OpenCheckpoint(filepath.Join(t.TempDir(), "t.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt.Close()
+	j := cacheJob("j", 4)
+	// Seed only the disk layer.
+	for i := range j.Points {
+		if err := ckpt.Append(j, i, complex(float64(i), -1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem := NewMemoryCache(100)
+	tc := NewTiered(mem, ckpt)
+	got, err := tc.Load(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("tiered load returned %d points, want 4", len(got))
+	}
+	// The disk hit is promoted: a second load is served by memory alone.
+	if s := mem.Stats(); s.Points != 4 {
+		t.Errorf("memory layer holds %d points after promotion, want 4", s.Points)
+	}
+	again, err := tc.Load(j)
+	if err != nil || len(again) != 4 {
+		t.Fatalf("second tiered load: %v points, err %v", len(again), err)
+	}
+	if s := mem.Stats(); s.Hits < 4 {
+		t.Errorf("memory hits = %d after promoted reload, want ≥ 4", s.Hits)
+	}
+}
+
+// TestCheckpointIndexEvictionRescan shrinks the checkpoint's load-side
+// index budget and checks an evicted fingerprint is still served — via
+// the rescan slow path — with identical values.
+func TestCheckpointIndexEvictionRescan(t *testing.T) {
+	old := maxIndexPoints
+	maxIndexPoints = 4
+	defer func() { maxIndexPoints = old }()
+
+	ckpt, err := OpenCheckpoint(filepath.Join(t.TempDir(), "idx.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt.Close()
+
+	jobs := []*Job{cacheJob("a", 3), cacheJob("b", 3), cacheJob("c", 3)}
+	for w, j := range jobs {
+		for i := range j.Points {
+			if err := ckpt.Append(j, i, complex(float64(w), float64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Touch via Load so the index ingests and then evicts under the
+		// 4-point budget.
+		if _, err := ckpt.Load(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every job — including the evicted ones — must still load fully.
+	for w, j := range jobs {
+		got, err := ckpt.Load(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("job %d: loaded %d points, want 3", w, len(got))
+		}
+		for i, v := range got {
+			if v != complex(float64(w), float64(i)) {
+				t.Errorf("job %d point %d = %v, want %v", w, i, v, complex(float64(w), float64(i)))
+			}
+		}
+	}
+}

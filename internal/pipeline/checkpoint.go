@@ -12,14 +12,73 @@ import (
 
 // Checkpoint is the disk-backed result cache of §4: every computed
 // (s-point, value) pair is appended as it is returned, so an interrupted
-// run resumes exactly where it stopped. Records are JSON lines keyed by
-// the job fingerprint; a file may interleave records of several jobs.
+// run resumes exactly where it stopped.
+//
+// # Record format
+//
+// The file is JSON lines — one object per computed point, appended in
+// completion order:
+//
+//	{"job":"<32-hex fingerprint>","idx":<point index>,"re":<real>,"im":<imag>}
+//
+// "job" is the Job.Fingerprint() of the computation that produced the
+// value, "idx" is the position of the s-point in Job.Points, and
+// re/im are the two halves of the complex transform value. A torn final
+// line (from a crash mid-append) is tolerated on Load: scanning stops at
+// the first unparseable line, which is always the last one written.
+//
+// # Fingerprint interleaving
+//
+// A single file may interleave records of any number of jobs: Load
+// filters by the requesting job's fingerprint and ignores everything
+// else. The fingerprint covers the whole job *request* — name,
+// quantity, sources, weights, targets and the exact s-points — but not
+// the model kernel itself, so a record is only replayed into the
+// identical request and the caller must keep fingerprints distinct
+// across distinct models: either embed a model identity in Job.Name
+// (the server uses the registry's content-hash ID) or stop reusing a
+// checkpoint file once the model it was computed against changes.
+// Within that contract, sequential runs — or a long-running server
+// issuing many jobs through one handle — can share one file, and
+// records never need compaction: duplicates are idempotent (later
+// records overwrite equal values at the same index).
+//
+// The one unsupported arrangement is two live processes appending to
+// the same path at once: each buffers independently, so a flush can
+// tear a record across the other's lines, and Load stops at the first
+// unparseable line. Give concurrent processes separate files.
 type Checkpoint struct {
 	mu   sync.Mutex
 	path string
 	f    *os.File
 	w    *bufio.Writer
+	// Load-side incremental index: records up to offset scanned, grouped
+	// by fingerprint. Each Load flushes the writer and scans only the
+	// bytes appended since the previous scan, so a long-lived handle
+	// (the server does one Load per request) pays O(new records), not
+	// O(file), per call. The index is bounded to maxIndexPoints resident
+	// values: when it overflows, fingerprints not loaded recently are
+	// dropped and a later Load for one of them falls back to a one-off
+	// rescan of the already-indexed region — slow, but correct, and only
+	// on the cold tail.
+	index       map[string]*ckptIndexEntry
+	indexPoints int
+	dropped     bool  // some fingerprints were evicted from the index
+	gen         int64 // Load counter, for least-recently-loaded eviction
+	scanned     int64
+	torn        bool // hit an unparseable line; everything after it is ignored
 }
+
+// ckptIndexEntry is one fingerprint's indexed points.
+type ckptIndexEntry struct {
+	points  map[int]complex128
+	lastGen int64
+}
+
+// maxIndexPoints bounds the load-side index (complex values plus map
+// overhead, so roughly 70 MB at this setting). A variable only so tests
+// can exercise eviction.
+var maxIndexPoints = 1 << 20
 
 type ckptRecord struct {
 	Job   string  `json:"job"`
@@ -35,8 +94,11 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: opening checkpoint: %w", err)
 	}
-	return &Checkpoint{path: path, f: f, w: bufio.NewWriter(f)}, nil
+	return &Checkpoint{path: path, f: f, w: bufio.NewWriter(f), index: make(map[string]*ckptIndexEntry)}, nil
 }
+
+// Path returns the checkpoint's file path.
+func (c *Checkpoint) Path() string { return c.path }
 
 // Load returns the cached values for the job, indexed by point position.
 func (c *Checkpoint) Load(job *Job) (map[int]complex128, error) {
@@ -45,36 +107,139 @@ func (c *Checkpoint) Load(job *Job) (map[int]complex128, error) {
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
-	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
+	if err := c.scan(); err != nil {
 		return nil, err
 	}
+	c.gen++
 	fp := job.Fingerprint()
+	e := c.index[fp]
+	if e == nil && c.dropped {
+		// The fingerprint may have been evicted from the index; re-read
+		// the already-scanned region for it alone.
+		points, err := c.rescanFor(fp)
+		if err != nil {
+			return nil, err
+		}
+		if len(points) > 0 {
+			e = &ckptIndexEntry{points: points}
+			c.index[fp] = e
+			c.indexPoints += len(points)
+		}
+	}
 	out := make(map[int]complex128)
-	sc := bufio.NewScanner(c.f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+	if e != nil {
+		e.lastGen = c.gen
+		for idx, v := range e.points {
+			if idx >= 0 && idx < len(job.Points) {
+				out[idx] = v
+			}
+		}
+	}
+	c.evictIndex()
+	return out, nil
+}
+
+// scan indexes the records appended since the previous scan. Called
+// under the lock with the writer flushed.
+func (c *Checkpoint) scan() error {
+	if c.torn {
+		return nil
+	}
+	if _, err := c.f.Seek(c.scanned, io.SeekStart); err != nil {
+		return err
+	}
+	rd := bufio.NewReaderSize(c.f, 1<<16)
+	for {
+		line, err := rd.ReadBytes('\n')
+		if errors.Is(err, io.EOF) {
+			// Append always terminates records with '\n', so a trailing
+			// newline-less fragment is the torn final line of a crashed
+			// run; leave scanned pointing at it and ignore what follows.
+			if len(line) > 0 {
+				c.torn = true
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("pipeline: reading checkpoint: %w", err)
+		}
+		c.scanned += int64(len(line))
+		if len(line) <= 1 {
 			continue
 		}
 		var rec ckptRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn final line from a crashed run is expected; anything
-			// later would be unreadable anyway, so stop here.
-			break
+		if json.Unmarshal(line, &rec) != nil {
+			// A torn line mid-file means a second writer mangled it (see
+			// the package doc); everything after is untrustworthy.
+			c.torn = true
+			return nil
 		}
-		if rec.Job != fp || rec.Index < 0 || rec.Index >= len(job.Points) {
+		if rec.Index < 0 {
 			continue
 		}
-		out[rec.Index] = complex(rec.Re, rec.Im)
+		e := c.index[rec.Job]
+		if e == nil {
+			if c.dropped {
+				// This fingerprint may have been evicted; indexing a
+				// partial tail for it would shadow its earlier records.
+				// Leave it to the rescan path.
+				continue
+			}
+			e = &ckptIndexEntry{points: make(map[int]complex128)}
+			c.index[rec.Job] = e
+		}
+		if _, ok := e.points[rec.Index]; !ok {
+			c.indexPoints++
+		}
+		e.points[rec.Index] = complex(rec.Re, rec.Im)
 	}
-	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
-		return nil, fmt.Errorf("pipeline: reading checkpoint: %w", err)
-	}
-	if _, err := c.f.Seek(0, io.SeekEnd); err != nil {
+}
+
+// rescanFor re-reads the scanned region for a single fingerprint (the
+// slow path after an index eviction).
+func (c *Checkpoint) rescanFor(fp string) (map[int]complex128, error) {
+	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
-	return out, nil
+	rd := bufio.NewReaderSize(io.LimitReader(c.f, c.scanned), 1<<16)
+	out := make(map[int]complex128)
+	for {
+		line, err := rd.ReadBytes('\n')
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: reading checkpoint: %w", err)
+		}
+		if len(line) <= 1 {
+			continue
+		}
+		var rec ckptRecord
+		if json.Unmarshal(line, &rec) != nil {
+			return out, nil
+		}
+		if rec.Job == fp && rec.Index >= 0 {
+			out[rec.Index] = complex(rec.Re, rec.Im)
+		}
+	}
+}
+
+// evictIndex drops the least-recently-loaded fingerprints while the
+// index exceeds its point budget. Called under the lock.
+func (c *Checkpoint) evictIndex() {
+	for c.indexPoints > maxIndexPoints && len(c.index) > 1 {
+		var oldest string
+		var oldestGen int64
+		first := true
+		for fp, e := range c.index {
+			if first || e.lastGen < oldestGen {
+				oldest, oldestGen, first = fp, e.lastGen, false
+			}
+		}
+		c.indexPoints -= len(c.index[oldest].points)
+		delete(c.index, oldest)
+		c.dropped = true
+	}
 }
 
 // Append records one computed value. It is safe for concurrent use.

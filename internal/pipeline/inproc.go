@@ -18,12 +18,12 @@ type RunStats struct {
 
 // Run evaluates every s-point of the job with an in-process worker pool,
 // mirroring the master/worker split: the master goroutine owns the queue
-// and the checkpoint, each worker owns one Evaluator (its own kernel
+// and the cache, each worker owns one Evaluator (its own kernel
 // matrices), and results stream back over a channel.
 //
-// newEval is called once per worker; ckpt may be nil for an uncached
-// run.
-func Run(job *Job, newEval func() Evaluator, workers int, ckpt *Checkpoint) ([]complex128, *RunStats, error) {
+// newEval is called once per worker; cache may be nil for an uncached
+// run (a *Checkpoint, a *MemoryCache or a *Tiered all satisfy Cache).
+func Run(job *Job, newEval func() Evaluator, workers int, cache Cache) ([]complex128, *RunStats, error) {
 	if workers < 1 {
 		return nil, nil, fmt.Errorf("pipeline: need at least one worker")
 	}
@@ -32,8 +32,8 @@ func Run(job *Job, newEval func() Evaluator, workers int, ckpt *Checkpoint) ([]c
 	have := make([]bool, len(job.Points))
 	stats := &RunStats{Workers: workers, PerWorker: make([]int, workers)}
 
-	if ckpt != nil {
-		cached, err := ckpt.Load(job)
+	if cache != nil {
+		cached, err := cache.Load(job)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -88,14 +88,14 @@ func Run(job *Job, newEval func() Evaluator, workers int, ckpt *Checkpoint) ([]c
 		have[r.idx] = true
 		stats.Evaluated++
 		stats.PerWorker[r.worker]++
-		if ckpt != nil {
-			if err := ckpt.Append(job, r.idx, r.v); err != nil && firstErr == nil {
+		if cache != nil {
+			if err := cache.Append(job, r.idx, r.v); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
 	}
-	if ckpt != nil {
-		if err := ckpt.Sync(); err != nil && firstErr == nil {
+	if cache != nil {
+		if err := cache.Sync(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

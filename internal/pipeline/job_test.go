@@ -1,0 +1,104 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+)
+
+// referenceJob is a fully-populated job whose fingerprint is pinned by
+// TestFingerprintGolden.
+func referenceJob() *Job {
+	return &Job{
+		Name:     "voting-0:passage",
+		Quantity: PassageCDF,
+		Sources:  []int{0, 3},
+		Weights:  []float64{0.75, 0.25},
+		Targets:  []int{5, 6},
+		Points:   []complex128{complex(0.5, 0), complex(0.5, 1.25), complex(0.5, -1.25)},
+	}
+}
+
+// TestFingerprintGolden pins the fingerprint bytes. The fingerprint is a
+// persistent cache key: checkpoint files and server result caches are
+// keyed by it, so any change to the hash input layout silently orphans
+// every existing cached result. If this test fails, either revert the
+// change to Fingerprint or accept that all caches are invalidated and
+// update the golden values deliberately.
+func TestFingerprintGolden(t *testing.T) {
+	if got, want := referenceJob().Fingerprint(), "8fd56a32066338028b09bccd01866f97"; got != want {
+		t.Errorf("reference fingerprint = %s, want %s (cache keys changed!)", got, want)
+	}
+	if got, want := (&Job{}).Fingerprint(), "66687aadf862bd776c8fc18b8e9f8e20"; got != want {
+		t.Errorf("empty-job fingerprint = %s, want %s (cache keys changed!)", got, want)
+	}
+}
+
+// TestFingerprintSensitivity checks every field participates in the key
+// and that no two distinct jobs in the set collide.
+func TestFingerprintSensitivity(t *testing.T) {
+	mutations := map[string]func(*Job){
+		"name":     func(j *Job) { j.Name = "voting-1:passage" },
+		"quantity": func(j *Job) { j.Quantity = PassageDensity },
+		"sources":  func(j *Job) { j.Sources[1] = 4 },
+		"weights":  func(j *Job) { j.Weights[0] = 0.5 },
+		"targets":  func(j *Job) { j.Targets = []int{5} },
+		"points":   func(j *Job) { j.Points[2] = complex(0.5, -1.5) },
+	}
+	seen := map[string]string{referenceJob().Fingerprint(): "reference"}
+	for field, mutate := range mutations {
+		j := referenceJob()
+		mutate(j)
+		fp := j.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutating %s collides with %s (fingerprint %s)", field, prev, fp)
+		}
+		seen[fp] = field
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := func() *Job {
+		return &Job{
+			Name:    "ok",
+			Sources: []int{0, 1},
+			Weights: []float64{0.5, 0.5},
+			Targets: []int{2},
+			Points:  []complex128{1 + 1i},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Job)
+		wantErr string // empty = valid
+	}{
+		{"valid", func(*Job) {}, ""},
+		{"empty sources", func(j *Job) { j.Sources = nil; j.Weights = nil }, "sources/weights"},
+		{"mismatched weights", func(j *Job) { j.Weights = []float64{1} }, "sources/weights"},
+		{"source below range", func(j *Job) { j.Sources[0] = -1 }, "source -1 outside"},
+		{"source above range", func(j *Job) { j.Sources[1] = 3 }, "source 3 outside"},
+		{"empty targets", func(j *Job) { j.Targets = nil }, "empty target"},
+		{"target below range", func(j *Job) { j.Targets[0] = -2 }, "target -2 outside"},
+		{"target above range", func(j *Job) { j.Targets[0] = 99 }, "target 99 outside"},
+		{"no points", func(j *Job) { j.Points = nil }, "no s-points"},
+	}
+	const modelStates = 3
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			j := valid()
+			c.mutate(j)
+			err := j.Validate(modelStates)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() accepted an invalid job, want error containing %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("Validate() = %q, want it to contain %q", err, c.wantErr)
+			}
+		})
+	}
+}

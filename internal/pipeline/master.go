@@ -97,7 +97,7 @@ type MasterOptions struct {
 // worker connections on ln, farms out every (uncached) s-point of the
 // job, checkpoints results as they return, and completes when all points
 // are in. The listener is closed before returning.
-func Serve(ln net.Listener, job *Job, ckpt *Checkpoint, opts MasterOptions) ([]complex128, *RunStats, error) {
+func Serve(ln net.Listener, job *Job, cache Cache, opts MasterOptions) ([]complex128, *RunStats, error) {
 	if opts.IdleTimeout == 0 {
 		opts.IdleTimeout = 10 * time.Minute
 	}
@@ -105,8 +105,8 @@ func Serve(ln net.Listener, job *Job, ckpt *Checkpoint, opts MasterOptions) ([]c
 	values := make([]complex128, len(job.Points))
 	have := make([]bool, len(job.Points))
 	stats := &RunStats{}
-	if ckpt != nil {
-		cached, err := ckpt.Load(job)
+	if cache != nil {
+		cached, err := cache.Load(job)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -168,8 +168,8 @@ func Serve(ln net.Listener, job *Job, ckpt *Checkpoint, opts MasterOptions) ([]c
 		have[r.idx] = true
 		remaining--
 		stats.Evaluated++
-		if ckpt != nil {
-			if err := ckpt.Append(job, r.idx, r.v); err != nil && firstErr == nil {
+		if cache != nil {
+			if err := cache.Append(job, r.idx, r.v); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -177,8 +177,8 @@ func Serve(ln net.Listener, job *Job, ckpt *Checkpoint, opts MasterOptions) ([]c
 	disp.finish()
 	ln.Close()
 	connWG.Wait()
-	if ckpt != nil {
-		if err := ckpt.Sync(); err != nil && firstErr == nil {
+	if cache != nil {
+		if err := cache.Sync(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -1,0 +1,18 @@
+package pipeline
+
+import "encoding/gob"
+
+// The master/worker wire protocol is encoding/gob over TCP. The
+// concrete encodes in master.go/worker.go never emit type names, so the
+// format is pinned by the golden-bytes test in wire_test.go — renaming
+// or re-typing a field changes those bytes and fails the test before it
+// can strand mismatched master/worker binaries at runtime. The explicit
+// registrations below fix the names used wherever a message travels
+// inside an interface value (extensions, debugging encoders), keeping
+// that path stable across struct moves as well.
+func init() {
+	gob.RegisterName("hydra/pipeline.helloMsg", helloMsg{})
+	gob.RegisterName("hydra/pipeline.jobHeaderMsg", jobHeaderMsg{})
+	gob.RegisterName("hydra/pipeline.assignMsg", assignMsg{})
+	gob.RegisterName("hydra/pipeline.resultMsg", resultMsg{})
+}

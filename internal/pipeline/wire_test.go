@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/hex"
+	"reflect"
+	"testing"
+)
+
+// TestWireMessagesRoundTrip checks every protocol message encodes and
+// decodes to an equal value (the golden-bytes test below is what pins
+// the format itself).
+func TestWireMessagesRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		in   any
+		out  any
+	}{
+		{"hello", &helloMsg{ModelStates: 2061, WorkerName: "node-7"}, &helloMsg{}},
+		{"jobHeader", &jobHeaderMsg{
+			Quantity:    PassageCDF,
+			Sources:     []int{0, 4, 9},
+			Weights:     []float64{0.25, 0.5, 0.25},
+			Targets:     []int{17},
+			ModelStates: 2061,
+		}, &jobHeaderMsg{}},
+		{"assign", &assignMsg{Index: 12, S: complex(0.5, -3.25)}, &assignMsg{}},
+		{"assignDone", &assignMsg{Done: true}, &assignMsg{}},
+		{"result", &resultMsg{Index: 12, Value: complex(1e-3, 2e-6), Err: "s-point diverged"}, &resultMsg{}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(c.in); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if err := gob.NewDecoder(&buf).Decode(c.out); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(c.in, c.out) {
+				t.Errorf("round trip changed the message: sent %+v, got %+v", c.in, c.out)
+			}
+		})
+	}
+}
+
+// TestWireGoldenBytes pins the exact gob encoding of each protocol
+// message — type descriptor and value — as produced by a fresh encoder,
+// which is how master and worker streams begin. Renaming a struct or a
+// field, changing a field's type, or reordering fields all change these
+// bytes: that is precisely the drift that strands mismatched
+// master/worker binaries, so it must fail here first. If this test
+// fails, the wire protocol changed — make sure both binaries roll out
+// together, then regenerate the golden strings.
+func TestWireGoldenBytes(t *testing.T) {
+	cases := []struct {
+		name   string
+		msg    any
+		golden string
+	}{
+		{"hello", &helloMsg{ModelStates: 2061, WorkerName: "node-7"},
+			"347f0301010868656c6c6f4d736701ff80000102010b4d6f64656c537461746573010400010a576f726b65724e616d65010c0000000fff8001fe101a01066e6f64652d3700"},
+		{"jobHeader", &jobHeaderMsg{Quantity: PassageCDF, Sources: []int{0, 4}, Weights: []float64{0.5, 0.5}, Targets: []int{17}, ModelStates: 2061},
+			"5eff810301010c6a6f624865616465724d736701ff8200010501085175616e746974790104000107536f757263657301ff840001075765696768747301ff860001075461726765747301ff8400010b4d6f64656c537461746573010400000013ff83020101055b5d696e7401ff84000104000017ff85020101095b5d666c6f6174363401ff86000108000018ff820102010200080102fee03ffee03f01012201fe101a00"},
+		{"assign", &assignMsg{Index: 12, S: complex(0.5, -3.25)},
+			"30ff870301010961737369676e4d736701ff880001030104446f6e650102000105496e646578010400010153010e0000000cff88021801fee03ffe0ac000"},
+		{"result", &resultMsg{Index: 12, Value: complex(1e-3, 2e-6), Err: "x"},
+			"33ff8903010109726573756c744d736701ff8a0001030105496e646578010400010556616c7565010e000103457272010c0000001bff8a011801f8fca9f1d24d62503ff88dedb5a0f7c6c03e01017800"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(c.msg); err != nil {
+				t.Fatal(err)
+			}
+			if got := hex.EncodeToString(buf.Bytes()); got != c.golden {
+				t.Errorf("wire format of %s drifted:\n got  %s\n want %s", c.name, got, c.golden)
+			}
+		})
+	}
+}
+
+// TestWireNamesRegistered verifies the init() registration holds the
+// protocol's stable names (a second RegisterName with a different type
+// under the same name would panic at init, so reaching this test at all
+// is most of the assertion; the encode check guards against the
+// registration being dropped).
+func TestWireNamesRegistered(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	// Encoding through an interface forces gob to emit the registered
+	// concrete-type name.
+	var m any = helloMsg{ModelStates: 1}
+	if err := enc.Encode(&m); err != nil {
+		t.Fatalf("interface encode: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("hydra/pipeline.helloMsg")) {
+		t.Error("wire name hydra/pipeline.helloMsg not used in interface encoding")
+	}
+}

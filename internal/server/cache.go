@@ -1,0 +1,77 @@
+package server
+
+import (
+	"hydra/internal/pipeline"
+)
+
+// ResultCache is the service's fingerprint-keyed transform cache: a
+// memory LRU (pipeline.MemoryCache) layered over the optional disk
+// checkpoint (pipeline.Checkpoint) through pipeline.Tiered. Every job a
+// request runs is given this cache, so:
+//
+//   - a repeated identical request loads all of its s-points from the
+//     memory layer and evaluates nothing (RunStats.FromCache equals the
+//     point count, Evaluated is zero);
+//   - after a restart, the disk layer replays the checkpoint's records
+//     into memory on first touch and the computation resumes where the
+//     previous process stopped, exactly as in the batch pipeline.
+//
+// The cache is point-grained, not result-grained: two requests that
+// share s-points through the same fingerprint reuse them even when one
+// of the runs was interrupted.
+type ResultCache struct {
+	tiered *pipeline.Tiered
+	disk   *pipeline.Checkpoint // nil when running memory-only
+}
+
+// CacheStats is a snapshot of cache behaviour for /v1/stats.
+type CacheStats struct {
+	Jobs       int    `json:"jobs"`                 // resident job fingerprints
+	Points     int    `json:"points"`               // resident point values
+	PointHits  int64  `json:"point_hits"`           // points served from memory
+	PointMiss  int64  `json:"point_miss"`           // points requested but absent from memory
+	Evictions  int64  `json:"evictions"`            // jobs evicted from memory
+	Checkpoint string `json:"checkpoint,omitempty"` // disk layer path
+}
+
+// NewResultCache builds the tiered cache. maxPoints bounds the memory
+// layer (resident s-point values); checkpointPath enables the disk
+// layer when non-empty.
+func NewResultCache(maxPoints int, checkpointPath string) (*ResultCache, error) {
+	c := &ResultCache{}
+	var back pipeline.Cache
+	if checkpointPath != "" {
+		ckpt, err := pipeline.OpenCheckpoint(checkpointPath)
+		if err != nil {
+			return nil, err
+		}
+		c.disk = ckpt
+		back = ckpt
+	}
+	c.tiered = pipeline.NewTiered(pipeline.NewMemoryCache(maxPoints), back)
+	return c, nil
+}
+
+// Pipeline returns the cache in the form pipeline.Run consumes.
+func (c *ResultCache) Pipeline() pipeline.Cache { return c.tiered }
+
+// Stats returns a snapshot of the memory layer's counters.
+func (c *ResultCache) Stats() CacheStats {
+	m := c.tiered.FrontStats()
+	s := CacheStats{
+		Jobs: m.Jobs, Points: m.Points,
+		PointHits: m.Hits, PointMiss: m.Misses, Evictions: m.Evictions,
+	}
+	if c.disk != nil {
+		s.Checkpoint = c.disk.Path()
+	}
+	return s
+}
+
+// Close flushes and closes the disk layer, if any.
+func (c *ResultCache) Close() error {
+	if c.disk == nil {
+		return nil
+	}
+	return c.disk.Close()
+}

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"hydra"
+)
+
+// Config tunes a Server. The zero value is serviceable: NumCPU workers
+// per computation, two concurrent computations, sixteen resident
+// models, a million cached transform points, no disk checkpoint.
+type Config struct {
+	// MaxModels bounds the registry (resident explored state spaces).
+	MaxModels int
+	// CachePoints bounds the memory result cache (resident s-point
+	// values across all cached jobs).
+	CachePoints int
+	// CheckpointPath enables the disk layer of the result cache.
+	CheckpointPath string
+	// Workers is the per-computation in-process pool size.
+	Workers int
+	// MaxConcurrent bounds simultaneously executing computations.
+	MaxConcurrent int
+}
+
+// Server is the hydra-serve service: registry + scheduler + result
+// cache behind an HTTP/JSON API.
+type Server struct {
+	registry *Registry
+	sched    *Scheduler
+	cache    *ResultCache
+	started  time.Time
+}
+
+// New builds a Server from the config.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxModels < 1 {
+		cfg.MaxModels = 16
+	}
+	if cfg.CachePoints < 1 {
+		cfg.CachePoints = 1 << 20
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 2
+	}
+	cache, err := NewResultCache(cfg.CachePoints, cfg.CheckpointPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		registry: NewRegistry(cfg.MaxModels),
+		sched:    NewScheduler(cache, cfg.Workers, cfg.MaxConcurrent),
+		cache:    cache,
+		started:  time.Now(),
+	}, nil
+}
+
+// Close releases the disk checkpoint, if any.
+func (s *Server) Close() error { return s.cache.Close() }
+
+// Registry exposes the model registry (for tests and embedding).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Scheduler exposes the job scheduler (for tests and embedding).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Handler returns the /v1 API handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/models", s.handleAddModel)
+	mux.HandleFunc("GET /v1/models", s.handleListModels)
+	mux.HandleFunc("GET /v1/models/{id}", s.handleGetModel)
+	mux.HandleFunc("DELETE /v1/models/{id}", s.handleDeleteModel)
+	mux.HandleFunc("POST /v1/models/{id}/passage", s.handleCurve("passage"))
+	mux.HandleFunc("POST /v1/models/{id}/transient", s.handleCurve("transient"))
+	mux.HandleFunc("POST /v1/models/{id}/quantile", s.handleQuantile)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes a request body strictly (unknown fields rejected, so
+// a typo'd option fails loudly instead of silently running defaults).
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// modelRequest uploads a model: exactly one of Spec, Voting or
+// VotingConfig.
+type modelRequest struct {
+	Name         string `json:"name,omitempty"`
+	Spec         string `json:"spec,omitempty"`   // extended-DNAmaca source
+	Voting       *int   `json:"voting,omitempty"` // built-in Table 1 system 0-5
+	VotingConfig *struct {
+		CC int `json:"cc"`
+		MM int `json:"mm"`
+		NN int `json:"nn"`
+	} `json:"voting_config,omitempty"`
+}
+
+func (s *Server) handleAddModel(w http.ResponseWriter, r *http.Request) {
+	var req modelRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	given := 0
+	for _, ok := range []bool{req.Spec != "", req.Voting != nil, req.VotingConfig != nil} {
+		if ok {
+			given++
+		}
+	}
+	if given != 1 {
+		writeError(w, http.StatusBadRequest, "exactly one of spec, voting or voting_config is required")
+		return
+	}
+	var info ModelInfo
+	var err error
+	switch {
+	case req.Spec != "":
+		info, err = s.registry.AddSpec(req.Name, req.Spec)
+	case req.Voting != nil:
+		info, err = s.registry.AddVoting(*req.Voting)
+	default:
+		info, err = s.registry.AddVotingConfig(req.VotingConfig.CC, req.VotingConfig.MM, req.VotingConfig.NN)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "loading model: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.registry.List()})
+}
+
+// measureJSON is a resolved \passage or \transient block of the spec:
+// the state sets a client needs to post analysis requests without
+// re-deriving marking predicates.
+type measureJSON struct {
+	Name    string    `json:"name"`
+	Kind    string    `json:"kind"` // passage | transient
+	Sources []int     `json:"sources"`
+	Targets []int     `json:"targets"`
+	Times   []float64 `json:"times,omitempty"`
+	Method  string    `json:"method,omitempty"`
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	model, info, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "model %q is not resident", r.PathValue("id"))
+		return
+	}
+	measures := []measureJSON{}
+	for _, ms := range model.Measures() {
+		kind := "passage"
+		if ms.Kind == hydra.Transient {
+			kind = "transient"
+		}
+		measures = append(measures, measureJSON{
+			Name: ms.Name, Kind: kind,
+			Sources: ms.Sources, Targets: ms.Targets,
+			Times: ms.Times, Method: ms.Method,
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ModelInfo
+		MeasureList []measureJSON `json:"measures_resolved"`
+	}{info, measures})
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	if !s.registry.Remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "model %q is not resident", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// curveRequest asks for a curve over Times.
+type curveRequest struct {
+	Sources []int     `json:"sources"`
+	Targets []int     `json:"targets"`
+	Times   []float64 `json:"times"`
+	CDF     bool      `json:"cdf,omitempty"`    // passage only: invert L(s)/s
+	Method  string    `json:"method,omitempty"` // euler (default) | laguerre | talbot
+	Workers int       `json:"workers,omitempty"`
+}
+
+func (s *Server) handleCurve(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		model, info, ok := s.registry.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "model %q is not resident", r.PathValue("id"))
+			return
+		}
+		var req curveRequest
+		if err := readJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		jobKind := kind
+		if kind == "passage" && req.CDF {
+			jobKind = "passage-cdf"
+		} else if kind == "transient" && req.CDF {
+			writeError(w, http.StatusBadRequest, "cdf applies only to passage requests")
+			return
+		}
+		rec := s.sched.RunCurve(model, info.ID, jobKind, req.Sources, req.Targets, req.Times, req.Method, req.Workers)
+		writeRecord(w, rec)
+	}
+}
+
+// quantileRequest asks for the time t* with F(t*) = p.
+type quantileRequest struct {
+	Sources []int   `json:"sources"`
+	Targets []int   `json:"targets"`
+	P       float64 `json:"p"`
+	Hint    float64 `json:"hint,omitempty"` // bracket seed, default 1
+	Method  string  `json:"method,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+}
+
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	model, info, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "model %q is not resident", r.PathValue("id"))
+		return
+	}
+	var req quantileRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	rec := s.sched.RunQuantile(model, info.ID, req.Sources, req.Targets, req.P, req.Hint, req.Method, req.Workers)
+	writeRecord(w, rec)
+}
+
+// writeRecord renders a completed job record: 200 for success, 400 for
+// a rejected request, 500 for a computation the server could not run
+// (the failure is recorded and queryable either way).
+func writeRecord(w http.ResponseWriter, rec *JobRecord) {
+	switch {
+	case rec.Status != StatusFailed:
+		writeJSON(w, http.StatusOK, rec)
+	case rec.ErrorKind == ErrInvalidRequest:
+		writeJSON(w, http.StatusBadRequest, rec)
+	default:
+		writeJSON(w, http.StatusInternalServerError, rec)
+	}
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.Jobs()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q is unknown", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// statsResponse is the /v1/stats body.
+type statsResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Registry      RegistryStats  `json:"registry"`
+	Cache         CacheStats     `json:"cache"`
+	Scheduler     SchedulerStats `json:"scheduler"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Registry:      s.registry.Stats(),
+		Cache:         s.cache.Stats(),
+		Scheduler:     s.sched.Stats(),
+	})
+}

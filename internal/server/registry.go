@@ -1,0 +1,226 @@
+// Package server implements hydra-serve: a resident analysis service
+// over the batch pipeline of §4. The expensive artifacts of a semi-
+// Markov analysis — the explored state space and the transform values
+// evaluated at the inverter's s-points — are both reusable across
+// queries on the same model, so the service keeps them alive between
+// requests instead of rebuilding them per run:
+//
+//   - a model Registry holds explored state spaces resident under an
+//     LRU bound (registry.go);
+//   - a Scheduler executes analysis requests on a bounded in-process
+//     worker pool and coalesces concurrent identical requests into one
+//     computation (scheduler.go);
+//   - a ResultCache keyed by Job.Fingerprint() layers a memory LRU over
+//     the disk checkpoint so repeated queries never re-evaluate the
+//     transform (cache.go);
+//   - HTTP/JSON handlers expose the three under /v1 (http.go).
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"hydra"
+)
+
+// ModelInfo describes a resident model.
+type ModelInfo struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name"`
+	Kind      string    `json:"kind"` // "spec" or "voting"
+	States    int       `json:"states"`
+	Measures  int       `json:"measures"` // \passage + \transient blocks resolved from the spec
+	CreatedAt time.Time `json:"created_at"`
+	LastUsed  time.Time `json:"last_used"`
+	Uses      int64     `json:"uses"`
+}
+
+// regEntry pairs the public info with the resident model.
+type regEntry struct {
+	info  ModelInfo
+	model *hydra.Model
+}
+
+// Registry holds explored models resident under an LRU bound. State
+// spaces are the expensive artifact of a request (exploration can take
+// minutes on the paper's larger configurations), so a model is explored
+// once on upload and every later request runs against the resident
+// copy. Uploading an identical spec is idempotent: the ID is a content
+// hash, and a hit refreshes recency instead of re-exploring.
+type Registry struct {
+	mu        sync.Mutex
+	maxModels int
+	ll        *list.List               // front = most recently used
+	byID      map[string]*list.Element // id → *regEntry element
+	loads     int64                    // explorations performed
+	dedups    int64                    // uploads answered by a resident model
+	evictions int64
+}
+
+// RegistryStats is a snapshot of registry behaviour.
+type RegistryStats struct {
+	Resident  int   `json:"resident"`
+	MaxModels int   `json:"max_models"`
+	Loads     int64 `json:"loads"`
+	Dedups    int64 `json:"dedups"`
+	Evictions int64 `json:"evictions"`
+}
+
+// NewRegistry returns a registry bounded to maxModels resident models
+// (minimum 1).
+func NewRegistry(maxModels int) *Registry {
+	if maxModels < 1 {
+		maxModels = 1
+	}
+	return &Registry{maxModels: maxModels, ll: list.New(), byID: make(map[string]*list.Element)}
+}
+
+// AddSpec explores a DNAmaca specification and registers it under its
+// content hash. A spec already resident returns immediately.
+func (r *Registry) AddSpec(name, src string) (ModelInfo, error) {
+	sum := sha256.Sum256([]byte(src))
+	id := "m-" + hex.EncodeToString(sum[:8])
+	if info, ok := r.touch(id, true); ok {
+		return info, nil
+	}
+	model, err := hydra.LoadSpec(src)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	if name == "" {
+		name = id
+	}
+	return r.insert(id, name, "spec", model), nil
+}
+
+// AddVoting explores one of the paper's built-in voting systems
+// (Table 1, 0–5) and registers it as "voting-N".
+func (r *Registry) AddVoting(system int) (ModelInfo, error) {
+	id := fmt.Sprintf("voting-%d", system)
+	if info, ok := r.touch(id, true); ok {
+		return info, nil
+	}
+	model, err := hydra.VotingSystem(system)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return r.insert(id, id, "voting", model), nil
+}
+
+// AddVotingConfig explores a custom-size voting system.
+func (r *Registry) AddVotingConfig(cc, mm, nn int) (ModelInfo, error) {
+	id := fmt.Sprintf("voting-%d-%d-%d", cc, mm, nn)
+	if info, ok := r.touch(id, true); ok {
+		return info, nil
+	}
+	model, err := hydra.VotingConfig(cc, mm, nn)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return r.insert(id, id, "voting", model), nil
+}
+
+// touch refreshes an entry's recency and returns its info. isUpload
+// counts the hit as a deduplicated upload.
+func (r *Registry) touch(id string, isUpload bool) (ModelInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byID[id]
+	if !ok {
+		return ModelInfo{}, false
+	}
+	r.ll.MoveToFront(el)
+	e := el.Value.(*regEntry)
+	e.info.LastUsed = time.Now()
+	if isUpload {
+		r.dedups++
+	}
+	return e.info, true
+}
+
+// insert registers an explored model, evicting the least recently used
+// entries beyond the bound. A racing duplicate insert keeps the first
+// resident copy (the duplicate exploration is discarded).
+func (r *Registry) insert(id, name, kind string, model *hydra.Model) ModelInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.byID[id]; ok {
+		r.ll.MoveToFront(el)
+		r.dedups++
+		return el.Value.(*regEntry).info
+	}
+	now := time.Now()
+	e := &regEntry{
+		info: ModelInfo{
+			ID: id, Name: name, Kind: kind,
+			States:    model.NumStates(),
+			Measures:  len(model.Measures()),
+			CreatedAt: now, LastUsed: now,
+		},
+		model: model,
+	}
+	r.byID[id] = r.ll.PushFront(e)
+	r.loads++
+	for r.ll.Len() > r.maxModels {
+		oldest := r.ll.Back()
+		r.ll.Remove(oldest)
+		delete(r.byID, oldest.Value.(*regEntry).info.ID)
+		r.evictions++
+	}
+	return e.info
+}
+
+// Get returns the resident model, refreshing recency and counting a
+// use. The boolean is false when the model is not resident (never
+// uploaded, evicted, or removed).
+func (r *Registry) Get(id string) (*hydra.Model, ModelInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byID[id]
+	if !ok {
+		return nil, ModelInfo{}, false
+	}
+	r.ll.MoveToFront(el)
+	e := el.Value.(*regEntry)
+	e.info.LastUsed = time.Now()
+	e.info.Uses++
+	return e.model, e.info, true
+}
+
+// List returns all resident models, most recently used first.
+func (r *Registry) List() []ModelInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ModelInfo, 0, r.ll.Len())
+	for el := r.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*regEntry).info)
+	}
+	return out
+}
+
+// Remove evicts a model explicitly.
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byID[id]
+	if !ok {
+		return false
+	}
+	r.ll.Remove(el)
+	delete(r.byID, id)
+	return true
+}
+
+// Stats returns a snapshot of the registry counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RegistryStats{
+		Resident: r.ll.Len(), MaxModels: r.maxModels,
+		Loads: r.loads, Dedups: r.dedups, Evictions: r.evictions,
+	}
+}

@@ -1,0 +1,405 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"hydra"
+)
+
+// Job lifecycle states.
+const (
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// RunStatsJSON is the wire form of pipeline.RunStats.
+type RunStatsJSON struct {
+	Evaluated int   `json:"evaluated"`  // s-points computed for this request
+	FromCache int   `json:"from_cache"` // s-points loaded from the result cache
+	Workers   int   `json:"workers"`
+	WallMS    int64 `json:"wall_ms"`
+}
+
+func statsJSON(s *hydra.RunStats) *RunStatsJSON {
+	if s == nil {
+		return nil
+	}
+	return &RunStatsJSON{
+		Evaluated: s.Evaluated, FromCache: s.FromCache,
+		Workers: s.Workers, WallMS: s.WallTime.Milliseconds(),
+	}
+}
+
+// JobResult is the payload of a completed job.
+type JobResult struct {
+	Times    []float64     `json:"times,omitempty"`
+	Values   []float64     `json:"values,omitempty"`
+	Quantile float64       `json:"quantile,omitempty"` // quantile jobs only
+	Stats    *RunStatsJSON `json:"stats,omitempty"`
+}
+
+// JobRecord is one request's lifecycle, retained for GET /v1/jobs/{id}.
+type JobRecord struct {
+	ID          string     `json:"id"`
+	ModelID     string     `json:"model_id"`
+	Kind        string     `json:"kind"` // passage | passage-cdf | transient | quantile
+	Fingerprint string     `json:"fingerprint"`
+	Status      string     `json:"status"`
+	Coalesced   bool       `json:"coalesced"` // served by an identical in-flight computation
+	CacheHit    bool       `json:"cache_hit"` // every s-point came from the result cache
+	Error       string     `json:"error,omitempty"`
+	ErrorKind   string     `json:"error_kind,omitempty"` // invalid_request | execution
+	Created     time.Time  `json:"created"`
+	Finished    *time.Time `json:"finished,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// SchedulerStats is a snapshot of scheduler behaviour for /v1/stats.
+type SchedulerStats struct {
+	JobsTotal      int64 `json:"jobs_total"`      // records created
+	Running        int   `json:"running"`         // currently executing or waiting for a slot
+	Computations   int64 `json:"computations"`    // pipeline runs actually executed
+	ComputedPoints int64 `json:"computed_points"` // s-points evaluated across all runs
+	Coalesced      int64 `json:"coalesced"`       // requests that piggybacked on an in-flight run
+	CacheHits      int64 `json:"cache_hits"`      // runs answered entirely from the result cache
+	MaxConcurrent  int   `json:"max_concurrent"`
+}
+
+// flight is one in-progress computation other identical requests can
+// join.
+type flight struct {
+	done chan struct{}
+	res  *hydra.Result
+	err  error
+}
+
+// Scheduler executes analysis requests against resident models. Three
+// layers keep redundant work off the solver:
+//
+//  1. identical concurrent requests coalesce onto one in-flight
+//     computation (keyed by Job.Fingerprint());
+//  2. each computation runs through the fingerprint-keyed ResultCache,
+//     so sequential repeats evaluate nothing;
+//  3. a semaphore bounds how many computations run at once, each with
+//     its own in-process worker pool.
+type Scheduler struct {
+	cache   *ResultCache
+	workers int           // per-computation worker pool size
+	slots   chan struct{} // bounds concurrent computations
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	jobs     map[string]*JobRecord
+	order    []string // job IDs, oldest first
+	maxJobs  int      // retained records
+	seq      int64
+
+	jobsTotal      int64
+	running        int
+	computations   int64
+	computedPoints int64
+	coalesced      int64
+	cacheHits      int64
+}
+
+// NewScheduler builds a scheduler. workers is the per-computation pool
+// size, maxConcurrent bounds simultaneous computations, and the cache
+// must not be nil.
+func NewScheduler(cache *ResultCache, workers, maxConcurrent int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	return &Scheduler{
+		cache:    cache,
+		workers:  workers,
+		slots:    make(chan struct{}, maxConcurrent),
+		inflight: make(map[string]*flight),
+		jobs:     make(map[string]*JobRecord),
+		maxJobs:  1024,
+	}
+}
+
+// newRecord registers a running job record and returns its snapshot ID.
+func (s *Scheduler) newRecord(modelID, kind, fingerprint string) *JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	s.jobsTotal++
+	s.running++
+	rec := &JobRecord{
+		ID:          fmt.Sprintf("job-%d", s.seq),
+		ModelID:     modelID,
+		Kind:        kind,
+		Fingerprint: fingerprint,
+		Status:      StatusRunning,
+		Created:     time.Now(),
+	}
+	s.jobs[rec.ID] = rec
+	s.order = append(s.order, rec.ID)
+	for len(s.order) > s.maxJobs {
+		evicted := false
+		for i, id := range s.order {
+			if s.jobs[id].Status != StatusRunning { // never drop a live record
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything retained is running; try again next insert
+		}
+	}
+	return rec
+}
+
+// Failure classes: a rejected request (the client's fault, HTTP 400)
+// versus a computation that could not run (the server's, HTTP 500).
+const (
+	ErrInvalidRequest = "invalid_request"
+	ErrExecution      = "execution"
+)
+
+// finish marks a record completed under the lock.
+func (s *Scheduler) finish(rec *JobRecord, result *JobResult, coalesced, cacheHit bool, err error, errKind string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	rec.Finished = &now
+	rec.Coalesced = coalesced
+	rec.CacheHit = cacheHit
+	if err != nil {
+		rec.Status = StatusFailed
+		rec.Error = err.Error()
+		rec.ErrorKind = errKind
+	} else {
+		rec.Status = StatusDone
+		rec.Result = result
+	}
+	s.running--
+}
+
+// runShared is the coalescing core: the first caller for a fingerprint
+// computes (bounded by the slot semaphore); every concurrent identical
+// caller waits on that flight and shares its result. The returned
+// boolean reports whether this caller coalesced.
+//
+// A panicking computation must not take the scheduler with it: the
+// semaphore slot, the inflight entry and the flight's done channel are
+// all released on the way out (a leaked slot would shrink the pool for
+// the process lifetime, and an unclosed done channel would hang every
+// later identical request), with the panic converted to the flight's
+// error.
+func (s *Scheduler) runShared(fp string, compute func() (*hydra.Result, error)) (*hydra.Result, bool, error) {
+	s.mu.Lock()
+	if f, ok := s.inflight[fp]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		<-f.done
+		return f.res, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[fp] = f
+	s.mu.Unlock()
+
+	res, err := func() (res *hydra.Result, err error) {
+		s.slots <- struct{}{}
+		defer func() { <-s.slots }()
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, fmt.Errorf("computation panicked: %v", r)
+			}
+		}()
+		return compute()
+	}()
+
+	s.mu.Lock()
+	delete(s.inflight, fp)
+	s.computations++
+	if err == nil && res.Stats != nil {
+		s.computedPoints += int64(res.Stats.Evaluated)
+		if res.Stats.Evaluated == 0 {
+			s.cacheHits++
+		}
+	}
+	s.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+	return res, false, err
+}
+
+// jobOptions builds the analysis options for a request.
+func (s *Scheduler) jobOptions(method string, workers int) *hydra.Options {
+	if workers < 1 {
+		workers = s.workers
+	}
+	return &hydra.Options{Method: method, Workers: workers}
+}
+
+// RunCurve executes a passage or transient curve request synchronously
+// and returns its completed record. kind must be "passage",
+// "passage-cdf" or "transient".
+func (s *Scheduler) RunCurve(m *hydra.Model, modelID, kind string, sources, targets []int, times []float64, method string, workers int) *JobRecord {
+	opts := s.jobOptions(method, workers)
+	job, err := buildJob(m, modelID, kind, sources, targets, times, opts)
+	if err != nil {
+		rec := s.newRecord(modelID, kind, "")
+		s.finish(rec, nil, false, false, err, ErrInvalidRequest)
+		return rec
+	}
+	fp := job.Fingerprint()
+	rec := s.newRecord(modelID, kind, fp)
+	res, coalesced, err := s.runShared(fp, func() (*hydra.Result, error) {
+		return m.RunJob(job, times, s.cache.Pipeline(), opts)
+	})
+	cacheHit := err == nil && !coalesced && res.Stats != nil && res.Stats.Evaluated == 0
+	var payload *JobResult
+	if err == nil {
+		payload = &JobResult{Times: res.Times, Values: res.Values, Stats: statsJSON(res.Stats)}
+	}
+	s.finish(rec, payload, coalesced, cacheHit, err, ErrExecution)
+	return rec
+}
+
+// buildJob maps a request kind onto the public job constructors. The
+// job name embeds the model ID so fingerprints never collide across
+// models that happen to share state indices and s-points.
+func buildJob(m *hydra.Model, modelID, kind string, sources, targets []int, times []float64, opts *hydra.Options) (*hydra.Job, error) {
+	name := modelID + ":" + kind
+	switch kind {
+	case "passage":
+		return m.NewPassageJob(name, sources, targets, times, false, opts)
+	case "passage-cdf":
+		return m.NewPassageJob(name, sources, targets, times, true, opts)
+	case "transient":
+		return m.NewTransientJob(name, sources, targets, times, opts)
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", kind)
+	}
+}
+
+// RunQuantile executes a passage-quantile request synchronously. The
+// underlying CDF evaluations each run through the result cache, so the
+// bisection of a repeated quantile query costs nothing; the search
+// itself coalesces under a synthetic fingerprint covering every input.
+func (s *Scheduler) RunQuantile(m *hydra.Model, modelID string, sources, targets []int, p, hint float64, method string, workers int) *JobRecord {
+	if hint == 0 {
+		hint = 1 // omitted; negative hints are rejected below
+	}
+	opts := s.jobOptions(method, workers)
+	fp := quantileFingerprint(modelID, sources, targets, p, hint, method)
+	rec := s.newRecord(modelID, "quantile", fp)
+
+	// Reject malformed requests before entering the shared flight, so a
+	// validation failure is a 400 and never occupies a computation slot.
+	if !(p > 0 && p < 1) {
+		s.finish(rec, nil, false, false, fmt.Errorf("quantile probability %v outside (0,1)", p), ErrInvalidRequest)
+		return rec
+	}
+	if !(hint > 0) {
+		s.finish(rec, nil, false, false, fmt.Errorf("quantile hint %v must be positive", hint), ErrInvalidRequest)
+		return rec
+	}
+	if _, err := buildJob(m, modelID, "passage-cdf", sources, targets, []float64{hint}, opts); err != nil {
+		s.finish(rec, nil, false, false, err, ErrInvalidRequest)
+		return rec
+	}
+
+	res, coalesced, err := s.runShared(fp, func() (*hydra.Result, error) {
+		agg := &hydra.RunStats{}
+		q, err := hydra.QuantileSearch(p, hint, func(t float64) (float64, error) {
+			job, err := buildJob(m, modelID, "passage-cdf", sources, targets, []float64{t}, opts)
+			if err != nil {
+				return 0, err
+			}
+			r, err := m.RunJob(job, []float64{t}, s.cache.Pipeline(), opts)
+			if err != nil {
+				return 0, err
+			}
+			agg.Evaluated += r.Stats.Evaluated
+			agg.FromCache += r.Stats.FromCache
+			agg.Workers = r.Stats.Workers
+			agg.WallTime += r.Stats.WallTime
+			return r.Values[0], nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Share the scalar (and the search's aggregated stats) through a
+		// one-point Result so runShared's flight serves coalesced callers
+		// and counts the evaluated points.
+		return &hydra.Result{Values: []float64{q}, Stats: agg}, nil
+	})
+	var payload *JobResult
+	cacheHit := false
+	if err == nil {
+		cacheHit = res.Stats.Evaluated == 0 && !coalesced
+		payload = &JobResult{Quantile: res.Values[0], Stats: statsJSON(res.Stats)}
+	}
+	s.finish(rec, payload, coalesced, cacheHit, err, ErrExecution)
+	return rec
+}
+
+// quantileFingerprint keys quantile coalescing: a quantile request is a
+// whole search, not a single pipeline job, so it gets a synthetic
+// fingerprint over every input that determines its answer.
+func quantileFingerprint(modelID string, sources, targets []int, p, hint float64, method string) string {
+	h := sha256.New()
+	h.Write([]byte("quantile\x00" + modelID + "\x00" + method + "\x00"))
+	write := func(v any) { _ = binary.Write(h, binary.LittleEndian, v) }
+	write(int64(len(sources)))
+	for _, v := range sources {
+		write(int64(v))
+	}
+	write(int64(len(targets)))
+	for _, v := range targets {
+		write(int64(v))
+	}
+	write(math.Float64bits(p))
+	write(math.Float64bits(hint))
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Job returns a copy of a job record.
+func (s *Scheduler) Job(id string) (JobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return JobRecord{}, false
+	}
+	return *rec, true
+}
+
+// Jobs returns copies of all retained records, oldest first.
+func (s *Scheduler) Jobs() []JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SchedulerStats{
+		JobsTotal: s.jobsTotal, Running: s.running,
+		Computations: s.computations, ComputedPoints: s.computedPoints,
+		Coalesced: s.coalesced, CacheHits: s.cacheHits,
+		MaxConcurrent: cap(s.slots),
+	}
+}
