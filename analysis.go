@@ -28,6 +28,11 @@ type Options struct {
 	Laguerre lt.Laguerre
 	// Workers is the in-process worker count (default 1).
 	Workers int
+	// Backend overrides where jobs execute: nil selects the in-process
+	// pool (Workers goroutines per run); a *Fleet from NewFleet executes
+	// on resident TCP worker processes instead, in which case Workers is
+	// ignored — parallelism is however many workers are connected.
+	Backend Backend
 	// CheckpointPath enables disk checkpointing of s-point results.
 	CheckpointPath string
 	// Solver tunes the iterative passage-time algorithm.
@@ -263,21 +268,19 @@ func (m *Model) autoRun(q pipeline.Quantity, sources, targets []int, times []flo
 		return nil, err
 	}
 	job := &pipeline.Job{
-		Name:     fmt.Sprintf("auto-%s[%d states]", q, m.NumStates()),
-		Quantity: q,
-		Sources:  src.States,
-		Weights:  src.Weights,
-		Targets:  targets,
-		Points:   lag.Points(times),
+		Name:        fmt.Sprintf("auto-%s[%d states]", q, m.NumStates()),
+		Quantity:    q,
+		Sources:     src.States,
+		Weights:     src.Weights,
+		Targets:     targets,
+		Points:      lag.Points(times),
+		ModelFP:     m.fingerprint,
+		ModelStates: m.NumStates(),
 	}
 	if err := job.Validate(m.NumStates()); err != nil {
 		return nil, err
 	}
-	solverOpts := opts.solver()
-	model := m.ss.Model
-	values, stats, err := pipeline.Run(job, func() pipeline.Evaluator {
-		return pipeline.NewSolverEvaluator(model, solverOpts)
-	}, opts.workers(), nil)
+	values, stats, err := m.backend(opts).Execute(job, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,8 @@
 //
 //	table1   state-space sizes for voting systems 0-5 (exact match)
 //	table2   distributed scalability: time/speedup/efficiency vs workers
+//	fleet    the same scalability over a real TCP worker fleet (v2
+//	         protocol; -json writes the rows for trend tracking)
 //	fig4     voter passage density, analytic vs simulation
 //	fig5     passage CDF and the 98.58% response-time quantile
 //	fig6     failure-mode passage density, analytic vs simulation
@@ -16,22 +18,27 @@
 //	hydra-bench -exp all            (defaults sized for a laptop)
 //	hydra-bench -exp table1 -full   (adds the 1.14M-state systems)
 //	hydra-bench -exp table2 -full   (uses the paper's system 1 workload)
+//	hydra-bench -exp fleet -json BENCH_fleet.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"hydra/internal/experiments"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|fig7|ablations|all")
-		full = flag.Bool("full", false, "paper-scale workloads (slower)")
-		reps = flag.Int("reps", 0, "simulation replications override")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fleet|fig4|fig5|fig6|fig7|ablations|all")
+		full     = flag.Bool("full", false, "paper-scale workloads (slower)")
+		reps     = flag.Int("reps", 0, "simulation replications override")
+		jsonPath = flag.String("json", "", "also write the experiment's rows as JSON to this file (fleet)")
 	)
 	flag.Parse()
 
@@ -49,6 +56,7 @@ func main() {
 
 	run("table1", func() error { return table1(*full) })
 	run("table2", func() error { return table2(*full) })
+	run("fleet", func() error { return fleetScaling(*full, *jsonPath) })
 	run("fig4", func() error { return fig4(*full, *reps) })
 	run("fig5", func() error { return fig5(*full) })
 	run("fig6", func() error { return fig6(*reps) })
@@ -84,6 +92,41 @@ func table2(full bool) error {
 		fmt.Printf("%s,%d,%.3f,%.2f,%.3f\n", r.Mode, r.Workers, r.Seconds, r.Speedup, r.Efficiency)
 	}
 	return nil
+}
+
+// fleetScaling measures the worker-scaling datapoint over a real TCP
+// fleet and optionally records it as JSON for trend tracking in CI.
+func fleetScaling(full bool, jsonPath string) error {
+	cfg := experiments.FleetScalingConfig{}
+	if full {
+		cfg = experiments.FleetScalingConfig{CC: 30, MM: 10, NN: 3, TPoints: 5, Workers: []int{1, 2, 4, 8}}
+	}
+	rows, err := experiments.FleetScaling(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("workers,seconds,speedup,efficiency,points")
+	for _, r := range rows {
+		fmt.Printf("%d,%.3f,%.2f,%.3f,%d\n", r.Workers, r.Seconds, r.Speedup, r.Efficiency, r.Points)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	doc := struct {
+		Experiment  string                 `json:"experiment"`
+		GeneratedAt time.Time              `json:"generated_at"`
+		NumCPU      int                    `json:"num_cpu"`
+		GoVersion   string                 `json:"go_version"`
+		Rows        []experiments.FleetRow `json:"rows"`
+	}{
+		Experiment: "fleet-scaling", GeneratedAt: time.Now().UTC(),
+		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), Rows: rows,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(b, '\n'), 0o644)
 }
 
 func figDensity(pts []experiments.CurvePoint) {

@@ -11,6 +11,17 @@
 // Usage:
 //
 //	hydra-serve -addr :8700 -checkpoint serve.ckpt
+//	hydra-serve -addr :8700 -backend fleet -listen :9441
+//
+// The second form executes every computation on a resident fleet of
+// hydra-worker processes connected to -listen (wire protocol v2)
+// instead of the in-process pool: start workers with
+//
+//	hydra-worker -spec model.dnamaca -master host:9441 -reconnect
+//
+// holding the same models clients upload, and the service scales with
+// the worker count while keeping its registry, coalescing and result
+// cache.
 //
 // API sketch (see README.md for request bodies):
 //
@@ -32,6 +43,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"hydra/internal/pipeline"
 	"hydra/internal/server"
 )
 
@@ -48,18 +62,45 @@ func main() {
 		maxModels     = flag.Int("max-models", 16, "resident model bound (LRU beyond it)")
 		cachePoints   = flag.Int("cache-points", 1<<20, "memory result-cache bound (resident s-point values)")
 		checkpoint    = flag.String("checkpoint", "", "disk checkpoint file backing the result cache")
-		workers       = flag.Int("workers", runtime.NumCPU(), "worker pool size per computation")
+		workers       = flag.Int("workers", runtime.NumCPU(), "worker pool size per computation (inproc backend)")
 		maxConcurrent = flag.Int("max-concurrent", 2, "computations allowed to run at once")
+		backendName   = flag.String("backend", "inproc", "compute backend: inproc | fleet")
+		listen        = flag.String("listen", ":9441", "TCP address to accept fleet workers on (fleet backend)")
+		batch         = flag.Int("batch", 8, "s-points per fleet assignment message")
+		fleetWait     = flag.Duration("fleet-wait", 2*time.Minute, "fail a job after this long with no capable fleet worker (0 waits forever)")
 	)
 	flag.Parse()
 
-	srv, err := server.New(server.Config{
+	var backend *pipeline.Fleet
+	switch *backendName {
+	case "inproc":
+	case "fleet":
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fatal(err)
+		}
+		backend = pipeline.NewFleet(ln, pipeline.FleetOptions{
+			BatchSize:   *batch,
+			WaitTimeout: *fleetWait,
+			Logf:        log.New(os.Stderr, "hydra-serve: ", 0).Printf,
+		})
+		defer backend.Close()
+		fmt.Fprintf(os.Stderr, "hydra-serve: fleet backend accepting workers on %s\n", backend.Addr())
+	default:
+		fatal(fmt.Errorf("unknown backend %q (inproc or fleet)", *backendName))
+	}
+
+	cfg := server.Config{
 		MaxModels:      *maxModels,
 		CachePoints:    *cachePoints,
 		CheckpointPath: *checkpoint,
 		Workers:        *workers,
 		MaxConcurrent:  *maxConcurrent,
-	})
+	}
+	if backend != nil {
+		cfg.Backend = backend
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,8 +109,8 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "hydra-serve: listening on %s (workers=%d, max-concurrent=%d)\n",
-		*addr, *workers, *maxConcurrent)
+	fmt.Fprintf(os.Stderr, "hydra-serve: listening on %s (backend=%s, workers=%d, max-concurrent=%d)\n",
+		*addr, *backendName, *workers, *maxConcurrent)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

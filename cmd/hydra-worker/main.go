@@ -1,31 +1,44 @@
 // Command hydra-worker is the worker side of the distributed analysis
 // pipeline (§4): it builds the model locally (workers never receive
 // matrices over the network — only s-values and results travel), then
-// connects to a hydra-master and evaluates assigned s-points until the
-// job completes.
+// connects to a master and evaluates assigned s-point batches until the
+// master shuts down.
 //
 // The worker must be started with the same model the master serves; the
-// handshake cross-checks the state count.
+// handshake advertises the model's fingerprint and state count so the
+// master routes only matching jobs here (wire protocol v2).
 //
 // Usage:
 //
 //	hydra-worker -spec model.dnamaca -master host:9441 [-name node7]
+//	hydra-worker -spec model.dnamaca -master host:9441 -reconnect
+//
+// Against a one-shot hydra-master, run without -reconnect: the worker
+// exits when the job's fleet closes. Against a resident hydra-serve
+// fleet, -reconnect keeps the worker in the fleet across service
+// restarts and network blips, redialing with exponential backoff. A
+// rejected handshake (protocol version mismatch, unwanted model) is
+// permanent and exits the worker even under -reconnect.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hydra"
 )
 
 func main() {
 	var (
-		specPath  = flag.String("spec", "", "extended-DNAmaca model specification file")
-		votingSys = flag.Int("voting", -1, "built-in voting system 0-5")
-		master    = flag.String("master", "", "master address host:port")
-		name      = flag.String("name", hostname(), "worker name shown in diagnostics")
+		specPath   = flag.String("spec", "", "extended-DNAmaca model specification file")
+		votingSys  = flag.Int("voting", -1, "built-in voting system 0-5")
+		master     = flag.String("master", "", "master address host:port")
+		name       = flag.String("name", hostname(), "worker name shown in diagnostics")
+		reconnect  = flag.Bool("reconnect", false, "redial the master with exponential backoff when the connection drops")
+		backoffMax = flag.Duration("backoff-max", 30*time.Second, "upper bound on the reconnect backoff")
 	)
 	flag.Parse()
 	if *master == "" {
@@ -35,12 +48,44 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "hydra-worker %s: model has %d states, connecting to %s\n",
-		*name, model.NumStates(), *master)
-	if err := model.RunWorker(*master, *name, nil); err != nil {
-		fatal(err)
+	fmt.Fprintf(os.Stderr, "hydra-worker %s: model %s has %d states, connecting to %s\n",
+		*name, model.Fingerprint(), model.NumStates(), *master)
+
+	backoff := time.Second
+	for {
+		start := time.Now()
+		err := model.RunWorker(*master, *name, nil)
+		// A session that lasted a while was healthy; restart the backoff
+		// so a mid-job blip redials promptly.
+		if time.Since(start) > time.Minute {
+			backoff = time.Second
+		}
+		switch {
+		case err == nil && !*reconnect:
+			// The master dismissed the fleet cleanly: the one-shot job
+			// is done.
+			fmt.Fprintf(os.Stderr, "hydra-worker %s: master closed the fleet, exiting\n", *name)
+			return
+		case err == nil:
+			// A clean dismissal under -reconnect means the service shut
+			// down (a restart, usually): stay resident and rejoin when it
+			// comes back.
+			fmt.Fprintf(os.Stderr, "hydra-worker %s: master closed the fleet — reconnecting in %v\n", *name, backoff)
+		case errors.Is(err, hydra.ErrHandshakeRejected):
+			// A rejection (version mismatch, unwanted model) is permanent
+			// for this pair of binaries; redialing can never succeed.
+			fatal(err)
+		case !*reconnect:
+			fatal(err)
+		default:
+			fmt.Fprintf(os.Stderr, "hydra-worker %s: %v — reconnecting in %v\n", *name, err, backoff)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > *backoffMax {
+			backoff = *backoffMax
+		}
 	}
-	fmt.Fprintf(os.Stderr, "hydra-worker %s: job complete\n", *name)
 }
 
 func hostname() string {

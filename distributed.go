@@ -21,6 +21,36 @@ type RunStats = pipeline.RunStats
 // checkpoint through this interface (see internal/server).
 type Cache = pipeline.Cache
 
+// Backend re-exports the pipeline execution contract: where a job's
+// s-points get evaluated. Leave Options.Backend nil for the in-process
+// pool; pass a *Fleet to execute on resident TCP workers.
+type Backend = pipeline.Backend
+
+// Fleet re-exports the resident TCP worker fleet — the Backend that
+// serves jobs on persistent hydra-worker connections (wire protocol
+// v2): workers join and leave freely, batches lost to dead workers are
+// requeued, and one fleet serves every model its workers hold.
+type Fleet = pipeline.Fleet
+
+// FleetOptions re-exports the fleet tuning knobs.
+type FleetOptions = pipeline.FleetOptions
+
+// PointError re-exports the structured evaluation failure: which
+// worker, which point index, and the evaluator's message.
+type PointError = pipeline.PointError
+
+// ErrHandshakeRejected re-exports the permanent handshake failure a
+// fleet master answers with when a worker's protocol version or models
+// are unacceptable. Reconnect loops give up on it (errors.Is) instead
+// of redialing an unwinnable handshake.
+var ErrHandshakeRejected = pipeline.ErrHandshakeRejected
+
+// NewFleet starts a fleet master accepting workers on ln. Close it to
+// release the listener and dismiss the workers.
+func NewFleet(ln net.Listener, opts FleetOptions) *Fleet {
+	return pipeline.NewFleet(ln, opts)
+}
+
 // NewPassageJob builds a distributed job for the passage density (or
 // CDF when cdf is true) of a measure at the given times.
 func (m *Model) NewPassageJob(name string, sources, targets []int, times []float64, cdf bool, opts *Options) (*Job, error) {
@@ -51,12 +81,14 @@ func (m *Model) newJob(name string, q pipeline.Quantity, sources, targets []int,
 		return nil, err
 	}
 	job := &pipeline.Job{
-		Name:     name,
-		Quantity: q,
-		Sources:  src.States,
-		Weights:  src.Weights,
-		Targets:  targets,
-		Points:   inv.Points(times),
+		Name:        name,
+		Quantity:    q,
+		Sources:     src.States,
+		Weights:     src.Weights,
+		Targets:     targets,
+		Points:      inv.Points(times),
+		ModelFP:     m.fingerprint,
+		ModelStates: m.NumStates(),
 	}
 	if err := job.Validate(m.NumStates()); err != nil {
 		return nil, err
@@ -64,11 +96,29 @@ func (m *Model) newJob(name string, q pipeline.Quantity, sources, targets []int,
 	return job, nil
 }
 
+// backend resolves where a job executes: opts.Backend when set (e.g. a
+// Fleet), otherwise an in-process pool sized by opts.Workers whose
+// evaluators run against this model.
+func (m *Model) backend(opts *Options) Backend {
+	if opts != nil && opts.Backend != nil {
+		return opts.Backend
+	}
+	solverOpts := opts.solver()
+	model := m.ss.Model
+	return &pipeline.InProc{
+		NewEvaluator: func() pipeline.Evaluator {
+			return pipeline.NewSolverEvaluator(model, solverOpts)
+		},
+		Workers: opts.workers(),
+	}
+}
+
 // RunJob executes a prepared job (from NewPassageJob or NewTransientJob)
-// on the in-process worker pool and inverts the transform values at the
-// given times. The job's s-points must have been built with the same
-// inverter configuration opts selects — which NewPassageJob and
-// NewTransientJob guarantee when handed the same opts.
+// on the selected backend — opts.Backend, or the in-process worker pool
+// when nil — and inverts the transform values at the given times. The
+// job's s-points must have been built with the same inverter
+// configuration opts selects — which NewPassageJob and NewTransientJob
+// guarantee when handed the same opts.
 //
 // cache may be nil; when it is, opts.CheckpointPath (if set) is opened
 // for the duration of the run. Passing a persistent cache instead is how
@@ -88,11 +138,7 @@ func (m *Model) RunJob(job *Job, times []float64, cache Cache, opts *Options) (*
 		defer ckpt.Close()
 		cache = ckpt
 	}
-	solverOpts := opts.solver()
-	model := m.ss.Model
-	values, stats, err := pipeline.Run(job, func() pipeline.Evaluator {
-		return pipeline.NewSolverEvaluator(model, solverOpts)
-	}, opts.workers(), cache)
+	values, stats, err := m.backend(opts).Execute(job, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -103,10 +149,13 @@ func (m *Model) RunJob(job *Job, times []float64, cache Cache, opts *Options) (*
 	return &Result{Times: times, Values: f, Stats: stats}, nil
 }
 
-// ServeMaster runs the distributed master on the listener until every
+// ServeMaster runs a one-shot fleet master on the listener until every
 // s-point of the job has been computed by connected workers, then
 // inverts with the same inverter configuration used to build the job.
-// checkpointPath may be empty.
+// checkpointPath may be empty. The fleet (and the listener with it) is
+// closed before returning, which dismisses the workers cleanly; for a
+// resident master that survives many jobs, use NewFleet and
+// Options.Backend instead.
 func (m *Model) ServeMaster(ln net.Listener, job *Job, times []float64, checkpointPath string, opts *Options) (*Result, error) {
 	inv, err := opts.inverter()
 	if err != nil {
@@ -121,7 +170,15 @@ func (m *Model) ServeMaster(ln net.Listener, job *Job, times []float64, checkpoi
 		defer ckpt.Close()
 		cache = ckpt
 	}
-	values, stats, err := pipeline.Serve(ln, job, cache, pipeline.MasterOptions{ModelStates: m.NumStates()})
+	// A one-shot master serves exactly this job, so mismatched workers
+	// are rejected at the handshake (readably, on their own console)
+	// instead of idling unrouted while the master waits forever.
+	fleet := pipeline.NewFleet(ln, pipeline.FleetOptions{
+		RequireFingerprint: job.ModelFP,
+		RequireStates:      job.ModelStates,
+	})
+	defer fleet.Close()
+	values, stats, err := fleet.Execute(job, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -132,12 +189,17 @@ func (m *Model) ServeMaster(ln net.Listener, job *Job, times []float64, checkpoi
 	return &Result{Times: times, Values: f, Stats: stats}, nil
 }
 
-// RunWorker connects this model to a master at addr and evaluates
-// assignments until the master completes. The worker must hold the same
-// model as the master expects; the handshake verifies the state count.
+// RunWorker connects this model to a fleet master at addr and evaluates
+// assignment batches until the master shuts down (nil return) or the
+// connection fails. The handshake advertises the model's fingerprint
+// and state count, so the master only routes this model's jobs here.
 func (m *Model) RunWorker(addr, name string, opts *Options) error {
-	eval := pipeline.NewSolverEvaluator(m.ss.Model, opts.solver())
-	return pipeline.Work(addr, eval, m.NumStates(), pipeline.WorkerOptions{Name: name})
+	wm := pipeline.WorkerModel{
+		Fingerprint: m.fingerprint,
+		States:      m.NumStates(),
+		Evaluator:   pipeline.NewSolverEvaluator(m.ss.Model, opts.solver()),
+	}
+	return pipeline.FleetWork(addr, []pipeline.WorkerModel{wm}, pipeline.WorkerOptions{Name: name})
 }
 
 // EulerPointsPerT exposes the s-point cost model of the default Euler

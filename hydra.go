@@ -18,6 +18,8 @@
 package hydra
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 
@@ -36,10 +38,39 @@ type Marking = petri.Marking
 type Model struct {
 	ss            *petri.StateSpace
 	compiled      *dnamaca.Compiled // non-nil when loaded from a specification
+	fingerprint   string            // content-derived identity (see Fingerprint)
 	measures      []Measure
 	stateMeasures []StateMeasure
 	pi            []float64 // lazily computed embedded-chain steady state
 }
+
+// SpecFingerprint derives a model fingerprint from DNAmaca source text.
+// It is the identity a fleet routes jobs by and the ID the hydra-serve
+// registry stores models under, so a hydra-worker that loads the same
+// spec file as the service advertises exactly the ID the service's jobs
+// carry.
+func SpecFingerprint(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return "m-" + hex.EncodeToString(sum[:8])
+}
+
+// VotingFingerprint is the fingerprint of a built-in Table 1 system.
+func VotingFingerprint(system int) string {
+	return fmt.Sprintf("voting-%d", system)
+}
+
+// VotingConfigFingerprint is the fingerprint of a custom-size voting
+// system.
+func VotingConfigFingerprint(cc, mm, nn int) string {
+	return fmt.Sprintf("voting-%d-%d-%d", cc, mm, nn)
+}
+
+// Fingerprint returns the model's content-derived identity: the spec
+// hash for LoadSpec models, the configuration name for voting models.
+// Jobs built from this model carry it so a worker fleet can cross-check
+// that master and worker hold the same model (the v1 protocol checked
+// only the state count).
+func (m *Model) Fingerprint() string { return m.fingerprint }
 
 // StateMeasure is a resolved \statemeasure block: the long-run
 // probability of a marking condition, evaluated through
@@ -88,7 +119,7 @@ func LoadSpec(src string) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{ss: ss, compiled: compiled}
+	m := &Model{ss: ss, compiled: compiled, fingerprint: SpecFingerprint(src)}
 	for i, ms := range spec.Passages {
 		sources, targets, ts, err := compiled.ResolveMeasure(ms, ss)
 		if err != nil {
@@ -139,7 +170,7 @@ func VotingSystem(system int) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{ss: ss}, nil
+	return &Model{ss: ss, fingerprint: VotingFingerprint(system)}, nil
 }
 
 // VotingConfig builds a voting system with a custom size.
@@ -149,7 +180,7 @@ func VotingConfig(cc, mm, nn int) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{ss: ss}, nil
+	return &Model{ss: ss, fingerprint: VotingConfigFingerprint(cc, mm, nn)}, nil
 }
 
 // NumStates returns the size of the explored state space.

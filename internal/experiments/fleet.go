@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hydra"
+	"hydra/internal/pipeline"
+)
+
+// FleetScalingConfig sizes the worker-fleet scalability datapoint: the
+// same §5.3.3 question as Table 2, but measured over the real resident
+// TCP fleet (wire protocol v2) instead of the in-process pool, so the
+// number includes gob framing, batching and loopback round-trips.
+type FleetScalingConfig struct {
+	// CC/MM/NN size the voting system (default 18,6,3 — Table 1
+	// system 0, 2061 states, CI-friendly).
+	CC, MM, NN int
+	// TPoints is the number of density evaluation times (default 2, for
+	// 66 s-points with the default Euler inverter).
+	TPoints int
+	// Workers lists the fleet sizes to measure (default {1, 2, 4}).
+	Workers []int
+	// BatchSize is the fleet assignment batch (default 8).
+	BatchSize int
+}
+
+func (c FleetScalingConfig) withDefaults() FleetScalingConfig {
+	if c.CC == 0 {
+		c.CC, c.MM, c.NN = 18, 6, 3
+	}
+	if c.TPoints == 0 {
+		c.TPoints = 2
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4}
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+	return c
+}
+
+// FleetRow is one measured fleet size. Speedup is relative to the
+// first (smallest) measured fleet, and Efficiency adjusts it for the
+// worker ratio — so when Workers starts at 1 these are the classic
+// definitions, and a sweep starting higher reports only measured
+// ratios, never an extrapolated 1-worker baseline.
+type FleetRow struct {
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	Speedup    float64 `json:"speedup"`    // seconds(first) / seconds
+	Efficiency float64 `json:"efficiency"` // speedup · workers(first) / workers
+	Points     int     `json:"points"`     // s-points evaluated
+}
+
+// FleetScaling measures a passage-density job over real TCP fleets of
+// increasing size on loopback. Every worker holds its own evaluator
+// against a shared explored model, exactly as separate hydra-worker
+// processes hold their own copies; the job is evaluated uncached each
+// round so every fleet does identical work.
+func FleetScaling(cfg FleetScalingConfig) ([]FleetRow, error) {
+	cfg = cfg.withDefaults()
+	m, err := hydra.VotingConfig(cfg.CC, cfg.MM, cfg.NN)
+	if err != nil {
+		return nil, err
+	}
+	p2 := m.PlaceIndex("p2")
+	cc := int32(cfg.CC)
+	targets := m.States(func(mk hydra.Marking) bool { return mk[p2] >= cc })
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("experiments: no all-voted states")
+	}
+	ts := make([]float64, cfg.TPoints)
+	for i := range ts {
+		ts[i] = float64(cfg.CC) * (0.5 + 2.5*float64(i)/float64(len(ts)))
+	}
+	job, err := m.NewPassageJob("fleet-scaling", []int{m.InitialState()}, targets, ts, false, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []FleetRow
+	var baseSecs float64
+	var baseWorkers int
+	for _, w := range cfg.Workers {
+		secs, evaluated, err := runFleetOnce(m, job, w, cfg.BatchSize)
+		if err != nil {
+			return nil, err
+		}
+		if baseSecs == 0 {
+			baseSecs, baseWorkers = secs, w
+		}
+		rows = append(rows, FleetRow{
+			Workers: w, Seconds: secs, Points: evaluated,
+			Speedup:    baseSecs / secs,
+			Efficiency: baseSecs / secs * float64(baseWorkers) / float64(w),
+		})
+	}
+	return rows, nil
+}
+
+// runFleetOnce executes the job on a fresh loopback fleet of w workers
+// and reports the wall time of Execute alone (workers connect first, so
+// dial/handshake cost is not billed to the job — matching how a
+// resident service amortizes it).
+func runFleetOnce(m *hydra.Model, job *hydra.Job, w, batch int) (float64, int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	fleet := pipeline.NewFleet(ln, pipeline.FleetOptions{BatchSize: batch})
+	defer fleet.Close()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, w)
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = m.RunWorker(ln.Addr().String(), fmt.Sprintf("w%d", i), nil)
+		}(i)
+	}
+	for deadline := time.Now().Add(10 * time.Second); len(fleet.Snapshot().Connected) < w; {
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("experiments: only %d/%d workers joined the fleet", len(fleet.Snapshot().Connected), w)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	start := time.Now()
+	_, stats, err := fleet.Execute(job, nil)
+	secs := time.Since(start).Seconds()
+	fleet.Close()
+	wg.Wait()
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, werr := range workerErrs {
+		if werr != nil {
+			return 0, 0, fmt.Errorf("experiments: fleet worker %d: %w", i, werr)
+		}
+	}
+	return secs, stats.Evaluated, nil
+}

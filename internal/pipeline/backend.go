@@ -1,0 +1,59 @@
+package pipeline
+
+import "fmt"
+
+// Backend executes a prepared job against a pool of evaluators and
+// returns the transform value for every s-point. It is the seam between
+// job construction/inversion (which always happen on the caller) and
+// the compute substrate, so a caller — Model.RunJob, the hydra-serve
+// scheduler — is indifferent to whether points are evaluated by
+// goroutines in this process or by a fleet of TCP worker processes.
+//
+// The contract:
+//
+//   - Execute consults cache (which may be nil) before evaluating,
+//     reports restored points as RunStats.FromCache, appends every
+//     freshly computed value, and calls Sync before returning;
+//   - the returned slice is indexed like job.Points and is complete on
+//     a nil error;
+//   - a failed point evaluation aborts the job with a *PointError
+//     carrying the worker name and point index;
+//   - Execute is safe for concurrent use: a Backend is a long-lived
+//     resource shared by every request of a resident service.
+//
+// Two implementations ship with the package: InProc (the per-job
+// goroutine pool) and Fleet (resident TCP workers, wire protocol v2).
+type Backend interface {
+	Execute(job *Job, cache Cache) ([]complex128, *RunStats, error)
+}
+
+// InProc is the in-process Backend: each Execute spins up Workers
+// goroutines, each owning one Evaluator (its own kernel matrices), and
+// tears them down when the job completes. NewEvaluator must be safe to
+// call from multiple goroutines; the evaluators it returns need not be.
+type InProc struct {
+	NewEvaluator func() Evaluator
+	Workers      int
+}
+
+// Execute implements Backend over Run.
+func (b *InProc) Execute(job *Job, cache Cache) ([]complex128, *RunStats, error) {
+	return Run(job, b.NewEvaluator, b.Workers, cache)
+}
+
+// PointError reports a transform evaluation that failed on a worker:
+// which worker, which point index, and the evaluator's own message.
+// Both TCP protocols surface evaluation failures as *PointError so
+// operators can tell a numerically diverging s-point (same index fails
+// on every worker) from a broken worker node (every index fails on one
+// worker).
+type PointError struct {
+	Worker string // worker name from the handshake
+	Index  int    // index into Job.Points
+	Msg    string // the evaluator's error text
+}
+
+// Error implements error.
+func (e *PointError) Error() string {
+	return fmt.Sprintf("pipeline: worker %q failed on point %d: %s", e.Worker, e.Index, e.Msg)
+}

@@ -1,0 +1,682 @@
+package pipeline
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Wire protocol v2 — the resident-fleet upgrade of the v1 one-shot
+// protocol in master.go/worker.go. The differences:
+//
+//   - the handshake is versioned: the worker's hello carries an explicit
+//     Version and the master answers with a welcome that either accepts
+//     or rejects with a human-readable reason (v1 signalled rejection
+//     with the ModelStates == -1 sentinel; the welcome still sets that
+//     sentinel so a legacy worker that connects fails readably too);
+//   - the worker advertises the models it holds by fingerprint, so one
+//     fleet serves every model of a registry and the master routes each
+//     job only to workers that hold its model;
+//   - assignments and results travel in batches of s-points to amortize
+//     gob round-trips, and each batch names the run it belongs to, so a
+//     worker serves many jobs over one connection;
+//   - the connection outlives any single job: workers join and leave at
+//     will, the master requeues whatever a dead worker had in flight.
+
+// ProtocolVersion is the fleet wire protocol generation. A master and
+// worker must agree exactly; the handshake enforces it.
+const ProtocolVersion = 2
+
+// helloV2Msg opens a fleet connection (worker → master).
+type helloV2Msg struct {
+	Version    int
+	WorkerName string
+	Models     []modelAd
+}
+
+// modelAd advertises one model a worker holds.
+type modelAd struct {
+	Fingerprint string
+	States      int
+}
+
+// welcomeMsg answers the hello (master → worker). On rejection, Reject
+// carries the reason and ModelStates is -1 — the v1 sentinel, kept so a
+// v1 worker that reaches a v2 master decodes this message as its job
+// header and fails its legacy "master rejected handshake" path instead
+// of hanging.
+type welcomeMsg struct {
+	Version     int
+	ModelStates int
+	Reject      string
+}
+
+// runHeaderMsg describes a job once per (worker, run): everything an
+// evaluator needs except the s-values themselves.
+type runHeaderMsg struct {
+	ModelFP     string
+	ModelStates int
+	Quantity    Quantity
+	Sources     []int
+	Weights     []float64
+	Targets     []int
+}
+
+// assignBatchMsg carries up to BatchSize s-points (master → worker).
+// Header is set on the first batch of a run sent to this worker; Forget
+// lists runs that have ended so the worker can drop their state. Done
+// tells the worker the fleet is shutting down.
+type assignBatchMsg struct {
+	Done    bool
+	RunID   int64
+	Header  *runHeaderMsg
+	Forget  []int64
+	Indices []int
+	Points  []complex128
+}
+
+// resultBatchMsg answers one assignment batch (worker → master).
+type resultBatchMsg struct {
+	RunID   int64
+	Results []pointResultV2
+}
+
+// pointResultV2 is one evaluated s-point. A non-empty Err reports the
+// evaluator's failure for that index without tearing down the
+// connection: the master aborts the affected run, the worker keeps
+// serving other jobs.
+type pointResultV2 struct {
+	Index int
+	Value complex128
+	Err   string
+}
+
+// FleetOptions tunes a Fleet.
+type FleetOptions struct {
+	// BatchSize is how many s-points travel per assignment message
+	// (default 8). Larger batches amortize gob round-trips; smaller ones
+	// spread work more evenly and lose less to a dying worker.
+	BatchSize int
+	// IdleTimeout bounds how long the master waits for a single batch
+	// result before declaring the connection dead (default 10 minutes —
+	// a batch of points on a million-state model is legitimately slow).
+	IdleTimeout time.Duration
+	// WaitTimeout bounds how long Execute tolerates having zero
+	// connected workers capable of its job before failing it. Zero means
+	// wait indefinitely (the v1 Serve behaviour: the master idles until
+	// workers arrive).
+	WaitTimeout time.Duration
+	// RequireFingerprint/RequireStates, when set, make the handshake
+	// reject workers that do not advertise a matching model — the
+	// one-shot master behaviour (v1 cross-checked the state count at
+	// handshake), where a mismatched worker should fail loudly on its
+	// own console rather than idle unrouted forever. An empty
+	// fingerprint matches by state count alone and zero states by
+	// fingerprint alone; resident fleets leave both unset and accept any
+	// model a registry might serve.
+	RequireFingerprint string
+	RequireStates      int
+	// Logf receives diagnostics (rejected handshakes, requeues). Nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o FleetOptions) withDefaults() FleetOptions {
+	if o.BatchSize < 1 {
+		o.BatchSize = 8
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 10 * time.Minute
+	}
+	return o
+}
+
+// Fleet is the resident master of the distributed pipeline (§4) and the
+// TCP Backend implementation: it accepts hydra-worker connections on a
+// listener and keeps them alive across jobs, so a resident service plus
+// K worker processes serves repeated traffic with near-linear speedup —
+// workers never exchange data with each other (§5.3.3).
+//
+// Execute may be called concurrently; every connected worker that holds
+// a job's model pulls batches from it, and a worker that dies or
+// disconnects mid-batch has its in-flight points requeued for the
+// others. Workers that join mid-run are handed work immediately.
+type Fleet struct {
+	opts FleetOptions
+	ln   net.Listener
+
+	mu       sync.Mutex
+	cond     *sync.Cond     // signals pending work / shutdown to worker loops
+	connWG   sync.WaitGroup // live serveConn goroutines
+	conns    map[*fleetConn]struct{}
+	runs     map[int64]*fleetRun
+	runOrder []int64 // ascending registration order, for fair dispatch
+	nextRun  int64
+	closed   bool
+	closedCh chan struct{}
+	accepted int64
+	rejected int64
+}
+
+// fleetConn is the master-side state of one worker connection.
+type fleetConn struct {
+	name      string
+	conn      net.Conn
+	models    map[string]int // fingerprint → state count
+	started   map[int64]bool // runs this worker has the header of
+	assigned  int            // points handed to this worker (lifetime)
+	completed int            // points it answered (lifetime)
+}
+
+// fleetRun is one Execute in progress.
+type fleetRun struct {
+	id       int64
+	job      *Job
+	header   runHeaderMsg
+	pending  []int // unassigned point indices (guarded by Fleet.mu)
+	requeued int   // points returned to pending after a worker loss
+	results  chan fleetResult
+	done     chan struct{} // closed when Execute stops consuming results
+	ended    bool
+}
+
+// fleetResult is one answered batch routed back to Execute.
+type fleetResult struct {
+	worker string
+	points []pointResultV2
+}
+
+// NewFleet starts a fleet master accepting workers on ln. The listener
+// is owned by the fleet from here on; Close closes it.
+func NewFleet(ln net.Listener, opts FleetOptions) *Fleet {
+	f := &Fleet{
+		opts:     opts.withDefaults(),
+		ln:       ln,
+		conns:    make(map[*fleetConn]struct{}),
+		runs:     make(map[int64]*fleetRun),
+		closedCh: make(chan struct{}),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	go f.acceptLoop()
+	return f
+}
+
+// Addr returns the address workers should dial.
+func (f *Fleet) Addr() net.Addr { return f.ln.Addr() }
+
+// Close shuts the fleet down: the listener stops accepting, jobs still
+// executing fail with a "fleet closed" error, and every worker is
+// dismissed with a Done message so FleetWork returns nil. A worker that
+// stays unresponsive past closeGrace has its connection torn down
+// instead.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	close(f.closedCh)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+	err := f.ln.Close()
+
+	// Let the connection loops dismiss their workers; force-close
+	// whatever is still mid-batch after the grace period.
+	done := make(chan struct{})
+	go func() {
+		f.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(closeGrace):
+		f.mu.Lock()
+		for c := range f.conns {
+			c.conn.Close()
+		}
+		f.mu.Unlock()
+		<-done
+	}
+	return err
+}
+
+// closeGrace is how long Close waits for workers to be dismissed
+// cleanly before tearing their connections down.
+const closeGrace = 5 * time.Second
+
+func (f *Fleet) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}
+
+func (f *Fleet) acceptLoop() {
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		// The closed check under the lock keeps connWG.Add from racing
+		// Close's Wait on a connection accepted mid-shutdown.
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		f.connWG.Add(1)
+		f.mu.Unlock()
+		go func() {
+			defer f.connWG.Done()
+			f.serveConn(conn)
+		}()
+	}
+}
+
+// Execute implements Backend: it farms the job's uncached s-points out
+// to every connected worker holding the job's model, requeueing batches
+// lost to failed workers, until all points are in.
+func (f *Fleet) Execute(job *Job, cache Cache) ([]complex128, *RunStats, error) {
+	start := time.Now()
+	values := make([]complex128, len(job.Points))
+	have := make([]bool, len(job.Points))
+	stats := &RunStats{}
+	if cache != nil {
+		cached, err := cache.Load(job)
+		if err != nil {
+			return nil, nil, err
+		}
+		for idx, v := range cached {
+			values[idx] = v
+			have[idx] = true
+			stats.FromCache++
+		}
+	}
+	var pending []int
+	for idx := range job.Points {
+		if !have[idx] {
+			pending = append(pending, idx)
+		}
+	}
+	if len(pending) == 0 {
+		stats.WallTime = time.Since(start)
+		return values, stats, nil
+	}
+
+	run := &fleetRun{
+		job: job,
+		header: runHeaderMsg{
+			ModelFP:     job.ModelFP,
+			ModelStates: job.ModelStates,
+			Quantity:    job.Quantity,
+			Sources:     job.Sources,
+			Weights:     job.Weights,
+			Targets:     job.Targets,
+		},
+		pending: pending,
+		results: make(chan fleetResult, 64),
+		done:    make(chan struct{}),
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, nil, errors.New("pipeline: fleet is closed")
+	}
+	f.nextRun++
+	run.id = f.nextRun
+	f.runs[run.id] = run
+	f.runOrder = append(f.runOrder, run.id)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+	defer f.unregister(run)
+
+	perWorker := make(map[string]int)
+	remaining := len(pending)
+	var firstErr error
+	idleSince := time.Now()
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for remaining > 0 && firstErr == nil {
+		select {
+		case r := <-run.results:
+			idleSince = time.Now()
+			for _, pr := range r.points {
+				if pr.Err != "" {
+					if firstErr == nil {
+						firstErr = &PointError{Worker: r.worker, Index: pr.Index, Msg: pr.Err}
+					}
+					continue
+				}
+				if pr.Index < 0 || pr.Index >= len(values) || have[pr.Index] {
+					continue // duplicate after a requeue race; first result wins
+				}
+				values[pr.Index] = pr.Value
+				have[pr.Index] = true
+				remaining--
+				stats.Evaluated++
+				perWorker[r.worker]++
+				if cache != nil {
+					if err := cache.Append(job, pr.Index, pr.Value); err != nil && firstErr == nil {
+						firstErr = err
+					}
+				}
+			}
+		case <-f.closedCh:
+			firstErr = errors.New("pipeline: fleet closed while the job was running")
+		case <-tick.C:
+			if f.opts.WaitTimeout > 0 && time.Since(idleSince) > f.opts.WaitTimeout {
+				if n := f.capableConns(run); n == 0 {
+					firstErr = fmt.Errorf("pipeline: no connected worker holds model %q after %v (connect hydra-worker processes with the model loaded)",
+						job.ModelFP, f.opts.WaitTimeout)
+				} else {
+					idleSince = time.Now() // capable workers exist; IdleTimeout polices them
+				}
+			}
+		}
+	}
+	requeued := f.unregister(run)
+	if cache != nil {
+		if err := cache.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	names := make([]string, 0, len(perWorker))
+	for name := range perWorker {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	stats.Workers = len(names)
+	stats.WorkerNames = names
+	stats.PerWorker = make([]int, len(names))
+	for i, name := range names {
+		stats.PerWorker[i] = perWorker[name]
+	}
+	stats.Requeued = requeued
+	stats.WallTime = time.Since(start)
+	return values, stats, nil
+}
+
+// unregister removes a run from dispatch and stops result delivery. It
+// is idempotent and returns the run's requeue count.
+func (f *Fleet) unregister(run *fleetRun) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !run.ended {
+		run.ended = true
+		close(run.done)
+		delete(f.runs, run.id)
+		order := f.runOrder[:0]
+		for _, id := range f.runOrder {
+			if id != run.id {
+				order = append(order, id)
+			}
+		}
+		f.runOrder = order
+	}
+	return run.requeued
+}
+
+// requeue returns indices a lost worker had in flight to the run's
+// pending queue (a no-op if the run already ended).
+func (f *Fleet) requeue(run *fleetRun, indices []int, worker string) {
+	if len(indices) == 0 {
+		return
+	}
+	f.mu.Lock()
+	live := f.runs[run.id] == run
+	if live {
+		run.pending = append(run.pending, indices...)
+		run.requeued += len(indices)
+	}
+	f.mu.Unlock()
+	if live {
+		f.logf("pipeline: requeued %d points of run %d lost to worker %q", len(indices), run.id, worker)
+		f.cond.Broadcast()
+	}
+}
+
+// serves reports whether a connection's advertised models cover a run.
+// An empty job fingerprint falls back to the state-count check; a zero
+// state count (hand-built jobs) matches any worker — mirroring v1's
+// MasterOptions.ModelStates == 0 escape hatch.
+func (c *fleetConn) serves(r *fleetRun) bool {
+	if r.header.ModelFP != "" {
+		states, ok := c.models[r.header.ModelFP]
+		return ok && (r.header.ModelStates == 0 || states == r.header.ModelStates)
+	}
+	if r.header.ModelStates == 0 {
+		return true
+	}
+	for _, states := range c.models {
+		if states == r.header.ModelStates {
+			return true
+		}
+	}
+	return false
+}
+
+// capableConns counts connected workers that could serve the run.
+func (f *Fleet) capableConns(run *fleetRun) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for c := range f.conns {
+		if c.serves(run) {
+			n++
+		}
+	}
+	return n
+}
+
+// nextBatch blocks until the connection has work (or the fleet closes,
+// returning a nil run). It pops up to BatchSize indices from the oldest
+// servable run and collects the IDs of ended runs the worker still
+// remembers.
+func (f *Fleet) nextBatch(c *fleetConn) (*fleetRun, []int, []int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.closed {
+			return nil, nil, nil
+		}
+		for _, id := range f.runOrder {
+			r := f.runs[id]
+			if r == nil || len(r.pending) == 0 || !c.serves(r) {
+				continue
+			}
+			n := f.opts.BatchSize
+			if n > len(r.pending) {
+				n = len(r.pending)
+			}
+			batch := append([]int(nil), r.pending[len(r.pending)-n:]...)
+			r.pending = r.pending[:len(r.pending)-n]
+			c.assigned += n
+			var forget []int64
+			for id := range c.started {
+				if _, live := f.runs[id]; !live {
+					forget = append(forget, id)
+				}
+			}
+			return r, batch, forget
+		}
+		f.cond.Wait()
+	}
+}
+
+// serveConn drives one worker connection: versioned handshake, then a
+// lock-step assign-batch/result-batch loop until the fleet closes or
+// the connection fails (which requeues whatever was in flight).
+func (f *Fleet) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var hello helloV2Msg
+	conn.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout))
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	reject := func(reason string) {
+		f.mu.Lock()
+		f.rejected++
+		f.mu.Unlock()
+		f.logf("pipeline: rejecting worker %q from %s: %s", hello.WorkerName, conn.RemoteAddr(), reason)
+		conn.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
+		enc.Encode(welcomeMsg{Version: ProtocolVersion, ModelStates: -1, Reject: reason})
+	}
+	if hello.Version != ProtocolVersion {
+		// A v1 worker's hello has no Version field, so it decodes as 0.
+		reject(fmt.Sprintf("master speaks wire protocol v%d but worker %q announced v%d; deploy matching hydra binaries",
+			ProtocolVersion, hello.WorkerName, hello.Version))
+		return
+	}
+	if len(hello.Models) == 0 {
+		reject(fmt.Sprintf("worker %q advertised no models", hello.WorkerName))
+		return
+	}
+	if f.opts.RequireFingerprint != "" || f.opts.RequireStates != 0 {
+		ok := false
+		for _, ad := range hello.Models {
+			if (f.opts.RequireFingerprint == "" || ad.Fingerprint == f.opts.RequireFingerprint) &&
+				(f.opts.RequireStates == 0 || ad.States == f.opts.RequireStates) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			reject(fmt.Sprintf("worker %q does not hold the master's model %q (%d states); start it with the same model",
+				hello.WorkerName, f.opts.RequireFingerprint, f.opts.RequireStates))
+			return
+		}
+	}
+	conn.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
+	if err := enc.Encode(welcomeMsg{Version: ProtocolVersion}); err != nil {
+		return
+	}
+
+	c := &fleetConn{
+		name:    hello.WorkerName,
+		conn:    conn,
+		models:  make(map[string]int, len(hello.Models)),
+		started: make(map[int64]bool),
+	}
+	for _, ad := range hello.Models {
+		c.models[ad.Fingerprint] = ad.States
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		// The conn never entered f.conns, so Close's force-close cannot
+		// reach it: bound the farewell by the grace period, not the
+		// residual IdleTimeout deadline.
+		conn.SetWriteDeadline(time.Now().Add(closeGrace))
+		enc.Encode(assignBatchMsg{Done: true})
+		return
+	}
+	f.conns[c] = struct{}{}
+	f.accepted++
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		delete(f.conns, c)
+		f.mu.Unlock()
+	}()
+
+	for {
+		run, indices, forget := f.nextBatch(c)
+		if run == nil {
+			conn.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
+			enc.Encode(assignBatchMsg{Done: true})
+			return
+		}
+		msg := assignBatchMsg{
+			RunID:   run.id,
+			Forget:  forget,
+			Indices: indices,
+			Points:  make([]complex128, len(indices)),
+		}
+		for i, idx := range indices {
+			msg.Points[i] = run.job.Points[idx]
+		}
+		if !c.started[run.id] {
+			h := run.header
+			msg.Header = &h
+		}
+		conn.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
+		if err := enc.Encode(msg); err != nil {
+			f.requeue(run, indices, c.name)
+			return
+		}
+		c.started[run.id] = true
+		for _, id := range forget {
+			delete(c.started, id)
+		}
+		var res resultBatchMsg
+		conn.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout))
+		if err := dec.Decode(&res); err != nil || res.RunID != run.id {
+			f.requeue(run, indices, c.name)
+			return
+		}
+		answered := make(map[int]bool, len(res.Results))
+		for _, pr := range res.Results {
+			answered[pr.Index] = true
+		}
+		var missing []int
+		for _, idx := range indices {
+			if !answered[idx] {
+				missing = append(missing, idx)
+			}
+		}
+		f.requeue(run, missing, c.name)
+		f.mu.Lock()
+		c.completed += len(res.Results)
+		f.mu.Unlock()
+		select {
+		case run.results <- fleetResult{worker: c.name, points: res.Results}:
+		case <-run.done:
+			// The run ended (completed elsewhere, aborted, or the caller
+			// gave up); drop the late batch — results are idempotent.
+		}
+	}
+}
+
+// FleetWorkerInfo describes one connected worker for stats endpoints.
+type FleetWorkerInfo struct {
+	Name      string   `json:"name"`
+	Models    []string `json:"models"` // advertised fingerprints
+	Assigned  int      `json:"assigned"`
+	Completed int      `json:"completed"`
+}
+
+// FleetStats is a point-in-time snapshot of fleet state.
+type FleetStats struct {
+	Connected  []FleetWorkerInfo `json:"connected"`
+	Accepted   int64             `json:"accepted"` // handshakes accepted (lifetime)
+	Rejected   int64             `json:"rejected"` // handshakes rejected (lifetime)
+	ActiveRuns int               `json:"active_runs"`
+}
+
+// Snapshot returns the fleet's current workers and counters.
+func (f *Fleet) Snapshot() FleetStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := FleetStats{Accepted: f.accepted, Rejected: f.rejected, ActiveRuns: len(f.runs)}
+	for c := range f.conns {
+		info := FleetWorkerInfo{Name: c.name, Assigned: c.assigned, Completed: c.completed}
+		for fp := range c.models {
+			info.Models = append(info.Models, fp)
+		}
+		sort.Strings(info.Models)
+		s.Connected = append(s.Connected, info)
+	}
+	sort.Slice(s.Connected, func(i, j int) bool { return s.Connected[i].Name < s.Connected[j].Name })
+	return s
+}

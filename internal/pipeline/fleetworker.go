@@ -1,0 +1,151 @@
+package pipeline
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ErrHandshakeRejected reports a master that refused this worker's
+// handshake — a version mismatch or a model the master will not accept.
+// The condition is permanent for a given pair of binaries and models,
+// so reconnect loops should give up rather than redial (errors.Is
+// distinguishes it from transient connection failures).
+var ErrHandshakeRejected = errors.New("pipeline: master rejected handshake")
+
+// WorkerModel is one model a fleet worker holds locally and advertises
+// in its handshake: the fingerprint masters route by, the state count
+// cross-checked per job, and the evaluator that does the work. A worker
+// process may hold several models and serve whichever jobs match.
+type WorkerModel struct {
+	Fingerprint string
+	States      int
+	Evaluator   Evaluator
+}
+
+// FleetWork connects to a fleet master (wire protocol v2), advertises
+// the given models, and evaluates assignment batches until the master
+// shuts the fleet down (nil return) or the connection fails (error —
+// callers that want a resident worker reconnect with backoff, which is
+// what cmd/hydra-worker's -reconnect flag does).
+func FleetWork(addr string, models []WorkerModel, opts WorkerOptions) error {
+	if opts.DialTimeout == 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("pipeline: dialing master: %w", err)
+	}
+	return FleetWorkConn(conn, models, opts)
+}
+
+// FleetWorkConn is FleetWork over an already-established connection —
+// for callers that own their transport (tunnels, tests injecting
+// faults). The connection is closed before returning.
+func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) error {
+	defer conn.Close()
+	if len(models) == 0 {
+		return errors.New("pipeline: fleet worker needs at least one model")
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	hello := helloV2Msg{Version: ProtocolVersion, WorkerName: opts.Name}
+	for _, m := range models {
+		hello.Models = append(hello.Models, modelAd{Fingerprint: m.Fingerprint, States: m.States})
+	}
+	if err := enc.Encode(hello); err != nil {
+		return fmt.Errorf("pipeline: hello: %w", err)
+	}
+	var welcome welcomeMsg
+	if err := dec.Decode(&welcome); err != nil {
+		return fmt.Errorf("pipeline: welcome: %w", err)
+	}
+	switch {
+	case welcome.Reject != "":
+		return fmt.Errorf("%w: %s", ErrHandshakeRejected, welcome.Reject)
+	case welcome.ModelStates == -1:
+		return ErrHandshakeRejected
+	case welcome.Version != ProtocolVersion:
+		// A v1 master's job header decodes here with Version == 0: it
+		// does not speak the fleet protocol at all.
+		return fmt.Errorf("%w: master speaks wire protocol v%d but this worker speaks v%d; deploy matching hydra binaries",
+			ErrHandshakeRejected, welcome.Version, ProtocolVersion)
+	}
+
+	runs := make(map[int64]*workerRun)
+	for {
+		var a assignBatchMsg
+		if err := dec.Decode(&a); err != nil {
+			return fmt.Errorf("pipeline: receiving assignment: %w", err)
+		}
+		if a.Done {
+			return nil
+		}
+		for _, id := range a.Forget {
+			delete(runs, id)
+		}
+		wr := runs[a.RunID]
+		if wr == nil {
+			if a.Header == nil {
+				return fmt.Errorf("pipeline: master assigned unknown run %d without a header", a.RunID)
+			}
+			wm, err := matchWorkerModel(models, a.Header)
+			if err != nil {
+				return err
+			}
+			wr = &workerRun{
+				job: &Job{
+					Quantity:    a.Header.Quantity,
+					Sources:     a.Header.Sources,
+					Weights:     a.Header.Weights,
+					Targets:     a.Header.Targets,
+					ModelFP:     a.Header.ModelFP,
+					ModelStates: a.Header.ModelStates,
+				},
+				eval: wm.Evaluator,
+			}
+			runs[a.RunID] = wr
+		}
+		res := resultBatchMsg{RunID: a.RunID, Results: make([]pointResultV2, len(a.Indices))}
+		for i, idx := range a.Indices {
+			v, err := wr.eval.Evaluate(a.Points[i], wr.job)
+			pr := pointResultV2{Index: idx, Value: v}
+			if err != nil {
+				pr.Value = 0
+				pr.Err = err.Error()
+			}
+			res.Results[i] = pr
+		}
+		if err := enc.Encode(res); err != nil {
+			return fmt.Errorf("pipeline: sending results: %w", err)
+		}
+	}
+}
+
+// workerRun is the worker-side state of one master run.
+type workerRun struct {
+	job  *Job
+	eval Evaluator
+}
+
+// matchWorkerModel resolves a run header against the advertised models:
+// by fingerprint when the job names one, by state count otherwise. The
+// master only routes matching jobs, so a miss here is a protocol error.
+func matchWorkerModel(models []WorkerModel, h *runHeaderMsg) (WorkerModel, error) {
+	for _, m := range models {
+		if h.ModelFP != "" {
+			if m.Fingerprint == h.ModelFP && (h.ModelStates == 0 || m.States == h.ModelStates) {
+				return m, nil
+			}
+			continue
+		}
+		if h.ModelStates == 0 || m.States == h.ModelStates {
+			return m, nil
+		}
+	}
+	return WorkerModel{}, fmt.Errorf("pipeline: master assigned a job for model %q (%d states) this worker does not hold",
+		h.ModelFP, h.ModelStates)
+}

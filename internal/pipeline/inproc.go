@@ -2,18 +2,79 @@ package pipeline
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
 
 // RunStats reports what a run did — used by the Table 2 reproduction.
 type RunStats struct {
-	Evaluated  int           // s-points computed this run
-	FromCache  int           // s-points restored from the checkpoint
-	Workers    int           // worker count
-	WallTime   time.Duration // total time inside Run
-	PerWorker  []int         // evaluations per worker
-	TotalDepth int64         // summed iteration depths (0 if unknown)
+	Evaluated   int           // s-points computed this run
+	FromCache   int           // s-points restored from the checkpoint
+	Workers     int           // worker count
+	WallTime    time.Duration // total time inside Run
+	PerWorker   []int         // evaluations per worker
+	WorkerNames []string      // names aligned with PerWorker (fleet runs)
+	Requeued    int           // points reassigned after a worker loss (fleet runs)
+	TotalDepth  int64         // summed iteration depths (0 if unknown)
+}
+
+// Merge folds another run's counters into s — used by searches (e.g. a
+// quantile bisection) that aggregate many pipeline runs into one
+// reported stat. Per-worker tallies merge by name when both sides carry
+// names (or are empty); when either side holds anonymous tallies the
+// merge falls back to by-index and drops the names, so the per-worker
+// counts always sum to Evaluated regardless of which backends produced
+// the runs.
+func (s *RunStats) Merge(o *RunStats) {
+	if o == nil {
+		return
+	}
+	s.Evaluated += o.Evaluated
+	s.FromCache += o.FromCache
+	s.WallTime += o.WallTime
+	s.Requeued += o.Requeued
+	s.TotalDepth += o.TotalDepth
+	if len(o.PerWorker) == 0 {
+		if o.Workers > s.Workers {
+			s.Workers = o.Workers
+		}
+		return
+	}
+	sNamed := len(s.WorkerNames) == len(s.PerWorker)
+	oNamed := len(o.WorkerNames) == len(o.PerWorker)
+	if sNamed && oNamed && len(o.WorkerNames) > 0 {
+		byName := make(map[string]int, len(s.WorkerNames))
+		for i, name := range s.WorkerNames {
+			byName[name] = s.PerWorker[i]
+		}
+		for i, name := range o.WorkerNames {
+			byName[name] += o.PerWorker[i]
+		}
+		names := make([]string, 0, len(byName))
+		for name := range byName {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		s.WorkerNames = names
+		s.PerWorker = make([]int, len(names))
+		for i, name := range names {
+			s.PerWorker[i] = byName[name]
+		}
+		s.Workers = len(names)
+		return
+	}
+	s.WorkerNames = nil
+	for i, n := range o.PerWorker {
+		if i < len(s.PerWorker) {
+			s.PerWorker[i] += n
+		} else {
+			s.PerWorker = append(s.PerWorker, n)
+		}
+	}
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
 }
 
 // Run evaluates every s-point of the job with an in-process worker pool,

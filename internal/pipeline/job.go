@@ -6,9 +6,13 @@
 // checkpointed. Workers never talk to each other, which is what gives
 // the pipeline its near-linear scalability (§5.3.3).
 //
-// Two transports are provided: an in-process worker pool (goroutines)
-// and a TCP master/worker pair using encoding/gob, mirroring the paper's
-// cluster deployment on a single machine or a real network.
+// Job execution is abstracted behind the Backend interface so callers
+// are indifferent to the compute substrate. Two backends are provided:
+// an in-process worker pool (InProc, goroutines) and a resident TCP
+// fleet (Fleet, wire protocol v2 over encoding/gob), mirroring the
+// paper's cluster deployment on a single machine or a real network. The
+// one-shot v1 TCP pair (Serve/Work) remains for the batch CLIs'
+// original protocol and as the compatibility reference.
 package pipeline
 
 import (
@@ -59,6 +63,17 @@ type Job struct {
 	Weights  []float64
 	Targets  []int
 	Points   []complex128
+
+	// ModelFP and ModelStates identify the model the job must run
+	// against; a Fleet routes the job only to workers advertising this
+	// fingerprint, and a zero value disables the corresponding check
+	// (matching v1's MasterOptions.ModelStates == 0 escape hatch). They
+	// are routing metadata, not content: neither participates in
+	// Fingerprint(), so cache keys are unchanged — Name is what must
+	// embed model identity when a cache is shared across models (the
+	// server's modelID-prefixed job names do exactly that).
+	ModelFP     string
+	ModelStates int
 }
 
 // Validate performs structural checks against a model size.

@@ -156,7 +156,7 @@ func Serve(ln net.Listener, job *Job, cache Cache, opts MasterOptions) ([]comple
 		r := <-results
 		if r.err != "" {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("pipeline: worker failed on point %d: %s", r.idx, r.err)
+				firstErr = &PointError{Worker: r.worker, Index: r.idx, Msg: r.err}
 			}
 			disp.finish()
 			break
@@ -192,11 +192,14 @@ func Serve(ln net.Listener, job *Job, cache Cache, opts MasterOptions) ([]comple
 	return values, stats, nil
 }
 
-// pointResult is one worker answer routed back to the collector.
+// pointResult is one worker answer routed back to the collector. worker
+// carries the hello's name so failures identify the node, not just the
+// point.
 type pointResult struct {
-	idx int
-	v   complex128
-	err string
+	idx    int
+	worker string
+	v      complex128
+	err    string
 }
 
 // serveWorker drives one connection: hello/header handshake, then an
@@ -245,7 +248,7 @@ func serveWorker(conn net.Conn, job *Job, disp *dispatcher, results chan<- point
 			disp.requeue(idx)
 			return
 		}
-		results <- pointResult{idx: res.Index, v: res.Value, err: res.Err}
+		results <- pointResult{idx: res.Index, worker: hello.WorkerName, v: res.Value, err: res.Err}
 		if res.Err != "" {
 			return
 		}

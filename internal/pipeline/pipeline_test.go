@@ -1,12 +1,14 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"net"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -412,6 +414,9 @@ func TestRunPropagatesEvaluatorErrors(t *testing.T) {
 	}
 }
 
+// TestServePropagatesWorkerErrors checks that an evaluation failure
+// reaches both sides as a structured *PointError — worker name, point
+// index, evaluator message — not a bare string stripped of its origin.
 func TestServePropagatesWorkerErrors(t *testing.T) {
 	m := testModel(t)
 	job := densityJob(m, []float64{0.5})
@@ -425,9 +430,83 @@ func TestServePropagatesWorkerErrors(t *testing.T) {
 	}()
 	_, _, err = Serve(ln, job, nil, MasterOptions{ModelStates: m.N()})
 	if err == nil {
-		t.Error("Serve did not report the worker failure")
+		t.Fatal("Serve did not report the worker failure")
 	}
-	if werr := <-done; werr == nil {
-		t.Error("worker did not report its own failure")
+	var masterErr *PointError
+	if !errors.As(err, &masterErr) {
+		t.Fatalf("master error %v is not a *PointError", err)
+	}
+	if masterErr.Worker != "bad" {
+		t.Errorf("master's PointError names worker %q, want bad", masterErr.Worker)
+	}
+	if masterErr.Index < 0 || masterErr.Index >= len(job.Points) {
+		t.Errorf("master's PointError index %d outside the job's %d points", masterErr.Index, len(job.Points))
+	}
+	if !strings.Contains(masterErr.Msg, "synthetic evaluator failure") {
+		t.Errorf("master's PointError %q lost the evaluator detail", masterErr.Msg)
+	}
+
+	werr := <-done
+	if werr == nil {
+		t.Fatal("worker did not report its own failure")
+	}
+	var workerErr *PointError
+	if !errors.As(werr, &workerErr) {
+		t.Fatalf("worker error %v is not a *PointError", werr)
+	}
+	if workerErr.Worker != "bad" || workerErr.Index != masterErr.Index {
+		t.Errorf("worker reported (%q, %d), master reported (%q, %d); they should agree",
+			workerErr.Worker, workerErr.Index, masterErr.Worker, masterErr.Index)
+	}
+}
+
+// TestRunStatsMerge pins the aggregation semantics quantile searches
+// rely on: named tallies merge by worker name, a mix of named and
+// anonymous tallies degrades to an index merge whose counts still sum
+// to Evaluated, and a run with no per-worker data leaves the
+// accumulator's names alone.
+func TestRunStatsMerge(t *testing.T) {
+	perWorkerSum := func(s *RunStats) int {
+		n := 0
+		for _, v := range s.PerWorker {
+			n += v
+		}
+		return n
+	}
+
+	named := &RunStats{Evaluated: 5, WorkerNames: []string{"a", "b"}, PerWorker: []int{3, 2}, Workers: 2}
+	named.Merge(&RunStats{Evaluated: 4, WorkerNames: []string{"b", "c"}, PerWorker: []int{1, 3}, Workers: 2})
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(named.WorkerNames, want) {
+		t.Errorf("named merge workers %v, want %v", named.WorkerNames, want)
+	}
+	if want := []int{3, 3, 3}; !reflect.DeepEqual(named.PerWorker, want) {
+		t.Errorf("named merge tallies %v, want %v", named.PerWorker, want)
+	}
+	if named.Evaluated != 9 || perWorkerSum(named) != 9 || named.Workers != 3 {
+		t.Errorf("named merge: evaluated %d, tally sum %d, workers %d", named.Evaluated, perWorkerSum(named), named.Workers)
+	}
+
+	// Anonymous accumulator + named other: counts survive, names don't.
+	mixed := &RunStats{Evaluated: 10, PerWorker: []int{10}, Workers: 1}
+	mixed.Merge(&RunStats{Evaluated: 5, WorkerNames: []string{"w1"}, PerWorker: []int{5}, Workers: 1})
+	if perWorkerSum(mixed) != mixed.Evaluated {
+		t.Errorf("mixed merge tallies %v sum to %d, want Evaluated %d", mixed.PerWorker, perWorkerSum(mixed), mixed.Evaluated)
+	}
+	if len(mixed.WorkerNames) != 0 {
+		t.Errorf("mixed merge kept names %v for anonymous tallies", mixed.WorkerNames)
+	}
+
+	// Named accumulator + anonymous other: same degradation.
+	mixed2 := &RunStats{Evaluated: 5, WorkerNames: []string{"w1"}, PerWorker: []int{5}, Workers: 1}
+	mixed2.Merge(&RunStats{Evaluated: 10, PerWorker: []int{10}, Workers: 1})
+	if perWorkerSum(mixed2) != mixed2.Evaluated || len(mixed2.WorkerNames) != 0 {
+		t.Errorf("mixed merge (named += anonymous): tallies %v, names %v", mixed2.PerWorker, mixed2.WorkerNames)
+	}
+
+	// A fully-cached run (no per-worker data) must not erase names.
+	cachedInto := &RunStats{Evaluated: 5, WorkerNames: []string{"w1"}, PerWorker: []int{5}, Workers: 1}
+	cachedInto.Merge(&RunStats{FromCache: 7})
+	if want := []string{"w1"}; !reflect.DeepEqual(cachedInto.WorkerNames, want) || cachedInto.FromCache != 7 {
+		t.Errorf("cached merge: names %v, from_cache %d", cachedInto.WorkerNames, cachedInto.FromCache)
 	}
 }

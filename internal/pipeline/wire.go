@@ -1,6 +1,9 @@
 package pipeline
 
-import "encoding/gob"
+import (
+	"encoding/gob"
+	"io"
+)
 
 // The master/worker wire protocol is encoding/gob over TCP. The
 // concrete encodes in master.go/worker.go never emit type names, so the
@@ -11,8 +14,38 @@ import "encoding/gob"
 // inside an interface value (extensions, debugging encoders), keeping
 // that path stable across struct moves as well.
 func init() {
+	// Protocol v1 (one-shot Serve/Work).
 	gob.RegisterName("hydra/pipeline.helloMsg", helloMsg{})
 	gob.RegisterName("hydra/pipeline.jobHeaderMsg", jobHeaderMsg{})
 	gob.RegisterName("hydra/pipeline.assignMsg", assignMsg{})
 	gob.RegisterName("hydra/pipeline.resultMsg", resultMsg{})
+	// Protocol v2 (resident Fleet/FleetWork).
+	gob.RegisterName("hydra/pipeline.helloV2Msg", helloV2Msg{})
+	gob.RegisterName("hydra/pipeline.modelAd", modelAd{})
+	gob.RegisterName("hydra/pipeline.welcomeMsg", welcomeMsg{})
+	gob.RegisterName("hydra/pipeline.runHeaderMsg", runHeaderMsg{})
+	gob.RegisterName("hydra/pipeline.assignBatchMsg", assignBatchMsg{})
+	gob.RegisterName("hydra/pipeline.resultBatchMsg", resultBatchMsg{})
+	gob.RegisterName("hydra/pipeline.pointResultV2", pointResultV2{})
+
+	// Pin gob's global type-id allocation by encoding every protocol
+	// message once, v1 first, in a fixed order. The ids a fresh encoder
+	// emits are allocated process-globally on first use, so without this
+	// the exact descriptor bytes would depend on which code path encoded
+	// first — breaking the golden-bytes tests' ability to detect real
+	// drift. (Interoperability never depends on the ids: gob streams are
+	// self-describing.)
+	enc := gob.NewEncoder(io.Discard)
+	for _, m := range []any{
+		helloMsg{}, jobHeaderMsg{}, assignMsg{}, resultMsg{},
+		helloV2Msg{Models: []modelAd{{}}},
+		welcomeMsg{},
+		assignBatchMsg{Header: &runHeaderMsg{}, Forget: []int64{0},
+			Indices: []int{0}, Points: []complex128{0}},
+		resultBatchMsg{Results: []pointResultV2{{}}},
+	} {
+		if err := enc.Encode(m); err != nil {
+			panic("pipeline: priming wire types: " + err.Error())
+		}
+	}
 }

@@ -81,6 +81,133 @@ func TestWireGoldenBytes(t *testing.T) {
 	}
 }
 
+// TestFleetWireV2RoundTrip checks every v2 protocol message encodes
+// and decodes to an equal value.
+func TestFleetWireV2RoundTrip(t *testing.T) {
+	header := &runHeaderMsg{
+		ModelFP: "m-4a5c9d01beef2233", ModelStates: 2061,
+		Quantity: PassageCDF, Sources: []int{0, 4}, Weights: []float64{0.5, 0.5}, Targets: []int{17},
+	}
+	cases := []struct {
+		name string
+		in   any
+		out  any
+	}{
+		{"helloV2", &helloV2Msg{Version: 2, WorkerName: "node-7", Models: []modelAd{
+			{Fingerprint: "m-4a5c9d01beef2233", States: 2061},
+			{Fingerprint: "voting-1", States: 106540},
+		}}, &helloV2Msg{}},
+		{"welcomeReject", &welcomeMsg{Version: 2, ModelStates: -1, Reject: "no"}, &welcomeMsg{}},
+		{"runHeader", header, &runHeaderMsg{}},
+		{"assignBatch", &assignBatchMsg{RunID: 3, Header: header, Forget: []int64{1, 2},
+			Indices: []int{12, 13}, Points: []complex128{complex(0.5, -3.25), complex(0.5, 4.75)}}, &assignBatchMsg{}},
+		{"resultBatch", &resultBatchMsg{RunID: 3, Results: []pointResultV2{
+			{Index: 12, Value: complex(1e-3, 2e-6)}, {Index: 13, Err: "s-point diverged"},
+		}}, &resultBatchMsg{}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(c.in); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if err := gob.NewDecoder(&buf).Decode(c.out); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(c.in, c.out) {
+				t.Errorf("round trip changed the message: sent %+v, got %+v", c.in, c.out)
+			}
+		})
+	}
+}
+
+// TestFleetWireV2GoldenBytes pins the exact gob encoding of every v2
+// protocol frame as produced by a fresh encoder, exactly as
+// TestWireGoldenBytes pins v1: master and worker binaries meet over
+// this format, so any drift must fail here before it can strand a
+// mixed-version fleet at runtime. If this test fails, the v2 protocol
+// changed — bump ProtocolVersion (the handshake then rejects old
+// binaries readably) and regenerate the golden strings.
+func TestFleetWireV2GoldenBytes(t *testing.T) {
+	header := &runHeaderMsg{
+		ModelFP: "m-4a5c9d01beef2233", ModelStates: 2061,
+		Quantity: PassageCDF, Sources: []int{0, 4}, Weights: []float64{0.5, 0.5}, Targets: []int{17},
+	}
+	cases := []struct {
+		name   string
+		msg    any
+		golden string
+	}{
+		{"helloV2", &helloV2Msg{Version: 2, WorkerName: "node-7", Models: []modelAd{
+			{Fingerprint: "m-4a5c9d01beef2233", States: 2061},
+			{Fingerprint: "voting-1", States: 106540},
+		}},
+			"3fff8b0301010a68656c6c6f56324d736701ff8c000103010756657273696f6e010400010a576f726b65724e616d65010c0001064d6f64656c7301ff9000000021ff8f020101125b5d706970656c696e652e6d6f64656c416401ff900001ff8e000030ff8d030101076d6f64656c416401ff8e000102010b46696e6765727072696e74010c000106537461746573010400000038ff8c010401066e6f64652d37010201126d2d3461356339643031626565663232333301fe101a000108766f74696e672d3101fd0340580000"},
+		{"welcomeAccept", &welcomeMsg{Version: 2},
+			"3fff910301010a77656c636f6d654d736701ff92000103010756657273696f6e010400010b4d6f64656c537461746573010400010652656a656374010c00000005ff92010400"},
+		{"welcomeReject", &welcomeMsg{Version: 2, ModelStates: -1,
+			Reject: "master speaks wire protocol v2 but worker \"node-7\" announced v1; deploy matching hydra binaries"},
+			"3fff910301010a77656c636f6d654d736701ff92000103010756657273696f6e010400010b4d6f64656c537461746573010400010652656a656374010c00000068ff9201040101015f6d617374657220737065616b7320776972652070726f746f636f6c2076322062757420776f726b657220226e6f64652d372220616e6e6f756e6365642076313b206465706c6f79206d61746368696e672068796472612062696e617269657300"},
+		{"runHeader", header,
+			"6aff950301010c72756e4865616465724d736701ff9600010601074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e746974790104000107536f757263657301ff840001075765696768747301ff860001075461726765747301ff8400000013ff83020101055b5d696e7401ff84000104000017ff85020101095b5d666c6f6174363401ff8600010800002cff9601126d2d3461356339643031626565663232333301fe101a0102010200080102fee03ffee03f01012200"},
+		{"assignBatch", &assignBatchMsg{RunID: 3, Header: header, Forget: []int64{1, 2},
+			Indices: []int{12, 13}, Points: []complex128{complex(0.5, -3.25), complex(0.5, 4.75)}},
+			"60ff930301010e61737369676e42617463684d736701ff940001060104446f6e65010200010552756e4944010400010648656164657201ff96000106466f7267657401ff98000107496e646963657301ff84000106506f696e747301ff9a0000006aff950301010c72756e4865616465724d736701ff9600010601074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e746974790104000107536f757263657301ff840001075765696768747301ff860001075461726765747301ff8400000013ff83020101055b5d696e7401ff84000104000017ff85020101095b5d666c6f6174363401ff86000108000015ff97020101075b5d696e74363401ff9800010400001aff990201010c5b5d636f6d706c657831323801ff9a00010e000046ff9402060101126d2d3461356339643031626565663232333301fe101a0102010200080102fee03ffee03f01012200010202040102181a0102fee03ffe0ac0fee03ffe134000"},
+		{"resultBatch", &resultBatchMsg{RunID: 3, Results: []pointResultV2{
+			{Index: 12, Value: complex(1e-3, 2e-6)}, {Index: 13, Err: "s-point diverged"},
+		}},
+			"33ff9b0301010e726573756c7442617463684d736701ff9c000102010552756e49440104000107526573756c747301ffa000000027ff9f020101185b5d706970656c696e652e706f696e74526573756c74563201ffa00001ff9e000037ff9d0301010d706f696e74526573756c74563201ff9e0001030105496e646578010400010556616c7565010e000103457272010c00000032ff9c01060102011801f8fca9f1d24d62503ff88dedb5a0f7c6c03e00011a0210732d706f696e742064697665726765640000"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(c.msg); err != nil {
+				t.Fatal(err)
+			}
+			if got := hex.EncodeToString(buf.Bytes()); got != c.golden {
+				t.Errorf("wire format of %s drifted:\n got  %s\n want %s", c.name, got, c.golden)
+			}
+		})
+	}
+}
+
+// TestFleetWireV1HelloDecodesAsV2 pins the negotiation trick the fleet
+// handshake relies on: a legacy v1 hello decodes into the v2 hello
+// struct with Version 0 (the field is absent from the stream), which is
+// how a v2 master tells a v1 worker apart and rejects it readably. If
+// gob's absent-field semantics or the struct shapes ever change, this
+// fails before the handshake can misidentify a worker.
+func TestFleetWireV1HelloDecodesAsV2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&helloMsg{ModelStates: 2061, WorkerName: "legacy"}); err != nil {
+		t.Fatal(err)
+	}
+	var hello helloV2Msg
+	if err := gob.NewDecoder(&buf).Decode(&hello); err != nil {
+		t.Fatalf("v1 hello does not decode into the v2 struct: %v", err)
+	}
+	if hello.Version != 0 {
+		t.Errorf("v1 hello decoded with Version %d, want 0", hello.Version)
+	}
+	if hello.WorkerName != "legacy" {
+		t.Errorf("worker name lost across the version boundary: %q", hello.WorkerName)
+	}
+
+	// And the reject welcome decodes into a v1 job header with the -1
+	// sentinel the legacy worker checks.
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&welcomeMsg{Version: ProtocolVersion, ModelStates: -1, Reject: "upgrade"}); err != nil {
+		t.Fatal(err)
+	}
+	var header jobHeaderMsg
+	if err := gob.NewDecoder(&buf).Decode(&header); err != nil {
+		t.Fatalf("reject welcome does not decode into the v1 job header: %v", err)
+	}
+	if header.ModelStates != -1 {
+		t.Errorf("v1 worker would see ModelStates %d, want the -1 rejection sentinel", header.ModelStates)
+	}
+}
+
 // TestWireNamesRegistered verifies the init() registration holds the
 // protocol's stable names (a second RegisterName with a different type
 // under the same name would panic at init, so reaching this test at all

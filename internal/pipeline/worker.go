@@ -66,7 +66,7 @@ func Work(addr string, eval Evaluator, modelStates int, opts WorkerOptions) erro
 			return fmt.Errorf("pipeline: sending result: %w", err)
 		}
 		if res.Err != "" {
-			return fmt.Errorf("pipeline: evaluation failed: %s", res.Err)
+			return &PointError{Worker: opts.Name, Index: a.Index, Msg: res.Err}
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hydra"
+	"hydra/internal/pipeline"
 )
 
 // Config tunes a Server. The zero value is serviceable: NumCPU workers
@@ -26,6 +27,12 @@ type Config struct {
 	Workers int
 	// MaxConcurrent bounds simultaneously executing computations.
 	MaxConcurrent int
+	// Backend overrides where computations execute: nil selects the
+	// per-computation in-process pool; a *pipeline.Fleet (from
+	// pipeline.NewFleet) executes every job on resident TCP workers —
+	// the hydra-serve "-backend fleet" mode. The server does not own the
+	// backend; callers close the fleet themselves on shutdown.
+	Backend hydra.Backend
 }
 
 // Server is the hydra-serve service: registry + scheduler + result
@@ -34,6 +41,7 @@ type Server struct {
 	registry *Registry
 	sched    *Scheduler
 	cache    *ResultCache
+	backend  hydra.Backend
 	started  time.Time
 }
 
@@ -57,8 +65,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	return &Server{
 		registry: NewRegistry(cfg.MaxModels),
-		sched:    NewScheduler(cache, cfg.Workers, cfg.MaxConcurrent),
+		sched:    NewScheduler(cache, cfg.Workers, cfg.MaxConcurrent, cfg.Backend),
 		cache:    cache,
+		backend:  cfg.Backend,
 		started:  time.Now(),
 	}, nil
 }
@@ -300,19 +309,26 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rec)
 }
 
-// statsResponse is the /v1/stats body.
+// statsResponse is the /v1/stats body. Fleet appears only when the
+// server executes on a TCP worker fleet.
 type statsResponse struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Registry      RegistryStats  `json:"registry"`
-	Cache         CacheStats     `json:"cache"`
-	Scheduler     SchedulerStats `json:"scheduler"`
+	UptimeSeconds float64              `json:"uptime_seconds"`
+	Registry      RegistryStats        `json:"registry"`
+	Cache         CacheStats           `json:"cache"`
+	Scheduler     SchedulerStats       `json:"scheduler"`
+	Fleet         *pipeline.FleetStats `json:"fleet,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Registry:      s.registry.Stats(),
 		Cache:         s.cache.Stats(),
 		Scheduler:     s.sched.Stats(),
-	})
+	}
+	if fleet, ok := s.backend.(*pipeline.Fleet); ok {
+		snap := fleet.Snapshot()
+		resp.Fleet = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

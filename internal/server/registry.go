@@ -18,9 +18,6 @@ package server
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
 	"sync"
 	"time"
 
@@ -80,10 +77,11 @@ func NewRegistry(maxModels int) *Registry {
 }
 
 // AddSpec explores a DNAmaca specification and registers it under its
-// content hash. A spec already resident returns immediately.
+// content hash — the same hydra.SpecFingerprint a worker fleet routes
+// by, so a hydra-worker loading the identical spec serves this model's
+// jobs. A spec already resident returns immediately.
 func (r *Registry) AddSpec(name, src string) (ModelInfo, error) {
-	sum := sha256.Sum256([]byte(src))
-	id := "m-" + hex.EncodeToString(sum[:8])
+	id := hydra.SpecFingerprint(src)
 	if info, ok := r.touch(id, true); ok {
 		return info, nil
 	}
@@ -100,7 +98,7 @@ func (r *Registry) AddSpec(name, src string) (ModelInfo, error) {
 // AddVoting explores one of the paper's built-in voting systems
 // (Table 1, 0–5) and registers it as "voting-N".
 func (r *Registry) AddVoting(system int) (ModelInfo, error) {
-	id := fmt.Sprintf("voting-%d", system)
+	id := hydra.VotingFingerprint(system)
 	if info, ok := r.touch(id, true); ok {
 		return info, nil
 	}
@@ -113,7 +111,7 @@ func (r *Registry) AddVoting(system int) (ModelInfo, error) {
 
 // AddVotingConfig explores a custom-size voting system.
 func (r *Registry) AddVotingConfig(cc, mm, nn int) (ModelInfo, error) {
-	id := fmt.Sprintf("voting-%d-%d-%d", cc, mm, nn)
+	id := hydra.VotingConfigFingerprint(cc, mm, nn)
 	if info, ok := r.touch(id, true); ok {
 		return info, nil
 	}

@@ -25,16 +25,28 @@ type RunStatsJSON struct {
 	FromCache int   `json:"from_cache"` // s-points loaded from the result cache
 	Workers   int   `json:"workers"`
 	WallMS    int64 `json:"wall_ms"`
+	Requeued  int   `json:"requeued,omitempty"` // points reassigned after a worker loss (fleet)
+	// PerWorker maps worker name → points evaluated for fleet-backed
+	// runs (absent for the anonymous in-process pool).
+	PerWorker map[string]int `json:"per_worker,omitempty"`
 }
 
 func statsJSON(s *hydra.RunStats) *RunStatsJSON {
 	if s == nil {
 		return nil
 	}
-	return &RunStatsJSON{
+	out := &RunStatsJSON{
 		Evaluated: s.Evaluated, FromCache: s.FromCache,
 		Workers: s.Workers, WallMS: s.WallTime.Milliseconds(),
+		Requeued: s.Requeued,
 	}
+	if len(s.WorkerNames) == len(s.PerWorker) && len(s.WorkerNames) > 0 {
+		out.PerWorker = make(map[string]int, len(s.WorkerNames))
+		for i, name := range s.WorkerNames {
+			out.PerWorker[name] = s.PerWorker[i]
+		}
+	}
+	return out
 }
 
 // JobResult is the payload of a completed job.
@@ -92,6 +104,7 @@ type flight struct {
 type Scheduler struct {
 	cache   *ResultCache
 	workers int           // per-computation worker pool size
+	backend hydra.Backend // nil = per-computation in-process pool
 	slots   chan struct{} // bounds concurrent computations
 
 	mu       sync.Mutex
@@ -111,8 +124,10 @@ type Scheduler struct {
 
 // NewScheduler builds a scheduler. workers is the per-computation pool
 // size, maxConcurrent bounds simultaneous computations, and the cache
-// must not be nil.
-func NewScheduler(cache *ResultCache, workers, maxConcurrent int) *Scheduler {
+// must not be nil. backend overrides where computations execute: nil
+// selects a per-computation in-process pool; a *pipeline.Fleet executes
+// every job on the resident TCP worker fleet instead.
+func NewScheduler(cache *ResultCache, workers, maxConcurrent int, backend hydra.Backend) *Scheduler {
 	if workers < 1 {
 		workers = 1
 	}
@@ -122,6 +137,7 @@ func NewScheduler(cache *ResultCache, workers, maxConcurrent int) *Scheduler {
 	return &Scheduler{
 		cache:    cache,
 		workers:  workers,
+		backend:  backend,
 		slots:    make(chan struct{}, maxConcurrent),
 		inflight: make(map[string]*flight),
 		jobs:     make(map[string]*JobRecord),
@@ -238,12 +254,14 @@ func (s *Scheduler) runShared(fp string, compute func() (*hydra.Result, error)) 
 	return res, false, err
 }
 
-// jobOptions builds the analysis options for a request.
+// jobOptions builds the analysis options for a request. The scheduler's
+// backend (the fleet, when configured) rides along so every computation
+// executes on it.
 func (s *Scheduler) jobOptions(method string, workers int) *hydra.Options {
 	if workers < 1 {
 		workers = s.workers
 	}
-	return &hydra.Options{Method: method, Workers: workers}
+	return &hydra.Options{Method: method, Workers: workers, Backend: s.backend}
 }
 
 // RunCurve executes a passage or transient curve request synchronously
@@ -326,10 +344,7 @@ func (s *Scheduler) RunQuantile(m *hydra.Model, modelID string, sources, targets
 			if err != nil {
 				return 0, err
 			}
-			agg.Evaluated += r.Stats.Evaluated
-			agg.FromCache += r.Stats.FromCache
-			agg.Workers = r.Stats.Workers
-			agg.WallTime += r.Stats.WallTime
+			agg.Merge(r.Stats)
 			return r.Values[0], nil
 		})
 		if err != nil {
