@@ -94,6 +94,11 @@ func (m *Model) sourceWeights(sources []int) (passage.SourceWeights, error) {
 	if len(sources) == 0 {
 		return passage.SourceWeights{}, fmt.Errorf("hydra: empty source set")
 	}
+	for _, s := range sources {
+		if s < 0 || s >= m.NumStates() {
+			return passage.SourceWeights{}, fmt.Errorf("hydra: source %d outside model of %d states", s, m.NumStates())
+		}
+	}
 	if len(sources) == 1 {
 		return passage.SingleSource(sources[0]), nil
 	}
@@ -129,11 +134,59 @@ func (m *Model) run(q pipeline.Quantity, sources, targets []int, times []float64
 		}
 		return m.autoRun(q, sources, targets, times, opts)
 	}
-	job, err := m.newJob(fmt.Sprintf("%s[%d states]", q, m.NumStates()), q, sources, targets, times, opts)
+	job, err := m.newJob(m.specName(q), q, sources, targets, times, opts)
 	if err != nil {
 		return nil, err
 	}
 	return m.RunJob(job, times, nil, opts)
+}
+
+// specName is the default solve name for a quantity: shared by every
+// entry point (curves, multi-source batches, quantile searches) so
+// their s-points land in the same cache entries.
+func (m *Model) specName(q pipeline.Quantity) string {
+	return fmt.Sprintf("%s[%d states]", q, m.NumStates())
+}
+
+// runMulti executes ONE solve for the quantity and reads it through
+// every source set: the vector engine's batch entry point. The returned
+// results are index-aligned with sourceSets and share the single run's
+// stats — the marginal cost of an extra source set is one dot product
+// per s-point plus one inversion, not a solve.
+func (m *Model) runMulti(q pipeline.Quantity, sourceSets [][]int, targets []int, times []float64, opts *Options) ([]*Result, error) {
+	if len(sourceSets) == 0 {
+		return nil, fmt.Errorf("hydra: no source sets")
+	}
+	if opts != nil && opts.Method == "auto" {
+		return nil, fmt.Errorf(`hydra: multi-source runs need a concrete inversion method ("euler", "laguerre" or "talbot"), not "auto"`)
+	}
+	// Resolve every weighting before solving, so a bad source set fails
+	// the request without spending kernel time.
+	weightings := make([]passage.SourceWeights, len(sourceSets))
+	for i, sources := range sourceSets {
+		src, err := m.sourceWeights(sources)
+		if err != nil {
+			return nil, fmt.Errorf("hydra: source set %d: %w", i, err)
+		}
+		weightings[i] = src
+	}
+	spec, err := m.newSpec(m.specName(q), q, targets, times, opts)
+	if err != nil {
+		return nil, err
+	}
+	vr, err := m.RunSpec(spec, nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(weightings))
+	for i, src := range weightings {
+		r, err := ReadRun(vr, src.States, src.Weights, times, opts)
+		if err != nil {
+			return nil, fmt.Errorf("hydra: source set %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
 }
 
 // PassageDensity computes the first-passage-time density f(t) from the
@@ -155,14 +208,76 @@ func (m *Model) TransientDistribution(sources, targets []int, times []float64, o
 	return m.run(pipeline.TransientDist, sources, targets, times, opts)
 }
 
+// PassageDensityMulti computes the passage density curve for many
+// source sets from ONE solve: the kernel work is done once per s-point
+// and each source set costs only a dot product and an inversion.
+// Results align with sourceSets.
+func (m *Model) PassageDensityMulti(sourceSets [][]int, targets []int, times []float64, opts *Options) ([]*Result, error) {
+	return m.runMulti(pipeline.PassageDensity, sourceSets, targets, times, opts)
+}
+
+// PassageCDFMulti is PassageCDF for many source sets from one solve.
+func (m *Model) PassageCDFMulti(sourceSets [][]int, targets []int, times []float64, opts *Options) ([]*Result, error) {
+	return m.runMulti(pipeline.PassageCDF, sourceSets, targets, times, opts)
+}
+
+// TransientDistributionMulti is TransientDistribution for many source
+// sets from one solve.
+func (m *Model) TransientDistributionMulti(sourceSets [][]int, targets []int, times []float64, opts *Options) ([]*Result, error) {
+	return m.runMulti(pipeline.TransientDist, sourceSets, targets, times, opts)
+}
+
 // PassageQuantile returns the time t* with F(t*) = p (a response-time
 // quantile, the headline §1 metric: e.g. p = 0.9858 reproduces the
 // paper's "processes 175 voters in under 440s" statement). The CDF is
 // bracketed by doubling from hint and refined by bisection to relTol
 // (default 1e-4 of the bracket width).
+//
+// The search prepares one backend (and, for the in-process pool, its
+// solver workspaces) up front and reuses it across every bisection
+// iteration: each step builds only a one-point spec, so the dozens of
+// CDF evaluations a search issues never rebuild evaluators or kernel
+// patterns.
 func (m *Model) PassageQuantile(sources, targets []int, p float64, hint float64, opts *Options) (float64, error) {
+	if opts != nil && opts.Method == "auto" {
+		// "auto" re-selects the inverter per evaluation; keep the
+		// straightforward per-call path for it.
+		return QuantileSearch(p, hint, func(t float64) (float64, error) {
+			r, err := m.PassageCDF(sources, targets, []float64{t}, opts)
+			if err != nil {
+				return 0, err
+			}
+			return r.Values[0], nil
+		})
+	}
+	src, err := m.sourceWeights(sources)
+	if err != nil {
+		return 0, err
+	}
+	be := m.backend(opts)
+	// One checkpoint handle for the whole search, so an interrupted or
+	// repeated search replays its points from disk — the durability the
+	// per-step RunJob path always had, paid for with a single open.
+	var cache Cache
+	if opts != nil && opts.CheckpointPath != "" {
+		ckpt, err := pipeline.OpenCheckpoint(opts.CheckpointPath)
+		if err != nil {
+			return 0, err
+		}
+		defer ckpt.Close()
+		cache = ckpt
+	}
 	return QuantileSearch(p, hint, func(t float64) (float64, error) {
-		r, err := m.PassageCDF(sources, targets, []float64{t}, opts)
+		spec, err := m.newSpec(m.specName(pipeline.PassageCDF), pipeline.PassageCDF, targets, []float64{t}, opts)
+		if err != nil {
+			return 0, err
+		}
+		vectors, stats, err := be.Execute(spec, cache)
+		if err != nil {
+			return 0, err
+		}
+		vr := &VectorRun{Spec: spec, Vectors: vectors, Stats: stats}
+		r, err := ReadRun(vr, src.States, src.Weights, []float64{t}, opts)
 		if err != nil {
 			return 0, err
 		}
@@ -268,22 +383,25 @@ func (m *Model) autoRun(q pipeline.Quantity, sources, targets []int, times []flo
 		return nil, err
 	}
 	job := &pipeline.Job{
-		Name:        fmt.Sprintf("auto-%s[%d states]", q, m.NumStates()),
-		Quantity:    q,
-		Sources:     src.States,
-		Weights:     src.Weights,
-		Targets:     targets,
-		Points:      lag.Points(times),
-		ModelFP:     m.fingerprint,
-		ModelStates: m.NumStates(),
+		SolveSpec: pipeline.SolveSpec{
+			Name:        fmt.Sprintf("auto-%s[%d states]", q, m.NumStates()),
+			Quantity:    q,
+			Targets:     targets,
+			Points:      lag.Points(times),
+			ModelFP:     m.fingerprint,
+			ModelStates: m.NumStates(),
+		},
+		Sources: src.States,
+		Weights: src.Weights,
 	}
 	if err := job.Validate(m.NumStates()); err != nil {
 		return nil, err
 	}
-	values, stats, err := m.backend(opts).Execute(job, nil)
+	vectors, stats, err := m.backend(opts).Execute(job.Spec(), nil)
 	if err != nil {
 		return nil, err
 	}
+	values := job.ReadVectors(vectors)
 	decay, err := lag.CoefficientDecay(times, values)
 	if err != nil {
 		return nil, err

@@ -88,7 +88,7 @@ func BenchmarkTable2Pipeline(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := pipeline.Run(job, func() pipeline.Evaluator {
+				if _, _, err := pipeline.Run(job.Spec(), func() pipeline.Evaluator {
 					return pipeline.NewSolverEvaluator(model, passage.Options{})
 				}, workers, nil); err != nil {
 					b.Fatal(err)
@@ -271,7 +271,7 @@ func BenchmarkAblationCheckpoint(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := pipeline.Run(job, newEval, 2, nil); err != nil {
+			if _, _, err := pipeline.Run(job.Spec(), newEval, 2, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -283,7 +283,7 @@ func BenchmarkAblationCheckpoint(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, _, err := pipeline.Run(job, newEval, 2, ck); err != nil {
+			if _, _, err := pipeline.Run(job.Spec(), newEval, 2, ck); err != nil {
 				b.Fatal(err)
 			}
 			ck.Close()

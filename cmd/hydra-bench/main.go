@@ -5,8 +5,12 @@
 //
 //	table1   state-space sizes for voting systems 0-5 (exact match)
 //	table2   distributed scalability: time/speedup/efficiency vs workers
-//	fleet    the same scalability over a real TCP worker fleet (v2
+//	fleet    the same scalability over a real TCP worker fleet (v3
 //	         protocol; -json writes the rows for trend tracking)
+//	vector   multi-source workload: K source weightings over one
+//	         (model, targets, times) query — scalar replay (K solves)
+//	         vs the vector engine (one solve + K dot-product reads);
+//	         -json writes the rows for trend tracking
 //	fig4     voter passage density, analytic vs simulation
 //	fig5     passage CDF and the 98.58% response-time quantile
 //	fig6     failure-mode passage density, analytic vs simulation
@@ -19,6 +23,7 @@
 //	hydra-bench -exp table1 -full   (adds the 1.14M-state systems)
 //	hydra-bench -exp table2 -full   (uses the paper's system 1 workload)
 //	hydra-bench -exp fleet -json BENCH_fleet.json
+//	hydra-bench -exp vector -json BENCH_vector.json
 package main
 
 import (
@@ -35,10 +40,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fleet|fig4|fig5|fig6|fig7|ablations|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fleet|vector|fig4|fig5|fig6|fig7|ablations|all")
 		full     = flag.Bool("full", false, "paper-scale workloads (slower)")
 		reps     = flag.Int("reps", 0, "simulation replications override")
-		jsonPath = flag.String("json", "", "also write the experiment's rows as JSON to this file (fleet)")
+		jsonPath = flag.String("json", "", "also write the experiment's rows as JSON to this file (fleet, vector)")
 	)
 	flag.Parse()
 
@@ -57,6 +62,7 @@ func main() {
 	run("table1", func() error { return table1(*full) })
 	run("table2", func() error { return table2(*full) })
 	run("fleet", func() error { return fleetScaling(*full, *jsonPath) })
+	run("vector", func() error { return vectorScaling(*full, *jsonPath) })
 	run("fig4", func() error { return fig4(*full, *reps) })
 	run("fig5", func() error { return fig5(*full) })
 	run("fig6", func() error { return fig6(*reps) })
@@ -120,6 +126,44 @@ func fleetScaling(full bool, jsonPath string) error {
 		Rows        []experiments.FleetRow `json:"rows"`
 	}{
 		Experiment: "fleet-scaling", GeneratedAt: time.Now().UTC(),
+		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), Rows: rows,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(b, '\n'), 0o644)
+}
+
+// vectorScaling measures the scalar-vs-vector multi-source datapoint —
+// near-flat solve cost in the number of source weightings K is the
+// vector engine's acceptance property — and optionally records it as
+// JSON for trend tracking in CI.
+func vectorScaling(full bool, jsonPath string) error {
+	cfg := experiments.VectorScalingConfig{}
+	if full {
+		cfg = experiments.VectorScalingConfig{CC: 30, MM: 10, NN: 3, TPoints: 3, Ks: []int{1, 2, 4, 8, 16}}
+	}
+	rows, err := experiments.VectorScaling(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("k,scalar_seconds,vector_seconds,scalar_points,vector_points,speedup")
+	for _, r := range rows {
+		fmt.Printf("%d,%.3f,%.3f,%d,%d,%.2f\n",
+			r.K, r.ScalarSeconds, r.VectorSeconds, r.ScalarPoints, r.VectorPoints, r.Speedup)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	doc := struct {
+		Experiment  string                  `json:"experiment"`
+		GeneratedAt time.Time               `json:"generated_at"`
+		NumCPU      int                     `json:"num_cpu"`
+		GoVersion   string                  `json:"go_version"`
+		Rows        []experiments.VectorRow `json:"rows"`
+	}{
+		Experiment: "vector-scaling", GeneratedAt: time.Now().UTC(),
 		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), Rows: rows,
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")

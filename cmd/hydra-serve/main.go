@@ -14,7 +14,7 @@
 //	hydra-serve -addr :8700 -backend fleet -listen :9441
 //
 // The second form executes every computation on a resident fleet of
-// hydra-worker processes connected to -listen (wire protocol v2)
+// hydra-worker processes connected to -listen (wire protocol v3)
 // instead of the in-process pool: start workers with
 //
 //	hydra-worker -spec model.dnamaca -master host:9441 -reconnect
@@ -60,7 +60,7 @@ func main() {
 	var (
 		addr          = flag.String("addr", ":8700", "HTTP listen address")
 		maxModels     = flag.Int("max-models", 16, "resident model bound (LRU beyond it)")
-		cachePoints   = flag.Int("cache-points", 1<<20, "memory result-cache bound (resident s-point values)")
+		cacheValues   = flag.Int("cache-values", 1<<22, "memory result-cache bound in resident complex values (one vector s-point on an N-state model costs N)")
 		checkpoint    = flag.String("checkpoint", "", "disk checkpoint file backing the result cache")
 		workers       = flag.Int("workers", runtime.NumCPU(), "worker pool size per computation (inproc backend)")
 		maxConcurrent = flag.Int("max-concurrent", 2, "computations allowed to run at once")
@@ -92,7 +92,7 @@ func main() {
 
 	cfg := server.Config{
 		MaxModels:      *maxModels,
-		CachePoints:    *cachePoints,
+		CacheValues:    *cacheValues,
 		CheckpointPath: *checkpoint,
 		Workers:        *workers,
 		MaxConcurrent:  *maxConcurrent,

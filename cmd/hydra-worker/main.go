@@ -6,7 +6,7 @@
 //
 // The worker must be started with the same model the master serves; the
 // handshake advertises the model's fingerprint and state count so the
-// master routes only matching jobs here (wire protocol v2).
+// master routes only matching jobs here (wire protocol v3).
 //
 // Usage:
 //

@@ -8,28 +8,36 @@ import (
 	"hydra/internal/pipeline"
 )
 
-// Job re-exports the pipeline job so masters and workers can be driven
-// from the public API.
+// Job re-exports the pipeline job — a source-free SolveSpec plus the
+// source weighting it is read through — so masters and workers can be
+// driven from the public API.
 type Job = pipeline.Job
+
+// SolveSpec re-exports the pipeline's source-free computation unit: the
+// (model, quantity, targets, s-points) tuple whose fingerprint keys
+// caches and coalescing, and whose evaluation yields the full
+// source-indexed transform vector per s-point.
+type SolveSpec = pipeline.SolveSpec
 
 // RunStats re-exports the pipeline run statistics.
 type RunStats = pipeline.RunStats
 
 // Cache re-exports the pipeline point-cache contract: the store a run
-// consults before evaluating transform points and feeds as results
-// return. Long-running services layer a memory LRU over a disk
+// consults before evaluating transform points and feeds as vector
+// results return. Long-running services layer a memory LRU over a disk
 // checkpoint through this interface (see internal/server).
 type Cache = pipeline.Cache
 
-// Backend re-exports the pipeline execution contract: where a job's
+// Backend re-exports the pipeline execution contract: where a spec's
 // s-points get evaluated. Leave Options.Backend nil for the in-process
 // pool; pass a *Fleet to execute on resident TCP workers.
 type Backend = pipeline.Backend
 
 // Fleet re-exports the resident TCP worker fleet — the Backend that
-// serves jobs on persistent hydra-worker connections (wire protocol
-// v2): workers join and leave freely, batches lost to dead workers are
-// requeued, and one fleet serves every model its workers hold.
+// serves solves on persistent hydra-worker connections (wire protocol
+// v3): workers join and leave freely, vector results travel as chunked
+// frames, batches lost to dead workers are requeued, and one fleet
+// serves every model its workers hold.
 type Fleet = pipeline.Fleet
 
 // FleetOptions re-exports the fleet tuning knobs.
@@ -66,7 +74,48 @@ func (m *Model) NewTransientJob(name string, sources, targets []int, times []flo
 	return m.newJob(name, pipeline.TransientDist, sources, targets, times, opts)
 }
 
-func (m *Model) newJob(name string, q pipeline.Quantity, sources, targets []int, times []float64, opts *Options) (*Job, error) {
+// NewPassageSpec builds the source-free solve unit for a passage
+// density (or CDF when cdf is true) at the given times. One spec's
+// vector results serve every source weighting — see RunSpec and
+// ReadRun.
+func (m *Model) NewPassageSpec(name string, targets []int, times []float64, cdf bool, opts *Options) (*SolveSpec, error) {
+	q := pipeline.PassageDensity
+	if cdf {
+		q = pipeline.PassageCDF
+	}
+	return m.newSpec(name, q, targets, times, opts)
+}
+
+// NewTransientSpec builds the source-free solve unit for a transient
+// measure at the given times.
+func (m *Model) NewTransientSpec(name string, targets []int, times []float64, opts *Options) (*SolveSpec, error) {
+	return m.newSpec(name, pipeline.TransientDist, targets, times, opts)
+}
+
+// SourceWeights resolves a source set to the Eq. (5) α̃ weighting used
+// by every analysis entry point: the trivial weighting for a single
+// source, the embedded chain's steady-state weighting for several. The
+// returned slices are ready for ReadRun.
+func (m *Model) SourceWeights(sources []int) (states []int, weights []float64, err error) {
+	src, err := m.sourceWeights(sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	return src.States, src.Weights, nil
+}
+
+// PrepareBackend resolves the backend RunSpec would use for these
+// options and returns it for reuse: callers that issue many solves —
+// a quantile search, a request scheduler — pass the returned value via
+// Options.Backend so the in-process pool's evaluators (and their
+// prepared kernel workspaces) survive across solves.
+func (m *Model) PrepareBackend(opts *Options) Backend {
+	return m.backend(opts)
+}
+
+// newSpec builds the source-free solve unit for a quantity at the given
+// times.
+func (m *Model) newSpec(name string, q pipeline.Quantity, targets []int, times []float64, opts *Options) (*SolveSpec, error) {
 	for _, t := range times {
 		if !(t > 0) {
 			return nil, fmt.Errorf("hydra: analysis times must be positive, got %v", t)
@@ -76,19 +125,33 @@ func (m *Model) newJob(name string, q pipeline.Quantity, sources, targets []int,
 	if err != nil {
 		return nil, err
 	}
+	spec := &SolveSpec{
+		Name:        name,
+		Quantity:    q,
+		Targets:     targets,
+		Points:      inv.Points(times),
+		ModelFP:     m.fingerprint,
+		ModelStates: m.NumStates(),
+	}
+	if err := spec.Validate(m.NumStates()); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func (m *Model) newJob(name string, q pipeline.Quantity, sources, targets []int, times []float64, opts *Options) (*Job, error) {
+	spec, err := m.newSpec(name, q, targets, times, opts)
+	if err != nil {
+		return nil, err
+	}
 	src, err := m.sourceWeights(sources)
 	if err != nil {
 		return nil, err
 	}
 	job := &pipeline.Job{
-		Name:        name,
-		Quantity:    q,
-		Sources:     src.States,
-		Weights:     src.Weights,
-		Targets:     targets,
-		Points:      inv.Points(times),
-		ModelFP:     m.fingerprint,
-		ModelStates: m.NumStates(),
+		SolveSpec: *spec,
+		Sources:   src.States,
+		Weights:   src.Weights,
 	}
 	if err := job.Validate(m.NumStates()); err != nil {
 		return nil, err
@@ -96,9 +159,12 @@ func (m *Model) newJob(name string, q pipeline.Quantity, sources, targets []int,
 	return job, nil
 }
 
-// backend resolves where a job executes: opts.Backend when set (e.g. a
-// Fleet), otherwise an in-process pool sized by opts.Workers whose
-// evaluators run against this model.
+// backend resolves where a solve executes: opts.Backend when set (e.g.
+// a Fleet), otherwise an in-process pool sized by opts.Workers whose
+// evaluators run against this model. The in-process pool reuses its
+// evaluators across Execute calls, so repeated solves on one backend
+// value — a quantile bisection, a resident server — keep their prepared
+// solver workspaces.
 func (m *Model) backend(opts *Options) Backend {
 	if opts != nil && opts.Backend != nil {
 		return opts.Backend
@@ -113,23 +179,24 @@ func (m *Model) backend(opts *Options) Backend {
 	}
 }
 
-// RunJob executes a prepared job (from NewPassageJob or NewTransientJob)
-// on the selected backend — opts.Backend, or the in-process worker pool
-// when nil — and inverts the transform values at the given times. The
-// job's s-points must have been built with the same inverter
-// configuration opts selects — which NewPassageJob and NewTransientJob
-// guarantee when handed the same opts.
-//
-// cache may be nil; when it is, opts.CheckpointPath (if set) is opened
-// for the duration of the run. Passing a persistent cache instead is how
-// a resident service reuses transform evaluations across requests: the
-// run loads every point the cache already holds (reported as
-// Stats.FromCache) and evaluates only the remainder.
-func (m *Model) RunJob(job *Job, times []float64, cache Cache, opts *Options) (*Result, error) {
-	inv, err := opts.inverter()
-	if err != nil {
-		return nil, err
-	}
+// VectorRun is a completed solve: for every s-point of the spec, the
+// full source-indexed transform vector. Any number of source weightings
+// read a VectorRun as O(N) dot products (see ReadRun), which is how one
+// kernel solve serves every source and every caller.
+type VectorRun struct {
+	Spec    *SolveSpec
+	Vectors [][]complex128
+	Stats   *RunStats
+}
+
+// RunSpec executes a solve on the selected backend — opts.Backend, or
+// the in-process worker pool when nil — and returns the vector results
+// without inverting. cache may be nil; when it is, opts.CheckpointPath
+// (if set) is opened for the duration of the run. Passing a persistent
+// cache instead is how a resident service reuses transform evaluations
+// across requests: the run loads every point the cache already holds
+// (reported as Stats.FromCache) and evaluates only the remainder.
+func (m *Model) RunSpec(spec *SolveSpec, cache Cache, opts *Options) (*VectorRun, error) {
 	if cache == nil && opts != nil && opts.CheckpointPath != "" {
 		ckpt, err := pipeline.OpenCheckpoint(opts.CheckpointPath)
 		if err != nil {
@@ -138,15 +205,57 @@ func (m *Model) RunJob(job *Job, times []float64, cache Cache, opts *Options) (*
 		defer ckpt.Close()
 		cache = ckpt
 	}
-	values, stats, err := m.backend(opts).Execute(job, cache)
+	vectors, stats, err := m.backend(opts).Execute(spec, cache)
 	if err != nil {
 		return nil, err
 	}
-	f, err := inv.Invert(times, values)
+	return &VectorRun{Spec: spec, Vectors: vectors, Stats: stats}, nil
+}
+
+// ReadRun reduces a vector run to a scalar curve for one source
+// weighting: the α̃-weighted dot product per s-point, inverted at the
+// given times with the same inverter configuration that built the
+// spec's points. It is pure post-processing — no solver work — so a
+// caller holding a VectorRun can serve any number of source weightings
+// from it.
+func ReadRun(vr *VectorRun, sources []int, weights []float64, times []float64, opts *Options) (*Result, error) {
+	inv, err := opts.inverter()
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Times: times, Values: f, Stats: stats}, nil
+	job := &pipeline.Job{SolveSpec: *vr.Spec, Sources: sources, Weights: weights}
+	n := vr.Spec.ModelStates
+	for _, vec := range vr.Vectors {
+		if len(vec) > n {
+			n = len(vec)
+		}
+	}
+	if err := job.Validate(n); err != nil {
+		return nil, err
+	}
+	f, err := inv.Invert(times, job.ReadVectors(vr.Vectors))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Times: times, Values: f, Stats: vr.Stats}, nil
+}
+
+// RunJob executes a prepared job (from NewPassageJob or NewTransientJob)
+// on the selected backend and inverts the transform values at the given
+// times: RunSpec on the job's embedded spec, then a ReadRun through the
+// job's source weighting. The job's s-points must have been built with
+// the same inverter configuration opts selects — which NewPassageJob
+// and NewTransientJob guarantee when handed the same opts.
+//
+// cache may be nil; see RunSpec for the caching contract. Because the
+// cache is keyed by the source-free spec, two jobs that differ only in
+// sources share every cached s-point.
+func (m *Model) RunJob(job *Job, times []float64, cache Cache, opts *Options) (*Result, error) {
+	vr, err := m.RunSpec(job.Spec(), cache, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ReadRun(vr, job.Sources, job.Weights, times, opts)
 }
 
 // ServeMaster runs a one-shot fleet master on the listener until every
@@ -157,10 +266,6 @@ func (m *Model) RunJob(job *Job, times []float64, cache Cache, opts *Options) (*
 // resident master that survives many jobs, use NewFleet and
 // Options.Backend instead.
 func (m *Model) ServeMaster(ln net.Listener, job *Job, times []float64, checkpointPath string, opts *Options) (*Result, error) {
-	inv, err := opts.inverter()
-	if err != nil {
-		return nil, err
-	}
 	var cache pipeline.Cache
 	if checkpointPath != "" {
 		ckpt, err := pipeline.OpenCheckpoint(checkpointPath)
@@ -178,21 +283,18 @@ func (m *Model) ServeMaster(ln net.Listener, job *Job, times []float64, checkpoi
 		RequireStates:      job.ModelStates,
 	})
 	defer fleet.Close()
-	values, stats, err := fleet.Execute(job, cache)
+	vectors, stats, err := fleet.Execute(job.Spec(), cache)
 	if err != nil {
 		return nil, err
 	}
-	f, err := inv.Invert(times, values)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Times: times, Values: f, Stats: stats}, nil
+	return ReadRun(&VectorRun{Spec: job.Spec(), Vectors: vectors, Stats: stats},
+		job.Sources, job.Weights, times, opts)
 }
 
 // RunWorker connects this model to a fleet master at addr and evaluates
 // assignment batches until the master shuts down (nil return) or the
 // connection fails. The handshake advertises the model's fingerprint
-// and state count, so the master only routes this model's jobs here.
+// and state count, so the master only routes this model's solves here.
 func (m *Model) RunWorker(addr, name string, opts *Options) error {
 	wm := pipeline.WorkerModel{
 		Fingerprint: m.fingerprint,

@@ -190,12 +190,11 @@ func AblationCheckpoint(tmpDir string) ([]AblationRow, error) {
 	}
 	targets := voting.VotedAtLeast(ss, cfg.CC)
 	inv := lt.DefaultEuler()
-	job := &pipeline.Job{
+	spec := &pipeline.SolveSpec{
 		Name:     "ablation-checkpoint",
 		Quantity: pipeline.PassageDensity,
-		Sources:  []int{0}, Weights: []float64{1},
-		Targets: targets,
-		Points:  inv.Points(linspace(10, 60, 5)),
+		Targets:  targets,
+		Points:   inv.Points(linspace(10, 60, 5)),
 	}
 	model := ss.Model
 	newEval := func() pipeline.Evaluator {
@@ -203,7 +202,7 @@ func AblationCheckpoint(tmpDir string) ([]AblationRow, error) {
 	}
 
 	start := time.Now()
-	if _, _, err := pipeline.Run(job, newEval, 1, nil); err != nil {
+	if _, _, err := pipeline.Run(spec, newEval, 1, nil); err != nil {
 		return nil, err
 	}
 	plain := time.Since(start)
@@ -214,12 +213,12 @@ func AblationCheckpoint(tmpDir string) ([]AblationRow, error) {
 		return nil, err
 	}
 	start = time.Now()
-	if _, _, err := pipeline.Run(job, newEval, 1, ck); err != nil {
+	if _, _, err := pipeline.Run(spec, newEval, 1, ck); err != nil {
 		return nil, err
 	}
 	withCkpt := time.Since(start)
 	start = time.Now()
-	_, stats, err := pipeline.Run(job, newEval, 1, ck)
+	_, stats, err := pipeline.Run(spec, newEval, 1, ck)
 	if err != nil {
 		return nil, err
 	}
@@ -228,11 +227,11 @@ func AblationCheckpoint(tmpDir string) ([]AblationRow, error) {
 
 	return []AblationRow{
 		{Name: "checkpoint", Variant: "no checkpoint", Seconds: plain.Seconds(),
-			Detail: fmt.Sprintf("%d s-points", len(job.Points))},
+			Detail: fmt.Sprintf("%d s-points", len(spec.Points))},
 		{Name: "checkpoint", Variant: "checkpointed", Seconds: withCkpt.Seconds(),
 			Detail: fmt.Sprintf("overhead %.1f%%", 100*(withCkpt.Seconds()/plain.Seconds()-1))},
 		{Name: "checkpoint", Variant: "restart", Seconds: restart.Seconds(),
-			Detail: fmt.Sprintf("%d/%d points from cache", stats.FromCache, len(job.Points))},
+			Detail: fmt.Sprintf("%d/%d points from cache", stats.FromCache, len(spec.Points))},
 	}, nil
 }
 

@@ -136,12 +136,14 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 		ts[i] = float64(cfg.CC) * (0.5 + 2.5*float64(i)/float64(len(ts)))
 	}
 	job := &pipeline.Job{
-		Name:     "table2",
-		Quantity: pipeline.PassageDensity,
-		Sources:  sources,
-		Weights:  []float64{1},
-		Targets:  targets,
-		Points:   inv.Points(ts),
+		SolveSpec: pipeline.SolveSpec{
+			Name:     "table2",
+			Quantity: pipeline.PassageDensity,
+			Targets:  targets,
+			Points:   inv.Points(ts),
+		},
+		Sources: sources,
+		Weights: []float64{1},
 	}
 	model := m.SMP()
 
@@ -150,7 +152,7 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 	eval := pipeline.NewSolverEvaluator(model, passage.Options{})
 	for i, s := range job.Points {
 		t0 := time.Now()
-		if _, err := eval.Evaluate(s, job); err != nil {
+		if _, err := eval.EvaluateVector(s, job.Spec()); err != nil {
 			return nil, fmt.Errorf("experiments: point %d: %w", i, err)
 		}
 		perPoint[i] = time.Since(t0)
@@ -167,7 +169,7 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 			secs = base
 		} else {
 			start := time.Now()
-			if _, _, err := pipeline.Run(job, func() pipeline.Evaluator {
+			if _, _, err := pipeline.Run(job.Spec(), func() pipeline.Evaluator {
 				return pipeline.NewSolverEvaluator(model, passage.Options{})
 			}, w, nil); err != nil {
 				return nil, err

@@ -12,7 +12,7 @@ import (
 
 // FleetScalingConfig sizes the worker-fleet scalability datapoint: the
 // same §5.3.3 question as Table 2, but measured over the real resident
-// TCP fleet (wire protocol v2) instead of the in-process pool, so the
+// TCP fleet (wire protocol v3) instead of the in-process pool, so the
 // number includes gob framing, batching and loopback round-trips.
 type FleetScalingConfig struct {
 	// CC/MM/NN size the voting system (default 18,6,3 — Table 1
@@ -131,7 +131,7 @@ func runFleetOnce(m *hydra.Model, job *hydra.Job, w, batch int) (float64, int, e
 	}
 
 	start := time.Now()
-	_, stats, err := fleet.Execute(job, nil)
+	_, stats, err := fleet.Execute(job.Spec(), nil)
 	secs := time.Since(start).Seconds()
 	fleet.Close()
 	wg.Wait()

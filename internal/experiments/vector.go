@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hydra"
+)
+
+// VectorScalingConfig sizes the multi-source workload datapoint: K
+// per-user source weightings over ONE (model, targets, times) query —
+// the request shape the vector engine exists for. The scalar column
+// replays the pre-vector cost model (one full solve per source, which
+// is what per-source fingerprints forced); the vector column is one
+// solve plus K dot-product reads.
+type VectorScalingConfig struct {
+	// CC/MM/NN size the voting system (default 18,6,3 — Table 1
+	// system 0, 2061 states, CI-friendly).
+	CC, MM, NN int
+	// TPoints is the number of density evaluation times (default 2).
+	TPoints int
+	// Ks lists the source-weighting counts to measure (default
+	// {1, 2, 4, 8}).
+	Ks []int
+}
+
+func (c VectorScalingConfig) withDefaults() VectorScalingConfig {
+	if c.CC == 0 {
+		c.CC, c.MM, c.NN = 18, 6, 3
+	}
+	if c.TPoints == 0 {
+		c.TPoints = 2
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = []int{1, 2, 4, 8}
+	}
+	return c
+}
+
+// VectorRow is one measured K.
+type VectorRow struct {
+	K             int     `json:"k"`              // source weightings answered
+	ScalarSeconds float64 `json:"scalar_seconds"` // K independent per-source solves (pre-vector cost)
+	VectorSeconds float64 `json:"vector_seconds"` // one solve + K dot-product reads
+	ScalarPoints  int     `json:"scalar_points"`  // s-points evaluated by the scalar replay
+	VectorPoints  int     `json:"vector_points"`  // s-points evaluated by the vector engine
+	Speedup       float64 `json:"speedup"`        // scalar / vector wall time
+}
+
+// VectorScaling measures scalar-vs-vector cost in the number of source
+// weightings K. Near-flat VectorSeconds in K (vs linear ScalarSeconds)
+// is the acceptance property: the solve dominates and is paid once.
+func VectorScaling(cfg VectorScalingConfig) ([]VectorRow, error) {
+	cfg = cfg.withDefaults()
+	m, err := hydra.VotingConfig(cfg.CC, cfg.MM, cfg.NN)
+	if err != nil {
+		return nil, err
+	}
+	p2 := m.PlaceIndex("p2")
+	if p2 < 0 {
+		return nil, fmt.Errorf("experiments: voting model has no place p2")
+	}
+	cc := int32(cfg.CC)
+	targets := m.States(func(mk hydra.Marking) bool { return mk[p2] >= cc })
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("experiments: no all-voted states")
+	}
+	ts := make([]float64, cfg.TPoints)
+	for i := range ts {
+		ts[i] = float64(cfg.CC) * (0.5 + 2.5*float64(i+1)/float64(len(ts)+1))
+	}
+
+	maxK := 0
+	for _, k := range cfg.Ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	if maxK > m.NumStates() {
+		return nil, fmt.Errorf("experiments: K=%d exceeds the model's %d states", maxK, m.NumStates())
+	}
+
+	var rows []VectorRow
+	for _, k := range cfg.Ks {
+		sources := make([][]int, k)
+		for i := range sources {
+			sources[i] = []int{i}
+		}
+
+		// Scalar replay: one uncached end-to-end job per source — the
+		// cost shape before specs were source-free.
+		scalarPoints := 0
+		start := time.Now()
+		for _, src := range sources {
+			job, err := m.NewPassageJob("vector-scaling-scalar", src, targets, ts, false, nil)
+			if err != nil {
+				return nil, err
+			}
+			r, err := m.RunJob(job, ts, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			scalarPoints += r.Stats.Evaluated
+		}
+		scalar := time.Since(start)
+
+		// Vector engine: one solve, K dot-product reads.
+		start = time.Now()
+		spec, err := m.NewPassageSpec("vector-scaling-vector", targets, ts, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		vr, err := m.RunSpec(spec, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, src := range sources {
+			states, weights, err := m.SourceWeights(src)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := hydra.ReadRun(vr, states, weights, ts, nil); err != nil {
+				return nil, err
+			}
+		}
+		vector := time.Since(start)
+
+		rows = append(rows, VectorRow{
+			K:             k,
+			ScalarSeconds: scalar.Seconds(),
+			VectorSeconds: vector.Seconds(),
+			ScalarPoints:  scalarPoints,
+			VectorPoints:  vr.Stats.Evaluated,
+			Speedup:       scalar.Seconds() / vector.Seconds(),
+		})
+	}
+	return rows, nil
+}

@@ -31,6 +31,26 @@ func NewParallelProduct(ranges []Range, n int) *ParallelProduct {
 // Workers returns the number of partitions.
 func (pp *ParallelProduct) Workers() int { return len(pp.ranges) }
 
+// MulVecSkipRows computes y = M′·x (M with skip rows zeroed) in
+// parallel. Output rows are independent in the column form, so each
+// worker writes its own disjoint range of y directly — no partial
+// buffers, no reduction.
+func (pp *ParallelProduct) MulVecSkipRows(m *sparse.CMatrix, x, y []complex128, skip []bool) {
+	if len(pp.ranges) == 1 {
+		m.MulVecSkipRows(x, y, skip)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, r := range pp.ranges {
+		wg.Add(1)
+		go func(r Range) {
+			defer wg.Done()
+			m.MulVecSkipRowsRange(x, y, skip, r.Lo, r.Hi)
+		}(r)
+	}
+	wg.Wait()
+}
+
 // VecMulSkipRows computes y = x·M′ (M with skip rows zeroed) in
 // parallel. y is fully overwritten.
 func (pp *ParallelProduct) VecMulSkipRows(m *sparse.CMatrix, x, y []complex128, skip []bool) {

@@ -185,6 +185,9 @@ func (sw SourceWeights) validate(n int) error {
 		if i < 0 || i >= n {
 			return fmt.Errorf("passage: source state %d outside model of %d states", i, n)
 		}
+		if math.IsNaN(sw.Weights[k]) || math.IsInf(sw.Weights[k], 0) {
+			return fmt.Errorf("passage: non-finite source weight %v", sw.Weights[k])
+		}
 		if sw.Weights[k] < 0 {
 			return fmt.Errorf("passage: negative source weight %v", sw.Weights[k])
 		}

@@ -5,64 +5,71 @@ import (
 	"math/cmplx"
 )
 
-// TransientLST computes T*_i⃗j⃗(s), the Laplace transform of
-// P(Z(t) ∈ j⃗ | Z(0) ∼ α̃), via Pyke's relations (Eq. 6–7):
+// TransientVectorLST computes the full source-indexed transient vector
+// T*_·j⃗(s) of Pyke's relations (Eq. 6–7):
 //
 //	T*_ij⃗(s) = (1/s)·[Λ_i·δ_{i∈j⃗} + Σ_{k∈j⃗, k≠i} Λ_k·L_ik(s)]
 //	Λ_n      = (1 − h*_n(s)) / (1 − L_nn(s))
 //
-// weighted over sources by α̃ for the multi-source form. Each target
-// state k contributes one full-vector passage solve with target {k},
-// matching the paper's remark that a |j⃗|-target transient costs |j⃗|
-// matrix calculations.
+// Every target state k contributes one passage column x^k_i = L_ik(s);
+// the block multi-RHS solve computes all |j⃗| columns in one batched
+// Gauss–Seidel sweep sequence over a single kernel refresh, and the
+// result vector answers any source weighting as a dot product.
+func (sv *Solver) TransientVectorLST(s complex128, targets []int) ([]complex128, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("passage: empty target set")
+	}
+	if s == 0 {
+		return nil, fmt.Errorf("passage: transient transform undefined at s=0")
+	}
+	h := sv.m.SojournLSTs(s)
+
+	cols, err := sv.DirectVectorLSTColumns(s, targets)
+	if err != nil {
+		return nil, fmt.Errorf("passage: transient columns for %d targets: %w", len(targets), err)
+	}
+	lambda := make([]complex128, len(targets))
+	for k, t := range targets {
+		den := 1 - cols[k][t]
+		if cmplx.Abs(den) < 1e-14 {
+			return nil, fmt.Errorf("passage: Λ_%d singular at s=%v (1−L_kk ≈ 0)", t, s)
+		}
+		lambda[k] = (1 - h[t]) / den
+	}
+
+	n := sv.m.N()
+	out := make([]complex128, n)
+	for k, t := range targets {
+		lk := lambda[k]
+		col := cols[k]
+		for i := 0; i < n; i++ {
+			if i == t {
+				out[i] += lk // the δ_{i∈j⃗} term
+			} else {
+				out[i] += lk * col[i]
+			}
+		}
+	}
+	inv := 1 / s
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// TransientLST is the α̃-weighted scalar read of TransientVectorLST:
+// T*_i⃗j⃗(s), the Laplace transform of P(Z(t) ∈ j⃗ | Z(0) ∼ α̃).
 func (sv *Solver) TransientLST(s complex128, src SourceWeights, targets []int) (complex128, error) {
 	if err := src.validate(sv.m.N()); err != nil {
 		return 0, err
 	}
-	if len(targets) == 0 {
-		return 0, fmt.Errorf("passage: empty target set")
+	vec, err := sv.TransientVectorLST(s, targets)
+	if err != nil {
+		return 0, err
 	}
-	if s == 0 {
-		return 0, fmt.Errorf("passage: transient transform undefined at s=0")
-	}
-	h := sv.m.SojournLSTs(s)
-
-	inTarget := make(map[int]bool, len(targets))
-	for _, k := range targets {
-		inTarget[k] = true
-	}
-
-	// One passage solve per target state k yields the column
-	// x^k_i = L_ik(s) for every source i at once, plus the cycle
-	// transform L_kk(s) on its diagonal.
-	lambda := make(map[int]complex128, len(targets))
-	cols := make(map[int][]complex128, len(targets))
-	for _, k := range targets {
-		x, err := sv.DirectVectorLST(s, []int{k})
-		if err != nil {
-			return 0, fmt.Errorf("passage: transient column for target %d: %w", k, err)
-		}
-		cols[k] = x
-		den := 1 - x[k]
-		if cmplx.Abs(den) < 1e-14 {
-			return 0, fmt.Errorf("passage: Λ_%d singular at s=%v (1−L_kk ≈ 0)", k, s)
-		}
-		lambda[k] = (1 - h[k]) / den
-	}
-
 	var total complex128
 	for idx, i := range src.States {
-		var ti complex128
-		if inTarget[i] {
-			ti += lambda[i]
-		}
-		for _, k := range targets {
-			if k == i {
-				continue
-			}
-			ti += lambda[k] * cols[k][i]
-		}
-		total += complex(src.Weights[idx], 0) * ti
+		total += complex(src.Weights[idx], 0) * vec[i]
 	}
-	return total / s, nil
+	return total, nil
 }

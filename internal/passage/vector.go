@@ -1,0 +1,208 @@
+package passage
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the vector-valued solve engine: every routine returns
+// results indexed by *source state*, so one kernel solve per (model,
+// targets, s) serves any number of source weightings as O(N) dot
+// products. The scalar entry points (IterativeLST, TransientLST) remain
+// as thin weighted reads.
+
+// mulSkipCol dispatches the column-form accumulator product y = U′·x
+// (target rows zeroed) to the serial or partition-parallel kernel.
+func (sv *Solver) mulSkipCol(x, y []complex128) {
+	if sv.par != nil {
+		sv.par.MulVecSkipRows(sv.u, x, y, sv.targets)
+		return
+	}
+	sv.u.MulVecSkipRows(x, y, sv.targets)
+}
+
+// IterativeVectorLST computes the full source-indexed passage vector
+//
+//	L_·j⃗(s) = (U + UU′ + UU′² + …)·e⃗
+//
+// by propagating the target-indicator column e⃗ backwards through U′ —
+// the column form of the Eq. (10) iteration. One run costs the same as
+// a single-source IterativeLST (one sparse product per transition
+// depth) yet yields L_ij⃗(s) for every source state i at once, which is
+// how the paper's algorithm serves all sources in one sweep over U(s).
+// It returns the vector and the transition depth r at which the
+// truncation criterion (see Convergence) was met.
+func (sv *Solver) IterativeVectorLST(s complex128, targets []int) ([]complex128, int, error) {
+	if err := sv.prepare(s, targets); err != nil {
+		return nil, 0, err
+	}
+	n := sv.m.N()
+	// c ← e⃗; z accumulates Σ_r U′^r·e⃗, so the answer is U·z.
+	z := make([]complex128, n)
+	for i := range sv.acc {
+		sv.acc[i] = 0
+	}
+	for i, isT := range sv.targets {
+		if isT {
+			sv.acc[i] = 1
+			z[i] = 1
+		}
+	}
+	finish := func(r int) ([]complex128, int, error) {
+		out := make([]complex128, n)
+		sv.u.MulVec(z, out)
+		return out, r, nil
+	}
+	// The increment to any L_i at depth r is (U·c_r)_i, bounded by
+	// ‖c_r‖∞ since every |U| row sum is below 1 for Re(s) > 0 — so the
+	// max norm plays the role the ℓ1 norm plays in the row iteration.
+	hits := 0
+	prevM := math.Inf(1)
+	for r := 1; r <= sv.opts.MaxR; r++ {
+		sv.mulSkipCol(sv.acc, sv.next)
+		sv.acc, sv.next = sv.next, sv.acc
+		for i := range z {
+			z[i] += sv.acc[i]
+		}
+		m := maxNorm(sv.acc)
+		switch sv.opts.Criterion {
+		case PaperIncrement:
+			if m < sv.opts.Epsilon {
+				hits++
+				if hits >= sv.opts.ConsecutiveHits {
+					return finish(r)
+				}
+			} else {
+				hits = 0
+			}
+		default: // MassBound
+			if m < sv.opts.Epsilon {
+				rho := 0.0
+				if prevM > 0 && !math.IsInf(prevM, 1) {
+					rho = m / prevM
+				}
+				if rho < 1 && m*rho/(1-rho) < sv.opts.Epsilon {
+					return finish(r)
+				}
+			}
+			prevM = m
+		}
+	}
+	return nil, sv.opts.MaxR, fmt.Errorf("%w: %d transitions at s=%v (remaining mass %g)",
+		ErrNoConvergence, sv.opts.MaxR, s, maxNorm(sv.acc))
+}
+
+// maxNorm returns max_i |v_i|.
+func maxNorm(v []complex128) float64 {
+	var m float64
+	for _, c := range v {
+		if a := math.Hypot(real(c), imag(c)); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// DirectVectorLSTColumns solves the K = len(targets) independent
+// single-target systems
+//
+//	x^k_i = Σ_{m ≠ t_k} u_im·x^k_m + u_{i,t_k}
+//
+// as one block multi-RHS Gauss–Seidel iteration: every sweep traverses
+// the CSR kernel once and updates all K columns from each stored entry,
+// so the |j⃗| per-target solves the transient computation needs cost one
+// batched sweep sequence over a single kernel refresh instead of |j⃗|
+// independent passes. Column k of the result is the passage column
+// x^k_i = L_i,t_k(s), with the cycle transform L_kk(s) on its diagonal.
+func (sv *Solver) DirectVectorLSTColumns(s complex128, targets []int) ([][]complex128, error) {
+	if err := sv.prepare(s, targets); err != nil {
+		return nil, err
+	}
+	n := sv.m.N()
+	// Deduplicate: a state that appears twice names the identical
+	// system, so solve unique targets and fan the columns back out.
+	uniq := make([]int, 0, len(targets))
+	colFor := make([]int, len(targets)) // requested index → unique column
+	tgtCol := make([]int, n)            // state → unique column, -1 otherwise
+	for i := range tgtCol {
+		tgtCol[i] = -1
+	}
+	for k, t := range targets {
+		if tgtCol[t] < 0 {
+			tgtCol[t] = len(uniq)
+			uniq = append(uniq, t)
+		}
+		colFor[k] = tgtCol[t]
+	}
+	K := len(uniq)
+
+	// b[i*K+k] = u_{i,t_k}; diag[i] = u_ii (excluded from column k's
+	// denominator only when i == t_k, where it lives in b instead).
+	x := make([]complex128, n*K)
+	b := make([]complex128, n*K)
+	diag := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		cols, vals := sv.u.RowSlices(i)
+		for e, m := range cols {
+			if k := tgtCol[m]; k >= 0 {
+				b[i*K+k] += vals[e]
+			}
+			if m == i {
+				diag[i] = vals[e]
+			}
+		}
+	}
+	copy(x, b) // first Jacobi step as warm start
+	sum := make([]complex128, K)
+	for iter := 0; iter < sv.opts.GSMaxIter; iter++ {
+		var worst float64
+		for i := 0; i < n; i++ {
+			copy(sum, b[i*K:(i+1)*K])
+			cols, vals := sv.u.RowSlices(i)
+			for e, m := range cols {
+				if m == i {
+					continue // diagonal: in the denominator (or in b when i = t_k)
+				}
+				v := vals[e]
+				xm := x[m*K : (m+1)*K]
+				for k := range sum {
+					sum[k] += v * xm[k]
+				}
+				if k := tgtCol[m]; k >= 0 {
+					// m is target t_k: its coefficient belongs to b for
+					// column k, not the iterate.
+					sum[k] -= v * xm[k]
+				}
+			}
+			xi := x[i*K : (i+1)*K]
+			for k := range sum {
+				den := 1 - diag[i]
+				if uniq[k] == i {
+					den = 1
+				}
+				next := sum[k] / den
+				if d := next - xi[k]; math.Hypot(real(d), imag(d)) > worst {
+					worst = math.Hypot(real(d), imag(d))
+				}
+				xi[k] = next
+			}
+		}
+		if worst < sv.opts.GSEpsilon {
+			cols := make([][]complex128, K)
+			for k := range cols {
+				col := make([]complex128, n)
+				for i := 0; i < n; i++ {
+					col[i] = x[i*K+k]
+				}
+				cols[k] = col
+			}
+			out := make([][]complex128, len(targets))
+			for k, u := range colFor {
+				out[k] = cols[u]
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: block Gauss–Seidel (%d columns) after %d sweeps at s=%v",
+		ErrNoConvergence, K, sv.opts.GSMaxIter, s)
+}

@@ -6,134 +6,143 @@ import (
 )
 
 // Cache is the point-level result store the pipeline consults before
-// evaluating and feeds as results stream back. The disk Checkpoint is
-// the durable implementation; MemoryCache is the resident one; a server
-// typically layers the two (memory in front, disk behind) so repeated
-// queries on a resident model never re-evaluate the transform.
+// evaluating and feeds as results stream back. Entries are keyed by
+// SolveSpec fingerprint and hold the full source-indexed transform
+// vector per s-point, so every source weighting reads the same entry.
+// The disk Checkpoint is the durable implementation; MemoryCache is the
+// resident one; a server typically layers the two (memory in front,
+// disk behind) so repeated queries on a resident model never
+// re-evaluate the transform.
 //
 // Implementations must be safe for concurrent use.
 type Cache interface {
-	// Load returns the known values for the job, indexed by point
+	// Load returns the known vectors for the spec, indexed by point
 	// position. Missing points are simply absent.
-	Load(job *Job) (map[int]complex128, error)
-	// Append records one computed value.
-	Append(job *Job, index int, v complex128) error
+	Load(spec *SolveSpec) (map[int][]complex128, error)
+	// Append records one computed vector. The cache owns the slice from
+	// here on; callers must not mutate it afterwards.
+	Append(spec *SolveSpec, index int, vec []complex128) error
 	// Sync makes appended values durable (no-op for volatile caches).
 	Sync() error
 }
 
-// memEntry holds the cached points of one job fingerprint.
+// memEntry holds the cached points of one spec fingerprint.
 type memEntry struct {
 	fp     string
-	points map[int]complex128
+	points map[int][]complex128
+	values int // total complex values across points
 }
 
-// MemoryCache is a bounded in-memory Cache: an LRU over job
-// fingerprints, each holding the s-point values computed for that job so
-// far. The bound is on resident *points* (the actual memory), not entry
-// count, so a swarm of tiny single-time jobs — a quantile search issues
-// dozens — cannot evict one large curve job's worth of work. Eviction is
-// per job: all of a fingerprint's points leave together, matching how
-// the scheduler reuses results — a job is either resident and answered
-// instantly or recomputed whole.
+// MemoryCache is a bounded in-memory Cache: an LRU over spec
+// fingerprints, each holding the s-point vectors computed for that spec
+// so far. The bound is on resident *complex values* (the actual
+// memory — a vector point on an N-state model costs N values), not
+// entry count, so a swarm of tiny single-time solves — a quantile
+// search issues dozens — cannot evict one large curve solve's worth of
+// work. Eviction is per spec: all of a fingerprint's points leave
+// together, matching how the scheduler reuses results — a solve is
+// either resident and answered instantly or recomputed whole.
 type MemoryCache struct {
 	mu        sync.Mutex
-	maxPoints int
-	points    int                      // resident point values
+	maxValues int
+	values    int                      // resident complex values
 	ll        *list.List               // front = most recently used
 	byFP      map[string]*list.Element // fingerprint → *memEntry element
 
 	hits      int64 // points served by Load
 	misses    int64 // points Load was asked for but did not have
-	evictions int64 // jobs evicted to respect maxPoints
+	evictions int64 // specs evicted to respect maxValues
 }
 
 // MemoryCacheStats is a snapshot of cache behaviour.
 type MemoryCacheStats struct {
-	Jobs      int   // resident job fingerprints
-	Points    int   // resident point values
-	MaxPoints int   // the configured bound
+	Jobs      int   // resident spec fingerprints
+	Values    int   // resident complex values (across all vectors)
+	MaxValues int   // the configured bound
 	Hits      int64 // points served across all Loads
 	Misses    int64 // points requested but absent across all Loads
-	Evictions int64 // jobs evicted
+	Evictions int64 // specs evicted
 }
 
-// NewMemoryCache returns a memory cache bounded to maxPoints resident
-// point values (minimum 1; one complex128 plus map overhead each, so
-// 1<<20 points is on the order of 50 MB).
-func NewMemoryCache(maxPoints int) *MemoryCache {
-	if maxPoints < 1 {
-		maxPoints = 1
+// NewMemoryCache returns a memory cache bounded to maxValues resident
+// complex values (minimum 1; 16 bytes plus map overhead each, so 1<<20
+// values is on the order of 20 MB).
+func NewMemoryCache(maxValues int) *MemoryCache {
+	if maxValues < 1 {
+		maxValues = 1
 	}
-	return &MemoryCache{maxPoints: maxPoints, ll: list.New(), byFP: make(map[string]*list.Element)}
+	return &MemoryCache{maxValues: maxValues, ll: list.New(), byFP: make(map[string]*list.Element)}
 }
 
 // Load implements Cache.
-func (c *MemoryCache) Load(job *Job) (map[int]complex128, error) {
-	fp := job.Fingerprint()
+func (c *MemoryCache) Load(spec *SolveSpec) (map[int][]complex128, error) {
+	fp := spec.Fingerprint()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byFP[fp]
 	if !ok {
-		c.misses += int64(len(job.Points))
+		c.misses += int64(len(spec.Points))
 		return nil, nil
 	}
 	c.ll.MoveToFront(el)
 	e := el.Value.(*memEntry)
-	out := make(map[int]complex128, len(e.points))
+	out := make(map[int][]complex128, len(e.points))
 	for idx, v := range e.points {
-		if idx >= 0 && idx < len(job.Points) {
+		if idx >= 0 && idx < len(spec.Points) {
 			out[idx] = v
 		}
 	}
 	c.hits += int64(len(out))
-	c.misses += int64(len(job.Points) - len(out))
+	c.misses += int64(len(spec.Points) - len(out))
 	return out, nil
 }
 
 // Append implements Cache.
-func (c *MemoryCache) Append(job *Job, index int, v complex128) error {
-	fp := job.Fingerprint()
+func (c *MemoryCache) Append(spec *SolveSpec, index int, vec []complex128) error {
+	fp := spec.Fingerprint()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.put(fp, index, v)
+	c.put(fp, index, vec)
 	return nil
 }
 
-// put inserts one point under the caller's lock, evicting whole jobs
-// from the LRU tail while the point budget is exceeded (the entry being
-// written is never evicted, so a single job larger than the budget
+// put inserts one point under the caller's lock, evicting whole specs
+// from the LRU tail while the value budget is exceeded (the entry being
+// written is never evicted, so a single solve larger than the budget
 // still completes).
-func (c *MemoryCache) put(fp string, index int, v complex128) {
+func (c *MemoryCache) put(fp string, index int, vec []complex128) {
 	el, ok := c.byFP[fp]
 	if !ok {
-		el = c.ll.PushFront(&memEntry{fp: fp, points: make(map[int]complex128)})
+		el = c.ll.PushFront(&memEntry{fp: fp, points: make(map[int][]complex128)})
 		c.byFP[fp] = el
 	} else {
 		c.ll.MoveToFront(el)
 	}
 	e := el.Value.(*memEntry)
-	if _, exists := e.points[index]; !exists {
-		c.points++
+	if prev, exists := e.points[index]; exists {
+		c.values -= len(prev)
+		e.values -= len(prev)
 	}
-	e.points[index] = v
-	for c.points > c.maxPoints && c.ll.Len() > 1 {
+	e.points[index] = vec
+	e.values += len(vec)
+	c.values += len(vec)
+	for c.values > c.maxValues && c.ll.Len() > 1 {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		old := oldest.Value.(*memEntry)
 		delete(c.byFP, old.fp)
-		c.points -= len(old.points)
+		c.values -= old.values
 		c.evictions++
 	}
 }
 
-// Merge bulk-inserts points for a job (used to promote disk-checkpoint
+// Merge bulk-inserts points for a spec (used to promote disk-checkpoint
 // hits into memory).
-func (c *MemoryCache) Merge(job *Job, points map[int]complex128) {
+func (c *MemoryCache) Merge(spec *SolveSpec, points map[int][]complex128) {
 	if len(points) == 0 {
 		return
 	}
-	fp := job.Fingerprint()
+	fp := spec.Fingerprint()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for idx, v := range points {
@@ -149,7 +158,7 @@ func (c *MemoryCache) Stats() MemoryCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return MemoryCacheStats{
-		Jobs: c.ll.Len(), Points: c.points, MaxPoints: c.maxPoints,
+		Jobs: c.ll.Len(), Values: c.values, MaxValues: c.maxValues,
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
 	}
 }
@@ -169,39 +178,39 @@ func NewTiered(front *MemoryCache, back Cache) *Tiered {
 }
 
 // Load implements Cache.
-func (t *Tiered) Load(job *Job) (map[int]complex128, error) {
-	out, err := t.front.Load(job)
+func (t *Tiered) Load(spec *SolveSpec) (map[int][]complex128, error) {
+	out, err := t.front.Load(spec)
 	if err != nil {
 		return nil, err
 	}
-	if t.back == nil || len(out) == len(job.Points) {
+	if t.back == nil || len(out) == len(spec.Points) {
 		return out, nil
 	}
-	disk, err := t.back.Load(job)
+	disk, err := t.back.Load(spec)
 	if err != nil {
 		return nil, err
 	}
 	if out == nil {
-		out = make(map[int]complex128, len(disk))
+		out = make(map[int][]complex128, len(disk))
 	}
-	promoted := make(map[int]complex128)
+	promoted := make(map[int][]complex128)
 	for idx, v := range disk {
 		if _, ok := out[idx]; !ok {
 			out[idx] = v
 			promoted[idx] = v
 		}
 	}
-	t.front.Merge(job, promoted)
+	t.front.Merge(spec, promoted)
 	return out, nil
 }
 
 // Append implements Cache.
-func (t *Tiered) Append(job *Job, index int, v complex128) error {
-	if err := t.front.Append(job, index, v); err != nil {
+func (t *Tiered) Append(spec *SolveSpec, index int, vec []complex128) error {
+	if err := t.front.Append(spec, index, vec); err != nil {
 		return err
 	}
 	if t.back != nil {
-		return t.back.Append(job, index, v)
+		return t.back.Append(spec, index, vec)
 	}
 	return nil
 }

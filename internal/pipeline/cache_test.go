@@ -5,56 +5,74 @@ import (
 	"testing"
 )
 
-func cacheJob(name string, points int) *Job {
-	j := &Job{
+func cacheSpec(name string, points int) *SolveSpec {
+	sp := &SolveSpec{
 		Name:    name,
-		Sources: []int{0}, Weights: []float64{1},
 		Targets: []int{1},
 	}
 	for i := 0; i < points; i++ {
-		j.Points = append(j.Points, complex(float64(i), 1))
+		sp.Points = append(sp.Points, complex(float64(i), 1))
 	}
-	return j
+	return sp
 }
 
-func TestMemoryCachePointBoundEviction(t *testing.T) {
-	c := NewMemoryCache(4)
-	a, b := cacheJob("a", 3), cacheJob("b", 3)
+// vec2 is a two-state vector helper so cache budgets count values.
+func vec2(a, b complex128) []complex128 { return []complex128{a, b} }
+
+func TestMemoryCacheValueBoundEviction(t *testing.T) {
+	c := NewMemoryCache(8) // 4 two-value vectors
+	a, b := cacheSpec("a", 3), cacheSpec("b", 3)
 	for i := range a.Points {
-		if err := c.Append(a, i, complex(1, float64(i))); err != nil {
+		if err := c.Append(a, i, vec2(1, complex(0, float64(i)))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Filling b (3 points) pushes the budget to 6 > 4: a is evicted
-	// whole, b stays.
+	// Filling b (3 vectors, 6 values) pushes the budget to 12 > 8: a is
+	// evicted whole, b stays.
 	for i := range b.Points {
-		if err := c.Append(b, i, complex(2, float64(i))); err != nil {
+		if err := c.Append(b, i, vec2(2, complex(0, float64(i)))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if got, _ := c.Load(a); len(got) != 0 {
-		t.Errorf("job a still resident after eviction: %v", got)
+		t.Errorf("spec a still resident after eviction: %v", got)
 	}
 	if got, _ := c.Load(b); len(got) != len(b.Points) {
-		t.Errorf("job b lost points: %v", got)
+		t.Errorf("spec b lost points: %v", got)
 	}
 	s := c.Stats()
-	if s.Jobs != 1 || s.Points != 3 || s.Evictions != 1 {
-		t.Errorf("stats = %+v, want 1 job, 3 points, 1 eviction", s)
+	if s.Jobs != 1 || s.Values != 6 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want 1 job, 6 values, 1 eviction", s)
 	}
 }
 
 func TestMemoryCacheOversizedJobSurvives(t *testing.T) {
-	c := NewMemoryCache(2)
-	j := cacheJob("big", 5)
+	c := NewMemoryCache(4)
+	j := cacheSpec("big", 5)
 	for i := range j.Points {
-		if err := c.Append(j, i, complex(3, float64(i))); err != nil {
+		if err := c.Append(j, i, vec2(3, complex(0, float64(i)))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// The entry being written is never evicted, even over budget.
 	if got, _ := c.Load(j); len(got) != 5 {
-		t.Errorf("oversized job truncated to %d points", len(got))
+		t.Errorf("oversized spec truncated to %d points", len(got))
+	}
+}
+
+// TestMemoryCacheOverwriteAdjustsBudget pins the accounting when an
+// index is rewritten with a vector of a different length.
+func TestMemoryCacheOverwriteAdjustsBudget(t *testing.T) {
+	c := NewMemoryCache(100)
+	j := cacheSpec("ow", 1)
+	if err := c.Append(j, 0, []complex128{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(j, 0, vec2(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Values != 2 {
+		t.Errorf("resident values = %d after overwrite, want 2", s.Values)
 	}
 }
 
@@ -64,10 +82,10 @@ func TestTieredPromotesDiskHits(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ckpt.Close()
-	j := cacheJob("j", 4)
+	j := cacheSpec("j", 4)
 	// Seed only the disk layer.
 	for i := range j.Points {
-		if err := ckpt.Append(j, i, complex(float64(i), -1)); err != nil {
+		if err := ckpt.Append(j, i, vec2(complex(float64(i), 0), -1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -81,8 +99,8 @@ func TestTieredPromotesDiskHits(t *testing.T) {
 		t.Fatalf("tiered load returned %d points, want 4", len(got))
 	}
 	// The disk hit is promoted: a second load is served by memory alone.
-	if s := mem.Stats(); s.Points != 4 {
-		t.Errorf("memory layer holds %d points after promotion, want 4", s.Points)
+	if s := mem.Stats(); s.Values != 8 {
+		t.Errorf("memory layer holds %d values after promotion, want 8", s.Values)
 	}
 	again, err := tc.Load(j)
 	if err != nil || len(again) != 4 {
@@ -97,9 +115,9 @@ func TestTieredPromotesDiskHits(t *testing.T) {
 // index budget and checks an evicted fingerprint is still served — via
 // the rescan slow path — with identical values.
 func TestCheckpointIndexEvictionRescan(t *testing.T) {
-	old := maxIndexPoints
-	maxIndexPoints = 4
-	defer func() { maxIndexPoints = old }()
+	old := maxIndexValues
+	maxIndexValues = 8 // 4 two-value vectors
+	defer func() { maxIndexValues = old }()
 
 	ckpt, err := OpenCheckpoint(filepath.Join(t.TempDir(), "idx.ckpt"))
 	if err != nil {
@@ -107,31 +125,32 @@ func TestCheckpointIndexEvictionRescan(t *testing.T) {
 	}
 	defer ckpt.Close()
 
-	jobs := []*Job{cacheJob("a", 3), cacheJob("b", 3), cacheJob("c", 3)}
-	for w, j := range jobs {
+	specs := []*SolveSpec{cacheSpec("a", 3), cacheSpec("b", 3), cacheSpec("c", 3)}
+	for w, j := range specs {
 		for i := range j.Points {
-			if err := ckpt.Append(j, i, complex(float64(w), float64(i))); err != nil {
+			if err := ckpt.Append(j, i, vec2(complex(float64(w), 0), complex(0, float64(i)))); err != nil {
 				t.Fatal(err)
 			}
 		}
 		// Touch via Load so the index ingests and then evicts under the
-		// 4-point budget.
+		// 8-value budget.
 		if _, err := ckpt.Load(j); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Every job — including the evicted ones — must still load fully.
-	for w, j := range jobs {
+	// Every spec — including the evicted ones — must still load fully.
+	for w, j := range specs {
 		got, err := ckpt.Load(j)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(got) != 3 {
-			t.Fatalf("job %d: loaded %d points, want 3", w, len(got))
+			t.Fatalf("spec %d: loaded %d points, want 3", w, len(got))
 		}
 		for i, v := range got {
-			if v != complex(float64(w), float64(i)) {
-				t.Errorf("job %d point %d = %v, want %v", w, i, v, complex(float64(w), float64(i)))
+			want := vec2(complex(float64(w), 0), complex(0, float64(i)))
+			if len(v) != 2 || v[0] != want[0] || v[1] != want[1] {
+				t.Errorf("spec %d point %d = %v, want %v", w, i, v, want)
 			}
 		}
 	}

@@ -11,37 +11,47 @@ import (
 )
 
 // Checkpoint is the disk-backed result cache of §4: every computed
-// (s-point, value) pair is appended as it is returned, so an interrupted
-// run resumes exactly where it stopped.
+// (s-point, vector) pair is appended as it is returned, so an
+// interrupted run resumes exactly where it stopped.
 //
-// # Record format
+// # Record format (version 2)
 //
 // The file is JSON lines — one object per computed point, appended in
 // completion order:
 //
-//	{"job":"<32-hex fingerprint>","idx":<point index>,"re":<real>,"im":<imag>}
+//	{"v":2,"job":"<32-hex fingerprint>","idx":<point index>,"vec":[<re0>,<im0>,<re1>,<im1>,…]}
 //
-// "job" is the Job.Fingerprint() of the computation that produced the
-// value, "idx" is the position of the s-point in Job.Points, and
-// re/im are the two halves of the complex transform value. A torn final
-// line (from a crash mid-append) is tolerated on Load: scanning stops at
-// the first unparseable line, which is always the last one written.
+// "v" is the record-format version, "job" is the SolveSpec.Fingerprint()
+// of the computation that produced the value, "idx" is the position of
+// the s-point in SolveSpec.Points, and "vec" interleaves the real and
+// imaginary halves of the full source-indexed transform vector (2·N
+// numbers for an N-state model).
+//
+// Version 1 records — the scalar engine's {"job","idx","re","im"}
+// shape, with no "v" field — are *ignored*, not misread: a v1 line
+// parses but fails the version check, so a pre-vector checkpoint file
+// simply replays nothing and the engine recomputes. (Their fingerprints
+// could not match anyway: spec fingerprints live in a tagged key space
+// disjoint from the old source-inclusive job fingerprints.) A torn
+// final line (from a crash mid-append) is tolerated on Load: scanning
+// stops at the first unparseable line, which is always the last one
+// written.
 //
 // # Fingerprint interleaving
 //
-// A single file may interleave records of any number of jobs: Load
-// filters by the requesting job's fingerprint and ignores everything
-// else. The fingerprint covers the whole job *request* — name,
-// quantity, sources, weights, targets and the exact s-points — but not
-// the model kernel itself, so a record is only replayed into the
-// identical request and the caller must keep fingerprints distinct
-// across distinct models: either embed a model identity in Job.Name
-// (the server uses the registry's content-hash ID) or stop reusing a
-// checkpoint file once the model it was computed against changes.
-// Within that contract, sequential runs — or a long-running server
-// issuing many jobs through one handle — can share one file, and
-// records never need compaction: duplicates are idempotent (later
-// records overwrite equal values at the same index).
+// A single file may interleave records of any number of specs: Load
+// filters by the requesting spec's fingerprint and ignores everything
+// else. The fingerprint covers the whole solve *request* — name,
+// quantity, targets and the exact s-points — but not the model kernel
+// itself, so a record is only replayed into the identical request and
+// the caller must keep fingerprints distinct across distinct models:
+// either embed a model identity in SolveSpec.Name (the server uses the
+// registry's content-hash ID) or stop reusing a checkpoint file once
+// the model it was computed against changes. Within that contract,
+// sequential runs — or a long-running server issuing many solves
+// through one handle — can share one file, and records never need
+// compaction: duplicates are idempotent (later records overwrite equal
+// values at the same index).
 //
 // The one unsupported arrangement is two live processes appending to
 // the same path at once: each buffers independently, so a flush can
@@ -56,13 +66,13 @@ type Checkpoint struct {
 	// by fingerprint. Each Load flushes the writer and scans only the
 	// bytes appended since the previous scan, so a long-lived handle
 	// (the server does one Load per request) pays O(new records), not
-	// O(file), per call. The index is bounded to maxIndexPoints resident
-	// values: when it overflows, fingerprints not loaded recently are
-	// dropped and a later Load for one of them falls back to a one-off
-	// rescan of the already-indexed region — slow, but correct, and only
-	// on the cold tail.
+	// O(file), per call. The index is bounded to maxIndexValues resident
+	// complex values: when it overflows, fingerprints not loaded
+	// recently are dropped and a later Load for one of them falls back
+	// to a one-off rescan of the already-indexed region — slow, but
+	// correct, and only on the cold tail.
 	index       map[string]*ckptIndexEntry
-	indexPoints int
+	indexValues int
 	dropped     bool  // some fingerprints were evicted from the index
 	gen         int64 // Load counter, for least-recently-loaded eviction
 	scanned     int64
@@ -71,20 +81,45 @@ type Checkpoint struct {
 
 // ckptIndexEntry is one fingerprint's indexed points.
 type ckptIndexEntry struct {
-	points  map[int]complex128
+	points  map[int][]complex128
+	values  int
 	lastGen int64
 }
 
-// maxIndexPoints bounds the load-side index (complex values plus map
-// overhead, so roughly 70 MB at this setting). A variable only so tests
+// maxIndexValues bounds the load-side index (complex values plus map
+// overhead, so roughly 20 MB at this setting). A variable only so tests
 // can exercise eviction.
-var maxIndexPoints = 1 << 20
+var maxIndexValues = 1 << 20
+
+// ckptRecordVersion is the on-disk record format generation. Records
+// carrying any other version (including absent, the scalar v1 shape)
+// are skipped on Load.
+const ckptRecordVersion = 2
 
 type ckptRecord struct {
-	Job   string  `json:"job"`
-	Index int     `json:"idx"`
-	Re    float64 `json:"re"`
-	Im    float64 `json:"im"`
+	Version int       `json:"v"`
+	Job     string    `json:"job"`
+	Index   int       `json:"idx"`
+	Vec     []float64 `json:"vec"` // interleaved re,im pairs
+}
+
+// vecToFloats interleaves a complex vector for the JSON record.
+func vecToFloats(vec []complex128) []float64 {
+	out := make([]float64, 0, 2*len(vec))
+	for _, c := range vec {
+		out = append(out, real(c), imag(c))
+	}
+	return out
+}
+
+// floatsToVec reverses vecToFloats; a trailing unpaired float (which a
+// well-formed writer never produces) is dropped.
+func floatsToVec(fs []float64) []complex128 {
+	out := make([]complex128, 0, len(fs)/2)
+	for i := 0; i+1 < len(fs); i += 2 {
+		out = append(out, complex(fs[i], fs[i+1]))
+	}
+	return out
 }
 
 // OpenCheckpoint opens (creating if needed) a checkpoint file for
@@ -100,8 +135,9 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 // Path returns the checkpoint's file path.
 func (c *Checkpoint) Path() string { return c.path }
 
-// Load returns the cached values for the job, indexed by point position.
-func (c *Checkpoint) Load(job *Job) (map[int]complex128, error) {
+// Load returns the cached vectors for the spec, indexed by point
+// position.
+func (c *Checkpoint) Load(spec *SolveSpec) (map[int][]complex128, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.w.Flush(); err != nil {
@@ -111,26 +147,26 @@ func (c *Checkpoint) Load(job *Job) (map[int]complex128, error) {
 		return nil, err
 	}
 	c.gen++
-	fp := job.Fingerprint()
+	fp := spec.Fingerprint()
 	e := c.index[fp]
 	if e == nil && c.dropped {
 		// The fingerprint may have been evicted from the index; re-read
 		// the already-scanned region for it alone.
-		points, err := c.rescanFor(fp)
+		points, values, err := c.rescanFor(fp)
 		if err != nil {
 			return nil, err
 		}
 		if len(points) > 0 {
-			e = &ckptIndexEntry{points: points}
+			e = &ckptIndexEntry{points: points, values: values}
 			c.index[fp] = e
-			c.indexPoints += len(points)
+			c.indexValues += values
 		}
 	}
-	out := make(map[int]complex128)
+	out := make(map[int][]complex128)
 	if e != nil {
 		e.lastGen = c.gen
 		for idx, v := range e.points {
-			if idx >= 0 && idx < len(job.Points) {
+			if idx >= 0 && idx < len(spec.Points) {
 				out[idx] = v
 			}
 		}
@@ -174,8 +210,8 @@ func (c *Checkpoint) scan() error {
 			c.torn = true
 			return nil
 		}
-		if rec.Index < 0 {
-			continue
+		if rec.Version != ckptRecordVersion || rec.Index < 0 {
+			continue // v1 scalar records (and other foreign shapes) are ignored
 		}
 		e := c.index[rec.Job]
 		if e == nil {
@@ -185,49 +221,59 @@ func (c *Checkpoint) scan() error {
 				// Leave it to the rescan path.
 				continue
 			}
-			e = &ckptIndexEntry{points: make(map[int]complex128)}
+			e = &ckptIndexEntry{points: make(map[int][]complex128)}
 			c.index[rec.Job] = e
 		}
-		if _, ok := e.points[rec.Index]; !ok {
-			c.indexPoints++
+		vec := floatsToVec(rec.Vec)
+		if prev, ok := e.points[rec.Index]; ok {
+			e.values -= len(prev)
+			c.indexValues -= len(prev)
 		}
-		e.points[rec.Index] = complex(rec.Re, rec.Im)
+		e.points[rec.Index] = vec
+		e.values += len(vec)
+		c.indexValues += len(vec)
 	}
 }
 
 // rescanFor re-reads the scanned region for a single fingerprint (the
 // slow path after an index eviction).
-func (c *Checkpoint) rescanFor(fp string) (map[int]complex128, error) {
+func (c *Checkpoint) rescanFor(fp string) (map[int][]complex128, int, error) {
 	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	rd := bufio.NewReaderSize(io.LimitReader(c.f, c.scanned), 1<<16)
-	out := make(map[int]complex128)
+	out := make(map[int][]complex128)
+	values := 0
 	for {
 		line, err := rd.ReadBytes('\n')
 		if errors.Is(err, io.EOF) {
-			return out, nil
+			return out, values, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: reading checkpoint: %w", err)
+			return nil, 0, fmt.Errorf("pipeline: reading checkpoint: %w", err)
 		}
 		if len(line) <= 1 {
 			continue
 		}
 		var rec ckptRecord
 		if json.Unmarshal(line, &rec) != nil {
-			return out, nil
+			return out, values, nil
 		}
-		if rec.Job == fp && rec.Index >= 0 {
-			out[rec.Index] = complex(rec.Re, rec.Im)
+		if rec.Version == ckptRecordVersion && rec.Job == fp && rec.Index >= 0 {
+			vec := floatsToVec(rec.Vec)
+			if prev, ok := out[rec.Index]; ok {
+				values -= len(prev)
+			}
+			out[rec.Index] = vec
+			values += len(vec)
 		}
 	}
 }
 
 // evictIndex drops the least-recently-loaded fingerprints while the
-// index exceeds its point budget. Called under the lock.
+// index exceeds its value budget. Called under the lock.
 func (c *Checkpoint) evictIndex() {
-	for c.indexPoints > maxIndexPoints && len(c.index) > 1 {
+	for c.indexValues > maxIndexValues && len(c.index) > 1 {
 		var oldest string
 		var oldestGen int64
 		first := true
@@ -236,17 +282,17 @@ func (c *Checkpoint) evictIndex() {
 				oldest, oldestGen, first = fp, e.lastGen, false
 			}
 		}
-		c.indexPoints -= len(c.index[oldest].points)
+		c.indexValues -= c.index[oldest].values
 		delete(c.index, oldest)
 		c.dropped = true
 	}
 }
 
-// Append records one computed value. It is safe for concurrent use.
-func (c *Checkpoint) Append(job *Job, index int, v complex128) error {
+// Append records one computed vector. It is safe for concurrent use.
+func (c *Checkpoint) Append(spec *SolveSpec, index int, vec []complex128) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	rec := ckptRecord{Job: job.Fingerprint(), Index: index, Re: real(v), Im: imag(v)}
+	rec := ckptRecord{Version: ckptRecordVersion, Job: spec.Fingerprint(), Index: index, Vec: vecToFloats(vec)}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return err

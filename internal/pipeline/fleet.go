@@ -10,28 +10,31 @@ import (
 	"time"
 )
 
-// Wire protocol v2 — the resident-fleet upgrade of the v1 one-shot
-// protocol in master.go/worker.go. The differences:
+// Wire protocol v3 — the vector-engine upgrade of the v2 resident-fleet
+// protocol. The handshake (versioned hello/welcome with readable
+// rejects), fingerprint routing, batched assignments and requeue
+// semantics are carried over from v2 unchanged; what changed is the
+// payload:
 //
-//   - the handshake is versioned: the worker's hello carries an explicit
-//     Version and the master answers with a welcome that either accepts
-//     or rejects with a human-readable reason (v1 signalled rejection
-//     with the ModelStates == -1 sentinel; the welcome still sets that
-//     sentinel so a legacy worker that connects fails readably too);
-//   - the worker advertises the models it holds by fingerprint, so one
-//     fleet serves every model of a registry and the master routes each
-//     job only to workers that hold its model;
-//   - assignments and results travel in batches of s-points to amortize
-//     gob round-trips, and each batch names the run it belongs to, so a
-//     worker serves many jobs over one connection;
-//   - the connection outlives any single job: workers join and leave at
-//     will, the master requeues whatever a dead worker had in flight.
+//   - a run header describes a source-free SolveSpec (no sources or
+//     weights travel — the vector answer is source-independent);
+//   - each evaluated s-point returns the full source-indexed transform
+//     vector, which travels as *chunked frames*: a vector larger than
+//     the frame budget is split across several frame messages
+//     (Offset/Total reassembly on the master), so a million-state
+//     vector never has to materialise as one gob message;
+//   - a worker that fails mid-frame-stream has exactly its unfinished
+//     points requeued, as v2 did for whole batches.
 
 // ProtocolVersion is the fleet wire protocol generation. A master and
-// worker must agree exactly; the handshake enforces it.
-const ProtocolVersion = 2
+// worker must agree exactly; the handshake enforces it. v3 carries
+// vector results (chunked frames) where v2 carried scalars.
+const ProtocolVersion = 3
 
-// helloV2Msg opens a fleet connection (worker → master).
+// helloV2Msg opens a fleet connection (worker → master). The struct
+// (and its wire name) is shared by protocol generations v2+ — only the
+// Version value distinguishes them — so mixed-version handshakes always
+// decode and reject readably.
 type helloV2Msg struct {
 	Version    int
 	WorkerName string
@@ -46,7 +49,7 @@ type modelAd struct {
 
 // welcomeMsg answers the hello (master → worker). On rejection, Reject
 // carries the reason and ModelStates is -1 — the v1 sentinel, kept so a
-// v1 worker that reaches a v2 master decodes this message as its job
+// v1 worker that reaches a v3 master decodes this message as its job
 // header and fails its legacy "master rejected handshake" path instead
 // of hanging.
 type welcomeMsg struct {
@@ -55,45 +58,57 @@ type welcomeMsg struct {
 	Reject      string
 }
 
-// runHeaderMsg describes a job once per (worker, run): everything an
-// evaluator needs except the s-values themselves.
-type runHeaderMsg struct {
+// runHeaderV3Msg describes a solve once per (worker, run): everything
+// an evaluator needs except the s-values themselves. Note the absence
+// of sources/weights — v3 runs are SolveSpecs.
+type runHeaderV3Msg struct {
+	Name        string
 	ModelFP     string
 	ModelStates int
 	Quantity    Quantity
-	Sources     []int
-	Weights     []float64
 	Targets     []int
 }
 
-// assignBatchMsg carries up to BatchSize s-points (master → worker).
+// assignBatchV3Msg carries up to BatchSize s-points (master → worker).
 // Header is set on the first batch of a run sent to this worker; Forget
 // lists runs that have ended so the worker can drop their state. Done
 // tells the worker the fleet is shutting down.
-type assignBatchMsg struct {
+type assignBatchV3Msg struct {
 	Done    bool
 	RunID   int64
-	Header  *runHeaderMsg
+	Header  *runHeaderV3Msg
 	Forget  []int64
 	Indices []int
 	Points  []complex128
 }
 
-// resultBatchMsg answers one assignment batch (worker → master).
-type resultBatchMsg struct {
-	RunID   int64
-	Results []pointResultV2
-}
-
-// pointResultV2 is one evaluated s-point. A non-empty Err reports the
-// evaluator's failure for that index without tearing down the
+// pointFrameV3 is one chunk of one evaluated s-point's vector (worker →
+// master). Total is the full vector length; Data holds the values at
+// [Offset, Offset+len(Data)). A non-empty Err reports the evaluator's
+// failure for that index (no data travels) without tearing down the
 // connection: the master aborts the affected run, the worker keeps
 // serving other jobs.
-type pointResultV2 struct {
-	Index int
-	Value complex128
-	Err   string
+type pointFrameV3 struct {
+	Index  int
+	Offset int
+	Total  int
+	Data   []complex128
+	Err    string
 }
+
+// resultFrameV3Msg carries a batch of frames answering one assignment
+// (worker → master). A worker streams as many of these as the frame
+// budget requires and sets Last on the final one.
+type resultFrameV3Msg struct {
+	RunID  int64
+	Last   bool
+	Frames []pointFrameV3
+}
+
+// defaultFrameValues is how many complex values travel per result
+// message before the worker starts a new frame message (512 KiB of
+// payload). Masters accept any chunking, so this is worker-side policy.
+const defaultFrameValues = 1 << 15
 
 // FleetOptions tunes a Fleet.
 type FleetOptions struct {
@@ -101,14 +116,14 @@ type FleetOptions struct {
 	// (default 8). Larger batches amortize gob round-trips; smaller ones
 	// spread work more evenly and lose less to a dying worker.
 	BatchSize int
-	// IdleTimeout bounds how long the master waits for a single batch
-	// result before declaring the connection dead (default 10 minutes —
+	// IdleTimeout bounds how long the master waits for a single frame
+	// message before declaring the connection dead (default 10 minutes —
 	// a batch of points on a million-state model is legitimately slow).
 	IdleTimeout time.Duration
 	// WaitTimeout bounds how long Execute tolerates having zero
-	// connected workers capable of its job before failing it. Zero means
-	// wait indefinitely (the v1 Serve behaviour: the master idles until
-	// workers arrive).
+	// connected workers capable of its solve before failing it. Zero
+	// means wait indefinitely (the v1 Serve behaviour: the master idles
+	// until workers arrive).
 	WaitTimeout time.Duration
 	// RequireFingerprint/RequireStates, when set, make the handshake
 	// reject workers that do not advertise a matching model — the
@@ -137,12 +152,12 @@ func (o FleetOptions) withDefaults() FleetOptions {
 
 // Fleet is the resident master of the distributed pipeline (§4) and the
 // TCP Backend implementation: it accepts hydra-worker connections on a
-// listener and keeps them alive across jobs, so a resident service plus
-// K worker processes serves repeated traffic with near-linear speedup —
-// workers never exchange data with each other (§5.3.3).
+// listener and keeps them alive across solves, so a resident service
+// plus K worker processes serves repeated traffic with near-linear
+// speedup — workers never exchange data with each other (§5.3.3).
 //
 // Execute may be called concurrently; every connected worker that holds
-// a job's model pulls batches from it, and a worker that dies or
+// a solve's model pulls batches from it, and a worker that dies or
 // disconnects mid-batch has its in-flight points requeued for the
 // others. Workers that join mid-run are handed work immediately.
 type Fleet struct {
@@ -175,8 +190,8 @@ type fleetConn struct {
 // fleetRun is one Execute in progress.
 type fleetRun struct {
 	id       int64
-	job      *Job
-	header   runHeaderMsg
+	spec     *SolveSpec
+	header   runHeaderV3Msg
 	pending  []int // unassigned point indices (guarded by Fleet.mu)
 	requeued int   // points returned to pending after a worker loss
 	results  chan fleetResult
@@ -184,10 +199,17 @@ type fleetRun struct {
 	ended    bool
 }
 
+// pointResultVec is one fully reassembled point answer.
+type pointResultVec struct {
+	Index int
+	Vec   []complex128
+	Err   string
+}
+
 // fleetResult is one answered batch routed back to Execute.
 type fleetResult struct {
 	worker string
-	points []pointResultV2
+	points []pointResultVec
 }
 
 // NewFleet starts a fleet master accepting workers on ln. The listener
@@ -208,8 +230,8 @@ func NewFleet(ln net.Listener, opts FleetOptions) *Fleet {
 // Addr returns the address workers should dial.
 func (f *Fleet) Addr() net.Addr { return f.ln.Addr() }
 
-// Close shuts the fleet down: the listener stops accepting, jobs still
-// executing fail with a "fleet closed" error, and every worker is
+// Close shuts the fleet down: the listener stops accepting, solves
+// still executing fail with a "fleet closed" error, and every worker is
 // dismissed with a Done message so FleetWork returns nil. A worker that
 // stays unresponsive past closeGrace has its connection torn down
 // instead.
@@ -278,16 +300,16 @@ func (f *Fleet) acceptLoop() {
 	}
 }
 
-// Execute implements Backend: it farms the job's uncached s-points out
-// to every connected worker holding the job's model, requeueing batches
-// lost to failed workers, until all points are in.
-func (f *Fleet) Execute(job *Job, cache Cache) ([]complex128, *RunStats, error) {
+// Execute implements Backend: it farms the spec's uncached s-points out
+// to every connected worker holding the spec's model, requeueing
+// batches lost to failed workers, until all vectors are in.
+func (f *Fleet) Execute(spec *SolveSpec, cache Cache) ([][]complex128, *RunStats, error) {
 	start := time.Now()
-	values := make([]complex128, len(job.Points))
-	have := make([]bool, len(job.Points))
+	values := make([][]complex128, len(spec.Points))
+	have := make([]bool, len(spec.Points))
 	stats := &RunStats{}
 	if cache != nil {
-		cached, err := cache.Load(job)
+		cached, err := cache.Load(spec)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -298,7 +320,7 @@ func (f *Fleet) Execute(job *Job, cache Cache) ([]complex128, *RunStats, error) 
 		}
 	}
 	var pending []int
-	for idx := range job.Points {
+	for idx := range spec.Points {
 		if !have[idx] {
 			pending = append(pending, idx)
 		}
@@ -309,14 +331,13 @@ func (f *Fleet) Execute(job *Job, cache Cache) ([]complex128, *RunStats, error) 
 	}
 
 	run := &fleetRun{
-		job: job,
-		header: runHeaderMsg{
-			ModelFP:     job.ModelFP,
-			ModelStates: job.ModelStates,
-			Quantity:    job.Quantity,
-			Sources:     job.Sources,
-			Weights:     job.Weights,
-			Targets:     job.Targets,
+		spec: spec,
+		header: runHeaderV3Msg{
+			Name:        spec.Name,
+			ModelFP:     spec.ModelFP,
+			ModelStates: spec.ModelStates,
+			Quantity:    spec.Quantity,
+			Targets:     spec.Targets,
 		},
 		pending: pending,
 		results: make(chan fleetResult, 64),
@@ -355,13 +376,13 @@ func (f *Fleet) Execute(job *Job, cache Cache) ([]complex128, *RunStats, error) 
 				if pr.Index < 0 || pr.Index >= len(values) || have[pr.Index] {
 					continue // duplicate after a requeue race; first result wins
 				}
-				values[pr.Index] = pr.Value
+				values[pr.Index] = pr.Vec
 				have[pr.Index] = true
 				remaining--
 				stats.Evaluated++
 				perWorker[r.worker]++
 				if cache != nil {
-					if err := cache.Append(job, pr.Index, pr.Value); err != nil && firstErr == nil {
+					if err := cache.Append(spec, pr.Index, pr.Vec); err != nil && firstErr == nil {
 						firstErr = err
 					}
 				}
@@ -372,7 +393,7 @@ func (f *Fleet) Execute(job *Job, cache Cache) ([]complex128, *RunStats, error) 
 			if f.opts.WaitTimeout > 0 && time.Since(idleSince) > f.opts.WaitTimeout {
 				if n := f.capableConns(run); n == 0 {
 					firstErr = fmt.Errorf("pipeline: no connected worker holds model %q after %v (connect hydra-worker processes with the model loaded)",
-						job.ModelFP, f.opts.WaitTimeout)
+						spec.ModelFP, f.opts.WaitTimeout)
 				} else {
 					idleSince = time.Now() // capable workers exist; IdleTimeout polices them
 				}
@@ -444,8 +465,8 @@ func (f *Fleet) requeue(run *fleetRun, indices []int, worker string) {
 }
 
 // serves reports whether a connection's advertised models cover a run.
-// An empty job fingerprint falls back to the state-count check; a zero
-// state count (hand-built jobs) matches any worker — mirroring v1's
+// An empty spec fingerprint falls back to the state-count check; a zero
+// state count (hand-built specs) matches any worker — mirroring v1's
 // MasterOptions.ModelStates == 0 escape hatch.
 func (c *fleetConn) serves(r *fleetRun) bool {
 	if r.header.ModelFP != "" {
@@ -511,8 +532,83 @@ func (f *Fleet) nextBatch(c *fleetConn) (*fleetRun, []int, []int64) {
 	}
 }
 
+// collectFrames reads result-frame messages for one assignment until
+// the worker marks the stream Last, reassembling chunked vectors. It
+// returns the completed point results and the assigned indices that
+// never completed (to requeue), plus any transport error.
+func (f *Fleet) collectFrames(c *fleetConn, dec *gob.Decoder, runID int64, indices []int) (results []pointResultVec, missing []int, err error) {
+	type assembly struct {
+		vec      []complex128
+		received int
+		total    int
+	}
+	assemblies := make(map[int]*assembly, len(indices))
+	expected := make(map[int]bool, len(indices))
+	for _, idx := range indices {
+		expected[idx] = true
+	}
+	done := make(map[int]bool, len(indices))
+	for {
+		var res resultFrameV3Msg
+		c.conn.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout))
+		if err := dec.Decode(&res); err != nil || res.RunID != runID {
+			if err == nil {
+				err = fmt.Errorf("pipeline: worker %q answered run %d with frames for run %d", c.name, runID, res.RunID)
+			}
+			for _, idx := range indices {
+				if !done[idx] {
+					missing = append(missing, idx)
+				}
+			}
+			return results, missing, err
+		}
+		for _, fr := range res.Frames {
+			if !expected[fr.Index] || done[fr.Index] {
+				continue // unsolicited or duplicate; ignore
+			}
+			if fr.Err != "" {
+				results = append(results, pointResultVec{Index: fr.Index, Err: fr.Err})
+				done[fr.Index] = true
+				continue
+			}
+			a := assemblies[fr.Index]
+			if a == nil {
+				if fr.Total < 0 {
+					continue
+				}
+				a = &assembly{vec: make([]complex128, fr.Total), total: fr.Total}
+				assemblies[fr.Index] = a
+			}
+			// Chunks must arrive as a contiguous ascending stream: each
+			// frame's Offset is exactly the prefix received so far. A
+			// duplicate, overlapping or gapped chunk would otherwise let
+			// the byte count reach Total with holes still zero-filled —
+			// reject it and leave the point to requeue instead.
+			if fr.Offset != a.received || fr.Offset+len(fr.Data) > a.total || fr.Total != a.total {
+				continue
+			}
+			copy(a.vec[fr.Offset:], fr.Data)
+			a.received += len(fr.Data)
+			if a.received >= a.total {
+				results = append(results, pointResultVec{Index: fr.Index, Vec: a.vec})
+				done[fr.Index] = true
+				delete(assemblies, fr.Index)
+			}
+		}
+		if res.Last {
+			break
+		}
+	}
+	for _, idx := range indices {
+		if !done[idx] {
+			missing = append(missing, idx)
+		}
+	}
+	return results, missing, nil
+}
+
 // serveConn drives one worker connection: versioned handshake, then a
-// lock-step assign-batch/result-batch loop until the fleet closes or
+// lock-step assign-batch/frame-stream loop until the fleet closes or
 // the connection fails (which requeues whatever was in flight).
 func (f *Fleet) serveConn(conn net.Conn) {
 	defer conn.Close()
@@ -533,7 +629,8 @@ func (f *Fleet) serveConn(conn net.Conn) {
 		enc.Encode(welcomeMsg{Version: ProtocolVersion, ModelStates: -1, Reject: reason})
 	}
 	if hello.Version != ProtocolVersion {
-		// A v1 worker's hello has no Version field, so it decodes as 0.
+		// A v1 worker's hello has no Version field, so it decodes as 0;
+		// a v2 worker announces 2. Both reject readably.
 		reject(fmt.Sprintf("master speaks wire protocol v%d but worker %q announced v%d; deploy matching hydra binaries",
 			ProtocolVersion, hello.WorkerName, hello.Version))
 		return
@@ -578,7 +675,7 @@ func (f *Fleet) serveConn(conn net.Conn) {
 		// reach it: bound the farewell by the grace period, not the
 		// residual IdleTimeout deadline.
 		conn.SetWriteDeadline(time.Now().Add(closeGrace))
-		enc.Encode(assignBatchMsg{Done: true})
+		enc.Encode(assignBatchV3Msg{Done: true})
 		return
 	}
 	f.conns[c] = struct{}{}
@@ -594,17 +691,17 @@ func (f *Fleet) serveConn(conn net.Conn) {
 		run, indices, forget := f.nextBatch(c)
 		if run == nil {
 			conn.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
-			enc.Encode(assignBatchMsg{Done: true})
+			enc.Encode(assignBatchV3Msg{Done: true})
 			return
 		}
-		msg := assignBatchMsg{
+		msg := assignBatchV3Msg{
 			RunID:   run.id,
 			Forget:  forget,
 			Indices: indices,
 			Points:  make([]complex128, len(indices)),
 		}
 		for i, idx := range indices {
-			msg.Points[i] = run.job.Points[idx]
+			msg.Points[i] = run.spec.Points[idx]
 		}
 		if !c.started[run.id] {
 			h := run.header
@@ -619,31 +716,21 @@ func (f *Fleet) serveConn(conn net.Conn) {
 		for _, id := range forget {
 			delete(c.started, id)
 		}
-		var res resultBatchMsg
-		conn.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout))
-		if err := dec.Decode(&res); err != nil || res.RunID != run.id {
-			f.requeue(run, indices, c.name)
-			return
-		}
-		answered := make(map[int]bool, len(res.Results))
-		for _, pr := range res.Results {
-			answered[pr.Index] = true
-		}
-		var missing []int
-		for _, idx := range indices {
-			if !answered[idx] {
-				missing = append(missing, idx)
-			}
-		}
+		results, missing, err := f.collectFrames(c, dec, run.id, indices)
 		f.requeue(run, missing, c.name)
 		f.mu.Lock()
-		c.completed += len(res.Results)
+		c.completed += len(results)
 		f.mu.Unlock()
-		select {
-		case run.results <- fleetResult{worker: c.name, points: res.Results}:
-		case <-run.done:
-			// The run ended (completed elsewhere, aborted, or the caller
-			// gave up); drop the late batch — results are idempotent.
+		if len(results) > 0 {
+			select {
+			case run.results <- fleetResult{worker: c.name, points: results}:
+			case <-run.done:
+				// The run ended (completed elsewhere, aborted, or the caller
+				// gave up); drop the late batch — results are idempotent.
+			}
+		}
+		if err != nil {
+			return
 		}
 	}
 }

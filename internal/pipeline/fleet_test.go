@@ -58,23 +58,23 @@ func waitForWorkers(t *testing.T, f *Fleet, n int) {
 	}
 }
 
-// rawV2Worker is a hand-driven protocol-v2 client for fault injection:
+// rawV3Worker is a hand-driven protocol-v3 client for fault injection:
 // the test controls exactly when it answers and when it drops dead.
-type rawV2Worker struct {
+type rawV3Worker struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	eval Evaluator
-	job  *Job
+	spec *SolveSpec
 }
 
-func dialV2(t *testing.T, addr, name string, ads []modelAd, eval Evaluator) *rawV2Worker {
+func dialV3(t *testing.T, addr, name string, ads []modelAd, eval Evaluator) *rawV3Worker {
 	t.Helper()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := &rawV2Worker{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), eval: eval}
+	w := &rawV3Worker{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), eval: eval}
 	if err := w.enc.Encode(helloV2Msg{Version: ProtocolVersion, WorkerName: name, Models: ads}); err != nil {
 		t.Fatalf("hello: %v", err)
 	}
@@ -90,10 +90,10 @@ func dialV2(t *testing.T, addr, name string, ads []modelAd, eval Evaluator) *raw
 
 // serveBatches answers up to maxPoints evaluated points, then invokes
 // die. Returns how many points it answered.
-func (w *rawV2Worker) serveBatches(maxPoints int, die func()) int {
+func (w *rawV3Worker) serveBatches(maxPoints int, die func()) int {
 	answered := 0
 	for {
-		var a assignBatchMsg
+		var a assignBatchV3Msg
 		if err := w.dec.Decode(&a); err != nil {
 			return answered
 		}
@@ -101,10 +101,9 @@ func (w *rawV2Worker) serveBatches(maxPoints int, die func()) int {
 			return answered
 		}
 		if a.Header != nil {
-			w.job = &Job{
+			w.spec = &SolveSpec{
+				Name:     a.Header.Name,
 				Quantity: a.Header.Quantity,
-				Sources:  a.Header.Sources,
-				Weights:  a.Header.Weights,
 				Targets:  a.Header.Targets,
 			}
 		}
@@ -112,14 +111,14 @@ func (w *rawV2Worker) serveBatches(maxPoints int, die func()) int {
 			die() // batch received, never answered: in flight when we die
 			return answered
 		}
-		res := resultBatchMsg{RunID: a.RunID, Results: make([]pointResultV2, len(a.Indices))}
+		res := resultFrameV3Msg{RunID: a.RunID, Last: true, Frames: make([]pointFrameV3, len(a.Indices))}
 		for i, idx := range a.Indices {
-			v, err := w.eval.Evaluate(a.Points[i], w.job)
-			pr := pointResultV2{Index: idx, Value: v}
+			vec, err := w.eval.EvaluateVector(a.Points[i], w.spec)
+			fr := pointFrameV3{Index: idx, Total: len(vec), Data: vec}
 			if err != nil {
-				pr.Err = err.Error()
+				fr = pointFrameV3{Index: idx, Err: err.Error()}
 			}
-			res.Results[i] = pr
+			res.Frames[i] = fr
 		}
 		if err := w.enc.Encode(res); err != nil {
 			return answered
@@ -139,12 +138,13 @@ func TestFleetFaultInjection(t *testing.T) {
 	const fp = "fp-fault"
 	job := fleetJob(m, fp, ts)
 
-	ref, _, err := Run(job, func() Evaluator {
+	refVecs, _, err := Run(job.Spec(), func() Evaluator {
 		return NewSolverEvaluator(m, passage.Options{})
 	}, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ref := job.ReadVectors(refVecs)
 
 	fleet := testFleet(t, FleetOptions{BatchSize: 2, Logf: t.Logf})
 	addr := fleet.Addr().String()
@@ -155,8 +155,8 @@ func TestFleetFaultInjection(t *testing.T) {
 	// closes cleanly from its side mid-run. Both handshakes run on the
 	// test goroutine (t.Fatal is only legal there); the spawned
 	// goroutines just serve batches.
-	killedWorker := dialV2(t, addr, "killed", ads, NewSolverEvaluator(m, passage.Options{}))
-	disconnectedWorker := dialV2(t, addr, "disconnected", ads, NewSolverEvaluator(m, passage.Options{}))
+	killedWorker := dialV3(t, addr, "killed", ads, NewSolverEvaluator(m, passage.Options{}))
+	disconnectedWorker := dialV3(t, addr, "disconnected", ads, NewSolverEvaluator(m, passage.Options{}))
 	killed := make(chan int, 1)
 	go func() {
 		killed <- killedWorker.serveBatches(4, func() { killedWorker.conn.Close() })
@@ -169,13 +169,13 @@ func TestFleetFaultInjection(t *testing.T) {
 	waitForWorkers(t, fleet, 2)
 
 	type execResult struct {
-		values []complex128
+		values [][]complex128
 		stats  *RunStats
 		err    error
 	}
 	execc := make(chan execResult, 1)
 	go func() {
-		values, stats, err := fleet.Execute(job, nil)
+		values, stats, err := fleet.Execute(job.Spec(), nil)
 		execc <- execResult{values, stats, err}
 	}()
 
@@ -210,9 +210,10 @@ func TestFleetFaultInjection(t *testing.T) {
 	if !steady {
 		t.Errorf("healthy mid-run joiner absent from worker stats %v", r.stats.WorkerNames)
 	}
-	for i := range r.values {
-		if cmplx.Abs(r.values[i]-ref[i]) > 1e-12 {
-			t.Fatalf("point %d: fleet %v vs reference %v", i, r.values[i], ref[i])
+	got := job.ReadVectors(r.values)
+	for i := range got {
+		if cmplx.Abs(got[i]-ref[i]) > 1e-12 {
+			t.Fatalf("point %d: fleet %v vs reference %v", i, got[i], ref[i])
 		}
 	}
 	fleet.Close()
@@ -240,11 +241,11 @@ func TestFleetServesManyModelsByFingerprint(t *testing.T) {
 
 	jobA := fleetJob(m, "fp-A", []float64{0.5})
 	jobB := fleetJob(m, "fp-B", []float64{0.9})
-	valsA, statsA, err := fleet.Execute(jobA, nil)
+	valsA, statsA, err := fleet.Execute(jobA.Spec(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	valsB, statsB, err := fleet.Execute(jobB, nil)
+	valsB, statsB, err := fleet.Execute(jobB.Spec(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,14 +255,16 @@ func TestFleetServesManyModelsByFingerprint(t *testing.T) {
 	if len(statsB.WorkerNames) != 1 || statsB.WorkerNames[0] != "holds-B" {
 		t.Errorf("model B evaluated by %v, want only holds-B", statsB.WorkerNames)
 	}
-	ref, _, err := Run(jobA, func() Evaluator {
+	refVecs, _, err := Run(jobA.Spec(), func() Evaluator {
 		return NewSolverEvaluator(m, passage.Options{})
 	}, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range valsA {
-		if cmplx.Abs(valsA[i]-ref[i]) > 1e-12 {
+	ref := jobA.ReadVectors(refVecs)
+	gotA := jobA.ReadVectors(valsA)
+	for i := range gotA {
+		if cmplx.Abs(gotA[i]-ref[i]) > 1e-12 {
 			t.Fatalf("point %d differs from reference", i)
 		}
 	}
@@ -274,7 +277,7 @@ func TestFleetServesManyModelsByFingerprint(t *testing.T) {
 	}
 }
 
-// TestFleetRejectsV1Worker proves version negotiation end to end: a v2
+// TestFleetRejectsV1Worker proves version negotiation end to end: a v3
 // master refuses a legacy v1 worker, and because the welcome message
 // carries the v1 ModelStates == -1 sentinel, the old binary fails its
 // own readable "master rejected handshake" path instead of hanging or
@@ -285,7 +288,7 @@ func TestFleetRejectsV1Worker(t *testing.T) {
 
 	err := Work(fleet.Addr().String(), NewSolverEvaluator(m, passage.Options{}), m.N(), WorkerOptions{Name: "legacy"})
 	if err == nil {
-		t.Fatal("v1 worker was accepted by a v2 master")
+		t.Fatal("v1 worker was accepted by a v3 master")
 	}
 	if !strings.Contains(err.Error(), "rejected handshake") {
 		t.Errorf("v1 worker error %q does not mention the rejected handshake", err)
@@ -315,7 +318,7 @@ func TestFleetRejectsFutureVersion(t *testing.T) {
 	if welcome.ModelStates != -1 {
 		t.Errorf("reject welcome carries ModelStates %d, want the -1 sentinel", welcome.ModelStates)
 	}
-	for _, want := range []string{"v2", "v99", "tomorrow"} {
+	for _, want := range []string{"v3", "v99", "tomorrow"} {
 		if !strings.Contains(welcome.Reject, want) {
 			t.Errorf("reject reason %q missing %q", welcome.Reject, want)
 		}
@@ -378,7 +381,7 @@ func TestFleetEvalErrorIsStructured(t *testing.T) {
 	waitForWorkers(t, fleet, 1)
 
 	job := fleetJob(m, fp, []float64{0.5})
-	_, _, err := fleet.Execute(job, nil)
+	_, _, err := fleet.Execute(job.Spec(), nil)
 	var pe *PointError
 	if !errors.As(err, &pe) {
 		t.Fatalf("Execute error %v is not a *PointError", err)
@@ -408,7 +411,7 @@ func TestFleetExecuteAfterCloseFails(t *testing.T) {
 	m := testModel(t)
 	fleet := testFleet(t, FleetOptions{})
 	fleet.Close()
-	if _, _, err := fleet.Execute(fleetJob(m, "fp", []float64{0.5}), nil); err == nil {
+	if _, _, err := fleet.Execute(fleetJob(m, "fp", []float64{0.5}).Spec(), nil); err == nil {
 		t.Fatal("Execute succeeded on a closed fleet")
 	}
 }
@@ -426,7 +429,7 @@ func TestFleetWaitTimeout(t *testing.T) {
 	}()
 	waitForWorkers(t, fleet, 1)
 
-	_, _, err := fleet.Execute(fleetJob(m, "fp-wanted", []float64{0.5}), nil)
+	_, _, err := fleet.Execute(fleetJob(m, "fp-wanted", []float64{0.5}).Spec(), nil)
 	if err == nil || !strings.Contains(err.Error(), "fp-wanted") {
 		t.Errorf("err = %v, want a no-capable-worker failure naming the model", err)
 	}
@@ -438,8 +441,8 @@ func TestFleetWaitTimeout(t *testing.T) {
 // measurements.
 type fleetBenchmarkEvaluator struct{}
 
-func (fleetBenchmarkEvaluator) Evaluate(s complex128, _ *Job) (complex128, error) {
-	return s * s, nil
+func (fleetBenchmarkEvaluator) EvaluateVector(s complex128, _ *SolveSpec) ([]complex128, error) {
+	return []complex128{s * s}, nil
 }
 
 // BenchmarkFleetRoundTrip measures protocol overhead per point with a
@@ -466,12 +469,12 @@ func BenchmarkFleetRoundTrip(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		job := &Job{
+		spec := &SolveSpec{
 			Name: fmt.Sprintf("bench-%d", i), Quantity: PassageDensity,
-			Sources: []int{0}, Weights: []float64{1}, Targets: []int{0},
-			Points: points, ModelFP: "bench", ModelStates: 1,
+			Targets: []int{0},
+			Points:  points, ModelFP: "bench", ModelStates: 1,
 		}
-		if _, _, err := fleet.Execute(job, nil); err != nil {
+		if _, _, err := fleet.Execute(spec, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

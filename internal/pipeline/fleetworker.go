@@ -17,16 +17,18 @@ var ErrHandshakeRejected = errors.New("pipeline: master rejected handshake")
 
 // WorkerModel is one model a fleet worker holds locally and advertises
 // in its handshake: the fingerprint masters route by, the state count
-// cross-checked per job, and the evaluator that does the work. A worker
-// process may hold several models and serve whichever jobs match.
+// cross-checked per solve, and the evaluator that does the work. A
+// worker process may hold several models and serve whichever solves
+// match.
 type WorkerModel struct {
 	Fingerprint string
 	States      int
 	Evaluator   Evaluator
 }
 
-// FleetWork connects to a fleet master (wire protocol v2), advertises
-// the given models, and evaluates assignment batches until the master
+// FleetWork connects to a fleet master (wire protocol v3), advertises
+// the given models, and evaluates assignment batches — streaming each
+// point's transform vector back as chunked frames — until the master
 // shuts the fleet down (nil return) or the connection fails (error —
 // callers that want a resident worker reconnect with backoff, which is
 // what cmd/hydra-worker's -reconnect flag does).
@@ -48,6 +50,10 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 	defer conn.Close()
 	if len(models) == 0 {
 		return errors.New("pipeline: fleet worker needs at least one model")
+	}
+	frameValues := opts.FrameValues
+	if frameValues < 1 {
+		frameValues = defaultFrameValues
 	}
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
@@ -77,7 +83,7 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 
 	runs := make(map[int64]*workerRun)
 	for {
-		var a assignBatchMsg
+		var a assignBatchV3Msg
 		if err := dec.Decode(&a); err != nil {
 			return fmt.Errorf("pipeline: receiving assignment: %w", err)
 		}
@@ -97,10 +103,9 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 				return err
 			}
 			wr = &workerRun{
-				job: &Job{
+				spec: &SolveSpec{
+					Name:        a.Header.Name,
 					Quantity:    a.Header.Quantity,
-					Sources:     a.Header.Sources,
-					Weights:     a.Header.Weights,
 					Targets:     a.Header.Targets,
 					ModelFP:     a.Header.ModelFP,
 					ModelStates: a.Header.ModelStates,
@@ -109,32 +114,99 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 			}
 			runs[a.RunID] = wr
 		}
-		res := resultBatchMsg{RunID: a.RunID, Results: make([]pointResultV2, len(a.Indices))}
+		// Evaluate the batch, streaming each vector back as frames no
+		// larger than frameValues complex values; the final message of
+		// the batch sets Last so the master knows the stream is over.
+		out := frameStream{enc: enc, runID: a.RunID, budget: frameValues}
 		for i, idx := range a.Indices {
-			v, err := wr.eval.Evaluate(a.Points[i], wr.job)
-			pr := pointResultV2{Index: idx, Value: v}
+			vec, err := wr.eval.EvaluateVector(a.Points[i], wr.spec)
 			if err != nil {
-				pr.Value = 0
-				pr.Err = err.Error()
+				if serr := out.sendError(idx, err.Error()); serr != nil {
+					return serr
+				}
+				continue
 			}
-			res.Results[i] = pr
+			if serr := out.sendVector(idx, vec); serr != nil {
+				return serr
+			}
 		}
-		if err := enc.Encode(res); err != nil {
-			return fmt.Errorf("pipeline: sending results: %w", err)
+		if err := out.finish(); err != nil {
+			return err
 		}
 	}
 }
 
+// frameStream packs point vectors into resultFrameV3Msg messages,
+// flushing whenever the pending payload reaches the budget.
+type frameStream struct {
+	enc     *gob.Encoder
+	runID   int64
+	budget  int
+	pending []pointFrameV3
+	load    int // complex values buffered in pending
+}
+
+// flush sends the buffered frames (last marks the end of the batch).
+func (fs *frameStream) flush(last bool) error {
+	if !last && len(fs.pending) == 0 {
+		return nil
+	}
+	msg := resultFrameV3Msg{RunID: fs.runID, Last: last, Frames: fs.pending}
+	if err := fs.enc.Encode(msg); err != nil {
+		return fmt.Errorf("pipeline: sending result frames: %w", err)
+	}
+	fs.pending = nil
+	fs.load = 0
+	return nil
+}
+
+// add buffers one frame and flushes when the budget fills.
+func (fs *frameStream) add(fr pointFrameV3) error {
+	fs.pending = append(fs.pending, fr)
+	fs.load += len(fr.Data)
+	if fs.load >= fs.budget {
+		return fs.flush(false)
+	}
+	return nil
+}
+
+// sendVector chunks one point's vector across frames.
+func (fs *frameStream) sendVector(idx int, vec []complex128) error {
+	total := len(vec)
+	if total == 0 {
+		return fs.add(pointFrameV3{Index: idx, Total: 0})
+	}
+	for off := 0; off < total; off += fs.budget {
+		end := off + fs.budget
+		if end > total {
+			end = total
+		}
+		if err := fs.add(pointFrameV3{Index: idx, Offset: off, Total: total, Data: vec[off:end]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendError reports one point's evaluation failure.
+func (fs *frameStream) sendError(idx int, msg string) error {
+	return fs.add(pointFrameV3{Index: idx, Err: msg})
+}
+
+// finish flushes whatever remains with the Last marker.
+func (fs *frameStream) finish() error { return fs.flush(true) }
+
 // workerRun is the worker-side state of one master run.
 type workerRun struct {
-	job  *Job
+	spec *SolveSpec
 	eval Evaluator
 }
 
 // matchWorkerModel resolves a run header against the advertised models:
-// by fingerprint when the job names one, by state count otherwise. The
-// master only routes matching jobs, so a miss here is a protocol error.
-func matchWorkerModel(models []WorkerModel, h *runHeaderMsg) (WorkerModel, error) {
+// by fingerprint when the solve names one, by state count otherwise.
+// The master only routes matching solves, so a miss here is a protocol
+// error.
+func matchWorkerModel(models []WorkerModel, h *runHeaderV3Msg) (WorkerModel, error) {
 	for _, m := range models {
 		if h.ModelFP != "" {
 			if m.Fingerprint == h.ModelFP && (h.ModelStates == 0 || m.States == h.ModelStates) {

@@ -77,24 +77,24 @@ func (s *RunStats) Merge(o *RunStats) {
 	}
 }
 
-// Run evaluates every s-point of the job with an in-process worker pool,
-// mirroring the master/worker split: the master goroutine owns the queue
-// and the cache, each worker owns one Evaluator (its own kernel
-// matrices), and results stream back over a channel.
+// Run evaluates every s-point of the spec with an in-process worker
+// pool, mirroring the master/worker split: the master goroutine owns
+// the queue and the cache, each worker owns one Evaluator (its own
+// kernel matrices), and vector results stream back over a channel.
 //
 // newEval is called once per worker; cache may be nil for an uncached
 // run (a *Checkpoint, a *MemoryCache or a *Tiered all satisfy Cache).
-func Run(job *Job, newEval func() Evaluator, workers int, cache Cache) ([]complex128, *RunStats, error) {
+func Run(spec *SolveSpec, newEval func() Evaluator, workers int, cache Cache) ([][]complex128, *RunStats, error) {
 	if workers < 1 {
 		return nil, nil, fmt.Errorf("pipeline: need at least one worker")
 	}
 	start := time.Now()
-	values := make([]complex128, len(job.Points))
-	have := make([]bool, len(job.Points))
+	values := make([][]complex128, len(spec.Points))
+	have := make([]bool, len(spec.Points))
 	stats := &RunStats{Workers: workers, PerWorker: make([]int, workers)}
 
 	if cache != nil {
-		cached, err := cache.Load(job)
+		cached, err := cache.Load(spec)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -108,7 +108,7 @@ func Run(job *Job, newEval func() Evaluator, workers int, cache Cache) ([]comple
 	type result struct {
 		idx    int
 		worker int
-		v      complex128
+		v      []complex128
 		err    error
 	}
 	work := make(chan int)
@@ -121,13 +121,13 @@ func Run(job *Job, newEval func() Evaluator, workers int, cache Cache) ([]comple
 			defer wg.Done()
 			eval := newEval()
 			for idx := range work {
-				v, err := eval.Evaluate(job.Points[idx], job)
+				v, err := eval.EvaluateVector(spec.Points[idx], spec)
 				results <- result{idx: idx, worker: w, v: v, err: err}
 			}
 		}(w)
 	}
 	go func() {
-		for idx := range job.Points {
+		for idx := range spec.Points {
 			if !have[idx] {
 				work <- idx
 			}
@@ -141,7 +141,7 @@ func Run(job *Job, newEval func() Evaluator, workers int, cache Cache) ([]comple
 	for r := range results {
 		if r.err != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("pipeline: point %d (s=%v): %w", r.idx, job.Points[r.idx], r.err)
+				firstErr = fmt.Errorf("pipeline: point %d (s=%v): %w", r.idx, spec.Points[r.idx], r.err)
 			}
 			continue
 		}
@@ -150,7 +150,7 @@ func Run(job *Job, newEval func() Evaluator, workers int, cache Cache) ([]comple
 		stats.Evaluated++
 		stats.PerWorker[r.worker]++
 		if cache != nil {
-			if err := cache.Append(job, r.idx, r.v); err != nil && firstErr == nil {
+			if err := cache.Append(spec, r.idx, r.v); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}

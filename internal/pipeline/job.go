@@ -6,13 +6,24 @@
 // checkpointed. Workers never talk to each other, which is what gives
 // the pipeline its near-linear scalability (§5.3.3).
 //
+// The unit of computation is the source-free SolveSpec: the paper's
+// algorithm produces the passage/transient transform for *every* source
+// state in one sweep over U(s), so a solve is keyed by (model, quantity,
+// targets, s-points) alone and each s-point evaluates to the full
+// source-indexed vector. Source weightings are applied at read time as
+// O(N) dot products, which is how one solve serves any number of
+// per-user source distributions. Job bundles a SolveSpec with one such
+// weighting for callers that want a scalar curve.
+//
 // Job execution is abstracted behind the Backend interface so callers
 // are indifferent to the compute substrate. Two backends are provided:
 // an in-process worker pool (InProc, goroutines) and a resident TCP
-// fleet (Fleet, wire protocol v2 over encoding/gob), mirroring the
-// paper's cluster deployment on a single machine or a real network. The
-// one-shot v1 TCP pair (Serve/Work) remains for the batch CLIs'
-// original protocol and as the compatibility reference.
+// fleet (Fleet, wire protocol v3: vector results travel as chunked
+// frames), mirroring the paper's cluster deployment on a single machine
+// or a real network. The one-shot v1 TCP pair (Serve/Work) remains for
+// the batch CLIs' original protocol and as the compatibility reference;
+// its wire format still carries scalars (the worker applies the job's
+// source weighting before answering).
 package pipeline
 
 import (
@@ -53,84 +64,144 @@ func (q Quantity) String() string {
 	}
 }
 
-// Job is a complete transform-evaluation task: the measure definition
-// plus every s-point the chosen inverter demands.
-type Job struct {
+// SolveSpec is the source-free computation unit: the measure definition
+// minus any source weighting, plus every s-point the chosen inverter
+// demands. Evaluating a spec at one s-point yields the full
+// source-indexed transform vector, so two requests that differ only in
+// their sources share one spec — one fingerprint, one cache entry, one
+// in-flight solve.
+type SolveSpec struct {
 	// Name identifies the model+measure for humans and checkpoint files.
 	Name     string
 	Quantity Quantity
-	Sources  []int
-	Weights  []float64
 	Targets  []int
 	Points   []complex128
 
-	// ModelFP and ModelStates identify the model the job must run
-	// against; a Fleet routes the job only to workers advertising this
+	// ModelFP and ModelStates identify the model the spec must run
+	// against; a Fleet routes the solve only to workers advertising this
 	// fingerprint, and a zero value disables the corresponding check
 	// (matching v1's MasterOptions.ModelStates == 0 escape hatch). They
 	// are routing metadata, not content: neither participates in
 	// Fingerprint(), so cache keys are unchanged — Name is what must
 	// embed model identity when a cache is shared across models (the
-	// server's modelID-prefixed job names do exactly that).
+	// server's modelID-prefixed spec names do exactly that).
 	ModelFP     string
 	ModelStates int
 }
 
 // Validate performs structural checks against a model size.
-func (j *Job) Validate(n int) error {
-	if len(j.Sources) == 0 || len(j.Sources) != len(j.Weights) {
-		return fmt.Errorf("pipeline: malformed sources/weights")
-	}
-	for _, s := range j.Sources {
-		if s < 0 || s >= n {
-			return fmt.Errorf("pipeline: source %d outside model of %d states", s, n)
-		}
-	}
-	if len(j.Targets) == 0 {
+func (sp *SolveSpec) Validate(n int) error {
+	if len(sp.Targets) == 0 {
 		return fmt.Errorf("pipeline: empty target set")
 	}
-	for _, t := range j.Targets {
+	for _, t := range sp.Targets {
 		if t < 0 || t >= n {
 			return fmt.Errorf("pipeline: target %d outside model of %d states", t, n)
 		}
 	}
-	if len(j.Points) == 0 {
+	if len(sp.Points) == 0 {
 		return fmt.Errorf("pipeline: no s-points")
 	}
 	return nil
 }
 
-// Fingerprint hashes everything that determines the job's results, so a
-// checkpoint is only ever reused for an identical computation.
-func (j *Job) Fingerprint() string {
+// Fingerprint hashes everything that determines the solve's vector
+// results, so a checkpoint is only ever reused for an identical
+// computation. Sources deliberately do not exist at this level: the
+// vector answer is source-independent, which is what lets per-user
+// traffic that differs only in sources share one cache entry. The
+// leading tag versions the key space so records written by the scalar
+// engine (whose fingerprints covered sources and weights) can never
+// collide with vector records.
+func (sp *SolveSpec) Fingerprint() string {
 	h := sha256.New()
 	write := func(v any) {
 		_ = binary.Write(h, binary.LittleEndian, v)
 	}
-	h.Write([]byte(j.Name))
-	write(int64(j.Quantity))
-	write(int64(len(j.Sources)))
-	for i, s := range j.Sources {
-		write(int64(s))
-		write(math.Float64bits(j.Weights[i]))
-	}
-	write(int64(len(j.Targets)))
-	for _, t := range j.Targets {
+	h.Write([]byte("specv1\x00"))
+	h.Write([]byte(sp.Name))
+	write(int64(sp.Quantity))
+	write(int64(len(sp.Targets)))
+	for _, t := range sp.Targets {
 		write(int64(t))
 	}
-	write(int64(len(j.Points)))
-	for _, p := range j.Points {
+	write(int64(len(sp.Points)))
+	for _, p := range sp.Points {
 		write(math.Float64bits(real(p)))
 		write(math.Float64bits(imag(p)))
 	}
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
-// Evaluator computes a job's transform at a single s-point. It is the
-// worker-side contract; implementations need not be safe for concurrent
-// use (each worker owns one).
+// Job is a complete scalar-curve request: a SolveSpec plus the source
+// weighting the vector results are read through. Everything that keys
+// caches and coalescing lives in the embedded spec; Sources/Weights are
+// read-time data.
+type Job struct {
+	SolveSpec
+	Sources []int
+	Weights []float64
+}
+
+// Spec returns the job's source-free computation unit.
+func (j *Job) Spec() *SolveSpec { return &j.SolveSpec }
+
+// Validate performs structural checks against a model size: the
+// embedded spec's checks plus the source weighting's. Weights must be
+// finite and non-negative with positive total mass — a NaN, an Inf, a
+// negative entry or an all-zero vector would silently poison every
+// curve read from the solve.
+func (j *Job) Validate(n int) error {
+	if len(j.Sources) == 0 || len(j.Sources) != len(j.Weights) {
+		return fmt.Errorf("pipeline: malformed sources/weights")
+	}
+	var sum float64
+	for i, s := range j.Sources {
+		if s < 0 || s >= n {
+			return fmt.Errorf("pipeline: source %d outside model of %d states", s, n)
+		}
+		w := j.Weights[i]
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("pipeline: non-finite weight %v for source %d", w, s)
+		}
+		if w < 0 {
+			return fmt.Errorf("pipeline: negative weight %v for source %d", w, s)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return fmt.Errorf("pipeline: source weights are all zero")
+	}
+	return j.SolveSpec.Validate(n)
+}
+
+// ReadPoint reduces one s-point's vector result to the job's scalar:
+// the α̃-weighted dot product of Eq. (5).
+func (j *Job) ReadPoint(vec []complex128) complex128 {
+	var out complex128
+	for k, i := range j.Sources {
+		if i >= 0 && i < len(vec) {
+			out += complex(j.Weights[k], 0) * vec[i]
+		}
+	}
+	return out
+}
+
+// ReadVectors maps ReadPoint over a full run's vectors.
+func (j *Job) ReadVectors(vecs [][]complex128) []complex128 {
+	out := make([]complex128, len(vecs))
+	for idx, vec := range vecs {
+		out[idx] = j.ReadPoint(vec)
+	}
+	return out
+}
+
+// Evaluator computes a spec's transform vector at a single s-point: the
+// full source-indexed L_·j⃗(s) (or T*_·j⃗(s)), freshly allocated per
+// call. It is the worker-side contract; implementations need not be
+// safe for concurrent use (each worker owns one).
 type Evaluator interface {
-	Evaluate(s complex128, job *Job) (complex128, error)
+	EvaluateVector(s complex128, spec *SolveSpec) ([]complex128, error)
 }
 
 // SolverEvaluator adapts a passage.Solver to the Evaluator contract.
@@ -143,22 +214,24 @@ func NewSolverEvaluator(m *smp.Model, opts passage.Options) *SolverEvaluator {
 	return &SolverEvaluator{sv: passage.NewSolver(m, opts)}
 }
 
-// Evaluate implements Evaluator.
-func (e *SolverEvaluator) Evaluate(s complex128, job *Job) (complex128, error) {
-	src := passage.SourceWeights{States: job.Sources, Weights: job.Weights}
-	switch job.Quantity {
+// EvaluateVector implements Evaluator.
+func (e *SolverEvaluator) EvaluateVector(s complex128, spec *SolveSpec) ([]complex128, error) {
+	switch spec.Quantity {
 	case PassageDensity:
-		v, _, err := e.sv.IterativeLST(s, src, job.Targets)
+		v, _, err := e.sv.IterativeVectorLST(s, spec.Targets)
 		return v, err
 	case PassageCDF:
-		v, _, err := e.sv.IterativeLST(s, src, job.Targets)
+		v, _, err := e.sv.IterativeVectorLST(s, spec.Targets)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		return v / s, nil
+		for i := range v {
+			v[i] /= s
+		}
+		return v, nil
 	case TransientDist:
-		return e.sv.TransientLST(s, src, job.Targets)
+		return e.sv.TransientVectorLST(s, spec.Targets)
 	default:
-		return 0, fmt.Errorf("pipeline: unknown quantity %v", job.Quantity)
+		return nil, fmt.Errorf("pipeline: unknown quantity %v", spec.Quantity)
 	}
 }

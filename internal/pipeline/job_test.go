@@ -1,20 +1,23 @@
 package pipeline
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
 
-// referenceJob is a fully-populated job whose fingerprint is pinned by
-// TestFingerprintGolden.
+// referenceJob is a fully-populated job whose spec fingerprint is
+// pinned by TestFingerprintGolden.
 func referenceJob() *Job {
 	return &Job{
-		Name:     "voting-0:passage",
-		Quantity: PassageCDF,
-		Sources:  []int{0, 3},
-		Weights:  []float64{0.75, 0.25},
-		Targets:  []int{5, 6},
-		Points:   []complex128{complex(0.5, 0), complex(0.5, 1.25), complex(0.5, -1.25)},
+		SolveSpec: SolveSpec{
+			Name:     "voting-0:passage",
+			Quantity: PassageCDF,
+			Targets:  []int{5, 6},
+			Points:   []complex128{complex(0.5, 0), complex(0.5, 1.25), complex(0.5, -1.25)},
+		},
+		Sources: []int{0, 3},
+		Weights: []float64{0.75, 0.25},
 	}
 }
 
@@ -23,24 +26,27 @@ func referenceJob() *Job {
 // keyed by it, so any change to the hash input layout silently orphans
 // every existing cached result. If this test fails, either revert the
 // change to Fingerprint or accept that all caches are invalidated and
-// update the golden values deliberately.
+// update the golden values deliberately. (The vector engine did exactly
+// that once, on purpose: spec fingerprints carry a "specv1" tag so the
+// scalar era's source-inclusive keys can never collide with them.)
 func TestFingerprintGolden(t *testing.T) {
-	if got, want := referenceJob().Fingerprint(), "8fd56a32066338028b09bccd01866f97"; got != want {
+	if got, want := referenceJob().Fingerprint(), "70ea1f95bf87432b600c39d55572cc48"; got != want {
 		t.Errorf("reference fingerprint = %s, want %s (cache keys changed!)", got, want)
 	}
-	if got, want := (&Job{}).Fingerprint(), "66687aadf862bd776c8fc18b8e9f8e20"; got != want {
-		t.Errorf("empty-job fingerprint = %s, want %s (cache keys changed!)", got, want)
+	if got, want := (&SolveSpec{}).Fingerprint(), "d4b2e0201429a3c704c4a1338c749c29"; got != want {
+		t.Errorf("empty-spec fingerprint = %s, want %s (cache keys changed!)", got, want)
 	}
 }
 
-// TestFingerprintSensitivity checks every field participates in the key
-// and that no two distinct jobs in the set collide.
+// TestFingerprintSensitivity checks every spec field participates in
+// the key, that no two distinct specs in the set collide — and that the
+// source weighting deliberately does NOT participate: requests that
+// differ only in sources must share one cache entry and one in-flight
+// solve.
 func TestFingerprintSensitivity(t *testing.T) {
 	mutations := map[string]func(*Job){
 		"name":     func(j *Job) { j.Name = "voting-1:passage" },
 		"quantity": func(j *Job) { j.Quantity = PassageDensity },
-		"sources":  func(j *Job) { j.Sources[1] = 4 },
-		"weights":  func(j *Job) { j.Weights[0] = 0.5 },
 		"targets":  func(j *Job) { j.Targets = []int{5} },
 		"points":   func(j *Job) { j.Points[2] = complex(0.5, -1.5) },
 	}
@@ -54,16 +60,29 @@ func TestFingerprintSensitivity(t *testing.T) {
 		}
 		seen[fp] = field
 	}
+
+	// Sources and weights are read-time data: mutating them must keep
+	// the fingerprint — this is the property the whole vector engine's
+	// cache reuse rests on.
+	ref := referenceJob().Fingerprint()
+	j := referenceJob()
+	j.Sources = []int{1}
+	j.Weights = []float64{1}
+	if got := j.Fingerprint(); got != ref {
+		t.Errorf("changing sources changed the spec fingerprint %s -> %s; per-source traffic would stop sharing solves", ref, got)
+	}
 }
 
 func TestValidate(t *testing.T) {
 	valid := func() *Job {
 		return &Job{
-			Name:    "ok",
+			SolveSpec: SolveSpec{
+				Name:    "ok",
+				Targets: []int{2},
+				Points:  []complex128{1 + 1i},
+			},
 			Sources: []int{0, 1},
 			Weights: []float64{0.5, 0.5},
-			Targets: []int{2},
-			Points:  []complex128{1 + 1i},
 		}
 	}
 	cases := []struct {
@@ -76,6 +95,10 @@ func TestValidate(t *testing.T) {
 		{"mismatched weights", func(j *Job) { j.Weights = []float64{1} }, "sources/weights"},
 		{"source below range", func(j *Job) { j.Sources[0] = -1 }, "source -1 outside"},
 		{"source above range", func(j *Job) { j.Sources[1] = 3 }, "source 3 outside"},
+		{"NaN weight", func(j *Job) { j.Weights[0] = math.NaN() }, "non-finite weight"},
+		{"Inf weight", func(j *Job) { j.Weights[1] = math.Inf(1) }, "non-finite weight"},
+		{"negative weight", func(j *Job) { j.Weights[0] = -0.5 }, "negative weight"},
+		{"all-zero weights", func(j *Job) { j.Weights[0] = 0; j.Weights[1] = 0 }, "all zero"},
 		{"empty targets", func(j *Job) { j.Targets = nil }, "empty target"},
 		{"target below range", func(j *Job) { j.Targets[0] = -2 }, "target -2 outside"},
 		{"target above range", func(j *Job) { j.Targets[0] = 99 }, "target 99 outside"},
@@ -100,5 +123,45 @@ func TestValidate(t *testing.T) {
 				t.Errorf("Validate() = %q, want it to contain %q", err, c.wantErr)
 			}
 		})
+	}
+}
+
+// TestSpecValidate covers the source-free unit on its own: specs are
+// what backends execute and caches key, so they validate independently
+// of any weighting.
+func TestSpecValidate(t *testing.T) {
+	valid := SolveSpec{Name: "ok", Targets: []int{2}, Points: []complex128{1 + 1i}}
+	if err := valid.Validate(3); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := valid
+	bad.Targets = []int{3}
+	if bad.Validate(3) == nil {
+		t.Error("out-of-range target accepted")
+	}
+	bad = valid
+	bad.Targets = nil
+	if bad.Validate(3) == nil {
+		t.Error("empty target set accepted")
+	}
+	bad = valid
+	bad.Points = nil
+	if bad.Validate(3) == nil {
+		t.Error("empty point set accepted")
+	}
+}
+
+// TestReadPoint pins the read-time reduction: a weighted dot product
+// over the source-indexed vector, tolerant of short vectors.
+func TestReadPoint(t *testing.T) {
+	j := &Job{Sources: []int{0, 2}, Weights: []float64{0.25, 0.75}}
+	vec := []complex128{4, 99, 2i}
+	if got, want := j.ReadPoint(vec), complex(1, 1.5); got != want {
+		t.Errorf("ReadPoint = %v, want %v", got, want)
+	}
+	vecs := [][]complex128{vec, {8, 0, 4i}}
+	got := j.ReadVectors(vecs)
+	if len(got) != 2 || got[0] != complex(1, 1.5) || got[1] != complex(2, 3) {
+		t.Errorf("ReadVectors = %v", got)
 	}
 }

@@ -95,8 +95,13 @@ type MasterOptions struct {
 
 // Serve runs the master side of the distributed pipeline: it accepts
 // worker connections on ln, farms out every (uncached) s-point of the
-// job, checkpoints results as they return, and completes when all points
-// are in. The listener is closed before returning.
+// job, and completes when all points are in. The listener is closed
+// before returning.
+//
+// The v1 wire carries α̃-weighted scalars, so a vector cache can only be
+// *read* here (cached vectors reduce through the job's weighting);
+// fresh scalar results are not appended — use the v3 Fleet backend for
+// checkpointed runs.
 func Serve(ln net.Listener, job *Job, cache Cache, opts MasterOptions) ([]complex128, *RunStats, error) {
 	if opts.IdleTimeout == 0 {
 		opts.IdleTimeout = 10 * time.Minute
@@ -106,12 +111,12 @@ func Serve(ln net.Listener, job *Job, cache Cache, opts MasterOptions) ([]comple
 	have := make([]bool, len(job.Points))
 	stats := &RunStats{}
 	if cache != nil {
-		cached, err := cache.Load(job)
+		cached, err := cache.Load(job.Spec())
 		if err != nil {
 			return nil, nil, err
 		}
-		for idx, v := range cached {
-			values[idx] = v
+		for idx, vec := range cached {
+			values[idx] = job.ReadPoint(vec)
 			have[idx] = true
 			stats.FromCache++
 		}
@@ -168,20 +173,10 @@ func Serve(ln net.Listener, job *Job, cache Cache, opts MasterOptions) ([]comple
 		have[r.idx] = true
 		remaining--
 		stats.Evaluated++
-		if cache != nil {
-			if err := cache.Append(job, r.idx, r.v); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
 	}
 	disp.finish()
 	ln.Close()
 	connWG.Wait()
-	if cache != nil {
-		if err := cache.Sync(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
 	if firstErr != nil {
 		return nil, nil, firstErr
 	}

@@ -36,12 +36,14 @@ func testModel(t *testing.T) *smp.Model {
 func densityJob(m *smp.Model, ts []float64) *Job {
 	inv := lt.DefaultEuler()
 	return &Job{
-		Name:     "test-hypo",
-		Quantity: PassageDensity,
-		Sources:  []int{0},
-		Weights:  []float64{1},
-		Targets:  []int{2},
-		Points:   inv.Points(ts),
+		SolveSpec: SolveSpec{
+			Name:     "test-hypo",
+			Quantity: PassageDensity,
+			Targets:  []int{2},
+			Points:   inv.Points(ts),
+		},
+		Sources: []int{0},
+		Weights: []float64{1},
 	}
 }
 
@@ -52,7 +54,7 @@ func TestRunMatchesClosedFormEndToEnd(t *testing.T) {
 	if err := job.Validate(m.N()); err != nil {
 		t.Fatal(err)
 	}
-	vals, stats, err := Run(job, func() Evaluator {
+	vecs, stats, err := Run(job.Spec(), func() Evaluator {
 		return NewSolverEvaluator(m, passage.Options{})
 	}, 3, nil)
 	if err != nil {
@@ -61,7 +63,7 @@ func TestRunMatchesClosedFormEndToEnd(t *testing.T) {
 	if stats.Evaluated != len(job.Points) {
 		t.Errorf("evaluated %d, want %d", stats.Evaluated, len(job.Points))
 	}
-	f, err := lt.DefaultEuler().Invert(ts, vals)
+	f, err := lt.DefaultEuler().Invert(ts, job.ReadVectors(vecs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +95,7 @@ func TestCheckpointRestartComputesNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vals1, stats1, err := Run(job, func() Evaluator {
+	vals1, stats1, err := Run(job.Spec(), func() Evaluator {
 		return NewSolverEvaluator(m, passage.Options{})
 	}, 2, ck)
 	if err != nil {
@@ -109,7 +111,7 @@ func TestCheckpointRestartComputesNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ck2.Close()
-	vals2, stats2, err := Run(job, func() Evaluator {
+	vals2, stats2, err := Run(job.Spec(), func() Evaluator {
 		return NewSolverEvaluator(m, passage.Options{})
 	}, 2, ck2)
 	if err != nil {
@@ -119,8 +121,13 @@ func TestCheckpointRestartComputesNothing(t *testing.T) {
 		t.Fatalf("restart run recomputed: %+v", stats2)
 	}
 	for i := range vals1 {
-		if vals1[i] != vals2[i] {
-			t.Fatalf("value %d changed across restart", i)
+		if len(vals1[i]) != len(vals2[i]) {
+			t.Fatalf("vector %d changed length across restart", i)
+		}
+		for k := range vals1[i] {
+			if vals1[i][k] != vals2[i][k] {
+				t.Fatalf("vector %d changed across restart", i)
+			}
 		}
 	}
 }
@@ -137,16 +144,16 @@ func TestCheckpointPartialResume(t *testing.T) {
 	eval := NewSolverEvaluator(m, passage.Options{})
 	seeded := 0
 	for idx := 0; idx < len(job.Points); idx += 3 {
-		v, err := eval.Evaluate(job.Points[idx], job)
+		v, err := eval.EvaluateVector(job.Points[idx], job.Spec())
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := ck.Append(job, idx, v); err != nil {
+		if err := ck.Append(job.Spec(), idx, v); err != nil {
 			t.Fatal(err)
 		}
 		seeded++
 	}
-	_, stats, err := Run(job, func() Evaluator {
+	_, stats, err := Run(job.Spec(), func() Evaluator {
 		return NewSolverEvaluator(m, passage.Options{})
 	}, 2, ck)
 	if err != nil {
@@ -175,21 +182,21 @@ func TestCheckpointIgnoresOtherJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ck.Close()
-	if err := ck.Append(jobA, 0, 42); err != nil {
+	if err := ck.Append(jobA.Spec(), 0, []complex128{42, 7}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ck.Load(jobB)
+	got, err := ck.Load(jobB.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 0 {
 		t.Errorf("job B loaded %d foreign records", len(got))
 	}
-	gotA, err := ck.Load(jobA)
+	gotA, err := ck.Load(jobA.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(gotA) != 1 || gotA[0] != 42 {
+	if len(gotA) != 1 || len(gotA[0]) != 2 || gotA[0][0] != 42 || gotA[0][1] != 7 {
 		t.Errorf("job A records = %v", gotA)
 	}
 }
@@ -202,7 +209,7 @@ func TestCheckpointToleratesTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ck.Append(job, 3, 1+2i); err != nil {
+	if err := ck.Append(job.Spec(), 3, []complex128{1 + 2i}); err != nil {
 		t.Fatal(err)
 	}
 	ck.Close()
@@ -219,11 +226,11 @@ func TestCheckpointToleratesTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ck2.Close()
-	got, err := ck2.Load(job)
+	got, err := ck2.Load(job.Spec())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 1 || got[3] != 1+2i {
+	if len(got) != 1 || len(got[3]) != 1 || got[3][0] != 1+2i {
 		t.Errorf("recovered records = %v", got)
 	}
 }
@@ -295,13 +302,15 @@ func TestTCPMasterWorkerEndToEnd(t *testing.T) {
 		t.Errorf("evaluated %d, want %d", stats.Evaluated, len(job.Points))
 	}
 
-	// Same values as the in-process pool.
-	ref, _, err := Run(job, func() Evaluator {
+	// Same values as the in-process pool (whose vectors reduce through
+	// the job weighting).
+	refVecs, _, err := Run(job.Spec(), func() Evaluator {
 		return NewSolverEvaluator(m, passage.Options{})
 	}, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ref := job.ReadVectors(refVecs)
 	for i := range vals {
 		if cmplx.Abs(vals[i]-ref[i]) > 1e-12 {
 			t.Fatalf("point %d: tcp %v vs inproc %v", i, vals[i], ref[i])
@@ -374,11 +383,12 @@ func TestQuantityEvaluatorsAgreeWithSolver(t *testing.T) {
 	src := passage.SingleSource(0)
 
 	for _, q := range []Quantity{PassageDensity, PassageCDF, TransientDist} {
-		job := &Job{Quantity: q, Sources: []int{0}, Weights: []float64{1}, Targets: []int{2}}
-		got, err := eval.Evaluate(s, job)
+		job := &Job{SolveSpec: SolveSpec{Quantity: q, Targets: []int{2}}, Sources: []int{0}, Weights: []float64{1}}
+		vec, err := eval.EvaluateVector(s, job.Spec())
 		if err != nil {
 			t.Fatalf("%v: %v", q, err)
 		}
+		got := job.ReadPoint(vec)
 		var want complex128
 		switch q {
 		case PassageDensity:
@@ -401,14 +411,14 @@ func TestQuantityEvaluatorsAgreeWithSolver(t *testing.T) {
 // failingEvaluator errors on every point.
 type failingEvaluator struct{}
 
-func (failingEvaluator) Evaluate(complex128, *Job) (complex128, error) {
-	return 0, fmt.Errorf("synthetic evaluator failure")
+func (failingEvaluator) EvaluateVector(complex128, *SolveSpec) ([]complex128, error) {
+	return nil, fmt.Errorf("synthetic evaluator failure")
 }
 
 func TestRunPropagatesEvaluatorErrors(t *testing.T) {
 	m := testModel(t)
 	job := densityJob(m, []float64{0.5})
-	_, _, err := Run(job, func() Evaluator { return failingEvaluator{} }, 2, nil)
+	_, _, err := Run(job.Spec(), func() Evaluator { return failingEvaluator{} }, 2, nil)
 	if err == nil || !strings.Contains(err.Error(), "synthetic evaluator failure") {
 		t.Errorf("err = %v, want evaluator failure", err)
 	}

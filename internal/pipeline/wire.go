@@ -6,27 +6,29 @@ import (
 )
 
 // The master/worker wire protocol is encoding/gob over TCP. The
-// concrete encodes in master.go/worker.go never emit type names, so the
-// format is pinned by the golden-bytes test in wire_test.go — renaming
-// or re-typing a field changes those bytes and fails the test before it
-// can strand mismatched master/worker binaries at runtime. The explicit
-// registrations below fix the names used wherever a message travels
-// inside an interface value (extensions, debugging encoders), keeping
-// that path stable across struct moves as well.
+// concrete encodes in master.go/worker.go/fleet.go never emit type
+// names, so the format is pinned by the golden-bytes test in
+// wire_test.go — renaming or re-typing a field changes those bytes and
+// fails the test before it can strand mismatched master/worker binaries
+// at runtime. The explicit registrations below fix the names used
+// wherever a message travels inside an interface value (extensions,
+// debugging encoders), keeping that path stable across struct moves as
+// well.
 func init() {
-	// Protocol v1 (one-shot Serve/Work).
+	// Protocol v1 (one-shot Serve/Work, scalar results).
 	gob.RegisterName("hydra/pipeline.helloMsg", helloMsg{})
 	gob.RegisterName("hydra/pipeline.jobHeaderMsg", jobHeaderMsg{})
 	gob.RegisterName("hydra/pipeline.assignMsg", assignMsg{})
 	gob.RegisterName("hydra/pipeline.resultMsg", resultMsg{})
-	// Protocol v2 (resident Fleet/FleetWork).
+	// Handshake (shared by fleet protocol generations v2+).
 	gob.RegisterName("hydra/pipeline.helloV2Msg", helloV2Msg{})
 	gob.RegisterName("hydra/pipeline.modelAd", modelAd{})
 	gob.RegisterName("hydra/pipeline.welcomeMsg", welcomeMsg{})
-	gob.RegisterName("hydra/pipeline.runHeaderMsg", runHeaderMsg{})
-	gob.RegisterName("hydra/pipeline.assignBatchMsg", assignBatchMsg{})
-	gob.RegisterName("hydra/pipeline.resultBatchMsg", resultBatchMsg{})
-	gob.RegisterName("hydra/pipeline.pointResultV2", pointResultV2{})
+	// Protocol v3 (resident Fleet/FleetWork, chunked vector frames).
+	gob.RegisterName("hydra/pipeline.runHeaderV3Msg", runHeaderV3Msg{})
+	gob.RegisterName("hydra/pipeline.assignBatchV3Msg", assignBatchV3Msg{})
+	gob.RegisterName("hydra/pipeline.resultFrameV3Msg", resultFrameV3Msg{})
+	gob.RegisterName("hydra/pipeline.pointFrameV3", pointFrameV3{})
 
 	// Pin gob's global type-id allocation by encoding every protocol
 	// message once, v1 first, in a fixed order. The ids a fresh encoder
@@ -40,9 +42,9 @@ func init() {
 		helloMsg{}, jobHeaderMsg{}, assignMsg{}, resultMsg{},
 		helloV2Msg{Models: []modelAd{{}}},
 		welcomeMsg{},
-		assignBatchMsg{Header: &runHeaderMsg{}, Forget: []int64{0},
+		assignBatchV3Msg{Header: &runHeaderV3Msg{}, Forget: []int64{0},
 			Indices: []int{0}, Points: []complex128{0}},
-		resultBatchMsg{Results: []pointResultV2{{}}},
+		resultFrameV3Msg{Frames: []pointFrameV3{{Data: []complex128{0}}}},
 	} {
 		if err := enc.Encode(m); err != nil {
 			panic("pipeline: priming wire types: " + err.Error())

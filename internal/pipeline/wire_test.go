@@ -81,29 +81,32 @@ func TestWireGoldenBytes(t *testing.T) {
 	}
 }
 
-// TestFleetWireV2RoundTrip checks every v2 protocol message encodes
+// TestFleetWireV3RoundTrip checks every v3 protocol message encodes
 // and decodes to an equal value.
-func TestFleetWireV2RoundTrip(t *testing.T) {
-	header := &runHeaderMsg{
+func TestFleetWireV3RoundTrip(t *testing.T) {
+	header := &runHeaderV3Msg{
+		Name:    "m-4a5c9d01beef2233:passage-cdf",
 		ModelFP: "m-4a5c9d01beef2233", ModelStates: 2061,
-		Quantity: PassageCDF, Sources: []int{0, 4}, Weights: []float64{0.5, 0.5}, Targets: []int{17},
+		Quantity: PassageCDF, Targets: []int{17},
 	}
 	cases := []struct {
 		name string
 		in   any
 		out  any
 	}{
-		{"helloV2", &helloV2Msg{Version: 2, WorkerName: "node-7", Models: []modelAd{
+		{"helloV3", &helloV2Msg{Version: 3, WorkerName: "node-7", Models: []modelAd{
 			{Fingerprint: "m-4a5c9d01beef2233", States: 2061},
 			{Fingerprint: "voting-1", States: 106540},
 		}}, &helloV2Msg{}},
-		{"welcomeReject", &welcomeMsg{Version: 2, ModelStates: -1, Reject: "no"}, &welcomeMsg{}},
-		{"runHeader", header, &runHeaderMsg{}},
-		{"assignBatch", &assignBatchMsg{RunID: 3, Header: header, Forget: []int64{1, 2},
-			Indices: []int{12, 13}, Points: []complex128{complex(0.5, -3.25), complex(0.5, 4.75)}}, &assignBatchMsg{}},
-		{"resultBatch", &resultBatchMsg{RunID: 3, Results: []pointResultV2{
-			{Index: 12, Value: complex(1e-3, 2e-6)}, {Index: 13, Err: "s-point diverged"},
-		}}, &resultBatchMsg{}},
+		{"welcomeReject", &welcomeMsg{Version: 3, ModelStates: -1, Reject: "no"}, &welcomeMsg{}},
+		{"runHeader", header, &runHeaderV3Msg{}},
+		{"assignBatch", &assignBatchV3Msg{RunID: 3, Header: header, Forget: []int64{1, 2},
+			Indices: []int{12, 13}, Points: []complex128{complex(0.5, -3.25), complex(0.5, 4.75)}}, &assignBatchV3Msg{}},
+		{"resultFrames", &resultFrameV3Msg{RunID: 3, Last: true, Frames: []pointFrameV3{
+			{Index: 12, Offset: 0, Total: 4, Data: []complex128{1e-3 + 2e-6i, 2}},
+			{Index: 12, Offset: 2, Total: 4, Data: []complex128{3, 4}},
+			{Index: 13, Err: "s-point diverged"},
+		}}, &resultFrameV3Msg{}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -121,42 +124,47 @@ func TestFleetWireV2RoundTrip(t *testing.T) {
 	}
 }
 
-// TestFleetWireV2GoldenBytes pins the exact gob encoding of every v2
+// TestFleetWireV3GoldenBytes pins the exact gob encoding of every v3
 // protocol frame as produced by a fresh encoder, exactly as
 // TestWireGoldenBytes pins v1: master and worker binaries meet over
 // this format, so any drift must fail here before it can strand a
-// mixed-version fleet at runtime. If this test fails, the v2 protocol
-// changed — bump ProtocolVersion (the handshake then rejects old
-// binaries readably) and regenerate the golden strings.
-func TestFleetWireV2GoldenBytes(t *testing.T) {
-	header := &runHeaderMsg{
+// mixed-version fleet at runtime. The chunked vector frames — the v3
+// payload innovation — are pinned with a mid-vector Offset so the
+// reassembly fields can never silently change meaning. If this test
+// fails, the v3 protocol changed — bump ProtocolVersion (the handshake
+// then rejects old binaries readably) and regenerate the golden
+// strings.
+func TestFleetWireV3GoldenBytes(t *testing.T) {
+	header := &runHeaderV3Msg{
+		Name:    "m-4a5c9d01beef2233:passage-cdf",
 		ModelFP: "m-4a5c9d01beef2233", ModelStates: 2061,
-		Quantity: PassageCDF, Sources: []int{0, 4}, Weights: []float64{0.5, 0.5}, Targets: []int{17},
+		Quantity: PassageCDF, Targets: []int{17},
 	}
 	cases := []struct {
 		name   string
 		msg    any
 		golden string
 	}{
-		{"helloV2", &helloV2Msg{Version: 2, WorkerName: "node-7", Models: []modelAd{
+		{"helloV3", &helloV2Msg{Version: 3, WorkerName: "node-7", Models: []modelAd{
 			{Fingerprint: "m-4a5c9d01beef2233", States: 2061},
 			{Fingerprint: "voting-1", States: 106540},
 		}},
-			"3fff8b0301010a68656c6c6f56324d736701ff8c000103010756657273696f6e010400010a576f726b65724e616d65010c0001064d6f64656c7301ff9000000021ff8f020101125b5d706970656c696e652e6d6f64656c416401ff900001ff8e000030ff8d030101076d6f64656c416401ff8e000102010b46696e6765727072696e74010c000106537461746573010400000038ff8c010401066e6f64652d37010201126d2d3461356339643031626565663232333301fe101a000108766f74696e672d3101fd0340580000"},
-		{"welcomeAccept", &welcomeMsg{Version: 2},
-			"3fff910301010a77656c636f6d654d736701ff92000103010756657273696f6e010400010b4d6f64656c537461746573010400010652656a656374010c00000005ff92010400"},
-		{"welcomeReject", &welcomeMsg{Version: 2, ModelStates: -1,
-			Reject: "master speaks wire protocol v2 but worker \"node-7\" announced v1; deploy matching hydra binaries"},
-			"3fff910301010a77656c636f6d654d736701ff92000103010756657273696f6e010400010b4d6f64656c537461746573010400010652656a656374010c00000068ff9201040101015f6d617374657220737065616b7320776972652070726f746f636f6c2076322062757420776f726b657220226e6f64652d372220616e6e6f756e6365642076313b206465706c6f79206d61746368696e672068796472612062696e617269657300"},
+			"3fff8b0301010a68656c6c6f56324d736701ff8c000103010756657273696f6e010400010a576f726b65724e616d65010c0001064d6f64656c7301ff9000000021ff8f020101125b5d706970656c696e652e6d6f64656c416401ff900001ff8e000030ff8d030101076d6f64656c416401ff8e000102010b46696e6765727072696e74010c000106537461746573010400000038ff8c010601066e6f64652d37010201126d2d3461356339643031626565663232333301fe101a000108766f74696e672d3101fd0340580000"},
+		{"welcomeAccept", &welcomeMsg{Version: 3},
+			"3fff910301010a77656c636f6d654d736701ff92000103010756657273696f6e010400010b4d6f64656c537461746573010400010652656a656374010c00000005ff92010600"},
+		{"welcomeReject", &welcomeMsg{Version: 3, ModelStates: -1,
+			Reject: "master speaks wire protocol v3 but worker \"node-7\" announced v2; deploy matching hydra binaries"},
+			"3fff910301010a77656c636f6d654d736701ff92000103010756657273696f6e010400010b4d6f64656c537461746573010400010652656a656374010c00000068ff9201060101015f6d617374657220737065616b7320776972652070726f746f636f6c2076332062757420776f726b657220226e6f64652d372220616e6e6f756e6365642076323b206465706c6f79206d61746368696e672068796472612062696e617269657300"},
 		{"runHeader", header,
-			"6aff950301010c72756e4865616465724d736701ff9600010601074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e746974790104000107536f757263657301ff840001075765696768747301ff860001075461726765747301ff8400000013ff83020101055b5d696e7401ff84000104000017ff85020101095b5d666c6f6174363401ff8600010800002cff9601126d2d3461356339643031626565663232333301fe101a0102010200080102fee03ffee03f01012200"},
-		{"assignBatch", &assignBatchMsg{RunID: 3, Header: header, Forget: []int64{1, 2},
+			"5bff950301010e72756e48656164657256334d736701ff9600010501044e616d65010c0001074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e7469747901040001075461726765747301ff8400000013ff83020101055b5d696e7401ff84000104000040ff96011e6d2d346135633964303162656566323233333a706173736167652d63646601126d2d3461356339643031626565663232333301fe101a010201012200"},
+		{"assignBatch", &assignBatchV3Msg{RunID: 3, Header: header, Forget: []int64{1, 2},
 			Indices: []int{12, 13}, Points: []complex128{complex(0.5, -3.25), complex(0.5, 4.75)}},
-			"60ff930301010e61737369676e42617463684d736701ff940001060104446f6e65010200010552756e4944010400010648656164657201ff96000106466f7267657401ff98000107496e646963657301ff84000106506f696e747301ff9a0000006aff950301010c72756e4865616465724d736701ff9600010601074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e746974790104000107536f757263657301ff840001075765696768747301ff860001075461726765747301ff8400000013ff83020101055b5d696e7401ff84000104000017ff85020101095b5d666c6f6174363401ff86000108000015ff97020101075b5d696e74363401ff9800010400001aff990201010c5b5d636f6d706c657831323801ff9a00010e000046ff9402060101126d2d3461356339643031626565663232333301fe101a0102010200080102fee03ffee03f01012200010202040102181a0102fee03ffe0ac0fee03ffe134000"},
-		{"resultBatch", &resultBatchMsg{RunID: 3, Results: []pointResultV2{
-			{Index: 12, Value: complex(1e-3, 2e-6)}, {Index: 13, Err: "s-point diverged"},
+			"62ff930301011061737369676e426174636856334d736701ff940001060104446f6e65010200010552756e4944010400010648656164657201ff96000106466f7267657401ff98000107496e646963657301ff84000106506f696e747301ff9a0000005bff950301010e72756e48656164657256334d736701ff9600010501044e616d65010c0001074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e7469747901040001075461726765747301ff8400000013ff83020101055b5d696e7401ff84000104000015ff97020101075b5d696e74363401ff9800010400001aff990201010c5b5d636f6d706c657831323801ff9a00010e00005aff94020601011e6d2d346135633964303162656566323233333a706173736167652d63646601126d2d3461356339643031626565663232333301fe101a010201012200010202040102181a0102fee03ffe0ac0fee03ffe134000"},
+		{"resultFrames", &resultFrameV3Msg{RunID: 3, Last: true, Frames: []pointFrameV3{
+			{Index: 12, Offset: 2, Total: 4, Data: []complex128{1e-3 + 2e-6i, 2}},
+			{Index: 13, Err: "s-point diverged"},
 		}},
-			"33ff9b0301010e726573756c7442617463684d736701ff9c000102010552756e49440104000107526573756c747301ffa000000027ff9f020101185b5d706970656c696e652e706f696e74526573756c74563201ffa00001ff9e000037ff9d0301010d706f696e74526573756c74563201ff9e0001030105496e646578010400010556616c7565010e000103457272010c00000032ff9c01060102011801f8fca9f1d24d62503ff88dedb5a0f7c6c03e00011a0210732d706f696e742064697665726765640000"},
+			"3dff9b03010110726573756c744672616d6556334d736701ff9c000103010552756e494401040001044c61737401020001064672616d657301ffa000000026ff9f020101175b5d706970656c696e652e706f696e744672616d65563301ffa00001ff9e00004bff9d0301010c706f696e744672616d65563301ff9e0001050105496e64657801040001064f66667365740104000105546f74616c01040001044461746101ff9a000103457272010c0000001aff990201010c5b5d636f6d706c657831323801ff9a00010e00003bff9c0106010101020118010401080102f8fca9f1d24d62503ff88dedb5a0f7c6c03e400000011a0410732d706f696e742064697665726765640000"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -13,6 +13,11 @@ type WorkerOptions struct {
 	Name string
 	// DialTimeout bounds the connection attempt (default 10s).
 	DialTimeout time.Duration
+	// FrameValues caps how many complex values a fleet worker packs into
+	// one result message before starting a new frame (default 1<<15).
+	// Masters reassemble any chunking, so this is purely a message-size
+	// policy; tests shrink it to exercise multi-frame vectors.
+	FrameValues int
 }
 
 // Work connects to a master, performs the handshake, and evaluates
@@ -20,6 +25,11 @@ type WorkerOptions struct {
 // local model's state count, cross-checked against the master's
 // expectation. The evaluator's job view is reconstructed from the
 // master's header, so the worker binary only needs the model itself.
+//
+// The v1 wire format carries scalars: the worker evaluates the full
+// source-indexed vector locally and applies the header's source
+// weighting before answering, so legacy masters see exactly the bytes
+// they always did.
 func Work(addr string, eval Evaluator, modelStates int, opts WorkerOptions) error {
 	if opts.DialTimeout == 0 {
 		opts.DialTimeout = 10 * time.Second
@@ -43,10 +53,12 @@ func Work(addr string, eval Evaluator, modelStates int, opts WorkerOptions) erro
 		return fmt.Errorf("pipeline: master rejected handshake: model has %d states but the master expects a different size", modelStates)
 	}
 	job := &Job{
-		Quantity: header.Quantity,
-		Sources:  header.Sources,
-		Weights:  header.Weights,
-		Targets:  header.Targets,
+		SolveSpec: SolveSpec{
+			Quantity: header.Quantity,
+			Targets:  header.Targets,
+		},
+		Sources: header.Sources,
+		Weights: header.Weights,
 	}
 
 	for {
@@ -57,10 +69,12 @@ func Work(addr string, eval Evaluator, modelStates int, opts WorkerOptions) erro
 		if a.Done {
 			return nil
 		}
-		v, err := eval.Evaluate(a.S, job)
-		res := resultMsg{Index: a.Index, Value: v}
+		vec, err := eval.EvaluateVector(a.S, job.Spec())
+		res := resultMsg{Index: a.Index}
 		if err != nil {
 			res.Err = err.Error()
+		} else {
+			res.Value = job.ReadPoint(vec)
 		}
 		if err := enc.Encode(res); err != nil {
 			return fmt.Errorf("pipeline: sending result: %w", err)

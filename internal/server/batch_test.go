@@ -1,0 +1,204 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+)
+
+// TestBatchEndpointAnswersManySourceSetsFromOneSolve is the vector
+// engine's defining server behaviour: one model + one target set + K
+// source weightings, answered by a single solve. The record carries K
+// index-aligned curves, the per-set curves agree with individual curve
+// requests, and the whole batch costs one computation.
+func TestBatchEndpointAnswersManySourceSetsFromOneSolve(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	info := uploadSpec(t, ts.URL, "chain", threeStateSpec)
+
+	times := []float64{0.5, 1.0, 1.5}
+	batchURL := fmt.Sprintf("%s/v1/models/%s/batch", ts.URL, info.ID)
+	var rec JobRecord
+	code := doJSON(t, "POST", batchURL, map[string]any{
+		"source_sets": [][]int{{0}, {1}, {0, 1}},
+		"targets":     []int{2},
+		"times":       times,
+	}, &rec)
+	if code != http.StatusOK || rec.Status != StatusDone {
+		t.Fatalf("batch request returned %d: %+v", code, rec)
+	}
+	if rec.Kind != "batch-passage" {
+		t.Errorf("record kind %q, want batch-passage", rec.Kind)
+	}
+	if len(rec.Result.Curves) != 3 {
+		t.Fatalf("batch returned %d curves, want 3", len(rec.Result.Curves))
+	}
+	// Source {0}: the known closed form of the two-hop chain.
+	for i, tt := range times {
+		want := 10.0 / 3 * (math.Exp(-2*tt) - math.Exp(-5*tt))
+		if math.Abs(rec.Result.Curves[0][i]-want) > 1e-6 {
+			t.Errorf("curve[0](%v) = %v, want %v", tt, rec.Result.Curves[0][i], want)
+		}
+	}
+	// Source {1}: one exponential hop, f(t) = 5e^{-5t}.
+	for i, tt := range times {
+		want := 5 * math.Exp(-5*tt)
+		if math.Abs(rec.Result.Curves[1][i]-want) > 1e-6 {
+			t.Errorf("curve[1](%v) = %v, want %v", tt, rec.Result.Curves[1][i], want)
+		}
+	}
+	if rec.Result.Stats == nil || rec.Result.Stats.Evaluated == 0 {
+		t.Fatal("batch did not report its solve")
+	}
+
+	// One solve total: the scheduler executed a single computation for
+	// all three source sets.
+	if st := srv.Scheduler().Stats(); st.Computations != 1 {
+		t.Errorf("batch of 3 source sets ran %d computations, want 1", st.Computations)
+	}
+
+	// A per-source curve request afterwards is answered entirely from
+	// the batch's cached vectors — sources don't participate in the key.
+	var single JobRecord
+	code = doJSON(t, "POST", fmt.Sprintf("%s/v1/models/%s/passage", ts.URL, info.ID), map[string]any{
+		"sources": []int{1}, "targets": []int{2}, "times": times,
+	}, &single)
+	if code != http.StatusOK {
+		t.Fatalf("follow-up curve returned %d", code)
+	}
+	if single.Result.Stats.Evaluated != 0 || !single.CacheHit {
+		t.Errorf("follow-up single-source curve re-evaluated %d points (cache_hit=%v); the batch's solve should have served it",
+			single.Result.Stats.Evaluated, single.CacheHit)
+	}
+	for i := range times {
+		if single.Result.Values[i] != rec.Result.Curves[1][i] {
+			t.Errorf("cached read differs from batch curve at %d: %v vs %v", i, single.Result.Values[i], rec.Result.Curves[1][i])
+		}
+	}
+}
+
+// TestBatchEndpointTransientAndCDF covers the other measure kinds
+// through the batch path.
+func TestBatchEndpointTransientAndCDF(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	info := uploadSpec(t, ts.URL, "chain", threeStateSpec)
+	batchURL := fmt.Sprintf("%s/v1/models/%s/batch", ts.URL, info.ID)
+
+	var cdf JobRecord
+	code := doJSON(t, "POST", batchURL, map[string]any{
+		"source_sets": [][]int{{0}},
+		"targets":     []int{2},
+		"times":       []float64{0.7},
+		"cdf":         true,
+	}, &cdf)
+	if code != http.StatusOK {
+		t.Fatalf("cdf batch returned %d: %s", code, cdf.Error)
+	}
+	wantF := 1 - 5.0/3*math.Exp(-2*0.7) + 2.0/3*math.Exp(-5*0.7)
+	if math.Abs(cdf.Result.Curves[0][0]-wantF) > 1e-6 {
+		t.Errorf("batch CDF = %v, want %v", cdf.Result.Curves[0][0], wantF)
+	}
+	if cdf.Kind != "batch-passage-cdf" {
+		t.Errorf("record kind %q, want batch-passage-cdf", cdf.Kind)
+	}
+
+	var tr JobRecord
+	code = doJSON(t, "POST", batchURL, map[string]any{
+		"kind":        "transient",
+		"source_sets": [][]int{{0}, {2}},
+		"targets":     []int{0},
+		"times":       []float64{0.4},
+	}, &tr)
+	if code != http.StatusOK {
+		t.Fatalf("transient batch returned %d: %s", code, tr.Error)
+	}
+	if len(tr.Result.Curves) != 2 {
+		t.Fatalf("transient batch returned %d curves, want 2", len(tr.Result.Curves))
+	}
+	for i, c := range tr.Result.Curves {
+		if len(c) != 1 || c[0] < 0 || c[0] > 1 {
+			t.Errorf("transient curve %d = %v, want one probability", i, c)
+		}
+	}
+}
+
+// TestBatchEndpointRejectsMalformedRequests pins the 400 paths.
+func TestBatchEndpointRejectsMalformedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	info := uploadSpec(t, ts.URL, "chain", threeStateSpec)
+	batchURL := fmt.Sprintf("%s/v1/models/%s/batch", ts.URL, info.ID)
+
+	cases := []struct {
+		name string
+		body map[string]any
+	}{
+		{"no source sets", map[string]any{
+			"source_sets": [][]int{}, "targets": []int{2}, "times": []float64{1}}},
+		{"bad kind", map[string]any{
+			"kind": "quantile", "source_sets": [][]int{{0}}, "targets": []int{2}, "times": []float64{1}}},
+		{"cdf on transient", map[string]any{
+			"kind": "transient", "cdf": true, "source_sets": [][]int{{0}}, "targets": []int{2}, "times": []float64{1}}},
+		{"out-of-range source", map[string]any{
+			"source_sets": [][]int{{99}}, "targets": []int{2}, "times": []float64{1}}},
+		{"empty targets", map[string]any{
+			"source_sets": [][]int{{0}}, "targets": []int{}, "times": []float64{1}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var rec JobRecord
+			if code := doJSON(t, "POST", batchURL, c.body, &rec); code != http.StatusBadRequest {
+				t.Errorf("returned %d, want 400 (record: %+v)", code, rec)
+			}
+		})
+	}
+}
+
+// TestCurveRequestsShareSolvesAcrossSources pins the tentpole property
+// at the curve endpoint: sequential requests that differ only in their
+// source state are answered from one solve — the second is a pure cache
+// hit with values read from the same vectors.
+func TestCurveRequestsShareSolvesAcrossSources(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	info := uploadSpec(t, ts.URL, "chain", threeStateSpec)
+	curveURL := fmt.Sprintf("%s/v1/models/%s/passage", ts.URL, info.ID)
+	times := []float64{0.5, 1.0}
+
+	var first JobRecord
+	if code := doJSON(t, "POST", curveURL, map[string]any{
+		"sources": []int{0}, "targets": []int{2}, "times": times,
+	}, &first); code != http.StatusOK {
+		t.Fatalf("first request returned %d", code)
+	}
+	if first.Result.Stats.Evaluated == 0 {
+		t.Fatal("first request evaluated nothing")
+	}
+
+	var second JobRecord
+	if code := doJSON(t, "POST", curveURL, map[string]any{
+		"sources": []int{1}, "targets": []int{2}, "times": times,
+	}, &second); code != http.StatusOK {
+		t.Fatalf("second request returned %d", code)
+	}
+	if second.Result.Stats.Evaluated != 0 {
+		t.Errorf("different-source repeat re-evaluated %d points, want 0 (vector cache should serve it)",
+			second.Result.Stats.Evaluated)
+	}
+	if !second.CacheHit {
+		t.Error("different-source repeat not marked cache_hit")
+	}
+	if first.Fingerprint != second.Fingerprint {
+		t.Errorf("different-source requests carry different fingerprints (%s vs %s); they can never share work",
+			first.Fingerprint, second.Fingerprint)
+	}
+	// And the second curve is the genuinely different measure: source 1
+	// is one hop from the target, f(t) = 5e^{-5t}.
+	for i, tt := range times {
+		want := 5 * math.Exp(-5*tt)
+		if math.Abs(second.Result.Values[i]-want) > 1e-6 {
+			t.Errorf("source-1 curve(%v) = %v, want %v", tt, second.Result.Values[i], want)
+		}
+	}
+	if st := srv.Scheduler().Stats(); st.Computations != 2 || st.CacheHits != 1 {
+		t.Errorf("stats %+v, want 2 computations with 1 full cache hit", st)
+	}
+}

@@ -6,12 +6,13 @@ import (
 
 // ResultCache is the service's fingerprint-keyed transform cache: a
 // memory LRU (pipeline.MemoryCache) layered over the optional disk
-// checkpoint (pipeline.Checkpoint) through pipeline.Tiered. Every job a
-// request runs is given this cache, so:
+// checkpoint (pipeline.Checkpoint) through pipeline.Tiered. Entries are
+// keyed by the source-free SolveSpec and hold full source-indexed
+// vectors, so every solve a request runs is given this cache and:
 //
-//   - a repeated identical request loads all of its s-points from the
-//     memory layer and evaluates nothing (RunStats.FromCache equals the
-//     point count, Evaluated is zero);
+//   - a repeated request — with the SAME OR DIFFERENT sources — loads
+//     all of its s-points from the memory layer and evaluates nothing
+//     (RunStats.FromCache equals the point count, Evaluated is zero);
 //   - after a restart, the disk layer replays the checkpoint's records
 //     into memory on first touch and the computation resumes where the
 //     previous process stopped, exactly as in the batch pipeline.
@@ -26,18 +27,19 @@ type ResultCache struct {
 
 // CacheStats is a snapshot of cache behaviour for /v1/stats.
 type CacheStats struct {
-	Jobs       int    `json:"jobs"`                 // resident job fingerprints
-	Points     int    `json:"points"`               // resident point values
+	Jobs       int    `json:"jobs"`                 // resident spec fingerprints
+	Values     int    `json:"values"`               // resident complex values (across all vectors)
 	PointHits  int64  `json:"point_hits"`           // points served from memory
 	PointMiss  int64  `json:"point_miss"`           // points requested but absent from memory
-	Evictions  int64  `json:"evictions"`            // jobs evicted from memory
+	Evictions  int64  `json:"evictions"`            // specs evicted from memory
 	Checkpoint string `json:"checkpoint,omitempty"` // disk layer path
 }
 
-// NewResultCache builds the tiered cache. maxPoints bounds the memory
-// layer (resident s-point values); checkpointPath enables the disk
-// layer when non-empty.
-func NewResultCache(maxPoints int, checkpointPath string) (*ResultCache, error) {
+// NewResultCache builds the tiered cache. maxValues bounds the memory
+// layer (resident complex values — a vector point on an N-state model
+// costs N of them); checkpointPath enables the disk layer when
+// non-empty.
+func NewResultCache(maxValues int, checkpointPath string) (*ResultCache, error) {
 	c := &ResultCache{}
 	var back pipeline.Cache
 	if checkpointPath != "" {
@@ -48,7 +50,7 @@ func NewResultCache(maxPoints int, checkpointPath string) (*ResultCache, error) 
 		c.disk = ckpt
 		back = ckpt
 	}
-	c.tiered = pipeline.NewTiered(pipeline.NewMemoryCache(maxPoints), back)
+	c.tiered = pipeline.NewTiered(pipeline.NewMemoryCache(maxValues), back)
 	return c, nil
 }
 
@@ -59,7 +61,7 @@ func (c *ResultCache) Pipeline() pipeline.Cache { return c.tiered }
 func (c *ResultCache) Stats() CacheStats {
 	m := c.tiered.FrontStats()
 	s := CacheStats{
-		Jobs: m.Jobs, Points: m.Points,
+		Jobs: m.Jobs, Values: m.Values,
 		PointHits: m.Hits, PointMiss: m.Misses, Evictions: m.Evictions,
 	}
 	if c.disk != nil {

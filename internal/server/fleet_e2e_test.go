@@ -220,9 +220,9 @@ type dyingEvaluator struct {
 	conn net.Conn
 }
 
-func (e *dyingEvaluator) Evaluate(complex128, *pipeline.Job) (complex128, error) {
+func (e *dyingEvaluator) EvaluateVector(complex128, *pipeline.SolveSpec) ([]complex128, error) {
 	e.conn.Close() // the reply attempt after this fails: a mid-batch kill
-	return 0, nil
+	return nil, nil
 }
 
 // runDoomedWorker serves the fleet protocol over conn until the dying

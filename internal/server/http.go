@@ -14,13 +14,18 @@ import (
 
 // Config tunes a Server. The zero value is serviceable: NumCPU workers
 // per computation, two concurrent computations, sixteen resident
-// models, a million cached transform points, no disk checkpoint.
+// models, ~64 MB of cached transform vectors, no disk checkpoint.
 type Config struct {
 	// MaxModels bounds the registry (resident explored state spaces).
 	MaxModels int
-	// CachePoints bounds the memory result cache (resident s-point
-	// values across all cached jobs).
-	CachePoints int
+	// CacheValues bounds the memory result cache in resident complex
+	// values across all cached solves. A vector s-point on an N-state
+	// model costs N values, so size this to (states × points) for the
+	// solves that should stay resident — the default 1<<22 (~64 MB)
+	// holds e.g. thirty 66-point curves on a 2061-state model, or one
+	// 60-point curve on a 70k-state model. Larger models fall through
+	// to the disk checkpoint layer.
+	CacheValues int
 	// CheckpointPath enables the disk layer of the result cache.
 	CheckpointPath string
 	// Workers is the per-computation in-process pool size.
@@ -50,8 +55,8 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxModels < 1 {
 		cfg.MaxModels = 16
 	}
-	if cfg.CachePoints < 1 {
-		cfg.CachePoints = 1 << 20
+	if cfg.CacheValues < 1 {
+		cfg.CacheValues = 1 << 22
 	}
 	if cfg.Workers < 1 {
 		cfg.Workers = runtime.NumCPU()
@@ -59,7 +64,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent < 1 {
 		cfg.MaxConcurrent = 2
 	}
-	cache, err := NewResultCache(cfg.CachePoints, cfg.CheckpointPath)
+	cache, err := NewResultCache(cfg.CacheValues, cfg.CheckpointPath)
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +98,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/models/{id}", s.handleDeleteModel)
 	mux.HandleFunc("POST /v1/models/{id}/passage", s.handleCurve("passage"))
 	mux.HandleFunc("POST /v1/models/{id}/transient", s.handleCurve("transient"))
+	mux.HandleFunc("POST /v1/models/{id}/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/models/{id}/quantile", s.handleQuantile)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -255,6 +261,50 @@ func (s *Server) handleCurve(kind string) http.HandlerFunc {
 		rec := s.sched.RunCurve(model, info.ID, jobKind, req.Sources, req.Targets, req.Times, req.Method, req.Workers)
 		writeRecord(w, rec)
 	}
+}
+
+// batchRequest asks for one measure evaluated for MANY source sets at
+// once: the vector engine answers every set from a single solve, so the
+// marginal cost of an extra source set is a dot product per s-point,
+// not a solve.
+type batchRequest struct {
+	Kind       string    `json:"kind,omitempty"` // passage (default) | transient
+	SourceSets [][]int   `json:"source_sets"`
+	Targets    []int     `json:"targets"`
+	Times      []float64 `json:"times"`
+	CDF        bool      `json:"cdf,omitempty"`    // passage only: invert L(s)/s
+	Method     string    `json:"method,omitempty"` // euler (default) | laguerre | talbot
+	Workers    int       `json:"workers,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	model, info, ok := s.registry.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "model %q is not resident", r.PathValue("id"))
+		return
+	}
+	var req batchRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	kind := req.Kind
+	if kind == "" {
+		kind = "passage"
+	}
+	if kind != "passage" && kind != "transient" {
+		writeError(w, http.StatusBadRequest, "batch kind %q is not passage or transient", kind)
+		return
+	}
+	if req.CDF {
+		if kind != "passage" {
+			writeError(w, http.StatusBadRequest, "cdf applies only to passage requests")
+			return
+		}
+		kind = "passage-cdf"
+	}
+	rec := s.sched.RunBatch(model, info.ID, kind, req.SourceSets, req.Targets, req.Times, req.Method, req.Workers)
+	writeRecord(w, rec)
 }
 
 // quantileRequest asks for the time t* with F(t*) = p.

@@ -53,6 +53,7 @@ func statsJSON(s *hydra.RunStats) *RunStatsJSON {
 type JobResult struct {
 	Times    []float64     `json:"times,omitempty"`
 	Values   []float64     `json:"values,omitempty"`
+	Curves   [][]float64   `json:"curves,omitempty"`   // batch jobs: one curve per source set
 	Quantile float64       `json:"quantile,omitempty"` // quantile jobs only
 	Stats    *RunStatsJSON `json:"stats,omitempty"`
 }
@@ -61,10 +62,10 @@ type JobResult struct {
 type JobRecord struct {
 	ID          string     `json:"id"`
 	ModelID     string     `json:"model_id"`
-	Kind        string     `json:"kind"` // passage | passage-cdf | transient | quantile
+	Kind        string     `json:"kind"` // passage | passage-cdf | transient | quantile | batch-*
 	Fingerprint string     `json:"fingerprint"`
 	Status      string     `json:"status"`
-	Coalesced   bool       `json:"coalesced"` // served by an identical in-flight computation
+	Coalesced   bool       `json:"coalesced"` // served by an in-flight solve of the same spec
 	CacheHit    bool       `json:"cache_hit"` // every s-point came from the result cache
 	Error       string     `json:"error,omitempty"`
 	ErrorKind   string     `json:"error_kind,omitempty"` // invalid_request | execution
@@ -77,28 +78,33 @@ type JobRecord struct {
 type SchedulerStats struct {
 	JobsTotal      int64 `json:"jobs_total"`      // records created
 	Running        int   `json:"running"`         // currently executing or waiting for a slot
-	Computations   int64 `json:"computations"`    // pipeline runs actually executed
-	ComputedPoints int64 `json:"computed_points"` // s-points evaluated across all runs
-	Coalesced      int64 `json:"coalesced"`       // requests that piggybacked on an in-flight run
-	CacheHits      int64 `json:"cache_hits"`      // runs answered entirely from the result cache
+	Computations   int64 `json:"computations"`    // pipeline solves actually executed
+	ComputedPoints int64 `json:"computed_points"` // s-points evaluated across all solves
+	Coalesced      int64 `json:"coalesced"`       // requests that piggybacked on an in-flight solve
+	CacheHits      int64 `json:"cache_hits"`      // solves answered entirely from the result cache
 	MaxConcurrent  int   `json:"max_concurrent"`
 }
 
-// flight is one in-progress computation other identical requests can
-// join.
+// flight is one in-progress computation other requests of the same
+// SolveSpec can join. Because specs are source-free, concurrent
+// requests that differ only in their source weightings share one
+// flight: the vector result answers each of them through its own
+// read-time dot product.
 type flight struct {
 	done chan struct{}
-	res  *hydra.Result
+	val  any // *hydra.VectorRun for solves, *hydra.Result for quantile searches
 	err  error
 }
 
 // Scheduler executes analysis requests against resident models. Three
 // layers keep redundant work off the solver:
 //
-//  1. identical concurrent requests coalesce onto one in-flight
-//     computation (keyed by Job.Fingerprint());
-//  2. each computation runs through the fingerprint-keyed ResultCache,
-//     so sequential repeats evaluate nothing;
+//  1. concurrent requests for the same solve coalesce onto one
+//     in-flight computation (keyed by SolveSpec.Fingerprint(), which
+//     excludes sources — different-source traffic piggybacks);
+//  2. each computation runs through the spec-keyed ResultCache, so
+//     sequential repeats — again regardless of sources — evaluate
+//     nothing;
 //  3. a semaphore bounds how many computations run at once, each with
 //     its own in-process worker pool.
 type Scheduler struct {
@@ -126,7 +132,7 @@ type Scheduler struct {
 // size, maxConcurrent bounds simultaneous computations, and the cache
 // must not be nil. backend overrides where computations execute: nil
 // selects a per-computation in-process pool; a *pipeline.Fleet executes
-// every job on the resident TCP worker fleet instead.
+// every solve on the resident TCP worker fleet instead.
 func NewScheduler(cache *ResultCache, workers, maxConcurrent int, backend hydra.Backend) *Scheduler {
 	if workers < 1 {
 		workers = 1
@@ -207,8 +213,9 @@ func (s *Scheduler) finish(rec *JobRecord, result *JobResult, coalesced, cacheHi
 
 // runShared is the coalescing core: the first caller for a fingerprint
 // computes (bounded by the slot semaphore); every concurrent identical
-// caller waits on that flight and shares its result. The returned
-// boolean reports whether this caller coalesced.
+// caller waits on that flight and shares its result. stats extracts the
+// run statistics from a computed value for the scheduler counters. The
+// returned boolean reports whether this caller coalesced.
 //
 // A panicking computation must not take the scheduler with it: the
 // semaphore slot, the inflight entry and the flight's done channel are
@@ -216,24 +223,24 @@ func (s *Scheduler) finish(rec *JobRecord, result *JobResult, coalesced, cacheHi
 // the process lifetime, and an unclosed done channel would hang every
 // later identical request), with the panic converted to the flight's
 // error.
-func (s *Scheduler) runShared(fp string, compute func() (*hydra.Result, error)) (*hydra.Result, bool, error) {
+func (s *Scheduler) runShared(fp string, stats func(any) *hydra.RunStats, compute func() (any, error)) (any, bool, error) {
 	s.mu.Lock()
 	if f, ok := s.inflight[fp]; ok {
 		s.coalesced++
 		s.mu.Unlock()
 		<-f.done
-		return f.res, true, f.err
+		return f.val, true, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[fp] = f
 	s.mu.Unlock()
 
-	res, err := func() (res *hydra.Result, err error) {
+	val, err := func() (val any, err error) {
 		s.slots <- struct{}{}
 		defer func() { <-s.slots }()
 		defer func() {
 			if r := recover(); r != nil {
-				res, err = nil, fmt.Errorf("computation panicked: %v", r)
+				val, err = nil, fmt.Errorf("computation panicked: %v", r)
 			}
 		}()
 		return compute()
@@ -242,16 +249,35 @@ func (s *Scheduler) runShared(fp string, compute func() (*hydra.Result, error)) 
 	s.mu.Lock()
 	delete(s.inflight, fp)
 	s.computations++
-	if err == nil && res.Stats != nil {
-		s.computedPoints += int64(res.Stats.Evaluated)
-		if res.Stats.Evaluated == 0 {
-			s.cacheHits++
+	if err == nil {
+		if rs := stats(val); rs != nil {
+			s.computedPoints += int64(rs.Evaluated)
+			if rs.Evaluated == 0 {
+				s.cacheHits++
+			}
 		}
 	}
 	s.mu.Unlock()
-	f.res, f.err = res, err
+	f.val, f.err = val, err
 	close(f.done)
-	return res, false, err
+	return val, false, err
+}
+
+// runSharedSolve coalesces vector solves: one kernel solve per
+// (model, quantity, targets, points) serves every concurrent caller.
+func (s *Scheduler) runSharedSolve(fp string, compute func() (*hydra.VectorRun, error)) (*hydra.VectorRun, bool, error) {
+	val, coalesced, err := s.runShared(fp,
+		func(v any) *hydra.RunStats {
+			if vr, ok := v.(*hydra.VectorRun); ok {
+				return vr.Stats
+			}
+			return nil
+		},
+		func() (any, error) { return compute() })
+	if err != nil {
+		return nil, coalesced, err
+	}
+	return val.(*hydra.VectorRun), coalesced, nil
 }
 
 // jobOptions builds the analysis options for a request. The scheduler's
@@ -266,7 +292,10 @@ func (s *Scheduler) jobOptions(method string, workers int) *hydra.Options {
 
 // RunCurve executes a passage or transient curve request synchronously
 // and returns its completed record. kind must be "passage",
-// "passage-cdf" or "transient".
+// "passage-cdf" or "transient". The solve coalesces and caches on the
+// source-free spec, so concurrent requests that differ only in sources
+// share one computation and this caller reads its own curve out of the
+// shared vectors.
 func (s *Scheduler) RunCurve(m *hydra.Model, modelID, kind string, sources, targets []int, times []float64, method string, workers int) *JobRecord {
 	opts := s.jobOptions(method, workers)
 	job, err := buildJob(m, modelID, kind, sources, targets, times, opts)
@@ -275,23 +304,106 @@ func (s *Scheduler) RunCurve(m *hydra.Model, modelID, kind string, sources, targ
 		s.finish(rec, nil, false, false, err, ErrInvalidRequest)
 		return rec
 	}
-	fp := job.Fingerprint()
+	fp := job.Spec().Fingerprint()
 	rec := s.newRecord(modelID, kind, fp)
-	res, coalesced, err := s.runShared(fp, func() (*hydra.Result, error) {
-		return m.RunJob(job, times, s.cache.Pipeline(), opts)
+	vr, coalesced, err := s.runSharedSolve(fp, func() (*hydra.VectorRun, error) {
+		return m.RunSpec(job.Spec(), s.cache.Pipeline(), opts)
 	})
-	cacheHit := err == nil && !coalesced && res.Stats != nil && res.Stats.Evaluated == 0
 	var payload *JobResult
+	cacheHit := false
 	if err == nil {
-		payload = &JobResult{Times: res.Times, Values: res.Values, Stats: statsJSON(res.Stats)}
+		var res *hydra.Result
+		res, err = hydra.ReadRun(vr, job.Sources, job.Weights, times, opts)
+		if err == nil {
+			cacheHit = !coalesced && vr.Stats != nil && vr.Stats.Evaluated == 0
+			payload = &JobResult{Times: res.Times, Values: res.Values, Stats: statsJSON(res.Stats)}
+		}
 	}
 	s.finish(rec, payload, coalesced, cacheHit, err, ErrExecution)
 	return rec
 }
 
-// buildJob maps a request kind onto the public job constructors. The
-// job name embeds the model ID so fingerprints never collide across
+// RunBatch answers many source weightings over one (targets, times)
+// query from a single solve: the defining workload of the vector
+// engine. kind is as for RunCurve; the record's result carries one
+// curve per source set, index-aligned with sourceSets.
+func (s *Scheduler) RunBatch(m *hydra.Model, modelID, kind string, sourceSets [][]int, targets []int, times []float64, method string, workers int) *JobRecord {
+	opts := s.jobOptions(method, workers)
+	recKind := "batch-" + kind
+	invalid := func(err error) *JobRecord {
+		rec := s.newRecord(modelID, recKind, "")
+		s.finish(rec, nil, false, false, err, ErrInvalidRequest)
+		return rec
+	}
+	if len(sourceSets) == 0 {
+		return invalid(fmt.Errorf("batch request needs at least one source set"))
+	}
+	spec, err := buildSpec(m, modelID, kind, targets, times, opts)
+	if err != nil {
+		return invalid(err)
+	}
+	// Resolve every weighting before solving, so one bad source set
+	// fails the request as a 400 without occupying a computation slot.
+	type weighting struct {
+		states  []int
+		weights []float64
+	}
+	ws := make([]weighting, len(sourceSets))
+	for i, sources := range sourceSets {
+		states, weights, err := m.SourceWeights(sources)
+		if err != nil {
+			return invalid(fmt.Errorf("source set %d: %w", i, err))
+		}
+		ws[i] = weighting{states: states, weights: weights}
+	}
+
+	fp := spec.Fingerprint()
+	rec := s.newRecord(modelID, recKind, fp)
+	vr, coalesced, err := s.runSharedSolve(fp, func() (*hydra.VectorRun, error) {
+		return m.RunSpec(spec, s.cache.Pipeline(), opts)
+	})
+	var payload *JobResult
+	cacheHit := false
+	if err == nil {
+		curves := make([][]float64, len(ws))
+		for i, w := range ws {
+			var res *hydra.Result
+			res, err = hydra.ReadRun(vr, w.states, w.weights, times, opts)
+			if err != nil {
+				err = fmt.Errorf("source set %d: %w", i, err)
+				break
+			}
+			curves[i] = res.Values
+		}
+		if err == nil {
+			cacheHit = !coalesced && vr.Stats != nil && vr.Stats.Evaluated == 0
+			payload = &JobResult{Times: times, Curves: curves, Stats: statsJSON(vr.Stats)}
+		}
+	}
+	s.finish(rec, payload, coalesced, cacheHit, err, ErrExecution)
+	return rec
+}
+
+// buildSpec maps a request kind onto the public spec constructors. The
+// spec name embeds the model ID so fingerprints never collide across
 // models that happen to share state indices and s-points.
+func buildSpec(m *hydra.Model, modelID, kind string, targets []int, times []float64, opts *hydra.Options) (*hydra.SolveSpec, error) {
+	name := modelID + ":" + kind
+	switch kind {
+	case "passage":
+		return m.NewPassageSpec(name, targets, times, false, opts)
+	case "passage-cdf":
+		return m.NewPassageSpec(name, targets, times, true, opts)
+	case "transient":
+		return m.NewTransientSpec(name, targets, times, opts)
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", kind)
+	}
+}
+
+// buildJob maps a request kind onto the public job constructors; the
+// embedded spec is exactly buildSpec's, so curve and batch requests for
+// the same measure share fingerprints.
 func buildJob(m *hydra.Model, modelID, kind string, sources, targets []int, times []float64, opts *hydra.Options) (*hydra.Job, error) {
 	name := modelID + ":" + kind
 	switch kind {
@@ -307,9 +419,11 @@ func buildJob(m *hydra.Model, modelID, kind string, sources, targets []int, time
 }
 
 // RunQuantile executes a passage-quantile request synchronously. The
-// underlying CDF evaluations each run through the result cache, so the
-// bisection of a repeated quantile query costs nothing; the search
-// itself coalesces under a synthetic fingerprint covering every input.
+// bisection prepares one backend up front (so the in-process pool's
+// evaluators survive across iterations) and each CDF evaluation runs
+// through the spec-keyed result cache, so a repeated quantile query
+// costs nothing; the search itself coalesces under a synthetic
+// fingerprint covering every input.
 func (s *Scheduler) RunQuantile(m *hydra.Model, modelID string, sources, targets []int, p, hint float64, method string, workers int) *JobRecord {
 	if hint == 0 {
 		hint = 1 // omitted; negative hints are rejected below
@@ -328,36 +442,56 @@ func (s *Scheduler) RunQuantile(m *hydra.Model, modelID string, sources, targets
 		s.finish(rec, nil, false, false, fmt.Errorf("quantile hint %v must be positive", hint), ErrInvalidRequest)
 		return rec
 	}
-	if _, err := buildJob(m, modelID, "passage-cdf", sources, targets, []float64{hint}, opts); err != nil {
+	states, weights, err := m.SourceWeights(sources)
+	if err != nil {
 		s.finish(rec, nil, false, false, err, ErrInvalidRequest)
 		return rec
 	}
+	if _, err := buildSpec(m, modelID, "passage-cdf", targets, []float64{hint}, opts); err != nil {
+		s.finish(rec, nil, false, false, err, ErrInvalidRequest)
+		return rec
+	}
+	// One backend for the whole search: bisection steps reuse prepared
+	// evaluators instead of rebuilding them per CDF evaluation.
+	opts.Backend = m.PrepareBackend(opts)
 
-	res, coalesced, err := s.runShared(fp, func() (*hydra.Result, error) {
-		agg := &hydra.RunStats{}
-		q, err := hydra.QuantileSearch(p, hint, func(t float64) (float64, error) {
-			job, err := buildJob(m, modelID, "passage-cdf", sources, targets, []float64{t}, opts)
-			if err != nil {
-				return 0, err
+	val, coalesced, err := s.runShared(fp,
+		func(v any) *hydra.RunStats {
+			if r, ok := v.(*hydra.Result); ok {
+				return r.Stats
 			}
-			r, err := m.RunJob(job, []float64{t}, s.cache.Pipeline(), opts)
+			return nil
+		},
+		func() (any, error) {
+			agg := &hydra.RunStats{}
+			q, err := hydra.QuantileSearch(p, hint, func(t float64) (float64, error) {
+				spec, err := buildSpec(m, modelID, "passage-cdf", targets, []float64{t}, opts)
+				if err != nil {
+					return 0, err
+				}
+				vr, err := m.RunSpec(spec, s.cache.Pipeline(), opts)
+				if err != nil {
+					return 0, err
+				}
+				agg.Merge(vr.Stats)
+				r, err := hydra.ReadRun(vr, states, weights, []float64{t}, opts)
+				if err != nil {
+					return 0, err
+				}
+				return r.Values[0], nil
+			})
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			agg.Merge(r.Stats)
-			return r.Values[0], nil
+			// Share the scalar (and the search's aggregated stats) through a
+			// one-point Result so runShared's flight serves coalesced callers
+			// and counts the evaluated points.
+			return &hydra.Result{Values: []float64{q}, Stats: agg}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		// Share the scalar (and the search's aggregated stats) through a
-		// one-point Result so runShared's flight serves coalesced callers
-		// and counts the evaluated points.
-		return &hydra.Result{Values: []float64{q}, Stats: agg}, nil
-	})
 	var payload *JobResult
 	cacheHit := false
 	if err == nil {
+		res := val.(*hydra.Result)
 		cacheHit = res.Stats.Evaluated == 0 && !coalesced
 		payload = &JobResult{Quantile: res.Values[0], Stats: statsJSON(res.Stats)}
 	}
@@ -366,7 +500,7 @@ func (s *Scheduler) RunQuantile(m *hydra.Model, modelID string, sources, targets
 }
 
 // quantileFingerprint keys quantile coalescing: a quantile request is a
-// whole search, not a single pipeline job, so it gets a synthetic
+// whole search, not a single pipeline solve, so it gets a synthetic
 // fingerprint over every input that determines its answer.
 func quantileFingerprint(modelID string, sources, targets []int, p, hint float64, method string) string {
 	h := sha256.New()

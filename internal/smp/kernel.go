@@ -11,15 +11,22 @@ func (m *Model) NewKernelMatrix() *sparse.CMatrix {
 	return m.pattern.NewCMatrix()
 }
 
-// FillKernel assembles U(s) with u_pq = r*_pq(s) = Σ_t p_t·h*_t(s) into
-// dst, which must come from NewKernelMatrix. Each interned distribution's
-// transform is evaluated exactly once.
-func (m *Model) FillKernel(s complex128, dst *sparse.CMatrix) {
+// distLSTs evaluates every interned distribution's transform at s,
+// exactly once each — the shared front half of FillKernel and
+// SojournLSTs.
+func (m *Model) distLSTs(s complex128) []complex128 {
 	lsts := make([]complex128, len(m.dists))
 	for id, d := range m.dists {
 		lsts[id] = d.LST(s)
 	}
-	m.fillKernelWith(lsts, dst)
+	return lsts
+}
+
+// FillKernel assembles U(s) with u_pq = r*_pq(s) = Σ_t p_t·h*_t(s) into
+// dst, which must come from NewKernelMatrix. Each interned distribution's
+// transform is evaluated exactly once.
+func (m *Model) FillKernel(s complex128, dst *sparse.CMatrix) {
+	m.fillKernelWith(m.distLSTs(s), dst)
 }
 
 // FillKernelSampled assembles U(s_i) from pre-sampled distribution
@@ -47,10 +54,7 @@ func (m *Model) fillKernelWith(lsts []complex128, dst *sparse.CMatrix) {
 // the unconditional sojourn-time distribution in state i, needed by the
 // transient computation of Eq. (6)–(7).
 func (m *Model) SojournLSTs(s complex128) []complex128 {
-	lsts := make([]complex128, len(m.dists))
-	for id, d := range m.dists {
-		lsts[id] = d.LST(s)
-	}
+	lsts := m.distLSTs(s)
 	h := make([]complex128, m.n)
 	for i := 0; i < m.n; i++ {
 		for k := m.termPtr[i]; k < m.termPtr[i+1]; k++ {

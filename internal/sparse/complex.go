@@ -87,6 +87,51 @@ func (m *CMatrix) VecMul(x, y []complex128) {
 	}
 }
 
+// MulVecSkipRows computes y = M′·x where M′ is M with every flagged row
+// zeroed: y_i = 0 for skipped rows, the ordinary row product otherwise.
+// This is the column-form counterpart of VecMulSkipRows — the kernel of
+// the all-sources iteration, which propagates a target-indicator column
+// backwards through U′ instead of a source row forwards.
+func (m *CMatrix) MulVecSkipRows(x, y []complex128, skip []bool) {
+	if len(x) != m.cols || len(y) != m.rows || len(skip) != m.rows {
+		panic("sparse: CMatrix.MulVecSkipRows dimension mismatch")
+	}
+	m.MulVecSkipRowsRange(x, y, skip, 0, m.rows)
+}
+
+// MulVecSkipRowsRange computes rows [lo, hi) of M′·x into y (fully
+// overwriting that range). Unlike the row-vector form, output rows are
+// independent, so partitioned workers write disjoint ranges of y
+// directly with no reduction step.
+func (m *CMatrix) MulVecSkipRowsRange(x, y []complex128, skip []bool, lo, hi int) {
+	if len(x) != m.cols || len(y) != m.rows || len(skip) != m.rows {
+		panic("sparse: CMatrix.MulVecSkipRowsRange dimension mismatch")
+	}
+	if lo < 0 || hi > m.rows || lo > hi {
+		panic(fmt.Sprintf("sparse: row range [%d,%d) outside %d rows", lo, hi, m.rows))
+	}
+	for i := lo; i < hi; i++ {
+		if skip[i] {
+			y[i] = 0
+			continue
+		}
+		var sum complex128
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			sum += m.val[k] * x[m.colIdx[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// RowSlices returns the column-index and value slices of row i, sharing
+// the matrix's backing arrays. It exists for tight multi-RHS loops (the
+// block Gauss–Seidel sweep) that would otherwise pay a closure call per
+// stored entry.
+func (m *CMatrix) RowSlices(i int) (cols []int, vals []complex128) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.val[lo:hi]
+}
+
 // VecMulSkipRows computes y = x·M as VecMul does, but treats the rows
 // whose indices are flagged in skip as if they were zero. This implements
 // the U′ product of Eq. (10) without materialising a second matrix: U′ is

@@ -1,0 +1,161 @@
+package hydra_test
+
+import (
+	"math"
+	"testing"
+
+	"hydra"
+)
+
+// TestMultiSourceVariantsMatchSingleSourceRuns checks the public
+// multi-source entry points: one solve's results must equal what the
+// per-source entry points compute independently, for density, CDF and
+// transient measures.
+func TestMultiSourceVariantsMatchSingleSourceRuns(t *testing.T) {
+	m, err := hydra.LoadSpec(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{0.4, 0.9, 1.6}
+	sourceSets := [][]int{{0}, {1}}
+	targets := []int{2}
+
+	t.Run("density", func(t *testing.T) {
+		multi, err := m.PassageDensityMulti(sourceSets, targets, times, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(multi) != len(sourceSets) {
+			t.Fatalf("got %d results for %d source sets", len(multi), len(sourceSets))
+		}
+		for k, sources := range sourceSets {
+			single, err := m.PassageDensity(sources, targets, times, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range times {
+				if math.Abs(multi[k].Values[i]-single.Values[i]) > 1e-9 {
+					t.Errorf("source set %d, t=%v: multi %v vs single %v",
+						k, times[i], multi[k].Values[i], single.Values[i])
+				}
+			}
+		}
+	})
+
+	t.Run("cdf", func(t *testing.T) {
+		multi, err := m.PassageCDFMulti(sourceSets, targets, times, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := m.PassageCDF(sourceSets[1], targets, times, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range times {
+			if math.Abs(multi[1].Values[i]-single.Values[i]) > 1e-9 {
+				t.Errorf("t=%v: multi CDF %v vs single %v", times[i], multi[1].Values[i], single.Values[i])
+			}
+		}
+	})
+
+	t.Run("transient", func(t *testing.T) {
+		multi, err := m.TransientDistributionMulti(sourceSets, []int{0}, times, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := m.TransientDistribution(sourceSets[0], []int{0}, times, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range times {
+			if math.Abs(multi[0].Values[i]-single.Values[i]) > 1e-9 {
+				t.Errorf("t=%v: multi transient %v vs single %v", times[i], multi[0].Values[i], single.Values[i])
+			}
+		}
+	})
+}
+
+// TestRunSpecServesEverySourceAsDotProducts drives the vector API
+// directly: one RunSpec, many ReadRun calls, against the chain's known
+// closed forms.
+func TestRunSpecServesEverySourceAsDotProducts(t *testing.T) {
+	m, err := hydra.LoadSpec(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{0.5, 1.2}
+	spec, err := m.NewPassageSpec("vector-api", []int{2}, times, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := m.RunSpec(spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Stats.Evaluated != len(spec.Points) {
+		t.Fatalf("evaluated %d points, want %d", vr.Stats.Evaluated, len(spec.Points))
+	}
+
+	// Source 0: two-hop convolution density.
+	r0, err := hydra.ReadRun(vr, []int{0}, []float64{1}, times, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range times {
+		want := 10.0 / 3 * (math.Exp(-2*tt) - math.Exp(-5*tt))
+		if math.Abs(r0.Values[i]-want) > 1e-6 {
+			t.Errorf("source 0 f(%v) = %v, want %v", tt, r0.Values[i], want)
+		}
+	}
+	// Source 1: single exponential hop.
+	r1, err := hydra.ReadRun(vr, []int{1}, []float64{1}, times, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range times {
+		want := 5 * math.Exp(-5*tt)
+		if math.Abs(r1.Values[i]-want) > 1e-6 {
+			t.Errorf("source 1 f(%v) = %v, want %v", tt, r1.Values[i], want)
+		}
+	}
+	// A 50/50 weighting is the matching mixture — linearity of the read.
+	rmix, err := hydra.ReadRun(vr, []int{0, 1}, []float64{0.5, 0.5}, times, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range times {
+		want := 0.5*r0.Values[i] + 0.5*r1.Values[i]
+		if math.Abs(rmix.Values[i]-want) > 1e-9 {
+			t.Errorf("mixture f(%v) = %v, want %v", times[i], rmix.Values[i], want)
+		}
+	}
+
+	// Bad weightings are rejected at read time.
+	if _, err := hydra.ReadRun(vr, []int{0}, []float64{0}, times, nil); err == nil {
+		t.Error("all-zero weighting accepted by ReadRun")
+	}
+	if _, err := hydra.ReadRun(vr, []int{99}, []float64{1}, times, nil); err == nil {
+		t.Error("out-of-range source accepted by ReadRun")
+	}
+}
+
+// TestPassageQuantileReusedBackendMatchesCDF sanity-checks the
+// prepared-backend quantile path against the CDF it bisects: the median
+// of the two-hop passage.
+func TestPassageQuantileReusedBackendMatchesCDF(t *testing.T) {
+	m, err := hydra.LoadSpec(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := m.PassageQuantile([]int{0}, []int{2}, 0.5, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.PassageCDF([]int{0}, []int{2}, []float64{q}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Values[0]-0.5) > 1e-3 {
+		t.Errorf("F(quantile) = %v, want 0.5 (q = %v)", r.Values[0], q)
+	}
+}
