@@ -11,6 +11,9 @@
 //	         (model, targets, times) query — scalar replay (K solves)
 //	         vs the vector engine (one solve + K dot-product reads);
 //	         -json writes the rows for trend tracking
+//	obs      instrumentation overhead: the vector solve with the
+//	         observability instruments enabled vs disabled; -json
+//	         writes the datapoint for trend tracking
 //	fig4     voter passage density, analytic vs simulation
 //	fig5     passage CDF and the 98.58% response-time quantile
 //	fig6     failure-mode passage density, analytic vs simulation
@@ -40,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fleet|vector|fig4|fig5|fig6|fig7|ablations|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fleet|vector|obs|fig4|fig5|fig6|fig7|ablations|all")
 		full     = flag.Bool("full", false, "paper-scale workloads (slower)")
 		reps     = flag.Int("reps", 0, "simulation replications override")
 		jsonPath = flag.String("json", "", "also write the experiment's rows as JSON to this file (fleet, vector)")
@@ -63,6 +66,7 @@ func main() {
 	run("table2", func() error { return table2(*full) })
 	run("fleet", func() error { return fleetScaling(*full, *jsonPath) })
 	run("vector", func() error { return vectorScaling(*full, *jsonPath) })
+	run("obs", func() error { return obsOverhead(*full, *jsonPath) })
 	run("fig4", func() error { return fig4(*full, *reps) })
 	run("fig5", func() error { return fig5(*full) })
 	run("fig6", func() error { return fig6(*reps) })
@@ -165,6 +169,42 @@ func vectorScaling(full bool, jsonPath string) error {
 	}{
 		Experiment: "vector-scaling", GeneratedAt: time.Now().UTC(),
 		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), Rows: rows,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(b, '\n'), 0o644)
+}
+
+// obsOverhead measures the instrumentation tax on the solver hot path —
+// the observability layer's acceptance property is staying under a few
+// percent of solve wall time — and optionally records the datapoint as
+// JSON for trend tracking in CI.
+func obsOverhead(full bool, jsonPath string) error {
+	cfg := experiments.ObsOverheadConfig{}
+	if full {
+		cfg = experiments.ObsOverheadConfig{CC: 30, MM: 10, NN: 3, TPoints: 3, Rounds: 5}
+	}
+	res, err := experiments.ObsOverhead(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("enabled_seconds,disabled_seconds,overhead_pct,points,rounds")
+	fmt.Printf("%.4f,%.4f,%.2f,%d,%d\n",
+		res.EnabledSeconds, res.DisabledSeconds, res.OverheadPct, res.Points, res.Rounds)
+	if jsonPath == "" {
+		return nil
+	}
+	doc := struct {
+		Experiment  string                        `json:"experiment"`
+		GeneratedAt time.Time                     `json:"generated_at"`
+		NumCPU      int                           `json:"num_cpu"`
+		GoVersion   string                        `json:"go_version"`
+		Result      experiments.ObsOverheadResult `json:"result"`
+	}{
+		Experiment: "obs-overhead", GeneratedAt: time.Now().UTC(),
+		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), Result: res,
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

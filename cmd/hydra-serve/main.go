@@ -35,7 +35,12 @@
 //	GET    /v1/jobs                        recent job records
 //	GET    /v1/jobs/{id}                   one job record (status, stats, result)
 //	GET    /v1/stats                       registry / cache / scheduler counters
+//	GET    /v1/traces/{id}                 recorded spans for one request ID
+//	GET    /metrics                        Prometheus text exposition
 //	GET    /healthz                        liveness
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ on the
+// same listener.
 package main
 
 import (
@@ -44,8 +49,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -68,8 +75,16 @@ func main() {
 		listen        = flag.String("listen", ":9441", "TCP address to accept fleet workers on (fleet backend)")
 		batch         = flag.Int("batch", 8, "s-points per fleet assignment message")
 		fleetWait     = flag.Duration("fleet-wait", 2*time.Minute, "fail a job after this long with no capable fleet worker (0 waits forever)")
+		pprofOn       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP listener")
+		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	var logHandler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(logHandler).With("component", "hydra-serve")
 
 	var backend *pipeline.Fleet
 	switch *backendName {
@@ -85,7 +100,8 @@ func main() {
 			Logf:        log.New(os.Stderr, "hydra-serve: ", 0).Printf,
 		})
 		defer backend.Close()
-		fmt.Fprintf(os.Stderr, "hydra-serve: fleet backend accepting workers on %s\n", backend.Addr())
+		logger.Info("fleet backend accepting workers",
+			"listen", backend.Addr().String(), "wire_version", pipeline.ProtocolVersion, "batch", *batch)
 	default:
 		fatal(fmt.Errorf("unknown backend %q (inproc or fleet)", *backendName))
 	}
@@ -96,6 +112,7 @@ func main() {
 		CheckpointPath: *checkpoint,
 		Workers:        *workers,
 		MaxConcurrent:  *maxConcurrent,
+		Logger:         logger,
 	}
 	if backend != nil {
 		cfg.Backend = backend
@@ -106,11 +123,24 @@ func main() {
 	}
 	defer srv.Close()
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "hydra-serve: listening on %s (backend=%s, workers=%d, max-concurrent=%d)\n",
-		*addr, *backendName, *workers, *maxConcurrent)
+	logger.Info("listening",
+		"addr", *addr, "backend", *backendName, "workers", *workers,
+		"max_concurrent", *maxConcurrent, "pprof", *pprofOn)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -120,12 +150,13 @@ func main() {
 			fatal(err)
 		}
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "hydra-serve: %v, draining\n", s)
+		logger.Info("draining", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			fatal(err)
 		}
+		logger.Info("shutdown complete")
 	}
 }
 

@@ -25,10 +25,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"hydra"
+	"hydra/internal/obs"
+	"hydra/internal/pipeline"
 )
 
 func main() {
@@ -39,22 +44,46 @@ func main() {
 		name       = flag.String("name", hostname(), "worker name shown in diagnostics")
 		reconnect  = flag.Bool("reconnect", false, "redial the master with exponential backoff when the connection drops")
 		backoffMax = flag.Duration("backoff-max", 30*time.Second, "upper bound on the reconnect backoff")
+		debugAddr  = flag.String("pprof", "", "serve /metrics and /debug/pprof/ on this address (e.g. :9442); empty disables")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
 	if *master == "" {
 		fatal(fmt.Errorf("-master address is required"))
 	}
+	var logHandler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(logHandler).With("component", "hydra-worker", "worker", *name)
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", obs.Handler(obs.Default))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				logger.Error("debug listener failed", "addr", *debugAddr, "error", err)
+			}
+		}()
+		logger.Info("debug listener up", "addr", *debugAddr)
+	}
 	model, err := loadModel(*specPath, *votingSys)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "hydra-worker %s: model %s has %d states, connecting to %s\n",
-		*name, model.Fingerprint(), model.NumStates(), *master)
+	logger.Info("starting",
+		"model", model.Fingerprint(), "states", model.NumStates(),
+		"master", *master, "wire_version", pipeline.ProtocolVersion, "reconnect", *reconnect)
 
+	wopts := hydra.WorkerOptions{Name: *name, Logger: logger, Tracer: obs.DefaultTracer}
 	backoff := time.Second
 	for {
 		start := time.Now()
-		err := model.RunWorker(*master, *name, nil)
+		err := model.RunWorkerWith(*master, wopts, nil)
 		// A session that lasted a while was healthy; restart the backoff
 		// so a mid-job blip redials promptly.
 		if time.Since(start) > time.Minute {
@@ -64,13 +93,13 @@ func main() {
 		case err == nil && !*reconnect:
 			// The master dismissed the fleet cleanly: the one-shot job
 			// is done.
-			fmt.Fprintf(os.Stderr, "hydra-worker %s: master closed the fleet, exiting\n", *name)
+			logger.Info("master closed the fleet, exiting")
 			return
 		case err == nil:
 			// A clean dismissal under -reconnect means the service shut
 			// down (a restart, usually): stay resident and rejoin when it
 			// comes back.
-			fmt.Fprintf(os.Stderr, "hydra-worker %s: master closed the fleet — reconnecting in %v\n", *name, backoff)
+			logger.Info("master closed the fleet, staying resident", "backoff", backoff)
 		case errors.Is(err, hydra.ErrHandshakeRejected):
 			// A rejection (version mismatch, unwanted model) is permanent
 			// for this pair of binaries; redialing can never succeed.
@@ -78,8 +107,9 @@ func main() {
 		case !*reconnect:
 			fatal(err)
 		default:
-			fmt.Fprintf(os.Stderr, "hydra-worker %s: %v — reconnecting in %v\n", *name, err, backoff)
+			logger.Warn("connection lost", "error", err, "backoff", backoff)
 		}
+		pipeline.WorkerReconnects.Inc()
 		time.Sleep(backoff)
 		backoff *= 2
 		if backoff > *backoffMax {

@@ -291,17 +291,29 @@ func (m *Model) ServeMaster(ln net.Listener, job *Job, times []float64, checkpoi
 		job.Sources, job.Weights, times, opts)
 }
 
+// WorkerOptions re-exports the pipeline worker tuning knobs: the
+// worker's diagnostic name plus its observability hooks (structured
+// logger, span tracer).
+type WorkerOptions = pipeline.WorkerOptions
+
 // RunWorker connects this model to a fleet master at addr and evaluates
 // assignment batches until the master shuts down (nil return) or the
 // connection fails. The handshake advertises the model's fingerprint
 // and state count, so the master only routes this model's solves here.
 func (m *Model) RunWorker(addr, name string, opts *Options) error {
+	return m.RunWorkerWith(addr, WorkerOptions{Name: name}, opts)
+}
+
+// RunWorkerWith is RunWorker with the full worker option set — use it
+// to attach a structured logger and a span tracer, so worker-side
+// batches carry the trace IDs their masters stamped on run headers.
+func (m *Model) RunWorkerWith(addr string, wopts WorkerOptions, opts *Options) error {
 	wm := pipeline.WorkerModel{
 		Fingerprint: m.fingerprint,
 		States:      m.NumStates(),
 		Evaluator:   pipeline.NewSolverEvaluator(m.ss.Model, opts.solver()),
 	}
-	return pipeline.FleetWork(addr, []pipeline.WorkerModel{wm}, pipeline.WorkerOptions{Name: name})
+	return pipeline.FleetWork(addr, []pipeline.WorkerModel{wm}, wopts)
 }
 
 // EulerPointsPerT exposes the s-point cost model of the default Euler

@@ -3,6 +3,8 @@ package experiments
 import (
 	"math"
 	"testing"
+
+	"hydra/internal/obs"
 )
 
 func TestTable1SmallSystemsExact(t *testing.T) {
@@ -135,5 +137,27 @@ func TestAblationsRun(t *testing.T) {
 	}
 	if rows, err := AblationCheckpoint(t.TempDir()); err != nil || len(rows) != 3 {
 		t.Fatalf("checkpoint: %v (%d rows)", err, len(rows))
+	}
+}
+
+// TestObsOverheadRuns exercises the instrumentation-overhead datapoint
+// end to end on a tiny workload: both modes must complete, the global
+// enabled flag must be restored, and the measured times must be
+// positive (the overhead itself is noise-dominated at this scale, so
+// only sanity is asserted — CI records the real datapoint).
+func TestObsOverheadRuns(t *testing.T) {
+	enabledBefore := obs.Enabled()
+	res, err := ObsOverhead(ObsOverheadConfig{TPoints: 1, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Enabled() != enabledBefore {
+		t.Errorf("ObsOverhead left the global enabled flag at %v, want %v restored", obs.Enabled(), enabledBefore)
+	}
+	if res.EnabledSeconds <= 0 || res.DisabledSeconds <= 0 {
+		t.Errorf("non-positive solve times: %+v", res)
+	}
+	if res.Points <= 0 {
+		t.Errorf("no points evaluated: %+v", res)
 	}
 }

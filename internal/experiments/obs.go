@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hydra"
+	"hydra/internal/obs"
+)
+
+// ObsOverheadConfig sizes the instrumentation-overhead datapoint: the
+// vector workload (one passage solve on a voting model) run with the
+// observability instruments live versus globally disabled. The obs
+// package promises near-zero cost on the solver hot path; this
+// experiment is the standing proof.
+type ObsOverheadConfig struct {
+	// CC/MM/NN size the voting system (default 18,6,3 — Table 1
+	// system 0, 2061 states, CI-friendly).
+	CC, MM, NN int
+	// TPoints is the number of density evaluation times (default 2).
+	TPoints int
+	// Rounds is how many times each mode runs; the minimum wall time
+	// per mode is reported, squeezing out scheduler noise (default 3).
+	Rounds int
+}
+
+func (c ObsOverheadConfig) withDefaults() ObsOverheadConfig {
+	if c.CC == 0 {
+		c.CC, c.MM, c.NN = 18, 6, 3
+	}
+	if c.TPoints == 0 {
+		c.TPoints = 2
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 3
+	}
+	return c
+}
+
+// ObsOverheadResult is the measured datapoint.
+type ObsOverheadResult struct {
+	EnabledSeconds  float64 `json:"enabled_seconds"`  // best solve wall time, instruments live
+	DisabledSeconds float64 `json:"disabled_seconds"` // best solve wall time, obs.SetEnabled(false)
+	OverheadPct     float64 `json:"overhead_pct"`     // (enabled-disabled)/disabled × 100
+	Points          int     `json:"points"`           // s-points per solve
+	Rounds          int     `json:"rounds"`
+}
+
+// ObsOverhead measures the wall-time cost of the observability layer on
+// the solver hot path: identical uncached vector solves with the
+// process-wide instruments enabled and disabled, interleaved so thermal
+// and cache drift hits both modes equally. The global enabled flag is
+// restored before returning.
+func ObsOverhead(cfg ObsOverheadConfig) (ObsOverheadResult, error) {
+	cfg = cfg.withDefaults()
+	var res ObsOverheadResult
+	m, err := hydra.VotingConfig(cfg.CC, cfg.MM, cfg.NN)
+	if err != nil {
+		return res, err
+	}
+	p2 := m.PlaceIndex("p2")
+	if p2 < 0 {
+		return res, fmt.Errorf("experiments: voting model has no place p2")
+	}
+	cc := int32(cfg.CC)
+	targets := m.States(func(mk hydra.Marking) bool { return mk[p2] >= cc })
+	if len(targets) == 0 {
+		return res, fmt.Errorf("experiments: no all-voted states")
+	}
+	ts := make([]float64, cfg.TPoints)
+	for i := range ts {
+		ts[i] = float64(cfg.CC) * (0.5 + 2.5*float64(i+1)/float64(len(ts)+1))
+	}
+
+	solve := func() (time.Duration, int, error) {
+		spec, err := m.NewPassageSpec("obs-overhead", targets, ts, false, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		vr, err := m.RunSpec(spec, nil, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		return time.Since(start), vr.Stats.Evaluated, nil
+	}
+
+	defer obs.SetEnabled(obs.Enabled())
+	best := map[bool]time.Duration{}
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, mode := range []bool{false, true} {
+			obs.SetEnabled(mode)
+			d, points, err := solve()
+			if err != nil {
+				return res, err
+			}
+			res.Points = points
+			if cur, ok := best[mode]; !ok || d < cur {
+				best[mode] = d
+			}
+		}
+	}
+	res.EnabledSeconds = best[true].Seconds()
+	res.DisabledSeconds = best[false].Seconds()
+	res.OverheadPct = (res.EnabledSeconds - res.DisabledSeconds) / res.DisabledSeconds * 100
+	res.Rounds = cfg.Rounds
+	return res, nil
+}

@@ -1,0 +1,477 @@
+// Package obs is hydra's dependency-free observability kit: counters,
+// gauges and fixed-bucket histograms with a Prometheus text-format
+// exposition writer (text/plain; version=0.0.4), plus a bounded
+// span/trace recorder (trace.go). Every layer of the system — HTTP
+// handlers, the scheduler, the fleet master, workers and the solver
+// hot path — registers instruments here rather than keeping hand-
+// rolled counter fields, so the JSON stats views and /metrics read
+// the same cells and can never disagree.
+//
+// Instruments are safe for concurrent use (atomic updates, no locks
+// on the hot path) and cheap enough for per-s-point call sites. The
+// package-level Default registry serves process-wide subsystems
+// (pipeline, fleet, solver); components that are instantiated per
+// test or per server (HTTP layer, scheduler) carry their own
+// *Registry so parallel instances do not pollute each other.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates instrument updates process-wide. Exposition still
+// works when disabled; only Observe/Inc/Add calls become no-ops. The
+// obs-overhead benchmark flips this to measure instrumentation cost.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns instrument updates on or off process-wide and
+// returns the previous setting.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether instrument updates are currently recorded.
+func Enabled() bool { return enabled.Load() }
+
+// DefBuckets are the default latency buckets (seconds), spanning
+// sub-millisecond kernel fills to multi-minute batch runs.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// DepthBuckets suit iteration counts: Gauss–Seidel sweeps and
+// iterative-LST recursion depths.
+var DepthBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// metric is any single sample series that can write itself.
+type metric interface {
+	write(w io.Writer, name, labels string)
+}
+
+// family is one exposition family: HELP/TYPE plus its samples, keyed
+// by label signature.
+type family struct {
+	name, help, typ string
+	mu              sync.Mutex
+	samples         map[string]metric // label signature → instrument
+	order           []string          // insertion-ordered signatures (sorted at write)
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// Default is the process-wide registry used by subsystems that exist
+// once per process (fleet master, workers, solver hot path).
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, samples: make(map[string]metric)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	return f
+}
+
+// sample returns the instrument under sig, creating it with mk on
+// first use.
+func (f *family) sample(sig string, mk func() metric) metric {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.samples[sig]
+	if !ok {
+		m = mk()
+		f.samples[sig] = m
+		f.order = append(f.order, sig)
+	}
+	return m
+}
+
+// ---- Counter ----
+
+// Counter is a monotonically increasing float64.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// NewCounter registers (or fetches) an unlabelled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.family(name, help, "counter")
+	return f.sample("", func() metric { return new(Counter) }).(*Counter)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 || !enabled.Load() {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(c.Value()))
+}
+
+// ---- Gauge ----
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// NewGauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.family(name, help, "gauge")
+	return f.sample("", func() metric { return new(Gauge) }).(*Gauge)
+}
+
+// Set stores v. Set works even when updates are disabled, so
+// configuration gauges (protocol version, worker counts) stay
+// truthful during overhead runs.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (which may be negative).
+func (g *Gauge) Add(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+}
+
+// ---- Func instruments ----
+
+// funcMetric reads its value from a callback at exposition time. This
+// is how existing mutex-guarded stats (registry LRU, cache tiers)
+// surface on /metrics without duplicating their counters: the
+// callback reads the same cell the JSON stats view reads.
+type funcMetric struct {
+	fn func() float64
+}
+
+func (m funcMetric) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(m.fn()))
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at
+// exposition time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, "gauge")
+	f.sample("", func() metric { return funcMetric{fn} })
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at
+// exposition time. fn must be monotonic.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, "counter")
+	f.sample("", func() metric { return funcMetric{fn} })
+}
+
+// ---- Histogram ----
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	upper  []float64 // bucket upper bounds, ascending, +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper))}
+}
+
+// NewHistogram registers (or fetches) an unlabelled histogram with
+// the given bucket upper bounds (DefBuckets when nil).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, "histogram")
+	return f.sample("", func() metric { return newHistogram(buckets) }).(*Histogram)
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	// Buckets are cumulative at exposition: increment only the first
+	// bucket v fits and sum prefixes at write time, keeping Observe to
+	// one bucket increment.
+	i := sort.SearchFloat64s(h.upper, v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	// Re-open the label set to splice in le="...".
+	base := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, joinLabels(base, `le="`+formatFloat(ub)+`"`), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, joinLabels(base, `le="+Inf"`), h.count.Load())
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
+}
+
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + base + "," + extra + "}"
+}
+
+// ---- Labelled (Vec) variants ----
+
+// labelSignature renders a label set as {k="v",...} with values
+// escaped per the exposition format. Keys keep caller order so a
+// vec's samples align column-wise.
+func labelSignature(keys, vals []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct {
+	f    *family
+	keys []string
+}
+
+// NewCounterVec registers a labelled counter family.
+func (r *Registry) NewCounterVec(name, help string, labelKeys ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, "counter"), keys: labelKeys}
+}
+
+// With returns the counter for the given label values (one per key).
+func (v *CounterVec) With(labelVals ...string) *Counter {
+	sig := labelSignature(v.keys, labelVals)
+	return v.f.sample(sig, func() metric { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct {
+	f    *family
+	keys []string
+}
+
+// NewGaugeVec registers a labelled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, "gauge"), keys: labelKeys}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelVals ...string) *Gauge {
+	sig := labelSignature(v.keys, labelVals)
+	return v.f.sample(sig, func() metric { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct {
+	f       *family
+	keys    []string
+	buckets []float64
+}
+
+// NewHistogramVec registers a labelled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labelKeys ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, "histogram"), keys: labelKeys, buckets: buckets}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelVals ...string) *Histogram {
+	sig := labelSignature(v.keys, labelVals)
+	return v.f.sample(sig, func() metric { return newHistogram(v.buckets) }).(*Histogram)
+}
+
+// ---- Exposition ----
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders every family in text exposition format 0.0.4,
+// families sorted by name and samples by label signature.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	sort.Sort(&famSort{names, fams})
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		sigs := make([]string, len(f.order))
+		copy(sigs, f.order)
+		samples := make([]metric, len(sigs))
+		for i, s := range sigs {
+			samples[i] = f.samples[s]
+		}
+		f.mu.Unlock()
+		if len(samples) == 0 {
+			continue
+		}
+		sort.Sort(&sampleSort{sigs, samples})
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for i, m := range samples {
+			m.write(&b, f.name, sigs[i])
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+type famSort struct {
+	names []string
+	fams  []*family
+}
+
+func (s *famSort) Len() int           { return len(s.names) }
+func (s *famSort) Less(i, j int) bool { return s.names[i] < s.names[j] }
+func (s *famSort) Swap(i, j int) {
+	s.names[i], s.names[j] = s.names[j], s.names[i]
+	s.fams[i], s.fams[j] = s.fams[j], s.fams[i]
+}
+
+type sampleSort struct {
+	sigs    []string
+	samples []metric
+}
+
+func (s *sampleSort) Len() int           { return len(s.sigs) }
+func (s *sampleSort) Less(i, j int) bool { return s.sigs[i] < s.sigs[j] }
+func (s *sampleSort) Swap(i, j int) {
+	s.sigs[i], s.sigs[j] = s.sigs[j], s.sigs[i]
+	s.samples[i], s.samples[j] = s.samples[j], s.samples[i]
+}
+
+// ContentType is the exposition content type for /metrics responses.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry (and any extra registries, appended in
+// order) as a /metrics endpoint.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		for _, r := range regs {
+			r.WriteTo(w)
+		}
+	})
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the full text of a small registry's
+// /metrics output: family ordering by name, HELP/TYPE lines, label
+// escaping, histogram bucket cumulativeness and the trailing
+// +Inf/sum/count triplet. Any drift from the 0.0.4 exposition format
+// breaks scrapers, so the expectation is byte-exact.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("hydra_test_jobs_total", "Jobs handled.")
+	c.Add(3)
+	g := r.NewGauge("hydra_test_in_flight", "Requests in flight.")
+	g.Set(2)
+	v := r.NewCounterVec("hydra_test_points_total", "Points by worker.", "worker")
+	v.With("w1").Add(5)
+	v.With("w0").Add(7)
+	h := r.NewHistogramVec("hydra_test_latency_seconds", "Latency.", []float64{0.1, 1, 10}, "route")
+	h.With("/solve").Observe(0.05)
+	h.With("/solve").Observe(0.5)
+	h.With("/solve").Observe(99)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP hydra_test_in_flight Requests in flight.
+# TYPE hydra_test_in_flight gauge
+hydra_test_in_flight 2
+# HELP hydra_test_jobs_total Jobs handled.
+# TYPE hydra_test_jobs_total counter
+hydra_test_jobs_total 3
+# HELP hydra_test_latency_seconds Latency.
+# TYPE hydra_test_latency_seconds histogram
+hydra_test_latency_seconds_bucket{route="/solve",le="0.1"} 1
+hydra_test_latency_seconds_bucket{route="/solve",le="1"} 2
+hydra_test_latency_seconds_bucket{route="/solve",le="10"} 2
+hydra_test_latency_seconds_bucket{route="/solve",le="+Inf"} 3
+hydra_test_latency_seconds_sum{route="/solve"} 99.55
+hydra_test_latency_seconds_count{route="/solve"} 3
+# HELP hydra_test_points_total Points by worker.
+# TYPE hydra_test_points_total counter
+hydra_test_points_total{worker="w0"} 7
+hydra_test_points_total{worker="w1"} 5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramCumulative checks the invariant scrapers rely on:
+// bucket counts never decrease with increasing le, and the +Inf
+// bucket equals the observation count.
+func TestHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("hydra_test_h", "", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 3, 3, 7, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WriteTo(&b)
+	var prev uint64
+	lines := strings.Split(b.String(), "\n")
+	buckets := 0
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "hydra_test_h_bucket") {
+			continue
+		}
+		buckets++
+		n, err := strconv.ParseUint(ln[strings.LastIndexByte(ln, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", ln, err)
+		}
+		if n < prev {
+			t.Errorf("bucket counts not cumulative: %q after %d", ln, prev)
+		}
+		prev = n
+	}
+	if buckets != 5 { // 4 finite + +Inf
+		t.Errorf("got %d bucket lines, want 5", buckets)
+	}
+	if prev != h.Count() {
+		t.Errorf("+Inf bucket %d != count %d", prev, h.Count())
+	}
+}
+
+// TestConcurrentInstruments hammers every instrument type from many
+// goroutines; run under -race this is the data-race certification for
+// the lock-free hot path, and the totals double as an atomicity check
+// (no lost updates).
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", []float64{1, 10, 100})
+	cv := r.NewCounterVec("cv_total", "", "w")
+	hv := r.NewHistogramVec("hv", "", nil, "w")
+	tr := NewTracer(64)
+
+	const goroutines, iters = 16, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := string(rune('a' + i%4))
+			for j := 0; j < iters; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Dec()
+				h.Observe(float64(j % 200))
+				cv.With(w).Inc()
+				hv.With(w).Observe(0.001)
+				tr.Record(Span{TraceID: "t", Name: "n", Start: time.Now()})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*iters {
+		t.Errorf("counter lost updates: %v, want %v", got, goroutines*iters)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge drifted: %v, want 0", got)
+	}
+	if got := h.Count(); got != goroutines*iters {
+		t.Errorf("histogram lost observations: %v, want %v", got, goroutines*iters)
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spans()) != 64 {
+		t.Errorf("tracer ring holds %d spans, want full 64", len(tr.Spans()))
+	}
+}
+
+// TestSetEnabled verifies the process-wide toggle used by the
+// overhead benchmark: disabled instruments drop updates, gauges keep
+// Set for configuration truth.
+func TestSetEnabled(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	c.Inc()
+	g.Add(5)
+	g.Set(3)
+	if c.Value() != 0 {
+		t.Errorf("disabled counter recorded %v", c.Value())
+	}
+	if g.Value() != 3 {
+		t.Errorf("disabled gauge = %v, want Set value 3", g.Value())
+	}
+	SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Errorf("re-enabled counter = %v, want 1", c.Value())
+	}
+}
+
+// TestTracer exercises the ring, trace filtering and the nil-tracer
+// contract relied on throughout pipeline call sites.
+func TestTracer(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		id := "a"
+		if i%2 == 1 {
+			id = "b"
+		}
+		tr.Record(Span{TraceID: id, Name: "s", Start: time.Now()})
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(spans))
+	}
+	// Records were a b a b a: the surviving 3 are a b a.
+	if got := len(tr.Trace("a")); got != 2 {
+		t.Errorf("trace a has %d spans, want 2", got)
+	}
+
+	sp := tr.StartSpan("req-1", "work")
+	sp.SetWorker("w0").SetAttr("k", "v")
+	sp.End()
+	got := tr.Trace("req-1")
+	if len(got) != 1 || got[0].Worker != "w0" || got[0].Attrs["k"] != "v" {
+		t.Errorf("recorded span %+v, want worker w0 attr k=v", got)
+	}
+
+	var nilT *Tracer
+	nilT.Record(Span{}) // must not panic
+	nilT.StartSpan("x", "y").End()
+	if nilT.Spans() != nil || nilT.Trace("x") != nil {
+		t.Error("nil tracer returned spans")
+	}
+}
+
+// TestHandler checks the /metrics HTTP contract: content type and
+// concatenation of multiple registries.
+func TestHandler(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.NewCounter("hydra_a_total", "A.").Inc()
+	r2.NewCounter("hydra_b_total", "B.").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r1, r2).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"# TYPE hydra_a_total counter", "# TYPE hydra_b_total counter", "hydra_a_total 1", "hydra_b_total 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestRequestID checks format and uniqueness.
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if !strings.HasPrefix(a, "req-") || len(a) != 20 {
+		t.Errorf("malformed request id %q", a)
+	}
+	if a == b {
+		t.Errorf("request ids collided: %q", a)
+	}
+}
+
+// TestFuncInstruments checks callback-backed gauges/counters read at
+// exposition time — the bridge that lets JSON stats and /metrics read
+// the same cells.
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	val := 1.0
+	r.NewGaugeFunc("hydra_fn_gauge", "", func() float64 { return val })
+	r.NewCounterFunc("hydra_fn_total", "", func() float64 { return 42 })
+	var b strings.Builder
+	r.WriteTo(&b)
+	if !strings.Contains(b.String(), "hydra_fn_gauge 1\n") {
+		t.Errorf("missing func gauge:\n%s", b.String())
+	}
+	val = 7
+	b.Reset()
+	r.WriteTo(&b)
+	if !strings.Contains(b.String(), "hydra_fn_gauge 7\n") {
+		t.Errorf("func gauge not re-read:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "hydra_fn_total 42\n") {
+		t.Errorf("missing func counter:\n%s", b.String())
+	}
+}

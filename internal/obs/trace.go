@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Span is one recorded unit of work, correlated across processes by
+// TraceID: the request ID minted at the HTTP edge travels through the
+// scheduler onto fleet wire assignments, so a worker's spans and the
+// master's span tree share the ID of the originating request.
+type Span struct {
+	TraceID  string            `json:"trace_id"`
+	Name     string            `json:"name"`             // e.g. "solve.point", "fleet.batch"
+	Worker   string            `json:"worker,omitempty"` // recording process/worker name
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records spans into a bounded ring. A nil *Tracer is valid
+// and drops everything, so call sites never need nil checks.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Span
+	next int
+	full bool
+}
+
+// DefaultTracer holds process-wide spans (fleet master and workers).
+var DefaultTracer = NewTracer(4096)
+
+// NewTracer returns a tracer retaining the most recent cap spans.
+func NewTracer(cap int) *Tracer {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Tracer{ring: make([]Span, cap)}
+}
+
+// Record stores a finished span.
+func (t *Tracer) Record(s Span) {
+	if t == nil || !enabled.Load() {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Trace returns the retained spans with the given trace ID, oldest
+// first.
+func (t *Tracer) Trace(id string) []Span {
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.TraceID == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ActiveSpan is an in-flight span; End records it.
+type ActiveSpan struct {
+	tracer *Tracer
+	span   Span
+}
+
+// StartSpan begins a span. End must be called to record it.
+func (t *Tracer) StartSpan(traceID, name string) *ActiveSpan {
+	return &ActiveSpan{tracer: t, span: Span{TraceID: traceID, Name: name, Start: time.Now()}}
+}
+
+// SetWorker tags the span with the recording worker's name.
+func (a *ActiveSpan) SetWorker(w string) *ActiveSpan {
+	a.span.Worker = w
+	return a
+}
+
+// SetAttr attaches a key/value attribute.
+func (a *ActiveSpan) SetAttr(k, v string) *ActiveSpan {
+	if a.span.Attrs == nil {
+		a.span.Attrs = make(map[string]string)
+	}
+	a.span.Attrs[k] = v
+	return a
+}
+
+// End stamps the duration and records the span.
+func (a *ActiveSpan) End() {
+	a.span.Duration = time.Since(a.span.Start)
+	a.tracer.Record(a.span)
+}
+
+// NewRequestID mints a random request/trace ID ("req-" + 16 hex).
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-00000000deadbeef"
+	}
+	return "req-" + hex.EncodeToString(b[:])
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"hydra/internal/dtmc"
 	"hydra/internal/partition"
@@ -106,7 +107,23 @@ type Solver struct {
 	filledS complex128
 	filled  bool
 	par     *partition.ParallelProduct
+
+	// Phase instrumentation for the last call, read by the pipeline's
+	// observability layer. lastFill is zero when the kernel was
+	// memoised; lastSweeps counts Gauss–Seidel sweeps of the last
+	// direct/block solve.
+	lastFill   time.Duration
+	lastSweeps int
 }
+
+// LastKernelFill returns the time the last solve spent assembling
+// U(s) — zero when the memoised kernel was reused.
+func (sv *Solver) LastKernelFill() time.Duration { return sv.lastFill }
+
+// LastSweeps returns the Gauss–Seidel sweep count of the last direct
+// or block solve (zero for iterative solves, whose depth is returned
+// directly).
+func (sv *Solver) LastSweeps() int { return sv.lastSweeps }
 
 // NewSolver returns a solver for the model.
 func NewSolver(m *smp.Model, opts Options) *Solver {
@@ -156,8 +173,11 @@ func (sv *Solver) prepare(s complex128, targets []int) error {
 		}
 		sv.targets[t] = true
 	}
+	sv.lastFill = 0
 	if !sv.filled || sv.filledS != s {
+		start := time.Now()
 		sv.m.FillKernel(s, sv.u)
+		sv.lastFill = time.Since(start)
 		sv.filledS = s
 		sv.filled = true
 	}
@@ -309,6 +329,7 @@ func (sv *Solver) DirectVectorLST(s complex128, targets []int) ([]complex128, er
 	x := make([]complex128, n)
 	copy(x, b) // first Jacobi step as warm start
 	for iter := 0; iter < sv.opts.GSMaxIter; iter++ {
+		sv.lastSweeps = iter + 1
 		var worst float64
 		for i := 0; i < n; i++ {
 			sum := b[i]

@@ -155,6 +155,7 @@ func (sv *Solver) DirectVectorLSTColumns(s complex128, targets []int) ([][]compl
 	copy(x, b) // first Jacobi step as warm start
 	sum := make([]complex128, K)
 	for iter := 0; iter < sv.opts.GSMaxIter; iter++ {
+		sv.lastSweeps = iter + 1
 		var worst float64
 		for i := 0; i < n; i++ {
 			copy(sum, b[i*K:(i+1)*K])

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"hydra/internal/obs"
 )
 
 // Wire protocol v3 — the vector-engine upgrade of the v2 resident-fleet
@@ -60,13 +63,17 @@ type welcomeMsg struct {
 
 // runHeaderV3Msg describes a solve once per (worker, run): everything
 // an evaluator needs except the s-values themselves. Note the absence
-// of sources/weights — v3 runs are SolveSpecs.
+// of sources/weights — v3 runs are SolveSpecs. TraceID carries the
+// originating request's ID so worker-side spans and log lines
+// correlate with the master's; gob omits absent/zero fields, so
+// pre-trace masters and workers interoperate unchanged.
 type runHeaderV3Msg struct {
 	Name        string
 	ModelFP     string
 	ModelStates int
 	Quantity    Quantity
 	Targets     []int
+	TraceID     string
 }
 
 // assignBatchV3Msg carries up to BatchSize s-points (master → worker).
@@ -98,11 +105,17 @@ type pointFrameV3 struct {
 
 // resultFrameV3Msg carries a batch of frames answering one assignment
 // (worker → master). A worker streams as many of these as the frame
-// budget requires and sets Last on the final one.
+// budget requires and sets Last on the final one. The Last message
+// also carries the batch's phase attribution (nanoseconds keyed by
+// phase name) and summed iteration depth when the worker's evaluator
+// reports them — absent fields decode as zero on older masters, so
+// the additions are wire-compatible.
 type resultFrameV3Msg struct {
-	RunID  int64
-	Last   bool
-	Frames []pointFrameV3
+	RunID      int64
+	Last       bool
+	Frames     []pointFrameV3
+	PhaseNS    map[string]int64
+	TotalDepth int64
 }
 
 // defaultFrameValues is how many complex values travel per result
@@ -206,10 +219,13 @@ type pointResultVec struct {
 	Err   string
 }
 
-// fleetResult is one answered batch routed back to Execute.
+// fleetResult is one answered batch routed back to Execute, with the
+// worker's phase attribution for the batch.
 type fleetResult struct {
-	worker string
-	points []pointResultVec
+	worker  string
+	points  []pointResultVec
+	phaseNS map[string]int64
+	depth   int64
 }
 
 // NewFleet starts a fleet master accepting workers on ln. The listener
@@ -223,6 +239,7 @@ func NewFleet(ln net.Listener, opts FleetOptions) *Fleet {
 		closedCh: make(chan struct{}),
 	}
 	f.cond = sync.NewCond(&f.mu)
+	fleetWireVersion.Set(ProtocolVersion)
 	go f.acceptLoop()
 	return f
 }
@@ -338,6 +355,7 @@ func (f *Fleet) Execute(spec *SolveSpec, cache Cache) ([][]complex128, *RunStats
 			ModelStates: spec.ModelStates,
 			Quantity:    spec.Quantity,
 			Targets:     spec.Targets,
+			TraceID:     spec.TraceID,
 		},
 		pending: pending,
 		results: make(chan fleetResult, 64),
@@ -354,7 +372,11 @@ func (f *Fleet) Execute(spec *SolveSpec, cache Cache) ([][]complex128, *RunStats
 	f.runOrder = append(f.runOrder, run.id)
 	f.mu.Unlock()
 	f.cond.Broadcast()
+	fleetRunsActive.Inc()
 	defer f.unregister(run)
+	runSpan := obs.DefaultTracer.StartSpan(spec.TraceID, "fleet.run").
+		SetAttr("spec", spec.Name).SetAttr("points", strconv.Itoa(len(pending)))
+	defer runSpan.End()
 
 	perWorker := make(map[string]int)
 	remaining := len(pending)
@@ -366,6 +388,10 @@ func (f *Fleet) Execute(spec *SolveSpec, cache Cache) ([][]complex128, *RunStats
 		select {
 		case r := <-run.results:
 			idleSince = time.Now()
+			for name, ns := range r.phaseNS {
+				stats.AddPhase(name, time.Duration(ns))
+			}
+			stats.TotalDepth += r.depth
 			for _, pr := range r.points {
 				if pr.Err != "" {
 					if firstErr == nil {
@@ -432,6 +458,7 @@ func (f *Fleet) unregister(run *fleetRun) int {
 	defer f.mu.Unlock()
 	if !run.ended {
 		run.ended = true
+		fleetRunsActive.Dec()
 		close(run.done)
 		delete(f.runs, run.id)
 		order := f.runOrder[:0]
@@ -459,6 +486,7 @@ func (f *Fleet) requeue(run *fleetRun, indices []int, worker string) {
 	}
 	f.mu.Unlock()
 	if live {
+		fleetRequeued.Add(float64(len(indices)))
 		f.logf("pipeline: requeued %d points of run %d lost to worker %q", len(indices), run.id, worker)
 		f.cond.Broadcast()
 	}
@@ -536,7 +564,7 @@ func (f *Fleet) nextBatch(c *fleetConn) (*fleetRun, []int, []int64) {
 // the worker marks the stream Last, reassembling chunked vectors. It
 // returns the completed point results and the assigned indices that
 // never completed (to requeue), plus any transport error.
-func (f *Fleet) collectFrames(c *fleetConn, dec *gob.Decoder, runID int64, indices []int) (results []pointResultVec, missing []int, err error) {
+func (f *Fleet) collectFrames(c *fleetConn, dec *gob.Decoder, runID int64, indices []int) (results []pointResultVec, missing []int, phaseNS map[string]int64, depth int64, err error) {
 	type assembly struct {
 		vec      []complex128
 		received int
@@ -560,8 +588,17 @@ func (f *Fleet) collectFrames(c *fleetConn, dec *gob.Decoder, runID int64, indic
 					missing = append(missing, idx)
 				}
 			}
-			return results, missing, err
+			return results, missing, phaseNS, depth, err
 		}
+		if len(res.PhaseNS) > 0 {
+			if phaseNS == nil {
+				phaseNS = make(map[string]int64, len(res.PhaseNS))
+			}
+			for name, ns := range res.PhaseNS {
+				phaseNS[name] += ns
+			}
+		}
+		depth += res.TotalDepth
 		for _, fr := range res.Frames {
 			if !expected[fr.Index] || done[fr.Index] {
 				continue // unsolicited or duplicate; ignore
@@ -604,7 +641,7 @@ func (f *Fleet) collectFrames(c *fleetConn, dec *gob.Decoder, runID int64, indic
 			missing = append(missing, idx)
 		}
 	}
-	return results, missing, nil
+	return results, missing, phaseNS, depth, nil
 }
 
 // serveConn drives one worker connection: versioned handshake, then a
@@ -624,6 +661,7 @@ func (f *Fleet) serveConn(conn net.Conn) {
 		f.mu.Lock()
 		f.rejected++
 		f.mu.Unlock()
+		fleetRejected.Inc()
 		f.logf("pipeline: rejecting worker %q from %s: %s", hello.WorkerName, conn.RemoteAddr(), reason)
 		conn.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
 		enc.Encode(welcomeMsg{Version: ProtocolVersion, ModelStates: -1, Reject: reason})
@@ -681,6 +719,9 @@ func (f *Fleet) serveConn(conn net.Conn) {
 	f.conns[c] = struct{}{}
 	f.accepted++
 	f.mu.Unlock()
+	fleetAccepted.Inc()
+	fleetWorkersConnected.Inc()
+	defer fleetWorkersConnected.Dec()
 	defer func() {
 		f.mu.Lock()
 		delete(f.conns, c)
@@ -688,7 +729,9 @@ func (f *Fleet) serveConn(conn net.Conn) {
 	}()
 
 	for {
+		idleStart := time.Now()
 		run, indices, forget := f.nextBatch(c)
+		fleetWorkerIdle.With(c.name).Add(time.Since(idleStart).Seconds())
 		if run == nil {
 			conn.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
 			enc.Encode(assignBatchV3Msg{Done: true})
@@ -712,18 +755,28 @@ func (f *Fleet) serveConn(conn net.Conn) {
 			f.requeue(run, indices, c.name)
 			return
 		}
+		fleetAssignedPoints.With(c.name).Add(float64(len(indices)))
 		c.started[run.id] = true
 		for _, id := range forget {
 			delete(c.started, id)
 		}
-		results, missing, err := f.collectFrames(c, dec, run.id, indices)
+		batchStart := time.Now()
+		results, missing, phaseNS, depth, err := f.collectFrames(c, dec, run.id, indices)
+		batchTime := time.Since(batchStart)
+		fleetBatchDuration.With(c.name).Observe(batchTime.Seconds())
+		fleetCompletedPoints.With(c.name).Add(float64(len(results)))
+		obs.DefaultTracer.Record(obs.Span{
+			TraceID: run.header.TraceID, Name: "fleet.batch", Worker: c.name,
+			Start: batchStart, Duration: batchTime,
+			Attrs: map[string]string{"points": strconv.Itoa(len(indices))},
+		})
 		f.requeue(run, missing, c.name)
 		f.mu.Lock()
 		c.completed += len(results)
 		f.mu.Unlock()
-		if len(results) > 0 {
+		if len(results) > 0 || len(phaseNS) > 0 {
 			select {
-			case run.results <- fleetResult{worker: c.name, points: results}:
+			case run.results <- fleetResult{worker: c.name, points: results, phaseNS: phaseNS, depth: depth}:
 			case <-run.done:
 				// The run ended (completed elsewhere, aborted, or the caller
 				// gave up); drop the late batch — results are idempotent.

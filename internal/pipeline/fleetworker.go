@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"time"
+
+	"hydra/internal/obs"
 )
 
 // ErrHandshakeRejected reports a master that refused this worker's
@@ -80,6 +83,11 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 		return fmt.Errorf("%w: master speaks wire protocol v%d but this worker speaks v%d; deploy matching hydra binaries",
 			ErrHandshakeRejected, welcome.Version, ProtocolVersion)
 	}
+	log := opts.logger()
+	workerWireVersion.Set(float64(welcome.Version))
+	log.Info("fleet handshake accepted",
+		"worker", opts.Name, "master", conn.RemoteAddr().String(),
+		"wire_version", welcome.Version, "models", len(models))
 
 	runs := make(map[int64]*workerRun)
 	for {
@@ -88,6 +96,7 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 			return fmt.Errorf("pipeline: receiving assignment: %w", err)
 		}
 		if a.Done {
+			log.Info("fleet master dismissed worker", "worker", opts.Name)
 			return nil
 		}
 		for _, id := range a.Forget {
@@ -109,6 +118,7 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 					Targets:     a.Header.Targets,
 					ModelFP:     a.Header.ModelFP,
 					ModelStates: a.Header.ModelStates,
+					TraceID:     a.Header.TraceID,
 				},
 				eval: wm.Evaluator,
 			}
@@ -116,23 +126,50 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 		}
 		// Evaluate the batch, streaming each vector back as frames no
 		// larger than frameValues complex values; the final message of
-		// the batch sets Last so the master knows the stream is over.
+		// the batch sets Last so the master knows the stream is over,
+		// and carries the batch's phase attribution for Stats.Phases.
+		workerAssignments.Inc()
+		batchStart := time.Now()
+		reporter, _ := wr.eval.(PhaseReporter)
+		var phaseNS map[string]int64
+		var depth int64
 		out := frameStream{enc: enc, runID: a.RunID, budget: frameValues}
 		for i, idx := range a.Indices {
 			vec, err := wr.eval.EvaluateVector(a.Points[i], wr.spec)
+			if reporter != nil {
+				fill, solve, d := reporter.LastPhases()
+				if phaseNS == nil {
+					phaseNS = make(map[string]int64, 2)
+				}
+				phaseNS[PhaseKernelFill] += fill.Nanoseconds()
+				phaseNS[PhaseSolve] += solve.Nanoseconds()
+				depth += int64(d)
+			}
 			if err != nil {
+				workerPointErrors.Inc()
 				if serr := out.sendError(idx, err.Error()); serr != nil {
 					return serr
 				}
 				continue
 			}
+			workerPoints.Inc()
 			if serr := out.sendVector(idx, vec); serr != nil {
 				return serr
 			}
 		}
-		if err := out.finish(); err != nil {
+		if err := out.finish(phaseNS, depth); err != nil {
 			return err
 		}
+		batchTime := time.Since(batchStart)
+		workerBatchDuration.Observe(batchTime.Seconds())
+		opts.Tracer.Record(obs.Span{
+			TraceID: wr.spec.TraceID, Name: "worker.batch", Worker: opts.Name,
+			Start: batchStart, Duration: batchTime,
+			Attrs: map[string]string{"spec": wr.spec.Name, "points": strconv.Itoa(len(a.Indices))},
+		})
+		log.Debug("evaluated assignment batch",
+			"worker", opts.Name, "trace_id", wr.spec.TraceID, "spec", wr.spec.Name,
+			"points", len(a.Indices), "duration", batchTime)
 	}
 }
 
@@ -146,12 +183,17 @@ type frameStream struct {
 	load    int // complex values buffered in pending
 }
 
-// flush sends the buffered frames (last marks the end of the batch).
-func (fs *frameStream) flush(last bool) error {
+// flush sends the buffered frames (last marks the end of the batch
+// and carries the batch's phase attribution).
+func (fs *frameStream) flush(last bool, phaseNS map[string]int64, depth int64) error {
 	if !last && len(fs.pending) == 0 {
 		return nil
 	}
 	msg := resultFrameV3Msg{RunID: fs.runID, Last: last, Frames: fs.pending}
+	if last {
+		msg.PhaseNS = phaseNS
+		msg.TotalDepth = depth
+	}
 	if err := fs.enc.Encode(msg); err != nil {
 		return fmt.Errorf("pipeline: sending result frames: %w", err)
 	}
@@ -165,7 +207,7 @@ func (fs *frameStream) add(fr pointFrameV3) error {
 	fs.pending = append(fs.pending, fr)
 	fs.load += len(fr.Data)
 	if fs.load >= fs.budget {
-		return fs.flush(false)
+		return fs.flush(false, nil, 0)
 	}
 	return nil
 }
@@ -193,8 +235,11 @@ func (fs *frameStream) sendError(idx int, msg string) error {
 	return fs.add(pointFrameV3{Index: idx, Err: msg})
 }
 
-// finish flushes whatever remains with the Last marker.
-func (fs *frameStream) finish() error { return fs.flush(true) }
+// finish flushes whatever remains with the Last marker, attaching the
+// batch's phase attribution.
+func (fs *frameStream) finish(phaseNS map[string]int64, depth int64) error {
+	return fs.flush(true, phaseNS, depth)
+}
 
 // workerRun is the worker-side state of one master run.
 type workerRun struct {

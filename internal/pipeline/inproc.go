@@ -17,6 +17,30 @@ type RunStats struct {
 	WorkerNames []string      // names aligned with PerWorker (fleet runs)
 	Requeued    int           // points reassigned after a worker loss (fleet runs)
 	TotalDepth  int64         // summed iteration depths (0 if unknown)
+	// Phases attributes the run's evaluator time: summed across
+	// workers, keyed "kernel_fill" and "solve" here, with the read-time
+	// "invert" phase added by callers that run the inverter. Summed CPU
+	// time, not wall time — with W workers it can exceed WallTime.
+	Phases map[string]time.Duration
+}
+
+// Canonical phase names: the solver-side split reported by backends
+// plus the read-time inversion added by ReadRun callers.
+const (
+	PhaseKernelFill = "kernel_fill"
+	PhaseSolve      = "solve"
+	PhaseInvert     = "invert"
+)
+
+// AddPhase accumulates d into the named phase (no-op for d <= 0).
+func (s *RunStats) AddPhase(name string, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if s.Phases == nil {
+		s.Phases = make(map[string]time.Duration)
+	}
+	s.Phases[name] += d
 }
 
 // Merge folds another run's counters into s — used by searches (e.g. a
@@ -35,6 +59,9 @@ func (s *RunStats) Merge(o *RunStats) {
 	s.WallTime += o.WallTime
 	s.Requeued += o.Requeued
 	s.TotalDepth += o.TotalDepth
+	for name, d := range o.Phases {
+		s.AddPhase(name, d)
+	}
 	if len(o.PerWorker) == 0 {
 		if o.Workers > s.Workers {
 			s.Workers = o.Workers
@@ -110,6 +137,9 @@ func Run(spec *SolveSpec, newEval func() Evaluator, workers int, cache Cache) ([
 		worker int
 		v      []complex128
 		err    error
+		fill   time.Duration
+		solve  time.Duration
+		depth  int
 	}
 	work := make(chan int)
 	results := make(chan result)
@@ -120,9 +150,14 @@ func Run(spec *SolveSpec, newEval func() Evaluator, workers int, cache Cache) ([
 		go func(w int) {
 			defer wg.Done()
 			eval := newEval()
+			reporter, _ := eval.(PhaseReporter)
 			for idx := range work {
 				v, err := eval.EvaluateVector(spec.Points[idx], spec)
-				results <- result{idx: idx, worker: w, v: v, err: err}
+				r := result{idx: idx, worker: w, v: v, err: err}
+				if reporter != nil {
+					r.fill, r.solve, r.depth = reporter.LastPhases()
+				}
+				results <- r
 			}
 		}(w)
 	}
@@ -149,6 +184,9 @@ func Run(spec *SolveSpec, newEval func() Evaluator, workers int, cache Cache) ([
 		have[r.idx] = true
 		stats.Evaluated++
 		stats.PerWorker[r.worker]++
+		stats.AddPhase(PhaseKernelFill, r.fill)
+		stats.AddPhase(PhaseSolve, r.solve)
+		stats.TotalDepth += int64(r.depth)
 		if cache != nil {
 			if err := cache.Append(spec, r.idx, r.v); err != nil && firstErr == nil {
 				firstErr = err

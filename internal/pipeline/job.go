@@ -32,6 +32,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
+	"time"
 
 	"hydra/internal/passage"
 	"hydra/internal/smp"
@@ -87,6 +88,14 @@ type SolveSpec struct {
 	// server's modelID-prefixed spec names do exactly that).
 	ModelFP     string
 	ModelStates int
+
+	// TraceID correlates this solve with the request that caused it:
+	// minted at the HTTP edge, carried onto fleet wire assignments, and
+	// stamped on every span the solve records — master- and worker-side
+	// alike. Like ModelFP it is metadata, not content: it does not
+	// participate in Fingerprint(), so identical solves coalesce and
+	// share cache entries regardless of which request triggered them.
+	TraceID string
 }
 
 // Validate performs structural checks against a model size.
@@ -204,9 +213,26 @@ type Evaluator interface {
 	EvaluateVector(s complex128, spec *SolveSpec) ([]complex128, error)
 }
 
-// SolverEvaluator adapts a passage.Solver to the Evaluator contract.
+// PhaseReporter is implemented by evaluators that can attribute their
+// last EvaluateVector call: how long the kernel fill took (zero when
+// memoised), how long the solve proper took, and the iteration depth
+// (transition depth r for iterative solves, Gauss–Seidel sweeps for
+// direct ones). Backends use it to build RunStats.Phases without
+// widening the Evaluator contract.
+type PhaseReporter interface {
+	LastPhases() (kernelFill, solve time.Duration, depth int)
+}
+
+// SolverEvaluator adapts a passage.Solver to the Evaluator contract
+// and instruments the hot path: per-point solve latency, kernel-fill
+// time and iteration depth land on obs.Default, so both the
+// in-process pool and fleet workers expose solver metrics.
 type SolverEvaluator struct {
 	sv *passage.Solver
+
+	lastFill  time.Duration
+	lastSolve time.Duration
+	lastDepth int
 }
 
 // NewSolverEvaluator builds an evaluator with its own solver workspace.
@@ -214,24 +240,46 @@ func NewSolverEvaluator(m *smp.Model, opts passage.Options) *SolverEvaluator {
 	return &SolverEvaluator{sv: passage.NewSolver(m, opts)}
 }
 
+// LastPhases implements PhaseReporter.
+func (e *SolverEvaluator) LastPhases() (kernelFill, solve time.Duration, depth int) {
+	return e.lastFill, e.lastSolve, e.lastDepth
+}
+
 // EvaluateVector implements Evaluator.
 func (e *SolverEvaluator) EvaluateVector(s complex128, spec *SolveSpec) ([]complex128, error) {
+	start := time.Now()
+	v, depth, err := e.evaluate(s, spec)
+	total := time.Since(start)
+	fill := e.sv.LastKernelFill()
+	e.lastFill, e.lastSolve, e.lastDepth = fill, total-fill, depth
+	if err == nil {
+		q := spec.Quantity.String()
+		solvePointDuration.With(q).Observe(total.Seconds())
+		if fill > 0 {
+			solveKernelFill.Observe(fill.Seconds())
+		}
+		solveDepth.With(q).Observe(float64(depth))
+	}
+	return v, err
+}
+
+func (e *SolverEvaluator) evaluate(s complex128, spec *SolveSpec) ([]complex128, int, error) {
 	switch spec.Quantity {
 	case PassageDensity:
-		v, _, err := e.sv.IterativeVectorLST(s, spec.Targets)
-		return v, err
+		return e.sv.IterativeVectorLST(s, spec.Targets)
 	case PassageCDF:
-		v, _, err := e.sv.IterativeVectorLST(s, spec.Targets)
+		v, depth, err := e.sv.IterativeVectorLST(s, spec.Targets)
 		if err != nil {
-			return nil, err
+			return nil, depth, err
 		}
 		for i := range v {
 			v[i] /= s
 		}
-		return v, nil
+		return v, depth, nil
 	case TransientDist:
-		return e.sv.TransientVectorLST(s, spec.Targets)
+		v, err := e.sv.TransientVectorLST(s, spec.Targets)
+		return v, e.sv.LastSweeps(), err
 	default:
-		return nil, fmt.Errorf("pipeline: unknown quantity %v", spec.Quantity)
+		return nil, 0, fmt.Errorf("pipeline: unknown quantity %v", spec.Quantity)
 	}
 }

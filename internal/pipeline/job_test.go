@@ -71,6 +71,15 @@ func TestFingerprintSensitivity(t *testing.T) {
 	if got := j.Fingerprint(); got != ref {
 		t.Errorf("changing sources changed the spec fingerprint %s -> %s; per-source traffic would stop sharing solves", ref, got)
 	}
+
+	// TraceID is correlation metadata, like ModelFP: two requests that
+	// trigger the identical solve must coalesce and share the cache
+	// entry no matter which request IDs they carry.
+	j = referenceJob()
+	j.TraceID = "req-00112233aabbccdd"
+	if got := j.Fingerprint(); got != ref {
+		t.Errorf("setting TraceID changed the spec fingerprint %s -> %s; traced requests would stop sharing solves", ref, got)
+	}
 }
 
 func TestValidate(t *testing.T) {

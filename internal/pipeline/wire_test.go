@@ -106,7 +106,12 @@ func TestFleetWireV3RoundTrip(t *testing.T) {
 			{Index: 12, Offset: 0, Total: 4, Data: []complex128{1e-3 + 2e-6i, 2}},
 			{Index: 12, Offset: 2, Total: 4, Data: []complex128{3, 4}},
 			{Index: 13, Err: "s-point diverged"},
-		}}, &resultFrameV3Msg{}},
+		}, PhaseNS: map[string]int64{"kernel_fill": 17, "solve": 12345}, TotalDepth: 99}, &resultFrameV3Msg{}},
+		{"runHeaderTraced", &runHeaderV3Msg{
+			Name:    "m-4a5c9d01beef2233:passage-cdf",
+			ModelFP: "m-4a5c9d01beef2233", ModelStates: 2061,
+			Quantity: PassageCDF, Targets: []int{17}, TraceID: "req-00c0ffee5eed1234",
+		}, &runHeaderV3Msg{}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -156,15 +161,21 @@ func TestFleetWireV3GoldenBytes(t *testing.T) {
 			Reject: "master speaks wire protocol v3 but worker \"node-7\" announced v2; deploy matching hydra binaries"},
 			"3fff910301010a77656c636f6d654d736701ff92000103010756657273696f6e010400010b4d6f64656c537461746573010400010652656a656374010c00000068ff9201060101015f6d617374657220737065616b7320776972652070726f746f636f6c2076332062757420776f726b657220226e6f64652d372220616e6e6f756e6365642076323b206465706c6f79206d61746368696e672068796472612062696e617269657300"},
 		{"runHeader", header,
-			"5bff950301010e72756e48656164657256334d736701ff9600010501044e616d65010c0001074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e7469747901040001075461726765747301ff8400000013ff83020101055b5d696e7401ff84000104000040ff96011e6d2d346135633964303162656566323233333a706173736167652d63646601126d2d3461356339643031626565663232333301fe101a010201012200"},
+			"67ff950301010e72756e48656164657256334d736701ff9600010601044e616d65010c0001074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e7469747901040001075461726765747301ff8400010754726163654944010c00000013ff83020101055b5d696e7401ff84000104000040ff96011e6d2d346135633964303162656566323233333a706173736167652d63646601126d2d3461356339643031626565663232333301fe101a010201012200"},
+		{"runHeaderTraced", &runHeaderV3Msg{
+			Name:    "m-4a5c9d01beef2233:passage-cdf",
+			ModelFP: "m-4a5c9d01beef2233", ModelStates: 2061,
+			Quantity: PassageCDF, Targets: []int{17}, TraceID: "req-00c0ffee5eed1234",
+		},
+			"67ff950301010e72756e48656164657256334d736701ff9600010601044e616d65010c0001074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e7469747901040001075461726765747301ff8400010754726163654944010c00000013ff83020101055b5d696e7401ff84000104000056ff96011e6d2d346135633964303162656566323233333a706173736167652d63646601126d2d3461356339643031626565663232333301fe101a010201012201147265712d3030633066666565356565643132333400"},
 		{"assignBatch", &assignBatchV3Msg{RunID: 3, Header: header, Forget: []int64{1, 2},
 			Indices: []int{12, 13}, Points: []complex128{complex(0.5, -3.25), complex(0.5, 4.75)}},
-			"62ff930301011061737369676e426174636856334d736701ff940001060104446f6e65010200010552756e4944010400010648656164657201ff96000106466f7267657401ff98000107496e646963657301ff84000106506f696e747301ff9a0000005bff950301010e72756e48656164657256334d736701ff9600010501044e616d65010c0001074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e7469747901040001075461726765747301ff8400000013ff83020101055b5d696e7401ff84000104000015ff97020101075b5d696e74363401ff9800010400001aff990201010c5b5d636f6d706c657831323801ff9a00010e00005aff94020601011e6d2d346135633964303162656566323233333a706173736167652d63646601126d2d3461356339643031626565663232333301fe101a010201012200010202040102181a0102fee03ffe0ac0fee03ffe134000"},
+			"62ff930301011061737369676e426174636856334d736701ff940001060104446f6e65010200010552756e4944010400010648656164657201ff96000106466f7267657401ff98000107496e646963657301ff84000106506f696e747301ff9a00000067ff950301010e72756e48656164657256334d736701ff9600010601044e616d65010c0001074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e7469747901040001075461726765747301ff8400010754726163654944010c00000013ff83020101055b5d696e7401ff84000104000015ff97020101075b5d696e74363401ff9800010400001aff990201010c5b5d636f6d706c657831323801ff9a00010e00005aff94020601011e6d2d346135633964303162656566323233333a706173736167652d63646601126d2d3461356339643031626565663232333301fe101a010201012200010202040102181a0102fee03ffe0ac0fee03ffe134000"},
 		{"resultFrames", &resultFrameV3Msg{RunID: 3, Last: true, Frames: []pointFrameV3{
 			{Index: 12, Offset: 2, Total: 4, Data: []complex128{1e-3 + 2e-6i, 2}},
 			{Index: 13, Err: "s-point diverged"},
-		}},
-			"3dff9b03010110726573756c744672616d6556334d736701ff9c000103010552756e494401040001044c61737401020001064672616d657301ffa000000026ff9f020101175b5d706970656c696e652e706f696e744672616d65563301ffa00001ff9e00004bff9d0301010c706f696e744672616d65563301ff9e0001050105496e64657801040001064f66667365740104000105546f74616c01040001044461746101ff9a000103457272010c0000001aff990201010c5b5d636f6d706c657831323801ff9a00010e00003bff9c0106010101020118010401080102f8fca9f1d24d62503ff88dedb5a0f7c6c03e400000011a0410732d706f696e742064697665726765640000"},
+		}, PhaseNS: map[string]int64{"solve": 12345}, TotalDepth: 99},
+			"59ff9b03010110726573756c744672616d6556334d736701ff9c000105010552756e494401040001044c61737401020001064672616d657301ffa000010750686173654e5301ffa200010a546f74616c4465707468010400000026ff9f020101175b5d706970656c696e652e706f696e744672616d65563301ffa00001ff9e00004bff9d0301010c706f696e744672616d65563301ff9e0001050105496e64657801040001064f66667365740104000105546f74616c01040001044461746101ff9a000103457272010c0000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000020ffa1040101106d61705b737472696e675d696e74363401ffa200010c0104000049ff9c0106010101020118010401080102f8fca9f1d24d62503ff88dedb5a0f7c6c03e400000011a0410732d706f696e7420646976657267656400010105736f6c7665fe607201ffc600"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -213,6 +224,76 @@ func TestFleetWireV1HelloDecodesAsV2(t *testing.T) {
 	}
 	if header.ModelStates != -1 {
 		t.Errorf("v1 worker would see ModelStates %d, want the -1 rejection sentinel", header.ModelStates)
+	}
+}
+
+// TestFleetWireTraceFieldsBackCompat pins the gob property the trace
+// and phase additions rely on to stay inside protocol v3: decoders
+// match struct fields by name and ignore the rest, so a pre-trace
+// binary reading a traced header (or phase-carrying result frames)
+// decodes everything it knows and drops the additions, while a traced
+// binary reading pre-trace messages sees zero values. Either mix of
+// binaries interoperates; only the correlation data is lost.
+func TestFleetWireTraceFieldsBackCompat(t *testing.T) {
+	// The legacy shapes, as compiled into pre-trace binaries. Local
+	// types are fine: gob matches by field name, not type identity.
+	type legacyRunHeader struct {
+		Name        string
+		ModelFP     string
+		ModelStates int
+		Quantity    Quantity
+		Targets     []int
+	}
+	type legacyResultFrame struct {
+		RunID  int64
+		Last   bool
+		Frames []pointFrameV3
+	}
+
+	// New master → old worker: the traced header decodes cleanly.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&runHeaderV3Msg{
+		Name: "m:cdf", ModelFP: "m", ModelStates: 3,
+		Quantity: PassageCDF, Targets: []int{2}, TraceID: "req-0011223344556677",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var oldHeader legacyRunHeader
+	if err := gob.NewDecoder(&buf).Decode(&oldHeader); err != nil {
+		t.Fatalf("pre-trace worker cannot decode a traced header: %v", err)
+	}
+	if oldHeader.Name != "m:cdf" || oldHeader.ModelFP != "m" || len(oldHeader.Targets) != 1 {
+		t.Errorf("header fields lost across the trace boundary: %+v", oldHeader)
+	}
+
+	// New worker → old master: phase-carrying frames decode cleanly.
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&resultFrameV3Msg{
+		RunID: 7, Last: true,
+		Frames:  []pointFrameV3{{Index: 1, Total: 2, Data: []complex128{1, 2}}},
+		PhaseNS: map[string]int64{"solve": 5}, TotalDepth: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var oldFrames legacyResultFrame
+	if err := gob.NewDecoder(&buf).Decode(&oldFrames); err != nil {
+		t.Fatalf("pre-phase master cannot decode phase-carrying frames: %v", err)
+	}
+	if oldFrames.RunID != 7 || !oldFrames.Last || len(oldFrames.Frames) != 1 {
+		t.Errorf("frame fields lost across the phase boundary: %+v", oldFrames)
+	}
+
+	// Old worker → new master: absent fields decode as zero values.
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&legacyResultFrame{RunID: 7, Last: true}); err != nil {
+		t.Fatal(err)
+	}
+	var newFrames resultFrameV3Msg
+	if err := gob.NewDecoder(&buf).Decode(&newFrames); err != nil {
+		t.Fatalf("traced master cannot decode pre-phase frames: %v", err)
+	}
+	if newFrames.PhaseNS != nil || newFrames.TotalDepth != 0 {
+		t.Errorf("absent phase fields decoded non-zero: %+v", newFrames)
 	}
 }
 

@@ -3,8 +3,11 @@ package pipeline
 import (
 	"encoding/gob"
 	"fmt"
+	"log/slog"
 	"net"
 	"time"
+
+	"hydra/internal/obs"
 )
 
 // WorkerOptions tunes the TCP worker.
@@ -18,6 +21,21 @@ type WorkerOptions struct {
 	// Masters reassemble any chunking, so this is purely a message-size
 	// policy; tests shrink it to exercise multi-frame vectors.
 	FrameValues int
+	// Logger receives the worker's structured log lines (handshake
+	// outcome, per-batch debug records carrying the master's trace ID).
+	// Nil discards them.
+	Logger *slog.Logger
+	// Tracer records worker-side spans, correlated with the master's by
+	// the trace ID travelling on run headers. Nil drops them.
+	Tracer *obs.Tracer
+}
+
+// logger returns the configured logger or a discarding one.
+func (o WorkerOptions) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // Work connects to a master, performs the handshake, and evaluates

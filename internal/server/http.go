@@ -1,14 +1,18 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"hydra"
+	"hydra/internal/obs"
 	"hydra/internal/pipeline"
 )
 
@@ -38,6 +42,9 @@ type Config struct {
 	// the hydra-serve "-backend fleet" mode. The server does not own the
 	// backend; callers close the fleet themselves on shutdown.
 	Backend hydra.Backend
+	// Logger receives structured access and lifecycle logs. Nil
+	// discards them (tests stay quiet; hydra-serve wires a real one).
+	Logger *slog.Logger
 }
 
 // Server is the hydra-serve service: registry + scheduler + result
@@ -48,6 +55,9 @@ type Server struct {
 	cache    *ResultCache
 	backend  hydra.Backend
 	started  time.Time
+	metrics  *serverMetrics
+	tracer   *obs.Tracer
+	logger   *slog.Logger
 }
 
 // New builds a Server from the config.
@@ -68,13 +78,24 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	metrics := newServerMetrics()
+	tracer := obs.NewTracer(4096)
+	s := &Server{
 		registry: NewRegistry(cfg.MaxModels),
-		sched:    NewScheduler(cache, cfg.Workers, cfg.MaxConcurrent, cfg.Backend),
+		sched:    NewScheduler(cache, cfg.Workers, cfg.MaxConcurrent, cfg.Backend, metrics, tracer),
 		cache:    cache,
 		backend:  cfg.Backend,
 		started:  time.Now(),
-	}, nil
+		metrics:  metrics,
+		tracer:   tracer,
+		logger:   logger,
+	}
+	metrics.registerComponentFuncs(s.registry, s.cache, s.uptimeSeconds)
+	return s, nil
 }
 
 // Close releases the disk checkpoint, if any.
@@ -86,24 +107,88 @@ func (s *Server) Registry() *Registry { return s.registry }
 // Scheduler exposes the job scheduler (for tests and embedding).
 func (s *Server) Scheduler() *Scheduler { return s.sched }
 
-// Handler returns the /v1 API handler.
+// Tracer exposes the server's span recorder (for tests and embedding).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Handler returns the /v1 API handler. Every route is wrapped in the
+// instrumentation middleware: request IDs, per-route metrics, access
+// logs. GET /metrics serves both the server's own registry and the
+// process-wide obs.Default (pipeline, fleet, solver families).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("POST /v1/models", s.handleAddModel)
-	mux.HandleFunc("GET /v1/models", s.handleListModels)
-	mux.HandleFunc("GET /v1/models/{id}", s.handleGetModel)
-	mux.HandleFunc("DELETE /v1/models/{id}", s.handleDeleteModel)
-	mux.HandleFunc("POST /v1/models/{id}/passage", s.handleCurve("passage"))
-	mux.HandleFunc("POST /v1/models/{id}/transient", s.handleCurve("transient"))
-	mux.HandleFunc("POST /v1/models/{id}/batch", s.handleBatch)
-	mux.HandleFunc("POST /v1/models/{id}/quantile", s.handleQuantile)
-	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	handle("GET /metrics", obs.Handler(s.metrics.reg, obs.Default).ServeHTTP)
+	handle("POST /v1/models", s.handleAddModel)
+	handle("GET /v1/models", s.handleListModels)
+	handle("GET /v1/models/{id}", s.handleGetModel)
+	handle("DELETE /v1/models/{id}", s.handleDeleteModel)
+	handle("POST /v1/models/{id}/passage", s.handleCurve("passage"))
+	handle("POST /v1/models/{id}/transient", s.handleCurve("transient"))
+	handle("POST /v1/models/{id}/batch", s.handleBatch)
+	handle("POST /v1/models/{id}/quantile", s.handleQuantile)
+	handle("GET /v1/jobs", s.handleListJobs)
+	handle("GET /v1/jobs/{id}", s.handleGetJob)
+	handle("GET /v1/stats", s.handleStats)
+	handle("GET /v1/traces/{id}", s.handleGetTrace)
 	return mux
+}
+
+// ctxKey keys context values private to this package.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// requestID returns the request ID minted (or accepted) by the
+// instrumentation middleware, or "" outside a request.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the HTTP observability edge: a
+// request ID (client-supplied X-Request-ID honoured, one minted
+// otherwise, always echoed back), per-route counters and latency
+// histograms, the in-flight gauge, and a structured access log line.
+// The request ID becomes the trace ID for everything the request
+// causes — scheduler spans, fleet run headers, worker-side spans.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, reqID))
+
+		s.metrics.httpInFlight.Inc()
+		defer s.metrics.httpInFlight.Dec()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start)
+
+		s.metrics.httpRequests.With(route, r.Method, strconv.Itoa(sw.code)).Inc()
+		s.metrics.httpDuration.With(route).Observe(elapsed.Seconds())
+		s.logger.Info("http request",
+			"request_id", reqID, "method", r.Method, "route", route,
+			"path", r.URL.Path, "status", sw.code, "duration", elapsed)
+	}
 }
 
 // apiError is the uniform error body.
@@ -258,7 +343,7 @@ func (s *Server) handleCurve(kind string) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, "cdf applies only to passage requests")
 			return
 		}
-		rec := s.sched.RunCurve(model, info.ID, jobKind, req.Sources, req.Targets, req.Times, req.Method, req.Workers)
+		rec := s.sched.RunCurve(model, info.ID, jobKind, req.Sources, req.Targets, req.Times, req.Method, req.Workers, requestID(r.Context()))
 		writeRecord(w, rec)
 	}
 }
@@ -303,7 +388,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		kind = "passage-cdf"
 	}
-	rec := s.sched.RunBatch(model, info.ID, kind, req.SourceSets, req.Targets, req.Times, req.Method, req.Workers)
+	rec := s.sched.RunBatch(model, info.ID, kind, req.SourceSets, req.Targets, req.Times, req.Method, req.Workers, requestID(r.Context()))
 	writeRecord(w, rec)
 }
 
@@ -328,7 +413,7 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	rec := s.sched.RunQuantile(model, info.ID, req.Sources, req.Targets, req.P, req.Hint, req.Method, req.Workers)
+	rec := s.sched.RunQuantile(model, info.ID, req.Sources, req.Targets, req.P, req.Hint, req.Method, req.Workers, requestID(r.Context()))
 	writeRecord(w, rec)
 }
 
@@ -371,7 +456,7 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		UptimeSeconds: s.uptimeSeconds(),
 		Registry:      s.registry.Stats(),
 		Cache:         s.cache.Stats(),
 		Scheduler:     s.sched.Stats(),
@@ -381,4 +466,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Fleet = &snap
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// uptimeSeconds is the single uptime source: the hydra_uptime_seconds
+// gauge func and the JSON stats field both call it.
+func (s *Server) uptimeSeconds() float64 { return time.Since(s.started).Seconds() }
+
+// handleGetTrace returns the recorded spans for one trace (request)
+// ID, merging the server's scheduler-side spans with the process-wide
+// tracer's pipeline and fleet spans.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := append(s.tracer.Trace(id), obs.DefaultTracer.Trace(id)...)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "no spans recorded for trace %q (the span ring may have wrapped)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trace_id": id, "spans": spans})
 }

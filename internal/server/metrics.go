@@ -1,0 +1,98 @@
+package server
+
+import (
+	"hydra/internal/obs"
+)
+
+// serverMetrics holds the per-Server instruments. Each Server carries
+// its own obs.Registry (many Servers share one test process), exposed
+// on GET /metrics alongside obs.Default's process-wide pipeline,
+// fleet and solver families. The scheduler's counters ARE these
+// instruments — SchedulerStats reads them back — so the JSON stats
+// view and the exposition can never disagree.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	// HTTP edge.
+	httpRequests *obs.CounterVec   // route, method, code
+	httpDuration *obs.HistogramVec // route
+	httpInFlight *obs.Gauge
+
+	// Scheduler.
+	jobsTotal      *obs.Counter
+	jobsRunning    *obs.Gauge
+	computations   *obs.Counter
+	computedPoints *obs.Counter
+	coalesced      *obs.Counter
+	cacheHitJobs   *obs.Counter
+	jobDuration    *obs.HistogramVec // kind
+	slotsInUse     *obs.Gauge
+	maxConcurrent  *obs.Gauge
+}
+
+// newServerMetrics builds the instrument set on a fresh registry.
+func newServerMetrics() *serverMetrics {
+	r := obs.NewRegistry()
+	return &serverMetrics{
+		reg: r,
+		httpRequests: r.NewCounterVec("hydra_http_requests_total",
+			"HTTP requests served, by route pattern, method and status code.", "route", "method", "code"),
+		httpDuration: r.NewHistogramVec("hydra_http_request_duration_seconds",
+			"HTTP request latency, by route pattern.", obs.DefBuckets, "route"),
+		httpInFlight: r.NewGauge("hydra_http_in_flight_requests",
+			"HTTP requests currently being served."),
+		jobsTotal: r.NewCounter("hydra_scheduler_jobs_total",
+			"Job records created."),
+		jobsRunning: r.NewGauge("hydra_scheduler_jobs_running",
+			"Jobs currently executing or waiting for a computation slot."),
+		computations: r.NewCounter("hydra_scheduler_computations_total",
+			"Pipeline solves actually executed (after coalescing)."),
+		computedPoints: r.NewCounter("hydra_scheduler_computed_points_total",
+			"s-points evaluated across all solves."),
+		coalesced: r.NewCounter("hydra_scheduler_coalesced_total",
+			"Requests served by piggybacking on an in-flight identical solve."),
+		cacheHitJobs: r.NewCounter("hydra_scheduler_cache_hit_jobs_total",
+			"Solves answered entirely from the result cache."),
+		jobDuration: r.NewHistogramVec("hydra_scheduler_job_duration_seconds",
+			"Job wall time from record creation to completion, by kind.", obs.DefBuckets, "kind"),
+		slotsInUse: r.NewGauge("hydra_scheduler_slots_in_use",
+			"Computation slots currently held."),
+		maxConcurrent: r.NewGauge("hydra_scheduler_max_concurrent",
+			"Computation slot bound."),
+	}
+}
+
+// registerComponentFuncs wires the registry, cache and uptime readouts
+// as callback instruments: exposition reads the same mutex-guarded
+// cells the JSON stats endpoints read, so neither view can drift.
+func (m *serverMetrics) registerComponentFuncs(registry *Registry, cache *ResultCache, uptime func() float64) {
+	m.reg.NewGaugeFunc("hydra_uptime_seconds",
+		"Seconds since the server started.", uptime)
+	m.reg.NewGaugeFunc("hydra_registry_models_resident",
+		"Explored models resident in the registry.",
+		func() float64 { return float64(registry.Stats().Resident) })
+	m.reg.NewCounterFunc("hydra_registry_loads_total",
+		"Model explorations performed.",
+		func() float64 { return float64(registry.Stats().Loads) })
+	m.reg.NewCounterFunc("hydra_registry_dedups_total",
+		"Uploads answered by an already-resident model.",
+		func() float64 { return float64(registry.Stats().Dedups) })
+	m.reg.NewCounterFunc("hydra_registry_evictions_total",
+		"Models evicted from the registry LRU.",
+		func() float64 { return float64(registry.Stats().Evictions) })
+	m.reg.NewGaugeFunc("hydra_cache_jobs_resident",
+		"Spec fingerprints resident in the memory result cache.",
+		func() float64 { return float64(cache.Stats().Jobs) })
+	m.reg.NewGaugeFunc("hydra_cache_values_resident",
+		"Complex values resident in the memory result cache.",
+		func() float64 { return float64(cache.Stats().Values) })
+	m.reg.NewCounterFunc("hydra_cache_point_hits_total",
+		"s-points served from the memory cache.",
+		func() float64 { return float64(cache.Stats().PointHits) })
+	m.reg.NewCounterFunc("hydra_cache_point_misses_total",
+		"s-points requested but absent from the memory cache.",
+		func() float64 { return float64(cache.Stats().PointMiss) })
+	m.reg.NewCounterFunc("hydra_cache_evictions_total",
+		"Specs evicted from the memory cache.",
+		func() float64 { return float64(cache.Stats().Evictions) })
+}

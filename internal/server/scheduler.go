@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"hydra"
+	"hydra/internal/obs"
+	"hydra/internal/pipeline"
 )
 
 // Job lifecycle states.
@@ -29,6 +31,10 @@ type RunStatsJSON struct {
 	// PerWorker maps worker name → points evaluated for fleet-backed
 	// runs (absent for the anonymous in-process pool).
 	PerWorker map[string]int `json:"per_worker,omitempty"`
+	// Phases attributes solve time to pipeline phases (kernel_fill,
+	// solve, invert), in seconds. Phase time is summed across workers,
+	// so it can exceed wall time.
+	Phases map[string]float64 `json:"phases_seconds,omitempty"`
 }
 
 func statsJSON(s *hydra.RunStats) *RunStatsJSON {
@@ -46,7 +52,24 @@ func statsJSON(s *hydra.RunStats) *RunStatsJSON {
 			out.PerWorker[name] = s.PerWorker[i]
 		}
 	}
+	for name, d := range s.Phases {
+		out.addPhase(name, d)
+	}
 	return out
+}
+
+// addPhase adds phase time to the JSON view. The pipeline's RunStats
+// may be shared with coalesced callers, so read-side phases (inversion
+// happens per caller, not per solve) accumulate here instead of
+// mutating the shared stats.
+func (r *RunStatsJSON) addPhase(name string, d time.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	if r.Phases == nil {
+		r.Phases = make(map[string]float64, 3)
+	}
+	r.Phases[name] += d.Seconds()
 }
 
 // JobResult is the payload of a completed job.
@@ -61,6 +84,7 @@ type JobResult struct {
 // JobRecord is one request's lifecycle, retained for GET /v1/jobs/{id}.
 type JobRecord struct {
 	ID          string     `json:"id"`
+	RequestID   string     `json:"request_id,omitempty"` // HTTP edge request ID; also the job's trace ID
 	ModelID     string     `json:"model_id"`
 	Kind        string     `json:"kind"` // passage | passage-cdf | transient | quantile | batch-*
 	Fingerprint string     `json:"fingerprint"`
@@ -120,12 +144,11 @@ type Scheduler struct {
 	maxJobs  int      // retained records
 	seq      int64
 
-	jobsTotal      int64
-	running        int
-	computations   int64
-	computedPoints int64
-	coalesced      int64
-	cacheHits      int64
+	// metrics holds the scheduler's counters. There is no shadow set of
+	// ints: SchedulerStats reads these same instruments back, so the
+	// JSON stats view and /metrics cannot disagree.
+	metrics *serverMetrics
+	tracer  *obs.Tracer
 }
 
 // NewScheduler builds a scheduler. workers is the per-computation pool
@@ -133,13 +156,20 @@ type Scheduler struct {
 // must not be nil. backend overrides where computations execute: nil
 // selects a per-computation in-process pool; a *pipeline.Fleet executes
 // every solve on the resident TCP worker fleet instead.
-func NewScheduler(cache *ResultCache, workers, maxConcurrent int, backend hydra.Backend) *Scheduler {
+// metrics and tracer carry the owning Server's instruments and span
+// recorder; nil values get private replacements so a bare Scheduler
+// still works in tests and embeddings.
+func NewScheduler(cache *ResultCache, workers, maxConcurrent int, backend hydra.Backend, metrics *serverMetrics, tracer *obs.Tracer) *Scheduler {
 	if workers < 1 {
 		workers = 1
 	}
 	if maxConcurrent < 1 {
 		maxConcurrent = 1
 	}
+	if metrics == nil {
+		metrics = newServerMetrics()
+	}
+	metrics.maxConcurrent.Set(float64(maxConcurrent))
 	return &Scheduler{
 		cache:    cache,
 		workers:  workers,
@@ -148,18 +178,21 @@ func NewScheduler(cache *ResultCache, workers, maxConcurrent int, backend hydra.
 		inflight: make(map[string]*flight),
 		jobs:     make(map[string]*JobRecord),
 		maxJobs:  1024,
+		metrics:  metrics,
+		tracer:   tracer,
 	}
 }
 
 // newRecord registers a running job record and returns its snapshot ID.
-func (s *Scheduler) newRecord(modelID, kind, fingerprint string) *JobRecord {
+func (s *Scheduler) newRecord(modelID, kind, fingerprint, reqID string) *JobRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
-	s.jobsTotal++
-	s.running++
+	s.metrics.jobsTotal.Inc()
+	s.metrics.jobsRunning.Inc()
 	rec := &JobRecord{
 		ID:          fmt.Sprintf("job-%d", s.seq),
+		RequestID:   reqID,
 		ModelID:     modelID,
 		Kind:        kind,
 		Fingerprint: fingerprint,
@@ -192,10 +225,10 @@ const (
 	ErrExecution      = "execution"
 )
 
-// finish marks a record completed under the lock.
+// finish marks a record completed under the lock, observes its wall
+// time and records the job's scheduler-side span.
 func (s *Scheduler) finish(rec *JobRecord, result *JobResult, coalesced, cacheHit bool, err error, errKind string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := time.Now()
 	rec.Finished = &now
 	rec.Coalesced = coalesced
@@ -208,7 +241,16 @@ func (s *Scheduler) finish(rec *JobRecord, result *JobResult, coalesced, cacheHi
 		rec.Status = StatusDone
 		rec.Result = result
 	}
-	s.running--
+	s.metrics.jobsRunning.Dec()
+	s.metrics.jobDuration.With(rec.Kind).Observe(now.Sub(rec.Created).Seconds())
+	s.mu.Unlock()
+	s.tracer.Record(obs.Span{
+		TraceID: rec.RequestID, Name: "sched.job",
+		Start: rec.Created, Duration: now.Sub(rec.Created),
+		Attrs: map[string]string{
+			"job": rec.ID, "kind": rec.Kind, "model": rec.ModelID, "status": rec.Status,
+		},
+	})
 }
 
 // runShared is the coalescing core: the first caller for a fingerprint
@@ -226,7 +268,7 @@ func (s *Scheduler) finish(rec *JobRecord, result *JobResult, coalesced, cacheHi
 func (s *Scheduler) runShared(fp string, stats func(any) *hydra.RunStats, compute func() (any, error)) (any, bool, error) {
 	s.mu.Lock()
 	if f, ok := s.inflight[fp]; ok {
-		s.coalesced++
+		s.metrics.coalesced.Inc()
 		s.mu.Unlock()
 		<-f.done
 		return f.val, true, f.err
@@ -237,7 +279,8 @@ func (s *Scheduler) runShared(fp string, stats func(any) *hydra.RunStats, comput
 
 	val, err := func() (val any, err error) {
 		s.slots <- struct{}{}
-		defer func() { <-s.slots }()
+		s.metrics.slotsInUse.Inc()
+		defer func() { s.metrics.slotsInUse.Dec(); <-s.slots }()
 		defer func() {
 			if r := recover(); r != nil {
 				val, err = nil, fmt.Errorf("computation panicked: %v", r)
@@ -248,12 +291,12 @@ func (s *Scheduler) runShared(fp string, stats func(any) *hydra.RunStats, comput
 
 	s.mu.Lock()
 	delete(s.inflight, fp)
-	s.computations++
+	s.metrics.computations.Inc()
 	if err == nil {
 		if rs := stats(val); rs != nil {
-			s.computedPoints += int64(rs.Evaluated)
+			s.metrics.computedPoints.Add(float64(rs.Evaluated))
 			if rs.Evaluated == 0 {
-				s.cacheHits++
+				s.metrics.cacheHitJobs.Inc()
 			}
 		}
 	}
@@ -295,17 +338,20 @@ func (s *Scheduler) jobOptions(method string, workers int) *hydra.Options {
 // "passage-cdf" or "transient". The solve coalesces and caches on the
 // source-free spec, so concurrent requests that differ only in sources
 // share one computation and this caller reads its own curve out of the
-// shared vectors.
-func (s *Scheduler) RunCurve(m *hydra.Model, modelID, kind string, sources, targets []int, times []float64, method string, workers int) *JobRecord {
+// shared vectors. reqID is the HTTP edge's request ID; it travels on
+// the spec as the trace ID (coalesced followers inherit the computing
+// request's ID on the wire).
+func (s *Scheduler) RunCurve(m *hydra.Model, modelID, kind string, sources, targets []int, times []float64, method string, workers int, reqID string) *JobRecord {
 	opts := s.jobOptions(method, workers)
 	job, err := buildJob(m, modelID, kind, sources, targets, times, opts)
 	if err != nil {
-		rec := s.newRecord(modelID, kind, "")
+		rec := s.newRecord(modelID, kind, "", reqID)
 		s.finish(rec, nil, false, false, err, ErrInvalidRequest)
 		return rec
 	}
+	job.TraceID = reqID
 	fp := job.Spec().Fingerprint()
-	rec := s.newRecord(modelID, kind, fp)
+	rec := s.newRecord(modelID, kind, fp, reqID)
 	vr, coalesced, err := s.runSharedSolve(fp, func() (*hydra.VectorRun, error) {
 		return m.RunSpec(job.Spec(), s.cache.Pipeline(), opts)
 	})
@@ -313,10 +359,12 @@ func (s *Scheduler) RunCurve(m *hydra.Model, modelID, kind string, sources, targ
 	cacheHit := false
 	if err == nil {
 		var res *hydra.Result
+		invertStart := time.Now()
 		res, err = hydra.ReadRun(vr, job.Sources, job.Weights, times, opts)
 		if err == nil {
 			cacheHit = !coalesced && vr.Stats != nil && vr.Stats.Evaluated == 0
 			payload = &JobResult{Times: res.Times, Values: res.Values, Stats: statsJSON(res.Stats)}
+			payload.Stats.addPhase(pipeline.PhaseInvert, time.Since(invertStart))
 		}
 	}
 	s.finish(rec, payload, coalesced, cacheHit, err, ErrExecution)
@@ -327,11 +375,11 @@ func (s *Scheduler) RunCurve(m *hydra.Model, modelID, kind string, sources, targ
 // query from a single solve: the defining workload of the vector
 // engine. kind is as for RunCurve; the record's result carries one
 // curve per source set, index-aligned with sourceSets.
-func (s *Scheduler) RunBatch(m *hydra.Model, modelID, kind string, sourceSets [][]int, targets []int, times []float64, method string, workers int) *JobRecord {
+func (s *Scheduler) RunBatch(m *hydra.Model, modelID, kind string, sourceSets [][]int, targets []int, times []float64, method string, workers int, reqID string) *JobRecord {
 	opts := s.jobOptions(method, workers)
 	recKind := "batch-" + kind
 	invalid := func(err error) *JobRecord {
-		rec := s.newRecord(modelID, recKind, "")
+		rec := s.newRecord(modelID, recKind, "", reqID)
 		s.finish(rec, nil, false, false, err, ErrInvalidRequest)
 		return rec
 	}
@@ -357,8 +405,9 @@ func (s *Scheduler) RunBatch(m *hydra.Model, modelID, kind string, sourceSets []
 		ws[i] = weighting{states: states, weights: weights}
 	}
 
+	spec.TraceID = reqID
 	fp := spec.Fingerprint()
-	rec := s.newRecord(modelID, recKind, fp)
+	rec := s.newRecord(modelID, recKind, fp, reqID)
 	vr, coalesced, err := s.runSharedSolve(fp, func() (*hydra.VectorRun, error) {
 		return m.RunSpec(spec, s.cache.Pipeline(), opts)
 	})
@@ -366,6 +415,7 @@ func (s *Scheduler) RunBatch(m *hydra.Model, modelID, kind string, sourceSets []
 	cacheHit := false
 	if err == nil {
 		curves := make([][]float64, len(ws))
+		invertStart := time.Now()
 		for i, w := range ws {
 			var res *hydra.Result
 			res, err = hydra.ReadRun(vr, w.states, w.weights, times, opts)
@@ -378,6 +428,7 @@ func (s *Scheduler) RunBatch(m *hydra.Model, modelID, kind string, sourceSets []
 		if err == nil {
 			cacheHit = !coalesced && vr.Stats != nil && vr.Stats.Evaluated == 0
 			payload = &JobResult{Times: times, Curves: curves, Stats: statsJSON(vr.Stats)}
+			payload.Stats.addPhase(pipeline.PhaseInvert, time.Since(invertStart))
 		}
 	}
 	s.finish(rec, payload, coalesced, cacheHit, err, ErrExecution)
@@ -424,13 +475,13 @@ func buildJob(m *hydra.Model, modelID, kind string, sources, targets []int, time
 // through the spec-keyed result cache, so a repeated quantile query
 // costs nothing; the search itself coalesces under a synthetic
 // fingerprint covering every input.
-func (s *Scheduler) RunQuantile(m *hydra.Model, modelID string, sources, targets []int, p, hint float64, method string, workers int) *JobRecord {
+func (s *Scheduler) RunQuantile(m *hydra.Model, modelID string, sources, targets []int, p, hint float64, method string, workers int, reqID string) *JobRecord {
 	if hint == 0 {
 		hint = 1 // omitted; negative hints are rejected below
 	}
 	opts := s.jobOptions(method, workers)
 	fp := quantileFingerprint(modelID, sources, targets, p, hint, method)
-	rec := s.newRecord(modelID, "quantile", fp)
+	rec := s.newRecord(modelID, "quantile", fp, reqID)
 
 	// Reject malformed requests before entering the shared flight, so a
 	// validation failure is a 400 and never occupies a computation slot.
@@ -469,6 +520,7 @@ func (s *Scheduler) RunQuantile(m *hydra.Model, modelID string, sources, targets
 				if err != nil {
 					return 0, err
 				}
+				spec.TraceID = reqID
 				vr, err := m.RunSpec(spec, s.cache.Pipeline(), opts)
 				if err != nil {
 					return 0, err
@@ -541,14 +593,17 @@ func (s *Scheduler) Jobs() []JobRecord {
 	return out
 }
 
-// Stats returns a snapshot of the scheduler counters.
+// Stats returns a snapshot of the scheduler counters, read from the
+// same obs instruments GET /metrics exposes.
 func (s *Scheduler) Stats() SchedulerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m := s.metrics
 	return SchedulerStats{
-		JobsTotal: s.jobsTotal, Running: s.running,
-		Computations: s.computations, ComputedPoints: s.computedPoints,
-		Coalesced: s.coalesced, CacheHits: s.cacheHits,
-		MaxConcurrent: cap(s.slots),
+		JobsTotal:      int64(m.jobsTotal.Value()),
+		Running:        int(m.jobsRunning.Value()),
+		Computations:   int64(m.computations.Value()),
+		ComputedPoints: int64(m.computedPoints.Value()),
+		Coalesced:      int64(m.coalesced.Value()),
+		CacheHits:      int64(m.cacheHitJobs.Value()),
+		MaxConcurrent:  cap(s.slots),
 	}
 }
