@@ -299,8 +299,27 @@ func QuantileSearch(p, hint float64, cdfAt func(float64) (float64, error)) (floa
 	if !(hint > 0) {
 		return 0, fmt.Errorf("hydra: quantile hint must be positive")
 	}
+	// Numerical inversion of a CDF can return small negative noise near
+	// t = 0 (clamped — it is still a usable "below p" answer) or, when
+	// the transform evaluation breaks down, NaN/Inf. A non-finite value
+	// must fail the search loudly: NaN compares false against p, which
+	// the bracketing loop would silently read as F(t) >= p and converge
+	// to a meaningless quantile.
+	at := func(t float64) (float64, error) {
+		f, err := cdfAt(t)
+		if err != nil {
+			return 0, err
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, fmt.Errorf("hydra: CDF evaluation at t=%v returned non-finite value %v", t, f)
+		}
+		if f < 0 {
+			f = 0
+		}
+		return f, nil
+	}
 	lo, hi := 0.0, hint
-	fhi, err := cdfAt(hi)
+	fhi, err := at(hi)
 	if err != nil {
 		return 0, err
 	}
@@ -310,13 +329,13 @@ func QuantileSearch(p, hint float64, cdfAt func(float64) (float64, error)) (floa
 		}
 		lo = hi
 		hi *= 2
-		if fhi, err = cdfAt(hi); err != nil {
+		if fhi, err = at(hi); err != nil {
 			return 0, err
 		}
 	}
 	for i := 0; i < 48 && hi-lo > 1e-4*hi; i++ {
 		mid := (lo + hi) / 2
-		fm, err := cdfAt(mid)
+		fm, err := at(mid)
 		if err != nil {
 			return 0, err
 		}

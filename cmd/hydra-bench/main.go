@@ -14,6 +14,9 @@
 //	obs      instrumentation overhead: the vector solve with the
 //	         observability instruments enabled vs disabled; -json
 //	         writes the datapoint for trend tracking
+//	resident prepared-model reuse: per-point latency of one warm,
+//	         contour-ordered evaluator vs a fresh evaluator per
+//	         s-point; -json writes the trajectory for trend tracking
 //	fig4     voter passage density, analytic vs simulation
 //	fig5     passage CDF and the 98.58% response-time quantile
 //	fig6     failure-mode passage density, analytic vs simulation
@@ -27,6 +30,7 @@
 //	hydra-bench -exp table2 -full   (uses the paper's system 1 workload)
 //	hydra-bench -exp fleet -json BENCH_fleet.json
 //	hydra-bench -exp vector -json BENCH_vector.json
+//	hydra-bench -exp resident -json BENCH_resident.json
 package main
 
 import (
@@ -43,10 +47,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fleet|vector|obs|fig4|fig5|fig6|fig7|ablations|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fleet|vector|obs|resident|fig4|fig5|fig6|fig7|ablations|all")
 		full     = flag.Bool("full", false, "paper-scale workloads (slower)")
 		reps     = flag.Int("reps", 0, "simulation replications override")
-		jsonPath = flag.String("json", "", "also write the experiment's rows as JSON to this file (fleet, vector)")
+		jsonPath = flag.String("json", "", "also write the experiment's rows as JSON to this file (fleet, vector, obs, resident)")
 	)
 	flag.Parse()
 
@@ -67,6 +71,7 @@ func main() {
 	run("fleet", func() error { return fleetScaling(*full, *jsonPath) })
 	run("vector", func() error { return vectorScaling(*full, *jsonPath) })
 	run("obs", func() error { return obsOverhead(*full, *jsonPath) })
+	run("resident", func() error { return residentReuse(*full, *jsonPath) })
 	run("fig4", func() error { return fig4(*full, *reps) })
 	run("fig5", func() error { return fig5(*full) })
 	run("fig6", func() error { return fig6(*reps) })
@@ -205,6 +210,54 @@ func obsOverhead(full bool, jsonPath string) error {
 	}{
 		Experiment: "obs-overhead", GeneratedAt: time.Now().UTC(),
 		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), Result: res,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(b, '\n'), 0o644)
+}
+
+// residentReuse measures the per-point latency trajectory of a
+// prepared, warm-starting evaluator against per-point rebuilds on the
+// same contour - the resident column dropping below the rebuild column
+// after each contour block's first point is the prepared-model cache's
+// acceptance property - and optionally records it as JSON for trend
+// tracking in CI.
+func residentReuse(full bool, jsonPath string) error {
+	cfg := experiments.ResidentConfig{}
+	if full {
+		cfg = experiments.ResidentConfig{CC: 30, MM: 10, NN: 3, TPoints: 3}
+	}
+	rows, err := experiments.ResidentReuse(cfg)
+	if err != nil {
+		return err
+	}
+	var rebuild, resident float64
+	warm, saved := 0, 0
+	for _, r := range rows {
+		rebuild += r.RebuildMicros
+		resident += r.ResidentMicros
+		if r.Warm {
+			warm++
+			saved += r.SweepsSaved
+		}
+	}
+	fmt.Println("points,rebuild_seconds,resident_seconds,speedup,warm_starts,sweeps_saved")
+	fmt.Printf("%d,%.4f,%.4f,%.2f,%d,%d\n",
+		len(rows), rebuild/1e6, resident/1e6, rebuild/resident, warm, saved)
+	if jsonPath == "" {
+		return nil
+	}
+	doc := struct {
+		Experiment  string                    `json:"experiment"`
+		GeneratedAt time.Time                 `json:"generated_at"`
+		NumCPU      int                       `json:"num_cpu"`
+		GoVersion   string                    `json:"go_version"`
+		Rows        []experiments.ResidentRow `json:"rows"`
+	}{
+		Experiment: "resident-reuse", GeneratedAt: time.Now().UTC(),
+		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), Rows: rows,
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

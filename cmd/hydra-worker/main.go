@@ -46,6 +46,7 @@ func main() {
 		backoffMax = flag.Duration("backoff-max", 30*time.Second, "upper bound on the reconnect backoff")
 		debugAddr  = flag.String("pprof", "", "serve /metrics and /debug/pprof/ on this address (e.g. :9442); empty disables")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		warm       = flag.Bool("warm", true, "warm-start iterative solves from the previous s-point of a contour batch")
 	)
 	flag.Parse()
 	if *master == "" {
@@ -80,10 +81,12 @@ func main() {
 		"master", *master, "wire_version", pipeline.ProtocolVersion, "reconnect", *reconnect)
 
 	wopts := hydra.WorkerOptions{Name: *name, Logger: logger, Tracer: obs.DefaultTracer}
+	opts := &hydra.Options{}
+	opts.Solver.WarmStart = *warm
 	backoff := time.Second
 	for {
 		start := time.Now()
-		err := model.RunWorkerWith(*master, wopts, nil)
+		err := model.RunWorkerWith(*master, wopts, opts)
 		// A session that lasted a while was healthy; restart the backoff
 		// so a mid-job blip redials promptly.
 		if time.Since(start) > time.Minute {

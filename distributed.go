@@ -133,6 +133,13 @@ func (m *Model) newSpec(name string, q pipeline.Quantity, targets []int, times [
 		ModelFP:     m.fingerprint,
 		ModelStates: m.NumStates(),
 	}
+	// Contour geometry hint for segment scheduling: inverters whose
+	// contours group s-points into per-t blocks (Euler, Talbot) report
+	// the block period, so backends keep warm-start segments inside one
+	// block. Laguerre's single shared contour has no period — hint 0.
+	if pp, ok := inv.(interface{ PointsPerT() int }); ok {
+		spec.SegmentHint = pp.PointsPerT()
+	}
 	if err := spec.Validate(m.NumStates()); err != nil {
 		return nil, err
 	}

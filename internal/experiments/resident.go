@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hydra"
+	"hydra/internal/pipeline"
+)
+
+// ResidentConfig sizes the prepared-model datapoint: one passage-density
+// contour walked twice — once the pre-resident way (a fresh evaluator
+// per s-point, rebuilding structure analysis and solve buffers every
+// time), once as a resident worker does it (one prepared evaluator with
+// warm starts, walking the contour in order). The per-point latency
+// trajectory is the acceptance artefact: the resident column should sit
+// below the rebuild column from the second point of each contour block
+// onward, where the prepared cache and the neighbouring-s seed pay off.
+type ResidentConfig struct {
+	// CC/MM/NN size the voting system (default 18,6,3 — Table 1
+	// system 0, 2061 states, CI-friendly).
+	CC, MM, NN int
+	// TPoints is the number of density evaluation times (default 2, for
+	// 66 s-points with the default Euler inverter).
+	TPoints int
+}
+
+func (c ResidentConfig) withDefaults() ResidentConfig {
+	if c.CC == 0 {
+		c.CC, c.MM, c.NN = 18, 6, 3
+	}
+	if c.TPoints == 0 {
+		c.TPoints = 2
+	}
+	return c
+}
+
+// ResidentRow is one s-point of the contour, measured both ways.
+type ResidentRow struct {
+	Index          int     `json:"index"`
+	RebuildMicros  float64 `json:"rebuild_micros"`  // fresh evaluator per point
+	ResidentMicros float64 `json:"resident_micros"` // prepared evaluator, warm starts
+	Warm           bool    `json:"warm"`            // resident solve seeded from its neighbour
+	SweepsSaved    int     `json:"sweeps_saved"`    // estimated sweeps the seed avoided
+}
+
+// ResidentReuse measures the per-point latency trajectory of a
+// prepared, warm-starting evaluator against per-point rebuilds on the
+// same contour, and verifies both arms agree on every vector.
+func ResidentReuse(cfg ResidentConfig) ([]ResidentRow, error) {
+	cfg = cfg.withDefaults()
+	m, err := hydra.VotingConfig(cfg.CC, cfg.MM, cfg.NN)
+	if err != nil {
+		return nil, err
+	}
+	p2 := m.PlaceIndex("p2")
+	if p2 < 0 {
+		return nil, fmt.Errorf("experiments: voting model has no place p2")
+	}
+	cc := int32(cfg.CC)
+	targets := m.States(func(mk hydra.Marking) bool { return mk[p2] >= cc })
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("experiments: no all-voted states")
+	}
+	ts := make([]float64, cfg.TPoints)
+	for i := range ts {
+		ts[i] = float64(cfg.CC) * (0.5 + 2.5*float64(i+1)/float64(len(ts)+1))
+	}
+
+	coldOpts := &hydra.Options{Workers: 1}
+	warmOpts := &hydra.Options{Workers: 1}
+	warmOpts.Solver.WarmStart = true
+
+	spec, err := m.NewPassageSpec("resident-reuse", targets, ts, false, coldOpts)
+	if err != nil {
+		return nil, err
+	}
+	coldPool, ok := m.PrepareBackend(coldOpts).(*pipeline.InProc)
+	if !ok {
+		return nil, fmt.Errorf("experiments: expected the in-process backend")
+	}
+	warmPool, ok := m.PrepareBackend(warmOpts).(*pipeline.InProc)
+	if !ok {
+		return nil, fmt.Errorf("experiments: expected the in-process backend")
+	}
+
+	// Resident arm first: one evaluator for the whole contour, in order.
+	resident := warmPool.NewEvaluator()
+	warmer, _ := resident.(pipeline.WarmReporter)
+	rows := make([]ResidentRow, len(spec.Points))
+	warmVecs := make([][]complex128, len(spec.Points))
+	for idx, s := range spec.Points {
+		start := time.Now()
+		vec, err := resident.EvaluateVector(s, spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: resident point %d: %w", idx, err)
+		}
+		rows[idx] = ResidentRow{
+			Index:          idx,
+			ResidentMicros: float64(time.Since(start).Microseconds()),
+		}
+		if warmer != nil {
+			rows[idx].Warm, rows[idx].SweepsSaved = warmer.LastWarmStart()
+		}
+		warmVecs[idx] = vec
+	}
+
+	// Rebuild arm: a brand-new evaluator per point, the cost shape of a
+	// worker that holds nothing between assignments.
+	for idx, s := range spec.Points {
+		start := time.Now()
+		eval := coldPool.NewEvaluator()
+		vec, err := eval.EvaluateVector(s, spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: rebuild point %d: %w", idx, err)
+		}
+		rows[idx].RebuildMicros = float64(time.Since(start).Microseconds())
+		for i := range vec {
+			if d := vec[i] - warmVecs[idx][i]; real(d)*real(d)+imag(d)*imag(d) > 1e-12 {
+				return nil, fmt.Errorf("experiments: point %d state %d: resident %v vs rebuild %v",
+					idx, i, warmVecs[idx][i], vec[i])
+			}
+		}
+	}
+	return rows, nil
+}

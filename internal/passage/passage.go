@@ -72,6 +72,17 @@ type Options struct {
 	// cores; for small models the per-iteration synchronisation
 	// dominates.
 	IntraPointWorkers int
+	// WarmStart lets consecutive solves that share a target set seed
+	// each Gauss–Seidel iteration from the previous s-point's solution
+	// vector. On the smooth contour segments the inverters in package lt
+	// produce, neighbouring s-points have nearby solutions, so the warm
+	// iterate cuts sweep counts; correctness is unchanged because
+	// Gauss–Seidel converges to the same fixed point from any start.
+	// Off by default: warm-started answers agree with cold ones only to
+	// solver tolerance, and callers that pin bit-exact reproducibility
+	// across runs (or scatter non-adjacent s-points over one solver)
+	// should leave it off.
+	WarmStart bool
 }
 
 func (o Options) withDefaults() Options {
@@ -108,12 +119,27 @@ type Solver struct {
 	filled  bool
 	par     *partition.ParallelProduct
 
+	// Prepared per-target-set state (structure analysis, warm-start
+	// iterates) plus reusable solve workspaces, built once per spec and
+	// reused across every s-point of a contour segment. cur tracks the
+	// prepared entry matching the current target flags.
+	preps map[string]*prepared
+	cur   *prepared
+	lsts  []complex128 // interned-distribution LST table at filledS
+	soj   []complex128 // sojourn LSTs workspace (transient)
+	dirB  []complex128 // Eq. (2)/(3) right-hand side workspace
+	diag  []complex128 // kernel diagonal workspace
+	blkB  []complex128 // block multi-RHS right-hand side workspace
+	blkS  []complex128 // block per-row accumulator workspace
+
 	// Phase instrumentation for the last call, read by the pipeline's
 	// observability layer. lastFill is zero when the kernel was
 	// memoised; lastSweeps counts Gauss–Seidel sweeps of the last
 	// direct/block solve.
 	lastFill   time.Duration
 	lastSweeps int
+	lastWarm   bool
+	lastSaved  int
 }
 
 // LastKernelFill returns the time the last solve spent assembling
@@ -124,6 +150,12 @@ func (sv *Solver) LastKernelFill() time.Duration { return sv.lastFill }
 // or block solve (zero for iterative solves, whose depth is returned
 // directly).
 func (sv *Solver) LastSweeps() int { return sv.lastSweeps }
+
+// LastWarmStart reports whether the last solve was seeded from a
+// neighbouring s-point's solution, and an estimate of the sweeps that
+// saved relative to the segment's cold baseline (the depth of the last
+// cold solve over the same target set).
+func (sv *Solver) LastWarmStart() (bool, int) { return sv.lastWarm, sv.lastSaved }
 
 // NewSolver returns a solver for the model.
 func NewSolver(m *smp.Model, opts Options) *Solver {
@@ -159,24 +191,32 @@ func (sv *Solver) mulSkip(x, y []complex128) {
 // Model returns the solver's model.
 func (sv *Solver) Model() *smp.Model { return sv.m }
 
-// prepare assembles U(s) (memoising the last s) and the target flags.
+// prepare assembles U(s) (memoising the last s) and the target flags
+// (memoised per target set via the prepared cache, so a contour segment
+// re-analyses its spec's structure once, not per point).
 func (sv *Solver) prepare(s complex128, targets []int) error {
 	if len(targets) == 0 {
 		return fmt.Errorf("passage: empty target set")
-	}
-	for i := range sv.targets {
-		sv.targets[i] = false
 	}
 	for _, t := range targets {
 		if t < 0 || t >= sv.m.N() {
 			return fmt.Errorf("passage: target state %d outside model of %d states", t, sv.m.N())
 		}
-		sv.targets[t] = true
+	}
+	if key := targetsKey(targets); sv.cur == nil || sv.cur.key != key {
+		for i := range sv.targets {
+			sv.targets[i] = false
+		}
+		for _, t := range targets {
+			sv.targets[t] = true
+		}
+		sv.cur = sv.preparedFor(key)
 	}
 	sv.lastFill = 0
 	if !sv.filled || sv.filledS != s {
 		start := time.Now()
-		sv.m.FillKernel(s, sv.u)
+		sv.lsts = sv.m.DistLSTsInto(s, sv.lsts)
+		sv.m.FillKernelSampled(sv.lsts, sv.u)
 		sv.lastFill = time.Since(start)
 		sv.filledS = s
 		sv.filled = true
@@ -312,32 +352,57 @@ func (sv *Solver) DirectVectorLST(s complex128, targets []int) ([]complex128, er
 	if err := sv.prepare(s, targets); err != nil {
 		return nil, err
 	}
+	return sv.directVectorSolve(s)
+}
+
+// directVectorSolve runs the Gauss–Seidel iteration for the current
+// prepared target set, reusing the solver's b/diag workspaces and — when
+// WarmStart is on and a previous solution over the same targets exists —
+// seeding the iterate from that neighbouring s-point instead of the
+// first-Jacobi-step cold start.
+func (sv *Solver) directVectorSolve(s complex128) ([]complex128, error) {
+	p := sv.cur
 	n := sv.m.N()
 	// b_i = Σ_{k∈targets} u_ik; diag_i = u_ii if i ∉ targets.
-	b := make([]complex128, n)
-	diag := make([]complex128, n)
+	sv.dirB = resizeC(sv.dirB, n)
+	sv.diag = resizeC(sv.diag, n)
+	b, diag := sv.dirB, sv.diag
 	for i := 0; i < n; i++ {
-		sv.u.Row(i, func(k int, v complex128) {
+		b[i], diag[i] = 0, 0
+		cols, vals := sv.u.RowSlices(i)
+		for e, k := range cols {
 			if sv.targets[k] {
-				b[i] += v
+				b[i] += vals[e]
+			} else if k == i {
+				diag[i] = vals[e]
 			}
-			if k == i && !sv.targets[k] {
-				diag[i] = v
-			}
-		})
+		}
 	}
-	x := make([]complex128, n)
-	copy(x, b) // first Jacobi step as warm start
+	warm := sv.opts.WarmStart && p.dirWarm && len(p.dirX) == n
+	if !warm {
+		p.dirX = resizeC(p.dirX, n)
+		copy(p.dirX, b) // first Jacobi step as cold start
+	}
+	// A warm refinement only needs the accuracy of the cold route it
+	// replaces: the iterative series truncates at Epsilon, so sweeping
+	// down to the (tighter) GSEpsilon would spend the warm start's
+	// savings buying precision the contour never had.
+	eps := sv.opts.GSEpsilon
+	if warm && sv.opts.Epsilon > eps {
+		eps = sv.opts.Epsilon
+	}
+	x := p.dirX
 	for iter := 0; iter < sv.opts.GSMaxIter; iter++ {
 		sv.lastSweeps = iter + 1
 		var worst float64
 		for i := 0; i < n; i++ {
 			sum := b[i]
-			sv.u.Row(i, func(k int, v complex128) {
+			cols, vals := sv.u.RowSlices(i)
+			for e, k := range cols {
 				if !sv.targets[k] && k != i {
-					sum += v * x[k]
+					sum += vals[e] * x[k]
 				}
-			})
+			}
 			den := 1 - diag[i]
 			next := sum / den
 			if d := next - x[i]; math.Hypot(real(d), imag(d)) > worst {
@@ -345,9 +410,20 @@ func (sv *Solver) DirectVectorLST(s complex128, targets []int) ([]complex128, er
 			}
 			x[i] = next
 		}
-		if worst < sv.opts.GSEpsilon {
-			return x, nil
+		if worst < eps {
+			sv.noteWarm(warm, &p.dirCold)
+			p.dirWarm = sv.opts.WarmStart
+			out := make([]complex128, n)
+			copy(out, x)
+			return out, nil
 		}
+	}
+	p.dirWarm = false
+	sv.lastWarm, sv.lastSaved = false, 0
+	if warm {
+		// A stale warm iterate can stall the sweep budget; retry once
+		// from the cold seed before reporting non-convergence.
+		return sv.directVectorSolve(s)
 	}
 	return nil, fmt.Errorf("%w: Gauss–Seidel after %d sweeps at s=%v", ErrNoConvergence, sv.opts.GSMaxIter, s)
 }

@@ -1,0 +1,128 @@
+package passage
+
+import (
+	"strconv"
+	"strings"
+)
+
+// maxPrepared bounds the per-solver prepared cache. A resident worker
+// typically sees a handful of target sets per model; past the bound the
+// cache resets rather than grow without limit.
+const maxPrepared = 16
+
+// prepared holds everything a solver derives from a target set alone —
+// structure analysis and warm-start iterates — so a contour segment
+// builds it once per spec instead of once per s-point. Entries live in
+// Solver.preps keyed by the canonical target list.
+type prepared struct {
+	key string
+
+	// Block multi-RHS structure (transient solves): unique targets, the
+	// requested-index→column fan-out, and the state→column map. Built
+	// lazily by the first block solve over this target set.
+	uniq   []int
+	colFor []int
+	tgtCol []int
+
+	// Warm-start state. dirZ/dirZPrev are the last two converged
+	// accumulators of the Eq. (10) fixed point z = e⃗ + U′·z: with one
+	// the next point seeds from its neighbour (error O(h) in the contour
+	// step), with both it seeds from the linear extrapolation
+	// 2·z_k − z_{k−1} (error O(h²)), which is worth a few extra decades
+	// of head start at one vector combination. dirX is the last
+	// converged Gauss–Seidel iterate (the direct route's); blockX is the
+	// last block iterate (n×K). The *Cold fields record the depth of the
+	// segment's most recent cold solve, the baseline for sweeps-saved
+	// estimates.
+	dirZ      []complex128
+	dirZPrev  []complex128
+	dirZPrev2 []complex128
+	zWarm     bool
+	zPrev     bool
+	zPrev2    bool
+	dirX      []complex128
+	dirWarm   bool
+	dirCold   int
+	blockX    []complex128
+	blockWarm bool
+	blockCold int
+}
+
+// targetsKey canonically names a target list. Order matters for block
+// column fan-out, so the key preserves it.
+func targetsKey(targets []int) string {
+	var b strings.Builder
+	for i, t := range targets {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(t))
+	}
+	return b.String()
+}
+
+// preparedFor returns (creating if needed) the prepared entry for a
+// target-set key.
+func (sv *Solver) preparedFor(key string) *prepared {
+	if sv.preps == nil {
+		sv.preps = make(map[string]*prepared)
+	}
+	if p, ok := sv.preps[key]; ok {
+		return p
+	}
+	if len(sv.preps) >= maxPrepared {
+		sv.preps = make(map[string]*prepared, 1)
+	}
+	p := &prepared{key: key}
+	sv.preps[key] = p
+	return p
+}
+
+// noteWarm records the warm-start outcome of a converged solve: a cold
+// solve resets the baseline depth, a warm one charges its sweep count
+// against it.
+func (sv *Solver) noteWarm(warm bool, cold *int) {
+	sv.lastWarm, sv.lastSaved = warm, 0
+	if warm {
+		if d := *cold - sv.lastSweeps; d > 0 {
+			sv.lastSaved = d
+		}
+	} else {
+		*cold = sv.lastSweeps
+	}
+}
+
+// resizeC returns v resized to n elements, reallocating only on growth.
+// Contents are unspecified; callers overwrite.
+func resizeC(v []complex128, n int) []complex128 {
+	if cap(v) < n {
+		return make([]complex128, n)
+	}
+	return v[:n]
+}
+
+// VectorLST computes the source-indexed passage vector L_·j⃗(s),
+// selecting the cheapest converging route: with WarmStart off (or on the
+// first point of a segment) it runs the Eq. (10) iterative series; once
+// an accumulator over the same target set exists it continues the same
+// fixed-point iteration from that neighbouring s-point's solution
+// (warmRefine), which typically converges in a fraction of the cold
+// depth on a smooth contour. The returned depth is the series depth or
+// the refinement sweep count, whichever route ran — both measure one
+// kernel traversal per unit. A warm solve that fails to converge falls
+// back to the cold series, so WarmStart never turns a solvable point
+// into an error.
+func (sv *Solver) VectorLST(s complex128, targets []int) ([]complex128, int, error) {
+	if sv.opts.WarmStart {
+		if err := sv.prepare(s, targets); err != nil {
+			return nil, 0, err
+		}
+		if p := sv.cur; p.zWarm && len(p.dirZ) == sv.m.N() {
+			if out, r, err := sv.warmRefine(s); err == nil {
+				return out, r, nil
+			}
+			// Non-convergence marks the seed stale; rerun cold below.
+		}
+	}
+	return sv.IterativeVectorLST(s, targets)
+}

@@ -22,12 +22,15 @@ func (sv *Solver) TransientVectorLST(s complex128, targets []int) ([]complex128,
 	if s == 0 {
 		return nil, fmt.Errorf("passage: transient transform undefined at s=0")
 	}
-	h := sv.m.SojournLSTs(s)
-
 	cols, err := sv.DirectVectorLSTColumns(s, targets)
 	if err != nil {
 		return nil, fmt.Errorf("passage: transient columns for %d targets: %w", len(targets), err)
 	}
+	// The block solve's prepare just sampled the distribution table at
+	// this s, so the sojourn transforms come from the same sample
+	// without re-evaluating any distribution.
+	sv.soj = sv.m.SojournLSTsSampled(sv.lsts, sv.soj)
+	h := sv.soj
 	lambda := make([]complex128, len(targets))
 	for k, t := range targets {
 		den := 1 - cols[k][t]

@@ -51,6 +51,18 @@ func (sv *Solver) IterativeVectorLST(s complex128, targets []int) ([]complex128,
 	finish := func(r int) ([]complex128, int, error) {
 		out := make([]complex128, n)
 		sv.u.MulVec(z, out)
+		sv.lastWarm, sv.lastSaved = false, 0
+		if sv.opts.WarmStart {
+			// The converged accumulator satisfies the fixed point
+			// z = e⃗ + U′·z, so the neighbouring s-point can continue the
+			// same iteration from it (warmRefine); the depth is the
+			// segment's cold baseline.
+			p := sv.cur
+			p.dirZ = append(p.dirZ[:0], z...)
+			p.zWarm = true
+			p.zPrev, p.zPrev2 = false, false // a cold restart orphans the extrapolation history
+			p.dirCold = r
+		}
 		return out, r, nil
 	}
 	// The increment to any L_i at depth r is (U·c_r)_i, bounded by
@@ -92,6 +104,104 @@ func (sv *Solver) IterativeVectorLST(s complex128, targets []int) ([]complex128,
 		ErrNoConvergence, sv.opts.MaxR, s, maxNorm(sv.acc))
 }
 
+// warmRefine continues the Eq. (10) fixed point z = e⃗ + U′·z from the
+// neighbouring s-point's converged accumulator — or, once two
+// neighbours exist, from their linear extrapolation, whose O(h²) seed
+// error buys several extra contraction decades of head start. Each
+// sweep costs exactly one mulSkipCol — the same kernel traversal as one
+// series term — so on a smooth contour the refinement replaces a full
+// depth-r series with a fraction of the sweeps. The same geometric tail
+// bound as the cold loop certifies the result: ρ(U′) < 1 for
+// Re(s) > 0, so ‖z* − z_r‖∞ ≤ m·ρ/(1−ρ) with m the last increment.
+func (sv *Solver) warmRefine(s complex128) ([]complex128, int, error) {
+	p := sv.cur
+	n := sv.m.N()
+	x, y := sv.acc, sv.next
+	switch {
+	case p.zPrev2 && len(p.dirZPrev2) == n:
+		// Quadratic extrapolation through the last three accumulators.
+		for i := range x {
+			x[i] = 3*(p.dirZ[i]-p.dirZPrev[i]) + p.dirZPrev2[i]
+		}
+	case p.zPrev && len(p.dirZPrev) == n:
+		for i := range x {
+			x[i] = 2*p.dirZ[i] - p.dirZPrev[i]
+		}
+	default:
+		copy(x, p.dirZ)
+	}
+	hits := 0
+	prevM := math.Inf(1)
+	for r := 1; r <= sv.opts.MaxR; r++ {
+		sv.lastSweeps = r
+		sv.mulSkipCol(x, y) // y = U′·x; target rows come back zeroed
+		for i, isT := range sv.targets {
+			if isT {
+				y[i] = 1
+			}
+		}
+		var m float64
+		for i := range y {
+			d := y[i] - x[i]
+			if a := math.Hypot(real(d), imag(d)); a > m {
+				m = a
+			}
+		}
+		x, y = y, x
+		converged := false
+		switch sv.opts.Criterion {
+		case PaperIncrement:
+			if m < sv.opts.Epsilon {
+				hits++
+				converged = hits >= sv.opts.ConsecutiveHits
+			} else {
+				hits = 0
+			}
+		default: // MassBound
+			if m < sv.opts.Epsilon {
+				rho := 0.0
+				if prevM > 0 && !math.IsInf(prevM, 1) {
+					rho = m / prevM
+				}
+				converged = rho < 1 && m*rho/(1-rho) < sv.opts.Epsilon
+			}
+			prevM = m
+		}
+		if converged {
+			sv.acc, sv.next = x, y
+			// out = U·z, but at the fixed point U′·z = z − e⃗, and U′
+			// differs from U only in the zeroed target rows — so the
+			// non-target rows of the answer are z itself (within the
+			// certified tail bound) and only the target rows need a real
+			// row product. That drops the closing full-kernel traversal.
+			out := make([]complex128, n)
+			copy(out, x)
+			for i, isT := range sv.targets {
+				if !isT {
+					continue
+				}
+				cols, vals := sv.u.RowSlices(i)
+				var sum complex128
+				for e, k := range cols {
+					sum += vals[e] * x[k]
+				}
+				out[i] = sum
+			}
+			sv.noteWarm(true, &p.dirCold)
+			p.dirZPrev2, p.dirZPrev, p.dirZ =
+				p.dirZPrev, p.dirZ, append(p.dirZPrev2[:0], x...)
+			p.zPrev2 = p.zPrev
+			p.zPrev = true
+			return out, r, nil
+		}
+	}
+	sv.acc, sv.next = x, y
+	p.zWarm, p.zPrev, p.zPrev2 = false, false, false // stale seed: rerun cold
+	sv.lastWarm, sv.lastSaved = false, 0
+	return nil, sv.opts.MaxR, fmt.Errorf("%w: warm refinement after %d sweeps at s=%v",
+		ErrNoConvergence, sv.opts.MaxR, s)
+}
+
 // maxNorm returns max_i |v_i|.
 func maxNorm(v []complex128) float64 {
 	var m float64
@@ -118,30 +228,40 @@ func (sv *Solver) DirectVectorLSTColumns(s complex128, targets []int) ([][]compl
 	if err := sv.prepare(s, targets); err != nil {
 		return nil, err
 	}
+	p := sv.cur
 	n := sv.m.N()
-	// Deduplicate: a state that appears twice names the identical
-	// system, so solve unique targets and fan the columns back out.
-	uniq := make([]int, 0, len(targets))
-	colFor := make([]int, len(targets)) // requested index → unique column
-	tgtCol := make([]int, n)            // state → unique column, -1 otherwise
-	for i := range tgtCol {
-		tgtCol[i] = -1
-	}
-	for k, t := range targets {
-		if tgtCol[t] < 0 {
-			tgtCol[t] = len(uniq)
-			uniq = append(uniq, t)
+	if p.uniq == nil {
+		// Deduplicate: a state that appears twice names the identical
+		// system, so solve unique targets and fan the columns back out.
+		// This structure depends only on the target set, so the prepared
+		// entry carries it across the whole contour segment.
+		p.uniq = make([]int, 0, len(targets))
+		p.colFor = make([]int, len(targets)) // requested index → unique column
+		p.tgtCol = make([]int, n)            // state → unique column, -1 otherwise
+		for i := range p.tgtCol {
+			p.tgtCol[i] = -1
 		}
-		colFor[k] = tgtCol[t]
+		for k, t := range targets {
+			if p.tgtCol[t] < 0 {
+				p.tgtCol[t] = len(p.uniq)
+				p.uniq = append(p.uniq, t)
+			}
+			p.colFor[k] = p.tgtCol[t]
+		}
 	}
+	uniq, colFor, tgtCol := p.uniq, p.colFor, p.tgtCol
 	K := len(uniq)
 
 	// b[i*K+k] = u_{i,t_k}; diag[i] = u_ii (excluded from column k's
 	// denominator only when i == t_k, where it lives in b instead).
-	x := make([]complex128, n*K)
-	b := make([]complex128, n*K)
-	diag := make([]complex128, n)
+	sv.blkB = resizeC(sv.blkB, n*K)
+	sv.diag = resizeC(sv.diag, n)
+	b, diag := sv.blkB, sv.diag
+	for i := range b {
+		b[i] = 0
+	}
 	for i := 0; i < n; i++ {
+		diag[i] = 0
 		cols, vals := sv.u.RowSlices(i)
 		for e, m := range cols {
 			if k := tgtCol[m]; k >= 0 {
@@ -152,8 +272,14 @@ func (sv *Solver) DirectVectorLSTColumns(s complex128, targets []int) ([][]compl
 			}
 		}
 	}
-	copy(x, b) // first Jacobi step as warm start
-	sum := make([]complex128, K)
+	warm := sv.opts.WarmStart && p.blockWarm && len(p.blockX) == n*K
+	if !warm {
+		p.blockX = resizeC(p.blockX, n*K)
+		copy(p.blockX, b) // first Jacobi step as cold start
+	}
+	x := p.blockX
+	sv.blkS = resizeC(sv.blkS, K)
+	sum := sv.blkS
 	for iter := 0; iter < sv.opts.GSMaxIter; iter++ {
 		sv.lastSweeps = iter + 1
 		var worst float64
@@ -189,6 +315,8 @@ func (sv *Solver) DirectVectorLSTColumns(s complex128, targets []int) ([][]compl
 			}
 		}
 		if worst < sv.opts.GSEpsilon {
+			sv.noteWarm(warm, &p.blockCold)
+			p.blockWarm = sv.opts.WarmStart
 			cols := make([][]complex128, K)
 			for k := range cols {
 				col := make([]complex128, n)
@@ -203,6 +331,13 @@ func (sv *Solver) DirectVectorLSTColumns(s complex128, targets []int) ([][]compl
 			}
 			return out, nil
 		}
+	}
+	p.blockWarm = false
+	sv.lastWarm, sv.lastSaved = false, 0
+	if warm {
+		// A stale warm iterate can stall the sweep budget; retry once
+		// from the cold seed before reporting non-convergence.
+		return sv.DirectVectorLSTColumns(s, targets)
 	}
 	return nil, fmt.Errorf("%w: block Gauss–Seidel (%d columns) after %d sweeps at s=%v",
 		ErrNoConvergence, K, sv.opts.GSMaxIter, s)

@@ -204,15 +204,17 @@ func (t *Tiered) Load(spec *SolveSpec) (map[int][]complex128, error) {
 	return out, nil
 }
 
-// Append implements Cache.
+// Append implements Cache. The durable back is written first: if it
+// fails, the point must not land in the memory front either, or later
+// Loads would serve a value durability thinks it lost — a restart
+// would silently roll the cache back to a state the front never saw.
 func (t *Tiered) Append(spec *SolveSpec, index int, vec []complex128) error {
-	if err := t.front.Append(spec, index, vec); err != nil {
-		return err
-	}
 	if t.back != nil {
-		return t.back.Append(spec, index, vec)
+		if err := t.back.Append(spec, index, vec); err != nil {
+			return err
+		}
 	}
-	return nil
+	return t.front.Append(spec, index, vec)
 }
 
 // Sync implements Cache.

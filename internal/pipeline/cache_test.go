@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 )
@@ -153,5 +154,50 @@ func TestCheckpointIndexEvictionRescan(t *testing.T) {
 				t.Errorf("spec %d point %d = %v, want %v", w, i, v, want)
 			}
 		}
+	}
+}
+
+// failingBack is a Cache whose Append always fails — a full disk, a
+// revoked handle.
+type failingBack struct{ appends int }
+
+func (f *failingBack) Load(*SolveSpec) (map[int][]complex128, error) { return nil, nil }
+func (f *failingBack) Append(*SolveSpec, int, []complex128) error {
+	f.appends++
+	return errAppendFailed
+}
+func (f *failingBack) Sync() error { return nil }
+
+var errAppendFailed = fmt.Errorf("back cache: append failed")
+
+// A failed durable write must keep the point out of the memory front
+// too: writing the front first would let later Loads serve a value the
+// durable layer lost, so a restart silently rolls the cache back to a
+// state readers never observed.
+func TestTieredAppendWritesBackFirst(t *testing.T) {
+	back := &failingBack{}
+	tc := NewTiered(NewMemoryCache(100), back)
+	spec := cacheSpec("tiered-order", 2)
+
+	if err := tc.Append(spec, 0, vec2(1, 2)); err == nil {
+		t.Fatal("Append swallowed the back cache's failure")
+	}
+	if back.appends != 1 {
+		t.Fatalf("back cache saw %d appends, want 1", back.appends)
+	}
+	got, err := tc.front.Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("memory front holds %d points after a failed durable write; want none", len(got))
+	}
+	// And through the tiered view as a whole: the failed point is absent.
+	got, err = tc.Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got[0]; ok {
+		t.Fatal("tiered Load served a point whose durable write failed")
 	}
 }

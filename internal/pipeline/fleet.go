@@ -107,15 +107,19 @@ type pointFrameV3 struct {
 // (worker → master). A worker streams as many of these as the frame
 // budget requires and sets Last on the final one. The Last message
 // also carries the batch's phase attribution (nanoseconds keyed by
-// phase name) and summed iteration depth when the worker's evaluator
-// reports them — absent fields decode as zero on older masters, so
-// the additions are wire-compatible.
+// phase name), summed iteration depth, and the warm-start tally
+// (solves seeded from a neighbouring s-point, and the sweeps that
+// saved) when the worker's evaluator reports them — absent fields
+// decode as zero on older masters, so the additions are
+// wire-compatible within v3.
 type resultFrameV3Msg struct {
-	RunID      int64
-	Last       bool
-	Frames     []pointFrameV3
-	PhaseNS    map[string]int64
-	TotalDepth int64
+	RunID       int64
+	Last        bool
+	Frames      []pointFrameV3
+	PhaseNS     map[string]int64
+	TotalDepth  int64
+	WarmStarts  int64
+	SweepsSaved int64
 }
 
 // defaultFrameValues is how many complex values travel per result
@@ -220,12 +224,14 @@ type pointResultVec struct {
 }
 
 // fleetResult is one answered batch routed back to Execute, with the
-// worker's phase attribution for the batch.
+// worker's phase attribution and warm-start tally for the batch.
 type fleetResult struct {
 	worker  string
 	points  []pointResultVec
 	phaseNS map[string]int64
 	depth   int64
+	warm    int64
+	saved   int64
 }
 
 // NewFleet starts a fleet master accepting workers on ln. The listener
@@ -392,6 +398,8 @@ func (f *Fleet) Execute(spec *SolveSpec, cache Cache) ([][]complex128, *RunStats
 				stats.AddPhase(name, time.Duration(ns))
 			}
 			stats.TotalDepth += r.depth
+			stats.WarmStarted += int(r.warm)
+			stats.SweepsSaved += r.saved
 			for _, pr := range r.points {
 				if pr.Err != "" {
 					if firstErr == nil {
@@ -473,7 +481,8 @@ func (f *Fleet) unregister(run *fleetRun) int {
 }
 
 // requeue returns indices a lost worker had in flight to the run's
-// pending queue (a no-op if the run already ended).
+// pending queue (a no-op if the run already ended). The queue stays
+// sorted so dispatch keeps handing out contiguous contour segments.
 func (f *Fleet) requeue(run *fleetRun, indices []int, worker string) {
 	if len(indices) == 0 {
 		return
@@ -482,6 +491,7 @@ func (f *Fleet) requeue(run *fleetRun, indices []int, worker string) {
 	live := f.runs[run.id] == run
 	if live {
 		run.pending = append(run.pending, indices...)
+		sort.Ints(run.pending)
 		run.requeued += len(indices)
 	}
 	f.mu.Unlock()
@@ -526,8 +536,10 @@ func (f *Fleet) capableConns(run *fleetRun) int {
 }
 
 // nextBatch blocks until the connection has work (or the fleet closes,
-// returning a nil run). It pops up to BatchSize indices from the oldest
-// servable run and collects the IDs of ended runs the worker still
+// returning a nil run). It pops a contiguous contour segment from the
+// front of the oldest servable run's sorted queue — whole segments on
+// one worker are what let a prepared model warm-start each solve from
+// its neighbour — and collects the IDs of ended runs the worker still
 // remembers.
 func (f *Fleet) nextBatch(c *fleetConn) (*fleetRun, []int, []int64) {
 	f.mu.Lock()
@@ -541,13 +553,19 @@ func (f *Fleet) nextBatch(c *fleetConn) (*fleetRun, []int, []int64) {
 			if r == nil || len(r.pending) == 0 || !c.serves(r) {
 				continue
 			}
-			n := f.opts.BatchSize
-			if n > len(r.pending) {
-				n = len(r.pending)
+			n := f.batchCapLocked(r)
+			p := r.pending
+			hint := r.spec.SegmentHint
+			take := 1
+			for take < n && take < len(p) && p[take] == p[take-1]+1 {
+				if hint > 0 && p[take]%hint == 0 {
+					break // next contour block: the s-value jumps here
+				}
+				take++
 			}
-			batch := append([]int(nil), r.pending[len(r.pending)-n:]...)
-			r.pending = r.pending[:len(r.pending)-n]
-			c.assigned += n
+			batch := append([]int(nil), p[:take]...)
+			r.pending = p[take:]
+			c.assigned += take
 			var forget []int64
 			for id := range c.started {
 				if _, live := f.runs[id]; !live {
@@ -560,11 +578,38 @@ func (f *Fleet) nextBatch(c *fleetConn) (*fleetRun, []int, []int64) {
 	}
 }
 
+// batchCapLocked returns the assignment-size cap for a run: the spec's
+// contour block when known (one t-point's worth of s-points), else the
+// configured BatchSize, shrunk to the capable workers' fair share of
+// the remaining queue so a short run still spreads across the fleet.
+// Callers hold f.mu.
+func (f *Fleet) batchCapLocked(r *fleetRun) int {
+	n := r.spec.SegmentHint
+	if n <= 0 {
+		n = f.opts.BatchSize
+	}
+	capable := 0
+	for c := range f.conns {
+		if c.serves(r) {
+			capable++
+		}
+	}
+	if capable > 1 {
+		if fair := (len(r.pending) + capable - 1) / capable; fair < n {
+			n = fair
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // collectFrames reads result-frame messages for one assignment until
 // the worker marks the stream Last, reassembling chunked vectors. It
 // returns the completed point results and the assigned indices that
 // never completed (to requeue), plus any transport error.
-func (f *Fleet) collectFrames(c *fleetConn, dec *gob.Decoder, runID int64, indices []int) (results []pointResultVec, missing []int, phaseNS map[string]int64, depth int64, err error) {
+func (f *Fleet) collectFrames(c *fleetConn, dec *gob.Decoder, runID int64, indices []int) (results []pointResultVec, missing []int, phaseNS map[string]int64, depth, warm, saved int64, err error) {
 	type assembly struct {
 		vec      []complex128
 		received int
@@ -588,7 +633,7 @@ func (f *Fleet) collectFrames(c *fleetConn, dec *gob.Decoder, runID int64, indic
 					missing = append(missing, idx)
 				}
 			}
-			return results, missing, phaseNS, depth, err
+			return results, missing, phaseNS, depth, warm, saved, err
 		}
 		if len(res.PhaseNS) > 0 {
 			if phaseNS == nil {
@@ -599,6 +644,8 @@ func (f *Fleet) collectFrames(c *fleetConn, dec *gob.Decoder, runID int64, indic
 			}
 		}
 		depth += res.TotalDepth
+		warm += res.WarmStarts
+		saved += res.SweepsSaved
 		for _, fr := range res.Frames {
 			if !expected[fr.Index] || done[fr.Index] {
 				continue // unsolicited or duplicate; ignore
@@ -641,7 +688,7 @@ func (f *Fleet) collectFrames(c *fleetConn, dec *gob.Decoder, runID int64, indic
 			missing = append(missing, idx)
 		}
 	}
-	return results, missing, phaseNS, depth, nil
+	return results, missing, phaseNS, depth, warm, saved, nil
 }
 
 // serveConn drives one worker connection: versioned handshake, then a
@@ -761,7 +808,7 @@ func (f *Fleet) serveConn(conn net.Conn) {
 			delete(c.started, id)
 		}
 		batchStart := time.Now()
-		results, missing, phaseNS, depth, err := f.collectFrames(c, dec, run.id, indices)
+		results, missing, phaseNS, depth, warm, saved, err := f.collectFrames(c, dec, run.id, indices)
 		batchTime := time.Since(batchStart)
 		fleetBatchDuration.With(c.name).Observe(batchTime.Seconds())
 		fleetCompletedPoints.With(c.name).Add(float64(len(results)))
@@ -776,7 +823,7 @@ func (f *Fleet) serveConn(conn net.Conn) {
 		f.mu.Unlock()
 		if len(results) > 0 || len(phaseNS) > 0 {
 			select {
-			case run.results <- fleetResult{worker: c.name, points: results, phaseNS: phaseNS, depth: depth}:
+			case run.results <- fleetResult{worker: c.name, points: results, phaseNS: phaseNS, depth: depth, warm: warm, saved: saved}:
 			case <-run.done:
 				// The run ended (completed elsewhere, aborted, or the caller
 				// gave up); drop the late batch — results are idempotent.

@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// A point lost to a dead worker is requeued and reassigned — but the
+// "dead" worker may only have been slow, and its original answer can
+// still arrive after the replacement's. The master must count such a
+// point once: first result wins, the duplicate is dropped on the floor
+// (never double-counted in Evaluated, never overwriting the accepted
+// vector, never appended to the cache twice).
+func TestFleetDuplicateResultAfterRequeueCountsOnce(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFleet(ln, FleetOptions{})
+	defer f.Close()
+
+	spec := &SolveSpec{
+		Name:     "requeue-dup",
+		Quantity: PassageDensity,
+		Targets:  []int{1},
+		Points:   []complex128{1 + 1i, 2 + 1i, 3 + 1i},
+	}
+
+	type execOut struct {
+		values [][]complex128
+		stats  *RunStats
+		err    error
+	}
+	done := make(chan execOut, 1)
+	go func() {
+		values, stats, err := f.Execute(spec, nil)
+		done <- execOut{values, stats, err}
+	}()
+
+	// Wait for Execute to register its run, then take its queue over:
+	// this test plays the worker connections itself.
+	var run *fleetRun
+	deadline := time.Now().Add(5 * time.Second)
+	for run == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("run never registered")
+		}
+		f.mu.Lock()
+		for _, r := range f.runs {
+			run = r
+		}
+		if run != nil {
+			run.pending = nil // all three points "assigned"
+		}
+		f.mu.Unlock()
+		if run == nil {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Worker w1 goes dark holding point 0; the master requeues it.
+	f.requeue(run, []int{0}, "w1")
+	f.mu.Lock()
+	if len(run.pending) != 1 || run.pending[0] != 0 {
+		f.mu.Unlock()
+		t.Fatal("requeue did not return point 0 to the queue")
+	}
+	run.pending = nil // reassigned to w2
+	f.mu.Unlock()
+
+	accepted := []complex128{42, 43}
+	late := []complex128{-1, -1}
+	// w2's replacement answer lands first...
+	run.results <- fleetResult{worker: "w2", points: []pointResultVec{{Index: 0, Vec: accepted}}}
+	// ...then w1 turns out to have been slow, not dead: its original
+	// answer for the same index arrives as a duplicate.
+	run.results <- fleetResult{worker: "w1", points: []pointResultVec{{Index: 0, Vec: late}}}
+	// The rest of the job completes normally.
+	run.results <- fleetResult{worker: "w2", points: []pointResultVec{
+		{Index: 1, Vec: []complex128{1, 1}},
+		{Index: 2, Vec: []complex128{2, 2}},
+	}}
+
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("Execute: %v", out.err)
+	}
+	if out.stats.Evaluated != len(spec.Points) {
+		t.Errorf("Evaluated = %d, want %d (duplicate counted?)", out.stats.Evaluated, len(spec.Points))
+	}
+	if out.stats.Requeued != 1 {
+		t.Errorf("Requeued = %d, want 1", out.stats.Requeued)
+	}
+	if got := out.values[0]; got[0] != accepted[0] || got[1] != accepted[1] {
+		t.Errorf("point 0 = %v; want the first-arriving result %v, not the late duplicate", got, accepted)
+	}
+	// The credit ledger matches: w2 answered all three counted points.
+	for i, name := range out.stats.WorkerNames {
+		if name == "w1" && out.stats.PerWorker[i] != 0 {
+			t.Errorf("late duplicate credited to %q: %d points", name, out.stats.PerWorker[i])
+		}
+		if name == "w2" && out.stats.PerWorker[i] != 3 {
+			t.Errorf("worker %q credited %d points, want 3", name, out.stats.PerWorker[i])
+		}
+	}
+}

@@ -131,8 +131,9 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 		workerAssignments.Inc()
 		batchStart := time.Now()
 		reporter, _ := wr.eval.(PhaseReporter)
+		warmer, _ := wr.eval.(WarmReporter)
 		var phaseNS map[string]int64
-		var depth int64
+		var depth, warmStarts, sweepsSaved int64
 		out := frameStream{enc: enc, runID: a.RunID, budget: frameValues}
 		for i, idx := range a.Indices {
 			vec, err := wr.eval.EvaluateVector(a.Points[i], wr.spec)
@@ -144,6 +145,12 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 				phaseNS[PhaseKernelFill] += fill.Nanoseconds()
 				phaseNS[PhaseSolve] += solve.Nanoseconds()
 				depth += int64(d)
+			}
+			if warmer != nil {
+				if w, s := warmer.LastWarmStart(); w {
+					warmStarts++
+					sweepsSaved += int64(s)
+				}
 			}
 			if err != nil {
 				workerPointErrors.Inc()
@@ -157,7 +164,7 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 				return serr
 			}
 		}
-		if err := out.finish(phaseNS, depth); err != nil {
+		if err := out.finish(phaseNS, depth, warmStarts, sweepsSaved); err != nil {
 			return err
 		}
 		batchTime := time.Since(batchStart)
@@ -184,8 +191,8 @@ type frameStream struct {
 }
 
 // flush sends the buffered frames (last marks the end of the batch
-// and carries the batch's phase attribution).
-func (fs *frameStream) flush(last bool, phaseNS map[string]int64, depth int64) error {
+// and carries the batch's phase attribution and warm-start tally).
+func (fs *frameStream) flush(last bool, phaseNS map[string]int64, depth, warm, saved int64) error {
 	if !last && len(fs.pending) == 0 {
 		return nil
 	}
@@ -193,6 +200,8 @@ func (fs *frameStream) flush(last bool, phaseNS map[string]int64, depth int64) e
 	if last {
 		msg.PhaseNS = phaseNS
 		msg.TotalDepth = depth
+		msg.WarmStarts = warm
+		msg.SweepsSaved = saved
 	}
 	if err := fs.enc.Encode(msg); err != nil {
 		return fmt.Errorf("pipeline: sending result frames: %w", err)
@@ -207,7 +216,7 @@ func (fs *frameStream) add(fr pointFrameV3) error {
 	fs.pending = append(fs.pending, fr)
 	fs.load += len(fr.Data)
 	if fs.load >= fs.budget {
-		return fs.flush(false, nil, 0)
+		return fs.flush(false, nil, 0, 0, 0)
 	}
 	return nil
 }
@@ -236,9 +245,9 @@ func (fs *frameStream) sendError(idx int, msg string) error {
 }
 
 // finish flushes whatever remains with the Last marker, attaching the
-// batch's phase attribution.
-func (fs *frameStream) finish(phaseNS map[string]int64, depth int64) error {
-	return fs.flush(true, phaseNS, depth)
+// batch's phase attribution and warm-start tally.
+func (fs *frameStream) finish(phaseNS map[string]int64, depth, warm, saved int64) error {
+	return fs.flush(true, phaseNS, depth, warm, saved)
 }
 
 // workerRun is the worker-side state of one master run.

@@ -17,6 +17,8 @@ type RunStats struct {
 	WorkerNames []string      // names aligned with PerWorker (fleet runs)
 	Requeued    int           // points reassigned after a worker loss (fleet runs)
 	TotalDepth  int64         // summed iteration depths (0 if unknown)
+	WarmStarted int           // solves seeded from a neighbouring s-point (WarmStart on)
+	SweepsSaved int64         // estimated sweeps avoided by warm starts (0 if unknown)
 	// Phases attributes the run's evaluator time: summed across
 	// workers, keyed "kernel_fill" and "solve" here, with the read-time
 	// "invert" phase added by callers that run the inverter. Summed CPU
@@ -59,6 +61,8 @@ func (s *RunStats) Merge(o *RunStats) {
 	s.WallTime += o.WallTime
 	s.Requeued += o.Requeued
 	s.TotalDepth += o.TotalDepth
+	s.WarmStarted += o.WarmStarted
+	s.SweepsSaved += o.SweepsSaved
 	for name, d := range o.Phases {
 		s.AddPhase(name, d)
 	}
@@ -140,8 +144,14 @@ func Run(spec *SolveSpec, newEval func() Evaluator, workers int, cache Cache) ([
 		fill   time.Duration
 		solve  time.Duration
 		depth  int
+		warm   bool
+		saved  int
 	}
-	work := make(chan int)
+	// Work travels as contiguous contour segments, not single indices:
+	// a worker that owns a whole run of neighbouring s-points reuses its
+	// prepared model across them and can warm-start each solve from the
+	// previous point's solution. Results still stream back per point.
+	work := make(chan []int)
 	results := make(chan result)
 
 	var wg sync.WaitGroup
@@ -151,21 +161,25 @@ func Run(spec *SolveSpec, newEval func() Evaluator, workers int, cache Cache) ([
 			defer wg.Done()
 			eval := newEval()
 			reporter, _ := eval.(PhaseReporter)
-			for idx := range work {
-				v, err := eval.EvaluateVector(spec.Points[idx], spec)
-				r := result{idx: idx, worker: w, v: v, err: err}
-				if reporter != nil {
-					r.fill, r.solve, r.depth = reporter.LastPhases()
+			warmer, _ := eval.(WarmReporter)
+			for seg := range work {
+				for _, idx := range seg {
+					v, err := eval.EvaluateVector(spec.Points[idx], spec)
+					r := result{idx: idx, worker: w, v: v, err: err}
+					if reporter != nil {
+						r.fill, r.solve, r.depth = reporter.LastPhases()
+					}
+					if warmer != nil {
+						r.warm, r.saved = warmer.LastWarmStart()
+					}
+					results <- r
 				}
-				results <- r
 			}
 		}(w)
 	}
 	go func() {
-		for idx := range spec.Points {
-			if !have[idx] {
-				work <- idx
-			}
+		for _, seg := range contourSegments(spec, have, workers) {
+			work <- seg
 		}
 		close(work)
 		wg.Wait()
@@ -187,6 +201,10 @@ func Run(spec *SolveSpec, newEval func() Evaluator, workers int, cache Cache) ([
 		stats.AddPhase(PhaseKernelFill, r.fill)
 		stats.AddPhase(PhaseSolve, r.solve)
 		stats.TotalDepth += int64(r.depth)
+		if r.warm {
+			stats.WarmStarted++
+			stats.SweepsSaved += int64(r.saved)
+		}
 		if cache != nil {
 			if err := cache.Append(spec, r.idx, r.v); err != nil && firstErr == nil {
 				firstErr = err
@@ -208,4 +226,54 @@ func Run(spec *SolveSpec, newEval func() Evaluator, workers int, cache Cache) ([
 	}
 	stats.WallTime = time.Since(start)
 	return values, stats, nil
+}
+
+// contourSegments groups the spec's pending point indices into
+// contiguous runs for segment dispatch. Segments are capped at the
+// spec's SegmentHint (one t-point's contour block; 8 when unknown) and
+// never straddle a block boundary — the s-value jumps between blocks,
+// so a warm iterate carried across one would seed from a non-neighbour.
+// The cap also shrinks to the workers' fair share so a short run still
+// keeps the whole pool busy.
+func contourSegments(spec *SolveSpec, have []bool, workers int) [][]int {
+	pending := 0
+	for _, ok := range have {
+		if !ok {
+			pending++
+		}
+	}
+	if pending == 0 {
+		return nil
+	}
+	hint := spec.SegmentHint
+	segCap := hint
+	if segCap <= 0 {
+		segCap = 8
+	}
+	if fair := (pending + workers - 1) / workers; fair < segCap {
+		segCap = fair
+	}
+	if segCap < 1 {
+		segCap = 1
+	}
+	var segs [][]int
+	var seg []int
+	flush := func() {
+		if len(seg) > 0 {
+			segs = append(segs, seg)
+			seg = nil
+		}
+	}
+	for idx := range spec.Points {
+		if have[idx] {
+			flush()
+			continue
+		}
+		if len(seg) >= segCap || (hint > 0 && idx%hint == 0) {
+			flush()
+		}
+		seg = append(seg, idx)
+	}
+	flush()
+	return segs
 }

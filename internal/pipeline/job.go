@@ -96,6 +96,15 @@ type SolveSpec struct {
 	// participate in Fingerprint(), so identical solves coalesce and
 	// share cache entries regardless of which request triggered them.
 	TraceID string
+
+	// SegmentHint is the inverter's contour period: Points is laid out
+	// as consecutive blocks of this many s-points, one block per
+	// t-point, smooth within a block. Backends use it to batch whole
+	// contour segments onto one worker (so warm-started solves see their
+	// neighbours) and to avoid batches that straddle the s-jump between
+	// blocks. Zero means unknown; like ModelFP it is scheduling
+	// metadata, not content, and does not participate in Fingerprint().
+	SegmentHint int
 }
 
 // Validate performs structural checks against a model size.
@@ -223,6 +232,15 @@ type PhaseReporter interface {
 	LastPhases() (kernelFill, solve time.Duration, depth int)
 }
 
+// WarmReporter is implemented by evaluators that can report whether
+// their last EvaluateVector call was warm-started from a neighbouring
+// s-point's solution and how many sweeps that saved against the
+// segment's cold baseline. Backends use it to build the warm-start run
+// stats without widening the Evaluator contract.
+type WarmReporter interface {
+	LastWarmStart() (warm bool, sweepsSaved int)
+}
+
 // SolverEvaluator adapts a passage.Solver to the Evaluator contract
 // and instruments the hot path: per-point solve latency, kernel-fill
 // time and iteration depth land on obs.Default, so both the
@@ -233,6 +251,8 @@ type SolverEvaluator struct {
 	lastFill  time.Duration
 	lastSolve time.Duration
 	lastDepth int
+	lastWarm  bool
+	lastSaved int
 }
 
 // NewSolverEvaluator builds an evaluator with its own solver workspace.
@@ -245,6 +265,11 @@ func (e *SolverEvaluator) LastPhases() (kernelFill, solve time.Duration, depth i
 	return e.lastFill, e.lastSolve, e.lastDepth
 }
 
+// LastWarmStart implements WarmReporter.
+func (e *SolverEvaluator) LastWarmStart() (warm bool, sweepsSaved int) {
+	return e.lastWarm, e.lastSaved
+}
+
 // EvaluateVector implements Evaluator.
 func (e *SolverEvaluator) EvaluateVector(s complex128, spec *SolveSpec) ([]complex128, error) {
 	start := time.Now()
@@ -252,6 +277,7 @@ func (e *SolverEvaluator) EvaluateVector(s complex128, spec *SolveSpec) ([]compl
 	total := time.Since(start)
 	fill := e.sv.LastKernelFill()
 	e.lastFill, e.lastSolve, e.lastDepth = fill, total-fill, depth
+	e.lastWarm, e.lastSaved = e.sv.LastWarmStart()
 	if err == nil {
 		q := spec.Quantity.String()
 		solvePointDuration.With(q).Observe(total.Seconds())
@@ -259,6 +285,10 @@ func (e *SolverEvaluator) EvaluateVector(s complex128, spec *SolveSpec) ([]compl
 			solveKernelFill.Observe(fill.Seconds())
 		}
 		solveDepth.With(q).Observe(float64(depth))
+		if e.lastWarm {
+			solveWarmStarts.With(q).Inc()
+			solveSweepsSaved.With(q).Add(float64(e.lastSaved))
+		}
 	}
 	return v, err
 }
@@ -266,9 +296,9 @@ func (e *SolverEvaluator) EvaluateVector(s complex128, spec *SolveSpec) ([]compl
 func (e *SolverEvaluator) evaluate(s complex128, spec *SolveSpec) ([]complex128, int, error) {
 	switch spec.Quantity {
 	case PassageDensity:
-		return e.sv.IterativeVectorLST(s, spec.Targets)
+		return e.sv.VectorLST(s, spec.Targets)
 	case PassageCDF:
-		v, depth, err := e.sv.IterativeVectorLST(s, spec.Targets)
+		v, depth, err := e.sv.VectorLST(s, spec.Targets)
 		if err != nil {
 			return nil, depth, err
 		}

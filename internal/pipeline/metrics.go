@@ -18,6 +18,10 @@ var (
 	solveDepth = obs.Default.NewHistogramVec("hydra_solve_iteration_depth",
 		"Iteration depth per solve: transition depth r for iterative LSTs, Gauss-Seidel sweeps for direct/transient solves.",
 		obs.DepthBuckets, "quantity")
+	solveWarmStarts = obs.Default.NewCounterVec("hydra_solve_warm_starts_total",
+		"Solves seeded from a neighbouring s-point's solution (WarmStart on).", "quantity")
+	solveSweepsSaved = obs.Default.NewCounterVec("hydra_solve_sweeps_saved_total",
+		"Estimated iteration sweeps avoided by warm starts, vs the segment's cold baseline.", "quantity")
 
 	// Fleet master.
 	fleetWorkersConnected = obs.Default.NewGauge("hydra_fleet_workers_connected",

@@ -1,0 +1,103 @@
+package pipeline
+
+import (
+	"math/cmplx"
+	"net"
+	"testing"
+
+	"hydra/internal/lt"
+	"hydra/internal/passage"
+)
+
+// An in-process run with warm-started evaluators must produce the same
+// vectors as a cold run — and actually warm-start: segment dispatch
+// hands contiguous contour runs to each worker, so with WarmStart on
+// the run reports warm solves and a sweeps-saved tally.
+func TestInProcWarmStartMatchesColdAndReportsSavings(t *testing.T) {
+	m := testModel(t)
+	ts := []float64{0.2, 0.5, 1, 2}
+	job := densityJob(m, ts)
+	job.SegmentHint = lt.DefaultEuler().PointsPerT()
+
+	coldVecs, _, err := Run(job.Spec(), func() Evaluator {
+		return NewSolverEvaluator(m, passage.Options{})
+	}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmVecs, warmStats, err := Run(job.Spec(), func() Evaluator {
+		return NewSolverEvaluator(m, passage.Options{WarmStart: true})
+	}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coldVecs {
+		for j := range coldVecs[i] {
+			if d := cmplx.Abs(warmVecs[i][j] - coldVecs[i][j]); d > 1e-6 {
+				t.Fatalf("point %d state %d: warm %v vs cold %v (diff %g)",
+					i, j, warmVecs[i][j], coldVecs[i][j], d)
+			}
+		}
+	}
+	if warmStats.WarmStarted == 0 {
+		t.Fatal("warm run reported zero warm-started solves over a 132-point contour")
+	}
+	if warmStats.SweepsSaved < 0 {
+		t.Fatalf("negative sweeps-saved tally: %d", warmStats.SweepsSaved)
+	}
+	t.Logf("warm run: %d/%d solves warm, %d sweeps saved",
+		warmStats.WarmStarted, warmStats.Evaluated, warmStats.SweepsSaved)
+}
+
+// The same warm tally must survive the wire: a fleet whose worker runs
+// a warm evaluator reports WarmStarted/SweepsSaved in the master-side
+// run stats, and the vectors still match an in-process cold run.
+func TestFleetCarriesWarmStatsOverWire(t *testing.T) {
+	m := testModel(t)
+	ts := []float64{0.2, 0.5, 1, 2}
+	job := densityJob(m, ts)
+	job.SegmentHint = lt.DefaultEuler().PointsPerT()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFleet(ln, FleetOptions{})
+	defer f.Close()
+
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- FleetWork(ln.Addr().String(), []WorkerModel{{
+			States:    m.N(),
+			Evaluator: NewSolverEvaluator(m, passage.Options{WarmStart: true}),
+		}}, WorkerOptions{Name: "warm-w1"})
+	}()
+
+	vecs, stats, err := f.Execute(job.Spec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldVecs, _, err := Run(job.Spec(), func() Evaluator {
+		return NewSolverEvaluator(m, passage.Options{})
+	}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coldVecs {
+		for j := range coldVecs[i] {
+			if d := cmplx.Abs(vecs[i][j] - coldVecs[i][j]); d > 1e-6 {
+				t.Fatalf("point %d state %d: fleet-warm %v vs cold %v (diff %g)",
+					i, j, vecs[i][j], coldVecs[i][j], d)
+			}
+		}
+	}
+	if stats.WarmStarted == 0 {
+		t.Fatal("fleet run stats carried no warm starts from the warm worker")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-workerDone; err != nil {
+		t.Fatalf("worker exit: %v", err)
+	}
+}

@@ -106,7 +106,8 @@ func TestFleetWireV3RoundTrip(t *testing.T) {
 			{Index: 12, Offset: 0, Total: 4, Data: []complex128{1e-3 + 2e-6i, 2}},
 			{Index: 12, Offset: 2, Total: 4, Data: []complex128{3, 4}},
 			{Index: 13, Err: "s-point diverged"},
-		}, PhaseNS: map[string]int64{"kernel_fill": 17, "solve": 12345}, TotalDepth: 99}, &resultFrameV3Msg{}},
+		}, PhaseNS: map[string]int64{"kernel_fill": 17, "solve": 12345}, TotalDepth: 99,
+			WarmStarts: 5, SweepsSaved: 40}, &resultFrameV3Msg{}},
 		{"runHeaderTraced", &runHeaderV3Msg{
 			Name:    "m-4a5c9d01beef2233:passage-cdf",
 			ModelFP: "m-4a5c9d01beef2233", ModelStates: 2061,
@@ -174,8 +175,9 @@ func TestFleetWireV3GoldenBytes(t *testing.T) {
 		{"resultFrames", &resultFrameV3Msg{RunID: 3, Last: true, Frames: []pointFrameV3{
 			{Index: 12, Offset: 2, Total: 4, Data: []complex128{1e-3 + 2e-6i, 2}},
 			{Index: 13, Err: "s-point diverged"},
-		}, PhaseNS: map[string]int64{"solve": 12345}, TotalDepth: 99},
-			"59ff9b03010110726573756c744672616d6556334d736701ff9c000105010552756e494401040001044c61737401020001064672616d657301ffa000010750686173654e5301ffa200010a546f74616c4465707468010400000026ff9f020101175b5d706970656c696e652e706f696e744672616d65563301ffa00001ff9e00004bff9d0301010c706f696e744672616d65563301ff9e0001050105496e64657801040001064f66667365740104000105546f74616c01040001044461746101ff9a000103457272010c0000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000020ffa1040101106d61705b737472696e675d696e74363401ffa200010c0104000049ff9c0106010101020118010401080102f8fca9f1d24d62503ff88dedb5a0f7c6c03e400000011a0410732d706f696e7420646976657267656400010105736f6c7665fe607201ffc600"},
+		}, PhaseNS: map[string]int64{"solve": 12345}, TotalDepth: 99,
+			WarmStarts: 5, SweepsSaved: 40},
+			"78ff9b03010110726573756c744672616d6556334d736701ff9c000107010552756e494401040001044c61737401020001064672616d657301ffa000010750686173654e5301ffa200010a546f74616c4465707468010400010a5761726d537461727473010400010b5377656570735361766564010400000026ff9f020101175b5d706970656c696e652e706f696e744672616d65563301ffa00001ff9e00004bff9d0301010c706f696e744672616d65563301ff9e0001050105496e64657801040001064f66667365740104000105546f74616c01040001044461746101ff9a000103457272010c0000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000020ffa1040101106d61705b737472696e675d696e74363401ffa200010c010400004dff9c0106010101020118010401080102f8fca9f1d24d62503ff88dedb5a0f7c6c03e400000011a0410732d706f696e7420646976657267656400010105736f6c7665fe607201ffc6010a015000"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -294,6 +296,33 @@ func TestFleetWireTraceFieldsBackCompat(t *testing.T) {
 	}
 	if newFrames.PhaseNS != nil || newFrames.TotalDepth != 0 {
 		t.Errorf("absent phase fields decoded non-zero: %+v", newFrames)
+	}
+	if newFrames.WarmStarts != 0 || newFrames.SweepsSaved != 0 {
+		t.Errorf("absent warm-start fields decoded non-zero: %+v", newFrames)
+	}
+
+	// Warm-start-carrying frames (the contour-batching addition) decode
+	// on a pre-warm master the same way: known fields survive, the warm
+	// tally is dropped.
+	type preWarmResultFrame struct {
+		RunID      int64
+		Last       bool
+		Frames     []pointFrameV3
+		PhaseNS    map[string]int64
+		TotalDepth int64
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&resultFrameV3Msg{
+		RunID: 9, Last: true, TotalDepth: 4, WarmStarts: 3, SweepsSaved: 120,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var preWarm preWarmResultFrame
+	if err := gob.NewDecoder(&buf).Decode(&preWarm); err != nil {
+		t.Fatalf("pre-warm master cannot decode warm-carrying frames: %v", err)
+	}
+	if preWarm.RunID != 9 || !preWarm.Last || preWarm.TotalDepth != 4 {
+		t.Errorf("frame fields lost across the warm-start boundary: %+v", preWarm)
 	}
 }
 

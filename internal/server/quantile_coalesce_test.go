@@ -1,0 +1,62 @@
+package server
+
+import (
+	"testing"
+
+	"hydra"
+)
+
+// Two quantile requests that differ only in their bracket hints are the
+// same question — the search converges to the same t* from any positive
+// hint — so they must share one in-flight computation. The hint used to
+// leak into the coalescing fingerprint, splitting identical searches
+// into separate flights.
+func TestQuantileFingerprintIgnoresHintViaCoalescing(t *testing.T) {
+	fpA := quantileFingerprint("m1", []int{0}, []int{1}, 0.5, "euler")
+	fpB := quantileFingerprint("m1", []int{0}, []int{1}, 0.5, "euler")
+	if fpA != fpB {
+		t.Fatal("identical quantile inputs produced different fingerprints")
+	}
+	// Distinct answers must still key distinct flights.
+	if fpA == quantileFingerprint("m1", []int{0}, []int{1}, 0.9, "euler") {
+		t.Error("different probabilities share a fingerprint")
+	}
+	if fpA == quantileFingerprint("m2", []int{0}, []int{1}, 0.5, "euler") {
+		t.Error("different models share a fingerprint")
+	}
+
+	m, err := hydra.LoadSpec(twoStateSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewResultCache(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	s := NewScheduler(cache, 1, 2, nil, nil, nil)
+
+	// Pin an in-flight search under the fingerprint a hint=0.25 request
+	// computes, then issue the same request with hint 4.0. If the hint
+	// stayed out of the key, the second request joins the pinned flight
+	// and reports Coalesced with the flight's value instead of running
+	// its own search.
+	fp := quantileFingerprint(m.Fingerprint(), []int{0}, []int{1}, 0.5, "")
+	f := &flight{done: make(chan struct{})}
+	f.val = &hydra.Result{Values: []float64{42.0}, Stats: &hydra.RunStats{}}
+	close(f.done)
+	s.mu.Lock()
+	s.inflight[fp] = f
+	s.mu.Unlock()
+
+	rec := s.RunQuantile(m, m.Fingerprint(), []int{0}, []int{1}, 0.5, 4.0, "", 1, "req-hint-b")
+	if rec.Status != StatusDone {
+		t.Fatalf("coalesced quantile failed: %s (%s)", rec.Error, rec.Status)
+	}
+	if !rec.Coalesced {
+		t.Fatal("request with a different hint did not coalesce onto the in-flight search")
+	}
+	if rec.Result == nil || rec.Result.Quantile != 42.0 {
+		t.Fatalf("coalesced request did not read the shared flight's value: %+v", rec.Result)
+	}
+}

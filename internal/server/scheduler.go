@@ -28,6 +28,12 @@ type RunStatsJSON struct {
 	Workers   int   `json:"workers"`
 	WallMS    int64 `json:"wall_ms"`
 	Requeued  int   `json:"requeued,omitempty"` // points reassigned after a worker loss (fleet)
+	// WarmStarted counts solves seeded from a neighbouring s-point's
+	// solution; SweepsSaved estimates the iteration sweeps that seeding
+	// avoided versus a cold solve. Absent when warm starts are off or
+	// never fired.
+	WarmStarted int   `json:"warm_starts,omitempty"`
+	SweepsSaved int64 `json:"sweeps_saved,omitempty"`
 	// PerWorker maps worker name → points evaluated for fleet-backed
 	// runs (absent for the anonymous in-process pool).
 	PerWorker map[string]int `json:"per_worker,omitempty"`
@@ -44,7 +50,9 @@ func statsJSON(s *hydra.RunStats) *RunStatsJSON {
 	out := &RunStatsJSON{
 		Evaluated: s.Evaluated, FromCache: s.FromCache,
 		Workers: s.Workers, WallMS: s.WallTime.Milliseconds(),
-		Requeued: s.Requeued,
+		Requeued:    s.Requeued,
+		WarmStarted: s.WarmStarted,
+		SweepsSaved: s.SweepsSaved,
 	}
 	if len(s.WorkerNames) == len(s.PerWorker) && len(s.WorkerNames) > 0 {
 		out.PerWorker = make(map[string]int, len(s.WorkerNames))
@@ -325,12 +333,18 @@ func (s *Scheduler) runSharedSolve(fp string, compute func() (*hydra.VectorRun, 
 
 // jobOptions builds the analysis options for a request. The scheduler's
 // backend (the fleet, when configured) rides along so every computation
-// executes on it.
+// executes on it. Warm starts are on for every scheduled solve: the
+// server's workloads are whole contours, exactly the access pattern
+// the prepared-model cache and neighbouring-s seeding pay off on.
+// (Fleet workers enable warm starts with their own -warm flag; this
+// setting covers the in-process pool.)
 func (s *Scheduler) jobOptions(method string, workers int) *hydra.Options {
 	if workers < 1 {
 		workers = s.workers
 	}
-	return &hydra.Options{Method: method, Workers: workers, Backend: s.backend}
+	opts := &hydra.Options{Method: method, Workers: workers, Backend: s.backend}
+	opts.Solver.WarmStart = true
+	return opts
 }
 
 // RunCurve executes a passage or transient curve request synchronously
@@ -480,7 +494,7 @@ func (s *Scheduler) RunQuantile(m *hydra.Model, modelID string, sources, targets
 		hint = 1 // omitted; negative hints are rejected below
 	}
 	opts := s.jobOptions(method, workers)
-	fp := quantileFingerprint(modelID, sources, targets, p, hint, method)
+	fp := quantileFingerprint(modelID, sources, targets, p, method)
 	rec := s.newRecord(modelID, "quantile", fp, reqID)
 
 	// Reject malformed requests before entering the shared flight, so a
@@ -553,8 +567,12 @@ func (s *Scheduler) RunQuantile(m *hydra.Model, modelID string, sources, targets
 
 // quantileFingerprint keys quantile coalescing: a quantile request is a
 // whole search, not a single pipeline solve, so it gets a synthetic
-// fingerprint over every input that determines its answer.
-func quantileFingerprint(modelID string, sources, targets []int, p, hint float64, method string) string {
+// fingerprint over every input that determines its answer. The bracket
+// hint is deliberately excluded — the search converges to the same t*
+// (within tolerance) from any positive hint, so two requests that
+// differ only in their hints are the same question and should share
+// one flight.
+func quantileFingerprint(modelID string, sources, targets []int, p float64, method string) string {
 	h := sha256.New()
 	h.Write([]byte("quantile\x00" + modelID + "\x00" + method + "\x00"))
 	write := func(v any) { _ = binary.Write(h, binary.LittleEndian, v) }
@@ -567,7 +585,6 @@ func quantileFingerprint(modelID string, sources, targets []int, p, hint float64
 		write(int64(v))
 	}
 	write(math.Float64bits(p))
-	write(math.Float64bits(hint))
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 

@@ -15,11 +15,22 @@ func (m *Model) NewKernelMatrix() *sparse.CMatrix {
 // exactly once each — the shared front half of FillKernel and
 // SojournLSTs.
 func (m *Model) distLSTs(s complex128) []complex128 {
-	lsts := make([]complex128, len(m.dists))
-	for id, d := range m.dists {
-		lsts[id] = d.LST(s)
+	return m.DistLSTsInto(s, nil)
+}
+
+// DistLSTsInto evaluates every interned distribution's transform at s
+// into buf (grown as needed), so a resident solver can sample the whole
+// distribution table once per s-point without allocating. The returned
+// slice indexes by interned distribution id, matching FillKernelSampled.
+func (m *Model) DistLSTsInto(s complex128, buf []complex128) []complex128 {
+	if cap(buf) < len(m.dists) {
+		buf = make([]complex128, len(m.dists))
 	}
-	return lsts
+	buf = buf[:len(m.dists)]
+	for id, d := range m.dists {
+		buf[id] = d.LST(s)
+	}
+	return buf
 }
 
 // FillKernel assembles U(s) with u_pq = r*_pq(s) = Σ_t p_t·h*_t(s) into
@@ -54,14 +65,29 @@ func (m *Model) fillKernelWith(lsts []complex128, dst *sparse.CMatrix) {
 // the unconditional sojourn-time distribution in state i, needed by the
 // transient computation of Eq. (6)–(7).
 func (m *Model) SojournLSTs(s complex128) []complex128 {
-	lsts := m.distLSTs(s)
-	h := make([]complex128, m.n)
-	for i := 0; i < m.n; i++ {
-		for k := m.termPtr[i]; k < m.termPtr[i+1]; k++ {
-			h[i] += complex(m.termProb[k], 0) * lsts[m.termDist[k]]
-		}
+	return m.SojournLSTsSampled(m.distLSTs(s), nil)
+}
+
+// SojournLSTsSampled computes the sojourn transforms from an already
+// sampled distribution table (see DistLSTsInto) into buf, letting a
+// resident solver share one table sample per s-point between the kernel
+// fill and the transient computation.
+func (m *Model) SojournLSTsSampled(lsts, buf []complex128) []complex128 {
+	if len(lsts) != len(m.dists) {
+		panic("smp: SojournLSTsSampled with wrong transform count")
 	}
-	return h
+	if cap(buf) < m.n {
+		buf = make([]complex128, m.n)
+	}
+	buf = buf[:m.n]
+	for i := 0; i < m.n; i++ {
+		var h complex128
+		for k := m.termPtr[i]; k < m.termPtr[i+1]; k++ {
+			h += complex(m.termProb[k], 0) * lsts[m.termDist[k]]
+		}
+		buf[i] = h
+	}
+	return buf
 }
 
 // Distributions returns the interned distribution table; index positions

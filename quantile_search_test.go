@@ -1,0 +1,74 @@
+package hydra_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hydra"
+)
+
+// A well-behaved synthetic CDF for exercising the search machinery
+// without a solver: F(t) = 1 - exp(-t).
+func expCDF(t float64) (float64, error) { return 1 - math.Exp(-t), nil }
+
+func TestQuantileSearchNonFiniteCDFIsAnError(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		_, err := hydra.QuantileSearch(0.5, 1.0, func(float64) (float64, error) {
+			return bad, nil
+		})
+		if err == nil {
+			t.Fatalf("QuantileSearch accepted CDF value %v; want an error", bad)
+		}
+		if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("error for CDF value %v does not name the problem: %v", bad, err)
+		}
+	}
+
+	// A NaN appearing mid-bisection (not just at the first bracket probe)
+	// must also surface: without the guard NaN < p is false, so the
+	// search would silently treat the broken evaluation as F(t) >= p.
+	calls := 0
+	_, err := hydra.QuantileSearch(0.5, 1.0, func(t float64) (float64, error) {
+		calls++
+		if calls > 2 {
+			return math.NaN(), nil
+		}
+		return expCDF(t)
+	})
+	if err == nil {
+		t.Fatal("QuantileSearch accepted a mid-search NaN; want an error")
+	}
+}
+
+func TestQuantileSearchClampsNegativeNoise(t *testing.T) {
+	// Numerical inversion commonly yields tiny negative values near t=0.
+	// The search must treat them as 0 (below p) and still converge.
+	q, err := hydra.QuantileSearch(0.5, 1e-3, func(t float64) (float64, error) {
+		f, _ := expCDF(t)
+		if f < 0.01 {
+			return -1e-12, nil // noise floor
+		}
+		return f, nil
+	})
+	if err != nil {
+		t.Fatalf("QuantileSearch: %v", err)
+	}
+	want := -math.Log(0.5) // median of Exp(1)
+	if math.Abs(q-want) > 1e-3*want {
+		t.Errorf("quantile = %v, want %v", q, want)
+	}
+}
+
+func TestQuantileSearchExactOnCleanCDF(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9858} {
+		q, err := hydra.QuantileSearch(p, 1.0, expCDF)
+		if err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		want := -math.Log(1 - p)
+		if math.Abs(q-want) > 1e-3*want {
+			t.Errorf("p=%v: quantile = %v, want %v", p, q, want)
+		}
+	}
+}
