@@ -37,6 +37,15 @@ type Options struct {
 	CheckpointPath string
 	// Solver tunes the iterative passage-time algorithm.
 	Solver passage.Options
+	// Shard asks a fleet backend to split each solve's kernel into up to
+	// this many contiguous row blocks held by different workers (wire v4
+	// sharding) instead of farming whole s-points out — the right trade
+	// when one model is too large or too slow for a single worker's
+	// sweep. Zero or one leaves solves unsharded. Ignored by the
+	// in-process backend and for transient quantities; sharded and
+	// unsharded runs share cache entries and checkpoints (the hint is
+	// excluded from spec fingerprints).
+	Shard int
 }
 
 func (o *Options) inverter() (lt.Inverter, error) {
@@ -75,6 +84,13 @@ func (o *Options) solver() passage.Options {
 		return passage.Options{}
 	}
 	return o.Solver
+}
+
+func (o *Options) shard() int {
+	if o == nil || o.Shard < 2 {
+		return 0
+	}
+	return o.Shard
 }
 
 // Result is a computed curve: Values[i] estimates the measure at

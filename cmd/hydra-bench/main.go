@@ -17,6 +17,11 @@
 //	resident prepared-model reuse: per-point latency of one warm,
 //	         contour-ordered evaluator vs a fresh evaluator per
 //	         s-point; -json writes the trajectory for trend tracking
+//	shard    sharded vs monolithic fleet solves at equal worker
+//	         counts: wire v4 row-block sharding against whole-point
+//	         farming, with measured and cluster-projected wall times
+//	         and the differential max|Δ|; -json writes the rows for
+//	         trend tracking
 //	fig4     voter passage density, analytic vs simulation
 //	fig5     passage CDF and the 98.58% response-time quantile
 //	fig6     failure-mode passage density, analytic vs simulation
@@ -47,7 +52,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fleet|vector|obs|resident|fig4|fig5|fig6|fig7|ablations|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fleet|vector|obs|resident|shard|fig4|fig5|fig6|fig7|ablations|all")
 		full     = flag.Bool("full", false, "paper-scale workloads (slower)")
 		reps     = flag.Int("reps", 0, "simulation replications override")
 		jsonPath = flag.String("json", "", "also write the experiment's rows as JSON to this file (fleet, vector, obs, resident)")
@@ -72,6 +77,7 @@ func main() {
 	run("vector", func() error { return vectorScaling(*full, *jsonPath) })
 	run("obs", func() error { return obsOverhead(*full, *jsonPath) })
 	run("resident", func() error { return residentReuse(*full, *jsonPath) })
+	run("shard", func() error { return shardScaling(*full, *jsonPath) })
 	run("fig4", func() error { return fig4(*full, *reps) })
 	run("fig5", func() error { return fig5(*full) })
 	run("fig6", func() error { return fig6(*reps) })
@@ -257,6 +263,47 @@ func residentReuse(full bool, jsonPath string) error {
 		Rows        []experiments.ResidentRow `json:"rows"`
 	}{
 		Experiment: "resident-reuse", GeneratedAt: time.Now().UTC(),
+		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), Rows: rows,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(b, '\n'), 0o644)
+}
+
+// shardScaling measures wire v4 row-block sharding against whole-point
+// farming at equal worker counts — the projected column beating the
+// monolithic path is the sharded engine's acceptance property, and the
+// differential max|Δ| ≤ 1e-6 is enforced before any timing counts —
+// and optionally records the rows as JSON for trend tracking in CI.
+func shardScaling(full bool, jsonPath string) error {
+	cfg := experiments.ShardScalingConfig{}
+	if full {
+		cfg = experiments.ShardScalingConfig{CC: 60, MM: 25, NN: 4, Points: 2, Workers: []int{2, 4, 8}}
+	}
+	rows, err := experiments.ShardScaling(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("workers,points,states,mono_s,mono_proj_s,shard_s,shard_proj_s,proj_speedup,sweeps,exchanged,max_delta")
+	for _, r := range rows {
+		fmt.Printf("%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%.2f,%d,%d,%.2e\n",
+			r.Workers, r.Points, r.States, r.MonoSeconds, r.MonoProjSeconds,
+			r.ShardSeconds, r.ShardProjSeconds, r.ProjSpeedup,
+			r.ShardSweeps, r.ShardExchanged, r.MaxDelta)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	doc := struct {
+		Experiment  string                 `json:"experiment"`
+		GeneratedAt time.Time              `json:"generated_at"`
+		NumCPU      int                    `json:"num_cpu"`
+		GoVersion   string                 `json:"go_version"`
+		Rows        []experiments.ShardRow `json:"rows"`
+	}{
+		Experiment: "shard-scaling", GeneratedAt: time.Now().UTC(),
 		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), Rows: rows,
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")

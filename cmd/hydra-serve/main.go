@@ -14,14 +14,17 @@
 //	hydra-serve -addr :8700 -backend fleet -listen :9441
 //
 // The second form executes every computation on a resident fleet of
-// hydra-worker processes connected to -listen (wire protocol v3)
+// hydra-worker processes connected to -listen (wire protocol v4)
 // instead of the in-process pool: start workers with
 //
 //	hydra-worker -spec model.dnamaca -master host:9441 -reconnect
 //
 // holding the same models clients upload, and the service scales with
 // the worker count while keeping its registry, coalescing and result
-// cache.
+// cache. Adding -shard N splits each solve's kernel into up to N row
+// blocks held by different workers (boundary sub-vector exchange per
+// sweep) instead of farming whole s-points — the right mode when one
+// model is too large or slow for a single worker's sweep.
 //
 // API sketch (see README.md for request bodies):
 //
@@ -59,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"hydra/internal/passage"
 	"hydra/internal/pipeline"
 	"hydra/internal/server"
 )
@@ -75,6 +79,7 @@ func main() {
 		listen        = flag.String("listen", ":9441", "TCP address to accept fleet workers on (fleet backend)")
 		batch         = flag.Int("batch", 8, "s-points per fleet assignment message")
 		fleetWait     = flag.Duration("fleet-wait", 2*time.Minute, "fail a job after this long with no capable fleet worker (0 waits forever)")
+		shardHint     = flag.Int("shard", 0, "split each fleet solve into up to N row-block shards across workers (0 or 1 = whole-point batches)")
 		pprofOn       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP listener")
 		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
@@ -98,12 +103,20 @@ func main() {
 			BatchSize:   *batch,
 			WaitTimeout: *fleetWait,
 			Logf:        log.New(os.Stderr, "hydra-serve: ", 0).Printf,
+			// The shard conductor's convergence gauge must judge sweeps the
+			// way the workers' solvers do; warm starts mirror the scheduler's
+			// always-on policy (and hydra-worker's -warm default).
+			ShardOptions: passage.Options{WarmStart: true},
 		})
 		defer backend.Close()
 		logger.Info("fleet backend accepting workers",
-			"listen", backend.Addr().String(), "wire_version", pipeline.ProtocolVersion, "batch", *batch)
+			"listen", backend.Addr().String(), "wire_version", pipeline.ProtocolVersion,
+			"batch", *batch, "shard", *shardHint)
 	default:
 		fatal(fmt.Errorf("unknown backend %q (inproc or fleet)", *backendName))
+	}
+	if *shardHint > 1 && backend == nil {
+		logger.Warn("-shard only applies to the fleet backend; in-process solves stay unsharded", "shard", *shardHint)
 	}
 
 	cfg := server.Config{
@@ -112,6 +125,7 @@ func main() {
 		CheckpointPath: *checkpoint,
 		Workers:        *workers,
 		MaxConcurrent:  *maxConcurrent,
+		Shard:          *shardHint,
 		Logger:         logger,
 	}
 	if backend != nil {

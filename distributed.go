@@ -5,6 +5,7 @@ import (
 	"net"
 
 	"hydra/internal/lt"
+	"hydra/internal/passage"
 	"hydra/internal/pipeline"
 )
 
@@ -35,9 +36,11 @@ type Backend = pipeline.Backend
 
 // Fleet re-exports the resident TCP worker fleet — the Backend that
 // serves solves on persistent hydra-worker connections (wire protocol
-// v3): workers join and leave freely, vector results travel as chunked
-// frames, batches lost to dead workers are requeued, and one fleet
-// serves every model its workers hold.
+// v4, still serving v3 batch workers): workers join and leave freely,
+// vector results travel as chunked frames, batches lost to dead
+// workers are requeued, one fleet serves every model its workers hold,
+// and solves with a shard hint split into row blocks across
+// shard-capable workers.
 type Fleet = pipeline.Fleet
 
 // FleetOptions re-exports the fleet tuning knobs.
@@ -140,6 +143,10 @@ func (m *Model) newSpec(name string, q pipeline.Quantity, targets []int, times [
 	if pp, ok := inv.(interface{ PointsPerT() int }); ok {
 		spec.SegmentHint = pp.PointsPerT()
 	}
+	// Shard placement hint: like SegmentHint this is scheduling
+	// metadata, excluded from the fingerprint, so sharded and unsharded
+	// runs share cache entries and checkpoints.
+	spec.ShardHint = opts.shard()
 	if err := spec.Validate(m.NumStates()); err != nil {
 		return nil, err
 	}
@@ -315,10 +322,19 @@ func (m *Model) RunWorker(addr, name string, opts *Options) error {
 // to attach a structured logger and a span tracer, so worker-side
 // batches carry the trace IDs their masters stamped on run headers.
 func (m *Model) RunWorkerWith(addr string, wopts WorkerOptions, opts *Options) error {
+	model := m.ss.Model
+	solverOpts := opts.solver()
 	wm := pipeline.WorkerModel{
 		Fingerprint: m.fingerprint,
 		States:      m.NumStates(),
-		Evaluator:   pipeline.NewSolverEvaluator(m.ss.Model, opts.solver()),
+		Evaluator:   pipeline.NewSolverEvaluator(model, solverOpts),
+		// Row-block shard constructor for wire v4 sharded solves: the
+		// master assigns this worker rows [lo,hi) of the kernel and the
+		// member exchanges only boundary sub-vector entries per sweep.
+		// WorkerOptions.NoShard withholds the capability at handshake.
+		NewShard: func(spec *pipeline.SolveSpec, lo, hi int) (passage.ShardMember, error) {
+			return passage.NewShardSolver(model, solverOpts, lo, hi, spec.Targets)
+		},
 	}
 	return pipeline.FleetWork(addr, []pipeline.WorkerModel{wm}, wopts)
 }

@@ -140,6 +140,32 @@ func TestAblationsRun(t *testing.T) {
 	}
 }
 
+// TestShardScalingRuns exercises the sharded-vs-monolithic datapoint
+// end to end on a tiny workload: both arms must complete over real
+// loopback fleets, agree within solver tolerance (enforced inside
+// ShardScaling), and report the shard telemetry. Speedup is not
+// asserted — the 2061-state model is deliberately in the regime where
+// the exchange tax loses, and CI records the real datapoint at scale.
+func TestShardScalingRuns(t *testing.T) {
+	rows, err := ShardScaling(ShardScalingConfig{CC: 18, MM: 6, NN: 3, Points: 2, Workers: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Workers != 2 || r.Points != 2 {
+		t.Errorf("row shape %+v", r)
+	}
+	if r.MonoSeconds <= 0 || r.ShardSeconds <= 0 || r.MonoProjSeconds <= 0 || r.ShardProjSeconds <= 0 {
+		t.Errorf("non-positive timings: %+v", r)
+	}
+	if r.ShardSweeps == 0 || r.ShardExchanged == 0 {
+		t.Errorf("shard telemetry missing: %+v", r)
+	}
+}
+
 // TestObsOverheadRuns exercises the instrumentation-overhead datapoint
 // end to end on a tiny workload: both modes must complete, the global
 // enabled flag must be restored, and the measured times must be

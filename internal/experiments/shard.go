@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"math/cmplx"
+	"net"
+	"sync"
+	"time"
+
+	"hydra"
+	"hydra/internal/pipeline"
+)
+
+// ShardScalingConfig sizes the sharded-solve datapoint: the same
+// passage solve executed twice over real TCP fleets of W workers each —
+// once the monolithic way (whole s-points farmed out, one worker per
+// point) and once sharded (every s-point split into W row blocks over
+// wire v4, boundary sub-vectors exchanged per sweep). The interesting
+// regime is one solve of a large model: farm parallelism is capped at
+// the s-point count (a single point leaves W−1 workers idle) while
+// shard parallelism splits the sweep itself — but each sweep costs a
+// boundary exchange, so the model must be large enough that per-sweep
+// compute dominates per-sweep messaging. On the 2061-state system 0
+// the exchange tax loses; on the paper's 106k-state system 1 it wins.
+type ShardScalingConfig struct {
+	// CC/MM/NN size the voting system (default 60,25,4 — Table 1
+	// system 1, 106,540 states: large enough that a sweep's compute
+	// outweighs its boundary exchange).
+	CC, MM, NN int
+	// Points is the number of s-points kept from the contour (default 1
+	// — the single-solve regime sharding exists for).
+	Points int
+	// Workers lists the fleet sizes to measure (default {2, 4}).
+	Workers []int
+}
+
+func (c ShardScalingConfig) withDefaults() ShardScalingConfig {
+	if c.CC == 0 {
+		c.CC, c.MM, c.NN = 60, 25, 4
+	}
+	if c.Points == 0 {
+		c.Points = 1
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{2, 4}
+	}
+	return c
+}
+
+// ShardRow is one measured worker count. Both arms carry a measured
+// wall time and a projected one. The projection is the Table 2
+// methodology for single-machine hosts: loopback fleets on one box
+// serialize the workers' compute, so the measured wall is (overhead +
+// total compute) while a real cluster pays (overhead + critical path).
+// Projected = wall − total compute + critical path, where the mono
+// arm's critical path is the busiest worker's share of the solve
+// phases and the shard arm's is the per-sweep maximum member compute
+// summed across sweeps (reported by the shard session). Exchange and
+// framing overhead stays in both projections at its measured cost.
+type ShardRow struct {
+	Workers          int     `json:"workers"`
+	Points           int     `json:"points"`
+	States           int     `json:"states"`
+	MonoSeconds      float64 `json:"mono_seconds"`
+	MonoProjSeconds  float64 `json:"mono_projected_seconds"`
+	ShardSeconds     float64 `json:"shard_seconds"`
+	ShardProjSeconds float64 `json:"shard_projected_seconds"`
+	// ProjSpeedup is mono_projected / shard_projected: > 1 means the
+	// sharded solve beats the monolithic fleet path at the same worker
+	// count once per-worker compute runs concurrently.
+	ProjSpeedup    float64 `json:"projected_speedup"`
+	ShardSweeps    int64   `json:"shard_sweeps"`
+	ShardExchanged int64   `json:"shard_exchanged_values"`
+	// MaxDelta is the largest |shard − mono| over every vector entry of
+	// every s-point: the differential guarantee, enforced ≤ 1e-6. The
+	// arms agree to solver tolerance, not bit-exactly: the farm warm
+	// starts within each worker's batch while the shard conductor warm
+	// starts across the whole contour, so solutions may differ by
+	// O(Epsilon = 1e-8). (The pipeline's differential tests pin the
+	// 1e-12 agreement under matching warm schedules.)
+	MaxDelta float64 `json:"max_delta"`
+}
+
+// ShardScaling measures sharded against monolithic fleet solves at
+// equal worker counts and verifies the two paths agree on every vector
+// entry. Both arms run warm-started workers on loopback TCP.
+func ShardScaling(cfg ShardScalingConfig) ([]ShardRow, error) {
+	cfg = cfg.withDefaults()
+	m, err := hydra.VotingConfig(cfg.CC, cfg.MM, cfg.NN)
+	if err != nil {
+		return nil, err
+	}
+	p2 := m.PlaceIndex("p2")
+	cc := int32(cfg.CC)
+	targets := m.States(func(mk hydra.Marking) bool { return mk[p2] >= cc })
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("experiments: no all-voted states")
+	}
+	warmOpts := &hydra.Options{}
+	warmOpts.Solver.WarmStart = true
+	spec, err := m.NewPassageSpec("shard-scaling", targets, []float64{float64(cfg.CC)}, false, warmOpts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Points < len(spec.Points) {
+		spec.Points = spec.Points[:cfg.Points]
+	}
+
+	var rows []ShardRow
+	for _, w := range cfg.Workers {
+		monoSpec := *spec
+		monoVecs, monoStats, monoSecs, err := runShardArm(m, &monoSpec, w, warmOpts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: mono arm (%d workers): %w", w, err)
+		}
+		shardSpec := *spec
+		shardSpec.ShardHint = w
+		shardVecs, shardStats, shardSecs, err := runShardArm(m, &shardSpec, w, warmOpts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: shard arm (%d workers): %w", w, err)
+		}
+
+		// Differential guarantee first: a fast wrong answer is not a
+		// datapoint.
+		var maxDelta float64
+		for i := range monoVecs {
+			for j := range monoVecs[i] {
+				if d := cmplx.Abs(shardVecs[i][j] - monoVecs[i][j]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		if maxDelta > 1e-6 {
+			return nil, fmt.Errorf("experiments: sharded solve diverged from monolithic by %g (%d workers)", maxDelta, w)
+		}
+
+		// Mono projection: solve-phase compute is summed across workers;
+		// the busiest worker's share is the farm's critical path.
+		monoCompute := (monoStats.Phases[pipeline.PhaseKernelFill] + monoStats.Phases[pipeline.PhaseSolve]).Seconds()
+		maxShare := 0.0
+		total := 0
+		for _, n := range monoStats.PerWorker {
+			total += n
+		}
+		for _, n := range monoStats.PerWorker {
+			if share := float64(n) / float64(max(total, 1)); share > maxShare {
+				maxShare = share
+			}
+		}
+		monoProj := monoSecs - monoCompute + monoCompute*maxShare
+
+		// Shard projection: the session reports total member compute and
+		// the per-sweep maximum summed across sweeps (the critical path).
+		shardCompute := time.Duration(shardStats.ShardComputeNS).Seconds()
+		shardCritical := time.Duration(shardStats.ShardCriticalNS).Seconds()
+		shardProj := shardSecs - shardCompute + shardCritical
+
+		rows = append(rows, ShardRow{
+			Workers: w, Points: len(spec.Points), States: spec.ModelStates,
+			MonoSeconds: monoSecs, MonoProjSeconds: monoProj,
+			ShardSeconds: shardSecs, ShardProjSeconds: shardProj,
+			ProjSpeedup:    monoProj / shardProj,
+			ShardSweeps:    shardStats.ShardSweeps,
+			ShardExchanged: shardStats.ShardExchanged,
+			MaxDelta:       maxDelta,
+		})
+	}
+	return rows, nil
+}
+
+// runShardArm executes the spec on a fresh loopback fleet of w
+// warm-started workers and reports the vectors, stats and the wall time
+// of Execute alone (workers connect before the clock starts, matching
+// how a resident service amortizes handshakes). BatchSize 1 gives the
+// monolithic arm its best farm parallelism; the sharded arm ignores
+// batching entirely.
+func runShardArm(m *hydra.Model, spec *hydra.SolveSpec, w int, opts *hydra.Options) ([][]complex128, *hydra.RunStats, float64, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	fleet := pipeline.NewFleet(ln, pipeline.FleetOptions{
+		BatchSize:    1,
+		ShardOptions: opts.Solver,
+	})
+	defer fleet.Close()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, w)
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = m.RunWorker(ln.Addr().String(), fmt.Sprintf("w%d", i), opts)
+		}(i)
+	}
+	for deadline := time.Now().Add(10 * time.Second); len(fleet.Snapshot().Connected) < w; {
+		if time.Now().After(deadline) {
+			return nil, nil, 0, fmt.Errorf("only %d/%d workers joined the fleet", len(fleet.Snapshot().Connected), w)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	start := time.Now()
+	vecs, stats, err := fleet.Execute(spec, nil)
+	secs := time.Since(start).Seconds()
+	fleet.Close()
+	wg.Wait()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for i, werr := range workerErrs {
+		if werr != nil {
+			return nil, nil, 0, fmt.Errorf("fleet worker %d: %w", i, werr)
+		}
+	}
+	return vecs, stats, secs, nil
+}

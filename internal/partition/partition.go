@@ -46,6 +46,17 @@ func BalancedRows(weights []int, parts int) []Range {
 	for _, w := range weights {
 		total += int64(w)
 	}
+	if total == 0 {
+		// Degenerate weights (e.g. a kernel probe before any fill, or an
+		// all-zero row-cost estimate) used to collapse every row into the
+		// final range; fall back to balancing by row count instead.
+		out := make([]Range, 0, parts)
+		for p := 0; p < parts; p++ {
+			lo, hi := p*n/parts, (p+1)*n/parts
+			out = append(out, Range{Lo: lo, Hi: hi})
+		}
+		return out
+	}
 	out := make([]Range, 0, parts)
 	target := float64(total) / float64(parts)
 	lo := 0
@@ -63,6 +74,54 @@ func BalancedRows(weights []int, parts int) []Range {
 		}
 	}
 	out = append(out, Range{Lo: lo, Hi: n})
+	return out
+}
+
+// ShardBlocks splits n states into at most parts contiguous row blocks
+// for a sharded distributed solve. Balancing is by row count — the
+// conductor assigns blocks before any worker has filled a kernel, so it
+// has no per-row cost to weigh — with one structural constraint: a
+// maximal run of consecutive target states is never split across
+// blocks. Target rows are absorbing in U′ and get their values pinned
+// during sweeps; keeping a run on one shard keeps that per-sweep fix-up
+// local instead of turning every target row into exchanged boundary
+// state. Fewer (never empty) blocks are returned when parts exceeds the
+// number of splittable units.
+func ShardBlocks(n, parts int, targets []int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		panic(fmt.Sprintf("partition: non-positive part count %d", parts))
+	}
+	isTarget := make([]bool, n)
+	for _, t := range targets {
+		if t >= 0 && t < n {
+			isTarget[t] = true
+		}
+	}
+	// Unsplittable units: each maximal target run is one unit, every
+	// other row its own unit.
+	var units []Range
+	for i := 0; i < n; {
+		j := i + 1
+		if isTarget[i] {
+			for j < n && isTarget[j] {
+				j++
+			}
+		}
+		units = append(units, Range{Lo: i, Hi: j})
+		i = j
+	}
+	weights := make([]int, len(units))
+	for u, r := range units {
+		weights[u] = r.Hi - r.Lo
+	}
+	grouped := BalancedRows(weights, parts)
+	out := make([]Range, len(grouped))
+	for k, g := range grouped {
+		out[k] = Range{Lo: units[g.Lo].Lo, Hi: units[g.Hi-1].Hi}
+	}
 	return out
 }
 

@@ -65,6 +65,90 @@ func TestBalancedRowsMorePartsThanRows(t *testing.T) {
 	}
 }
 
+// Regression: all-zero weights used to dump every row into the final
+// range; now they balance by row count.
+func TestBalancedRowsZeroWeights(t *testing.T) {
+	ranges := BalancedRows(make([]int, 4), 2)
+	if len(ranges) != 2 || ranges[0] != (Range{0, 2}) || ranges[1] != (Range{2, 4}) {
+		t.Fatalf("zero weights split as %v, want [{0 2} {2 4}]", ranges)
+	}
+	pos := 0
+	for _, rg := range BalancedRows(make([]int, 7), 3) {
+		if rg.Lo != pos || rg.Hi <= rg.Lo {
+			t.Fatalf("zero-weight ranges not contiguous/non-empty: %v", rg)
+		}
+		pos = rg.Hi
+	}
+	if pos != 7 {
+		t.Fatalf("zero-weight ranges cover %d rows, want 7", pos)
+	}
+}
+
+func checkShardCover(t *testing.T, ranges []Range, n int) {
+	t.Helper()
+	pos := 0
+	for _, rg := range ranges {
+		if rg.Lo != pos || rg.Hi <= rg.Lo {
+			t.Fatalf("ranges %v: not contiguous non-empty at %v", ranges, rg)
+		}
+		pos = rg.Hi
+	}
+	if pos != n {
+		t.Fatalf("ranges %v cover %d rows, want %d", ranges, pos, n)
+	}
+}
+
+// Regression: more parts than states must yield fewer, non-empty blocks,
+// never empty ones.
+func TestShardBlocksFewerStatesThanParts(t *testing.T) {
+	ranges := ShardBlocks(3, 8, []int{1})
+	if len(ranges) > 3 {
+		t.Fatalf("3 states split into %d blocks", len(ranges))
+	}
+	checkShardCover(t, ranges, 3)
+}
+
+// Regression: a contiguous run of target states is never split across
+// blocks, even when the balanced cut would land inside it.
+func TestShardBlocksPinsTargetRuns(t *testing.T) {
+	n := 20
+	run := []int{8, 9, 10, 11, 12} // straddles the 2-way midpoint
+	for parts := 2; parts <= 4; parts++ {
+		ranges := ShardBlocks(n, parts, run)
+		checkShardCover(t, ranges, n)
+		for _, rg := range ranges {
+			if rg.Lo > run[0] && rg.Lo <= run[len(run)-1] {
+				t.Fatalf("parts=%d: cut at %d lands inside target run %v (ranges %v)",
+					parts, rg.Lo, run, ranges)
+			}
+		}
+	}
+	// Property sweep: random target sets, every run stays whole.
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(60)
+		parts := 1 + r.Intn(6)
+		var targets []int
+		for i := 0; i < n; i++ {
+			if r.Intn(4) == 0 {
+				targets = append(targets, i)
+			}
+		}
+		ranges := ShardBlocks(n, parts, targets)
+		checkShardCover(t, ranges, n)
+		isT := make([]bool, n)
+		for _, tgt := range targets {
+			isT[tgt] = true
+		}
+		for _, rg := range ranges[1:] {
+			if rg.Lo > 0 && isT[rg.Lo] && isT[rg.Lo-1] {
+				t.Fatalf("trial %d: cut at %d splits a target run (targets %v, ranges %v)",
+					trial, rg.Lo, targets, ranges)
+			}
+		}
+	}
+}
+
 // ring builds a cyclic adjacency matrix of n states.
 func ring(n int) *sparse.CMatrix {
 	b := sparse.NewCBuilder(n, n)

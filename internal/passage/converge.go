@@ -1,0 +1,48 @@
+package passage
+
+import "math"
+
+// convGauge is the shared truncation judge for the Eq. (10) iterations:
+// the cold series, the warm refinement, and the sharded distributed
+// sweep all feed it one scalar per sweep (the max-norm of the last
+// increment) and stop when it says so. Centralising the rule matters
+// for the sharded solve, whose conductor must reach the same stopping
+// decision at the same sweep as the monolithic loop it replaces —
+// otherwise the differential harness could only compare to solver
+// tolerance instead of exactly.
+type convGauge struct {
+	opts  Options
+	hits  int
+	prevM float64
+}
+
+func newConvGauge(opts Options) convGauge {
+	return convGauge{opts: opts, prevM: math.Inf(1)}
+}
+
+// converged reports whether the iteration may stop after a sweep whose
+// increment max-norm was m. Exactly one call per sweep: the MassBound
+// branch tracks the decay ratio between consecutive sweeps and the
+// PaperIncrement branch counts consecutive sub-Epsilon hits.
+func (g *convGauge) converged(m float64) bool {
+	switch g.opts.Criterion {
+	case PaperIncrement:
+		if m < g.opts.Epsilon {
+			g.hits++
+			return g.hits >= g.opts.ConsecutiveHits
+		}
+		g.hits = 0
+		return false
+	default: // MassBound
+		ok := false
+		if m < g.opts.Epsilon {
+			rho := 0.0
+			if g.prevM > 0 && !math.IsInf(g.prevM, 1) {
+				rho = m / g.prevM
+			}
+			ok = rho < 1 && m*rho/(1-rho) < g.opts.Epsilon
+		}
+		g.prevM = m
+		return ok
+	}
+}

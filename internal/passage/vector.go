@@ -68,36 +68,15 @@ func (sv *Solver) IterativeVectorLST(s complex128, targets []int) ([]complex128,
 	// The increment to any L_i at depth r is (U·c_r)_i, bounded by
 	// ‖c_r‖∞ since every |U| row sum is below 1 for Re(s) > 0 — so the
 	// max norm plays the role the ℓ1 norm plays in the row iteration.
-	hits := 0
-	prevM := math.Inf(1)
+	gauge := newConvGauge(sv.opts)
 	for r := 1; r <= sv.opts.MaxR; r++ {
 		sv.mulSkipCol(sv.acc, sv.next)
 		sv.acc, sv.next = sv.next, sv.acc
 		for i := range z {
 			z[i] += sv.acc[i]
 		}
-		m := maxNorm(sv.acc)
-		switch sv.opts.Criterion {
-		case PaperIncrement:
-			if m < sv.opts.Epsilon {
-				hits++
-				if hits >= sv.opts.ConsecutiveHits {
-					return finish(r)
-				}
-			} else {
-				hits = 0
-			}
-		default: // MassBound
-			if m < sv.opts.Epsilon {
-				rho := 0.0
-				if prevM > 0 && !math.IsInf(prevM, 1) {
-					rho = m / prevM
-				}
-				if rho < 1 && m*rho/(1-rho) < sv.opts.Epsilon {
-					return finish(r)
-				}
-			}
-			prevM = m
+		if gauge.converged(maxNorm(sv.acc)) {
+			return finish(r)
 		}
 	}
 	return nil, sv.opts.MaxR, fmt.Errorf("%w: %d transitions at s=%v (remaining mass %g)",
@@ -130,8 +109,7 @@ func (sv *Solver) warmRefine(s complex128) ([]complex128, int, error) {
 	default:
 		copy(x, p.dirZ)
 	}
-	hits := 0
-	prevM := math.Inf(1)
+	gauge := newConvGauge(sv.opts)
 	for r := 1; r <= sv.opts.MaxR; r++ {
 		sv.lastSweeps = r
 		sv.mulSkipCol(x, y) // y = U′·x; target rows come back zeroed
@@ -148,26 +126,7 @@ func (sv *Solver) warmRefine(s complex128) ([]complex128, int, error) {
 			}
 		}
 		x, y = y, x
-		converged := false
-		switch sv.opts.Criterion {
-		case PaperIncrement:
-			if m < sv.opts.Epsilon {
-				hits++
-				converged = hits >= sv.opts.ConsecutiveHits
-			} else {
-				hits = 0
-			}
-		default: // MassBound
-			if m < sv.opts.Epsilon {
-				rho := 0.0
-				if prevM > 0 && !math.IsInf(prevM, 1) {
-					rho = m / prevM
-				}
-				converged = rho < 1 && m*rho/(1-rho) < sv.opts.Epsilon
-			}
-			prevM = m
-		}
-		if converged {
+		if gauge.converged(m) {
 			sv.acc, sv.next = x, y
 			// out = U·z, but at the fixed point U′·z = z − e⃗, and U′
 			// differs from U only in the zeroed target rows — so the

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hydra/internal/obs"
+	"hydra/internal/passage"
 )
 
 // Wire protocol v3 — the vector-engine upgrade of the v2 resident-fleet
@@ -29,10 +30,21 @@ import (
 //   - a worker that fails mid-frame-stream has exactly its unfinished
 //     points requeued, as v2 did for whole batches.
 
-// ProtocolVersion is the fleet wire protocol generation. A master and
-// worker must agree exactly; the handshake enforces it. v3 carries
-// vector results (chunked frames) where v2 carried scalars.
-const ProtocolVersion = 3
+// ProtocolVersion is the fleet wire protocol generation. Workers
+// announce theirs in the hello; the master accepts its own generation
+// and, for unsharded batch work, the previous one. v4 adds sharded
+// solves — contiguous row blocks of one kernel held by different
+// workers, exchanging boundary sub-vector values between lock-step
+// sweeps — and moves post-handshake framing into gob interface
+// envelopes so heterogeneous shard and batch messages can share a
+// connection. v3 carried vector results (chunked frames) where v2
+// carried scalars; v3 streams stay bare-framed.
+const ProtocolVersion = 4
+
+// oldestServedVersion is the earliest worker generation the master
+// still serves. v3 workers receive batch assignments exactly as a v3
+// master sent them; only sharded runs require v4.
+const oldestServedVersion = 3
 
 // helloV2Msg opens a fleet connection (worker → master). The struct
 // (and its wire name) is shared by protocol generations v2+ — only the
@@ -42,6 +54,11 @@ type helloV2Msg struct {
 	Version    int
 	WorkerName string
 	Models     []modelAd
+	// NoShard, announced by v4+ workers, opts the worker out of hosting
+	// shard blocks; it still serves whole s-point batches. Absent from
+	// v3 hellos (decoding false) — the version check alone keeps v3
+	// workers out of sharded runs.
+	NoShard bool
 }
 
 // modelAd advertises one model a worker holds.
@@ -155,6 +172,12 @@ type FleetOptions struct {
 	// Logf receives diagnostics (rejected handshakes, requeues). Nil
 	// discards them.
 	Logf func(format string, args ...any)
+	// ShardOptions is the solver configuration for sharded (wire v4)
+	// runs: it drives the conductor's convergence gauge and warm-start
+	// policy, and must match the options the workers build their shard
+	// members with. The zero value uses the solver defaults with warm
+	// starts off.
+	ShardOptions passage.Options
 }
 
 func (o FleetOptions) withDefaults() FleetOptions {
@@ -186,7 +209,8 @@ type Fleet struct {
 	connWG   sync.WaitGroup // live serveConn goroutines
 	conns    map[*fleetConn]struct{}
 	runs     map[int64]*fleetRun
-	runOrder []int64 // ascending registration order, for fair dispatch
+	runOrder []int64         // ascending registration order, for fair dispatch
+	recruits []*shardRecruit // open calls for shard members (sharded runs)
 	nextRun  int64
 	closed   bool
 	closedCh chan struct{}
@@ -198,10 +222,60 @@ type Fleet struct {
 type fleetConn struct {
 	name      string
 	conn      net.Conn
+	version   int            // negotiated wire generation (3 or 4)
+	shardOK   bool           // v4 worker that will host shard blocks
 	models    map[string]int // fingerprint → state count
 	started   map[int64]bool // runs this worker has the header of
 	assigned  int            // points handed to this worker (lifetime)
 	completed int            // points it answered (lifetime)
+}
+
+// fleetCodec frames post-handshake traffic for one worker connection.
+// v3 streams are bare gob — each side statically knows the next message
+// type, exactly as a v3 master framed them. v4 streams wrap every
+// message in a gob interface envelope, so the registered wire name
+// travels with each message and a connection can interleave batch
+// assignments with shard traffic. The handshake itself is always bare:
+// that is what keeps mixed-generation rejects readable.
+type fleetCodec struct {
+	version int
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+}
+
+// send writes one message under the connection's framing.
+func (k *fleetCodec) send(msg any) error {
+	if k.version >= 4 {
+		return k.enc.Encode(&msg)
+	}
+	return k.enc.Encode(msg)
+}
+
+// recvAny reads one enveloped message (v4 streams only).
+func (k *fleetCodec) recvAny() (any, error) {
+	var msg any
+	if err := k.dec.Decode(&msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// recvResult reads the next result-frame message under the
+// connection's framing.
+func (k *fleetCodec) recvResult(res *resultFrameV3Msg) error {
+	if k.version < 4 {
+		return k.dec.Decode(res)
+	}
+	msg, err := k.recvAny()
+	if err != nil {
+		return err
+	}
+	r, ok := msg.(resultFrameV3Msg)
+	if !ok {
+		return fmt.Errorf("pipeline: expected result frames, got %T", msg)
+	}
+	*res = r
+	return nil
 }
 
 // fleetRun is one Execute in progress.
@@ -325,8 +399,14 @@ func (f *Fleet) acceptLoop() {
 
 // Execute implements Backend: it farms the spec's uncached s-points out
 // to every connected worker holding the spec's model, requeueing
-// batches lost to failed workers, until all vectors are in.
+// batches lost to failed workers, until all vectors are in. A spec
+// carrying a ShardHint instead splits each solve's kernel into row
+// blocks across several workers (executeSharded); transient solves and
+// specs without a known state count always take the batch path.
 func (f *Fleet) Execute(spec *SolveSpec, cache Cache) ([][]complex128, *RunStats, error) {
+	if spec.ShardHint > 1 && spec.Quantity != TransientDist && spec.ModelStates > 0 {
+		return f.executeSharded(spec, cache)
+	}
 	start := time.Now()
 	values := make([][]complex128, len(spec.Points))
 	have := make([]bool, len(spec.Points))
@@ -507,15 +587,21 @@ func (f *Fleet) requeue(run *fleetRun, indices []int, worker string) {
 // state count (hand-built specs) matches any worker — mirroring v1's
 // MasterOptions.ModelStates == 0 escape hatch.
 func (c *fleetConn) serves(r *fleetRun) bool {
-	if r.header.ModelFP != "" {
-		states, ok := c.models[r.header.ModelFP]
-		return ok && (r.header.ModelStates == 0 || states == r.header.ModelStates)
+	return c.servesHeader(&r.header)
+}
+
+// servesHeader is the model-match check shared by batch dispatch and
+// shard recruiting.
+func (c *fleetConn) servesHeader(h *runHeaderV3Msg) bool {
+	if h.ModelFP != "" {
+		states, ok := c.models[h.ModelFP]
+		return ok && (h.ModelStates == 0 || states == h.ModelStates)
 	}
-	if r.header.ModelStates == 0 {
+	if h.ModelStates == 0 {
 		return true
 	}
 	for _, states := range c.models {
-		if states == r.header.ModelStates {
+		if states == h.ModelStates {
 			return true
 		}
 	}
@@ -536,17 +622,34 @@ func (f *Fleet) capableConns(run *fleetRun) int {
 }
 
 // nextBatch blocks until the connection has work (or the fleet closes,
-// returning a nil run). It pops a contiguous contour segment from the
-// front of the oldest servable run's sorted queue — whole segments on
-// one worker are what let a prepared model warm-start each solve from
-// its neighbour — and collects the IDs of ended runs the worker still
-// remembers.
-func (f *Fleet) nextBatch(c *fleetConn) (*fleetRun, []int, []int64) {
+// returning a nil run). Shard recruiting takes priority: an idle
+// shard-capable connection matching an open recruit is enlisted as a
+// shard member (fourth return) instead of receiving a batch. Otherwise
+// it pops a contiguous contour segment from the front of the oldest
+// servable run's sorted queue — whole segments on one worker are what
+// let a prepared model warm-start each solve from its neighbour — and
+// collects the IDs of ended runs the worker still remembers.
+func (f *Fleet) nextBatch(c *fleetConn) (*fleetRun, []int, []int64, *shardMemberConn) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for {
 		if f.closed {
-			return nil, nil, nil
+			return nil, nil, nil, nil
+		}
+		if c.shardOK {
+			for _, rec := range f.recruits {
+				if rec.need > 0 && !rec.taken[c] && c.servesHeader(rec.header) {
+					rec.need--
+					rec.taken[c] = true
+					smc := &shardMemberConn{
+						c:    c,
+						req:  make(chan shardRequest),
+						done: make(chan struct{}),
+					}
+					rec.members <- smc // buffered to the recruit's full size
+					return nil, nil, nil, smc
+				}
+			}
 		}
 		for _, id := range f.runOrder {
 			r := f.runs[id]
@@ -572,7 +675,7 @@ func (f *Fleet) nextBatch(c *fleetConn) (*fleetRun, []int, []int64) {
 					forget = append(forget, id)
 				}
 			}
-			return r, batch, forget
+			return r, batch, forget, nil
 		}
 		f.cond.Wait()
 	}
@@ -609,7 +712,7 @@ func (f *Fleet) batchCapLocked(r *fleetRun) int {
 // the worker marks the stream Last, reassembling chunked vectors. It
 // returns the completed point results and the assigned indices that
 // never completed (to requeue), plus any transport error.
-func (f *Fleet) collectFrames(c *fleetConn, dec *gob.Decoder, runID int64, indices []int) (results []pointResultVec, missing []int, phaseNS map[string]int64, depth, warm, saved int64, err error) {
+func (f *Fleet) collectFrames(c *fleetConn, kod *fleetCodec, runID int64, indices []int) (results []pointResultVec, missing []int, phaseNS map[string]int64, depth, warm, saved int64, err error) {
 	type assembly struct {
 		vec      []complex128
 		received int
@@ -624,7 +727,7 @@ func (f *Fleet) collectFrames(c *fleetConn, dec *gob.Decoder, runID int64, indic
 	for {
 		var res resultFrameV3Msg
 		c.conn.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout))
-		if err := dec.Decode(&res); err != nil || res.RunID != runID {
+		if err := kod.recvResult(&res); err != nil || res.RunID != runID {
 			if err == nil {
 				err = fmt.Errorf("pipeline: worker %q answered run %d with frames for run %d", c.name, runID, res.RunID)
 			}
@@ -713,11 +816,11 @@ func (f *Fleet) serveConn(conn net.Conn) {
 		conn.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
 		enc.Encode(welcomeMsg{Version: ProtocolVersion, ModelStates: -1, Reject: reason})
 	}
-	if hello.Version != ProtocolVersion {
+	if hello.Version != ProtocolVersion && hello.Version != oldestServedVersion {
 		// A v1 worker's hello has no Version field, so it decodes as 0;
 		// a v2 worker announces 2. Both reject readably.
-		reject(fmt.Sprintf("master speaks wire protocol v%d but worker %q announced v%d; deploy matching hydra binaries",
-			ProtocolVersion, hello.WorkerName, hello.Version))
+		reject(fmt.Sprintf("master speaks wire protocol v%d (still serving v%d batch workers) but worker %q announced v%d; deploy matching hydra binaries",
+			ProtocolVersion, oldestServedVersion, hello.WorkerName, hello.Version))
 		return
 	}
 	if len(hello.Models) == 0 {
@@ -739,17 +842,23 @@ func (f *Fleet) serveConn(conn net.Conn) {
 			return
 		}
 	}
+	// The welcome echoes the worker's own generation, which is the
+	// framing both sides use from here on: a v3 worker's strict
+	// Version == 3 check still passes against this master.
 	conn.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
-	if err := enc.Encode(welcomeMsg{Version: ProtocolVersion}); err != nil {
+	if err := enc.Encode(welcomeMsg{Version: hello.Version}); err != nil {
 		return
 	}
 
 	c := &fleetConn{
 		name:    hello.WorkerName,
 		conn:    conn,
+		version: hello.Version,
+		shardOK: hello.Version >= 4 && !hello.NoShard,
 		models:  make(map[string]int, len(hello.Models)),
 		started: make(map[int64]bool),
 	}
+	kod := &fleetCodec{version: hello.Version, enc: enc, dec: dec}
 	for _, ad := range hello.Models {
 		c.models[ad.Fingerprint] = ad.States
 	}
@@ -760,7 +869,7 @@ func (f *Fleet) serveConn(conn net.Conn) {
 		// reach it: bound the farewell by the grace period, not the
 		// residual IdleTimeout deadline.
 		conn.SetWriteDeadline(time.Now().Add(closeGrace))
-		enc.Encode(assignBatchV3Msg{Done: true})
+		kod.send(assignBatchV3Msg{Done: true})
 		return
 	}
 	f.conns[c] = struct{}{}
@@ -777,11 +886,20 @@ func (f *Fleet) serveConn(conn net.Conn) {
 
 	for {
 		idleStart := time.Now()
-		run, indices, forget := f.nextBatch(c)
+		run, indices, forget, member := f.nextBatch(c)
 		fleetWorkerIdle.With(c.name).Add(time.Since(idleStart).Seconds())
+		if member != nil {
+			// The connection serves as a shard member until the conductor
+			// releases it (resume batches) or the transport fails (tear
+			// down; the conductor re-shards without this worker).
+			if err := f.serveMember(c, kod, member); err != nil {
+				return
+			}
+			continue
+		}
 		if run == nil {
 			conn.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
-			enc.Encode(assignBatchV3Msg{Done: true})
+			kod.send(assignBatchV3Msg{Done: true})
 			return
 		}
 		msg := assignBatchV3Msg{
@@ -798,7 +916,7 @@ func (f *Fleet) serveConn(conn net.Conn) {
 			msg.Header = &h
 		}
 		conn.SetWriteDeadline(time.Now().Add(f.opts.IdleTimeout))
-		if err := enc.Encode(msg); err != nil {
+		if err := kod.send(msg); err != nil {
 			f.requeue(run, indices, c.name)
 			return
 		}
@@ -808,7 +926,7 @@ func (f *Fleet) serveConn(conn net.Conn) {
 			delete(c.started, id)
 		}
 		batchStart := time.Now()
-		results, missing, phaseNS, depth, warm, saved, err := f.collectFrames(c, dec, run.id, indices)
+		results, missing, phaseNS, depth, warm, saved, err := f.collectFrames(c, kod, run.id, indices)
 		batchTime := time.Since(batchStart)
 		fleetBatchDuration.With(c.name).Observe(batchTime.Seconds())
 		fleetCompletedPoints.With(c.name).Add(float64(len(results)))

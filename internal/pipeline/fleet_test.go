@@ -75,7 +75,9 @@ func dialV3(t *testing.T, addr, name string, ads []modelAd, eval Evaluator) *raw
 		t.Fatal(err)
 	}
 	w := &rawV3Worker{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), eval: eval}
-	if err := w.enc.Encode(helloV2Msg{Version: ProtocolVersion, WorkerName: name, Models: ads}); err != nil {
+	// Announces the literal previous generation: a rawV3Worker speaks
+	// bare-framed v3, which the v4 master still serves for batch work.
+	if err := w.enc.Encode(helloV2Msg{Version: 3, WorkerName: name, Models: ads}); err != nil {
 		t.Fatalf("hello: %v", err)
 	}
 	var welcome welcomeMsg
@@ -318,7 +320,7 @@ func TestFleetRejectsFutureVersion(t *testing.T) {
 	if welcome.ModelStates != -1 {
 		t.Errorf("reject welcome carries ModelStates %d, want the -1 sentinel", welcome.ModelStates)
 	}
-	for _, want := range []string{"v3", "v99", "tomorrow"} {
+	for _, want := range []string{"v4", "v3", "v99", "tomorrow"} {
 		if !strings.Contains(welcome.Reject, want) {
 			t.Errorf("reject reason %q missing %q", welcome.Reject, want)
 		}

@@ -4,11 +4,13 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"strconv"
 	"time"
 
 	"hydra/internal/obs"
+	"hydra/internal/passage"
 )
 
 // ErrHandshakeRejected reports a master that refused this worker's
@@ -27,14 +29,25 @@ type WorkerModel struct {
 	Fingerprint string
 	States      int
 	Evaluator   Evaluator
+
+	// NewShard builds a member holding rows [lo, hi) of the spec's
+	// kernel, for sharded (wire v4) solves: the master conducts the
+	// distributed sweep, this member fills and iterates only its block.
+	// Nil means the model cannot be sharded; a worker none of whose
+	// models shard announces NoShard and serves only whole-point
+	// batches. RunWorkerWith wires passage.NewShardSolver in here.
+	NewShard func(spec *SolveSpec, lo, hi int) (passage.ShardMember, error)
 }
 
-// FleetWork connects to a fleet master (wire protocol v3), advertises
-// the given models, and evaluates assignment batches — streaming each
-// point's transform vector back as chunked frames — until the master
-// shuts the fleet down (nil return) or the connection fails (error —
-// callers that want a resident worker reconnect with backoff, which is
-// what cmd/hydra-worker's -reconnect flag does).
+// FleetWork connects to a fleet master (wire protocol v4), advertises
+// the given models, and serves until the master shuts the fleet down
+// (nil return) or the connection fails (error — callers that want a
+// resident worker reconnect with backoff, which is what
+// cmd/hydra-worker's -reconnect flag does). The worker serves two kinds
+// of work over one connection: assignment batches (whole s-points,
+// vectors streamed back as chunked frames) and shard memberships (the
+// worker holds one row block of a solve's kernel and answers the
+// master's lock-step sweep messages).
 func FleetWork(addr string, models []WorkerModel, opts WorkerOptions) error {
 	if opts.DialTimeout == 0 {
 		opts.DialTimeout = 10 * time.Second
@@ -61,10 +74,24 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 
-	hello := helloV2Msg{Version: ProtocolVersion, WorkerName: opts.Name}
+	// A worker with no shardable model opts out up front, so the master
+	// never recruits it into a sharded run it would have to refuse.
+	noShard := opts.NoShard
+	if !noShard {
+		noShard = true
+		for _, m := range models {
+			if m.NewShard != nil {
+				noShard = false
+				break
+			}
+		}
+	}
+	hello := helloV2Msg{Version: ProtocolVersion, WorkerName: opts.Name, NoShard: noShard}
 	for _, m := range models {
 		hello.Models = append(hello.Models, modelAd{Fingerprint: m.Fingerprint, States: m.States})
 	}
+	// The handshake is bare gob in both directions — that is what lets
+	// mixed-generation pairs exchange readable rejects.
 	if err := enc.Encode(hello); err != nil {
 		return fmt.Errorf("pipeline: hello: %w", err)
 	}
@@ -79,7 +106,7 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 		return ErrHandshakeRejected
 	case welcome.Version != ProtocolVersion:
 		// A v1 master's job header decodes here with Version == 0: it
-		// does not speak the fleet protocol at all.
+		// does not speak the fleet protocol at all. A v3 master echoes 3.
 		return fmt.Errorf("%w: master speaks wire protocol v%d but this worker speaks v%d; deploy matching hydra binaries",
 			ErrHandshakeRejected, welcome.Version, ProtocolVersion)
 	}
@@ -89,101 +116,254 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 		"worker", opts.Name, "master", conn.RemoteAddr().String(),
 		"wire_version", welcome.Version, "models", len(models))
 
-	runs := make(map[int64]*workerRun)
+	// Post-handshake, v4 traffic travels in gob interface envelopes: the
+	// registered wire name rides with each message, so batch and shard
+	// messages interleave on one stream.
+	w := &fleetWorker{
+		opts:        opts,
+		models:      models,
+		log:         log,
+		frameValues: frameValues,
+		send:        func(msg any) error { return enc.Encode(&msg) },
+		runs:        make(map[int64]*workerRun),
+		shards:      make(map[int64]*workerShardRun),
+	}
 	for {
-		var a assignBatchV3Msg
-		if err := dec.Decode(&a); err != nil {
-			return fmt.Errorf("pipeline: receiving assignment: %w", err)
+		var msg any
+		if err := dec.Decode(&msg); err != nil {
+			return fmt.Errorf("pipeline: receiving from master: %w", err)
 		}
-		if a.Done {
-			log.Info("fleet master dismissed worker", "worker", opts.Name)
-			return nil
-		}
-		for _, id := range a.Forget {
-			delete(runs, id)
-		}
-		wr := runs[a.RunID]
-		if wr == nil {
-			if a.Header == nil {
-				return fmt.Errorf("pipeline: master assigned unknown run %d without a header", a.RunID)
-			}
-			wm, err := matchWorkerModel(models, a.Header)
-			if err != nil {
-				return err
-			}
-			wr = &workerRun{
-				spec: &SolveSpec{
-					Name:        a.Header.Name,
-					Quantity:    a.Header.Quantity,
-					Targets:     a.Header.Targets,
-					ModelFP:     a.Header.ModelFP,
-					ModelStates: a.Header.ModelStates,
-					TraceID:     a.Header.TraceID,
-				},
-				eval: wm.Evaluator,
-			}
-			runs[a.RunID] = wr
-		}
-		// Evaluate the batch, streaming each vector back as frames no
-		// larger than frameValues complex values; the final message of
-		// the batch sets Last so the master knows the stream is over,
-		// and carries the batch's phase attribution for Stats.Phases.
-		workerAssignments.Inc()
-		batchStart := time.Now()
-		reporter, _ := wr.eval.(PhaseReporter)
-		warmer, _ := wr.eval.(WarmReporter)
-		var phaseNS map[string]int64
-		var depth, warmStarts, sweepsSaved int64
-		out := frameStream{enc: enc, runID: a.RunID, budget: frameValues}
-		for i, idx := range a.Indices {
-			vec, err := wr.eval.EvaluateVector(a.Points[i], wr.spec)
-			if reporter != nil {
-				fill, solve, d := reporter.LastPhases()
-				if phaseNS == nil {
-					phaseNS = make(map[string]int64, 2)
-				}
-				phaseNS[PhaseKernelFill] += fill.Nanoseconds()
-				phaseNS[PhaseSolve] += solve.Nanoseconds()
-				depth += int64(d)
-			}
-			if warmer != nil {
-				if w, s := warmer.LastWarmStart(); w {
-					warmStarts++
-					sweepsSaved += int64(s)
-				}
-			}
-			if err != nil {
-				workerPointErrors.Inc()
-				if serr := out.sendError(idx, err.Error()); serr != nil {
-					return serr
-				}
-				continue
-			}
-			workerPoints.Inc()
-			if serr := out.sendVector(idx, vec); serr != nil {
-				return serr
-			}
-		}
-		if err := out.finish(phaseNS, depth, warmStarts, sweepsSaved); err != nil {
+		done, err := w.handle(msg)
+		if err != nil || done {
 			return err
 		}
-		batchTime := time.Since(batchStart)
-		workerBatchDuration.Observe(batchTime.Seconds())
-		opts.Tracer.Record(obs.Span{
-			TraceID: wr.spec.TraceID, Name: "worker.batch", Worker: opts.Name,
-			Start: batchStart, Duration: batchTime,
-			Attrs: map[string]string{"spec": wr.spec.Name, "points": strconv.Itoa(len(a.Indices))},
-		})
-		log.Debug("evaluated assignment batch",
-			"worker", opts.Name, "trace_id", wr.spec.TraceID, "spec", wr.spec.Name,
-			"points", len(a.Indices), "duration", batchTime)
 	}
+}
+
+// fleetWorker is the post-handshake state of one fleet connection.
+type fleetWorker struct {
+	opts        WorkerOptions
+	models      []WorkerModel
+	log         *slog.Logger
+	frameValues int
+	send        func(msg any) error
+	runs        map[int64]*workerRun
+	shards      map[int64]*workerShardRun
+}
+
+// workerShardRun is the worker-side state of one shard membership: the
+// block-holding member plus the bookkeeping the reply messages need.
+type workerShardRun struct {
+	member  passage.ShardMember
+	spec    *SolveSpec
+	curIdx  int
+	planErr string // a failed SetBoundary, reported on the next point open
+}
+
+// computeNS extracts the member's pure compute time when it reports one.
+func (sr *workerShardRun) computeNS() int64 {
+	if rep, ok := sr.member.(passage.ShardComputeReporter); ok {
+		return rep.LastComputeNS()
+	}
+	return 0
+}
+
+// handle dispatches one enveloped master message. It returns done=true
+// on a clean dismissal.
+func (w *fleetWorker) handle(msg any) (done bool, err error) {
+	switch m := msg.(type) {
+	case assignBatchV3Msg:
+		if m.Done {
+			w.log.Info("fleet master dismissed worker", "worker", w.opts.Name)
+			return true, nil
+		}
+		return false, w.handleBatch(m)
+	case shardStartV4Msg:
+		return false, w.handleShardStart(m)
+	case shardPlanV4Msg:
+		if sr := w.shards[m.RunID]; sr != nil {
+			if err := sr.member.SetBoundary(m.Boundary); err != nil {
+				sr.planErr = err.Error()
+			}
+		}
+		return false, nil // fire-and-forget: errors surface on the next point open
+	case shardPointV4Msg:
+		return false, w.handleShardPoint(m)
+	case shardSweepV4Msg:
+		return false, w.handleShardSweep(m)
+	case shardEndV4Msg:
+		delete(w.shards, m.RunID)
+		return false, nil
+	default:
+		return false, fmt.Errorf("pipeline: master sent unexpected %T", msg)
+	}
+}
+
+// specFromHeader rebuilds the worker-side SolveSpec a run header
+// describes (the s-values travel separately, per assignment or point).
+func specFromHeader(h *runHeaderV3Msg) *SolveSpec {
+	return &SolveSpec{
+		Name:        h.Name,
+		Quantity:    h.Quantity,
+		Targets:     h.Targets,
+		ModelFP:     h.ModelFP,
+		ModelStates: h.ModelStates,
+		TraceID:     h.TraceID,
+	}
+}
+
+// handleShardStart accepts (or readably refuses) hosting one row block
+// of a sharded solve.
+func (w *fleetWorker) handleShardStart(m shardStartV4Msg) error {
+	refuse := func(reason string) error {
+		return w.send(shardReadyV4Msg{RunID: m.RunID, Err: reason})
+	}
+	if m.Header == nil {
+		return refuse("shard start carried no run header")
+	}
+	wm, err := matchWorkerModel(w.models, m.Header)
+	if err != nil {
+		return refuse(err.Error())
+	}
+	if wm.NewShard == nil {
+		return refuse(fmt.Sprintf("model %q on this worker has no shard constructor", m.Header.ModelFP))
+	}
+	spec := specFromHeader(m.Header)
+	member, err := wm.NewShard(spec, m.Lo, m.Hi)
+	if err != nil {
+		return refuse(err.Error())
+	}
+	w.shards[m.RunID] = &workerShardRun{member: member, spec: spec}
+	w.log.Info("hosting shard block",
+		"worker", w.opts.Name, "trace_id", spec.TraceID, "spec", spec.Name,
+		"lo", m.Lo, "hi", m.Hi, "halo", len(member.HaloColumns()))
+	return w.send(shardReadyV4Msg{RunID: m.RunID, HaloCols: member.HaloColumns()})
+}
+
+// handleShardPoint opens one s-point on the local block and answers the
+// seed's boundary values as the Seq-0 delta.
+func (w *fleetWorker) handleShardPoint(m shardPointV4Msg) error {
+	sr := w.shards[m.RunID]
+	if sr == nil {
+		return w.send(shardDeltaV4Msg{RunID: m.RunID, Err: fmt.Sprintf("worker holds no shard of run %d", m.RunID)})
+	}
+	if sr.planErr != "" {
+		return w.send(shardDeltaV4Msg{RunID: m.RunID, Err: "boundary plan failed: " + sr.planErr})
+	}
+	sr.curIdx = m.Index
+	boundary, err := sr.member.BeginPoint(m.S, m.Warm)
+	if err != nil {
+		workerPointErrors.Inc()
+		return w.send(shardDeltaV4Msg{RunID: m.RunID, Err: err.Error()})
+	}
+	return w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: 0, Boundary: boundary, ComputeNS: sr.computeNS()})
+}
+
+// handleShardSweep runs one lock-step sweep over the local block — or,
+// on Finish, closes the point and answers with the block's slice of the
+// converged vector.
+func (w *fleetWorker) handleShardSweep(m shardSweepV4Msg) error {
+	sr := w.shards[m.RunID]
+	if sr == nil {
+		if m.Finish {
+			return w.send(shardBlockV4Msg{RunID: m.RunID, Err: fmt.Sprintf("worker holds no shard of run %d", m.RunID)})
+		}
+		return w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq, Err: fmt.Sprintf("worker holds no shard of run %d", m.RunID)})
+	}
+	if m.Finish {
+		data, err := sr.member.Finish(m.Halo)
+		if err != nil {
+			workerPointErrors.Inc()
+			return w.send(shardBlockV4Msg{RunID: m.RunID, Index: sr.curIdx, Err: err.Error()})
+		}
+		workerPoints.Inc()
+		return w.send(shardBlockV4Msg{RunID: m.RunID, Index: sr.curIdx, Data: data, ComputeNS: sr.computeNS()})
+	}
+	boundary, norm, err := sr.member.Sweep(m.Halo)
+	if err != nil {
+		workerPointErrors.Inc()
+		return w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq, Err: err.Error()})
+	}
+	return w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq, Boundary: boundary, Norm: norm, ComputeNS: sr.computeNS()})
+}
+
+// handleBatch evaluates one assignment batch, streaming each point's
+// transform vector back as frames no larger than frameValues complex
+// values; the final message of the batch sets Last so the master knows
+// the stream is over, and carries the batch's phase attribution for
+// Stats.Phases.
+func (w *fleetWorker) handleBatch(a assignBatchV3Msg) error {
+	for _, id := range a.Forget {
+		delete(w.runs, id)
+	}
+	wr := w.runs[a.RunID]
+	if wr == nil {
+		if a.Header == nil {
+			return fmt.Errorf("pipeline: master assigned unknown run %d without a header", a.RunID)
+		}
+		wm, err := matchWorkerModel(w.models, a.Header)
+		if err != nil {
+			return err
+		}
+		wr = &workerRun{spec: specFromHeader(a.Header), eval: wm.Evaluator}
+		w.runs[a.RunID] = wr
+	}
+	workerAssignments.Inc()
+	batchStart := time.Now()
+	reporter, _ := wr.eval.(PhaseReporter)
+	warmer, _ := wr.eval.(WarmReporter)
+	var phaseNS map[string]int64
+	var depth, warmStarts, sweepsSaved int64
+	out := frameStream{send: w.send, runID: a.RunID, budget: w.frameValues}
+	for i, idx := range a.Indices {
+		vec, err := wr.eval.EvaluateVector(a.Points[i], wr.spec)
+		if reporter != nil {
+			fill, solve, d := reporter.LastPhases()
+			if phaseNS == nil {
+				phaseNS = make(map[string]int64, 2)
+			}
+			phaseNS[PhaseKernelFill] += fill.Nanoseconds()
+			phaseNS[PhaseSolve] += solve.Nanoseconds()
+			depth += int64(d)
+		}
+		if warmer != nil {
+			if wrm, s := warmer.LastWarmStart(); wrm {
+				warmStarts++
+				sweepsSaved += int64(s)
+			}
+		}
+		if err != nil {
+			workerPointErrors.Inc()
+			if serr := out.sendError(idx, err.Error()); serr != nil {
+				return serr
+			}
+			continue
+		}
+		workerPoints.Inc()
+		if serr := out.sendVector(idx, vec); serr != nil {
+			return serr
+		}
+	}
+	if err := out.finish(phaseNS, depth, warmStarts, sweepsSaved); err != nil {
+		return err
+	}
+	batchTime := time.Since(batchStart)
+	workerBatchDuration.Observe(batchTime.Seconds())
+	w.opts.Tracer.Record(obs.Span{
+		TraceID: wr.spec.TraceID, Name: "worker.batch", Worker: w.opts.Name,
+		Start: batchStart, Duration: batchTime,
+		Attrs: map[string]string{"spec": wr.spec.Name, "points": strconv.Itoa(len(a.Indices))},
+	})
+	w.log.Debug("evaluated assignment batch",
+		"worker", w.opts.Name, "trace_id", wr.spec.TraceID, "spec", wr.spec.Name,
+		"points", len(a.Indices), "duration", batchTime)
+	return nil
 }
 
 // frameStream packs point vectors into resultFrameV3Msg messages,
 // flushing whenever the pending payload reaches the budget.
 type frameStream struct {
-	enc     *gob.Encoder
+	send    func(msg any) error
 	runID   int64
 	budget  int
 	pending []pointFrameV3
@@ -203,7 +383,7 @@ func (fs *frameStream) flush(last bool, phaseNS map[string]int64, depth, warm, s
 		msg.WarmStarts = warm
 		msg.SweepsSaved = saved
 	}
-	if err := fs.enc.Encode(msg); err != nil {
+	if err := fs.send(msg); err != nil {
 		return fmt.Errorf("pipeline: sending result frames: %w", err)
 	}
 	fs.pending = nil

@@ -19,6 +19,13 @@ type RunStats struct {
 	TotalDepth  int64         // summed iteration depths (0 if unknown)
 	WarmStarted int           // solves seeded from a neighbouring s-point (WarmStart on)
 	SweepsSaved int64         // estimated sweeps avoided by warm starts (0 if unknown)
+	// Sharded-run (wire v4) counters: zero on batch and in-process runs.
+	Shards          int   // row blocks the kernel was split into (max across sessions)
+	Resharded       int   // sessions rebuilt after losing a shard member
+	ShardSweeps     int64 // distributed lock-step sweeps
+	ShardExchanged  int64 // complex boundary/halo values moved between blocks
+	ShardComputeNS  int64 // summed member compute time (ns)
+	ShardCriticalNS int64 // per-sweep max member compute, summed (ns) — the sharded critical path
 	// Phases attributes the run's evaluator time: summed across
 	// workers, keyed "kernel_fill" and "solve" here, with the read-time
 	// "invert" phase added by callers that run the inverter. Summed CPU
@@ -63,6 +70,14 @@ func (s *RunStats) Merge(o *RunStats) {
 	s.TotalDepth += o.TotalDepth
 	s.WarmStarted += o.WarmStarted
 	s.SweepsSaved += o.SweepsSaved
+	s.Resharded += o.Resharded
+	s.ShardSweeps += o.ShardSweeps
+	s.ShardExchanged += o.ShardExchanged
+	s.ShardComputeNS += o.ShardComputeNS
+	s.ShardCriticalNS += o.ShardCriticalNS
+	if o.Shards > s.Shards {
+		s.Shards = o.Shards
+	}
 	for name, d := range o.Phases {
 		s.AddPhase(name, d)
 	}

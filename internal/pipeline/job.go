@@ -105,6 +105,16 @@ type SolveSpec struct {
 	// blocks. Zero means unknown; like ModelFP it is scheduling
 	// metadata, not content, and does not participate in Fingerprint().
 	SegmentHint int
+
+	// ShardHint asks a capable backend to split each solve's kernel into
+	// up to this many contiguous row blocks held by different workers
+	// (wire v4 sharding) instead of farming whole s-points out. Zero or
+	// one means unsharded. Like SegmentHint it is scheduling metadata,
+	// not content: the sharded solve provably computes the same vectors
+	// (see passage's differential harness), so it does not participate
+	// in Fingerprint() and sharded and unsharded runs share cache
+	// entries and checkpoints.
+	ShardHint int
 }
 
 // Validate performs structural checks against a model size.

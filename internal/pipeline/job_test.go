@@ -80,6 +80,17 @@ func TestFingerprintSensitivity(t *testing.T) {
 	if got := j.Fingerprint(); got != ref {
 		t.Errorf("setting TraceID changed the spec fingerprint %s -> %s; traced requests would stop sharing solves", ref, got)
 	}
+
+	// ShardHint and SegmentHint are scheduling metadata: the sharded
+	// solve provably computes the same vectors as the monolithic one, so
+	// sharded and unsharded runs must share cache entries and
+	// checkpoints — a reshard after a checkpoint restore depends on it.
+	j = referenceJob()
+	j.ShardHint = 4
+	j.SegmentHint = 16
+	if got := j.Fingerprint(); got != ref {
+		t.Errorf("setting ShardHint/SegmentHint changed the spec fingerprint %s -> %s; sharded runs would stop sharing checkpoints", ref, got)
+	}
 }
 
 func TestValidate(t *testing.T) {

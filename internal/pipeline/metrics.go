@@ -45,6 +45,18 @@ var (
 	fleetWorkerIdle = obs.Default.NewCounterVec("hydra_fleet_worker_idle_seconds_total",
 		"Seconds a connected worker spent waiting for work, by worker.", "worker")
 
+	// Sharded solves (wire v4): one kernel split across several workers.
+	fleetShardSessions = obs.Default.NewCounter("hydra_fleet_shard_sessions_total",
+		"Shard sessions built (recruited member sets, including re-shards).")
+	fleetShardMembers = obs.Default.NewGauge("hydra_fleet_shard_members",
+		"Worker connections currently serving as shard members.")
+	fleetShardSweeps = obs.Default.NewCounter("hydra_fleet_shard_sweeps_total",
+		"Distributed lock-step sweeps conducted across shard members.")
+	fleetShardExchanged = obs.Default.NewCounter("hydra_fleet_shard_exchanged_values_total",
+		"Complex boundary/halo values exchanged between shard blocks.")
+	fleetShardReshards = obs.Default.NewCounter("hydra_fleet_shard_reshards_total",
+		"Shard sessions rebuilt after losing a member mid-run.")
+
 	// Fleet worker process (the other end of the wire).
 	workerAssignments = obs.Default.NewCounter("hydra_worker_assignments_total",
 		"Assignment batches received from the master.")

@@ -29,6 +29,18 @@ func init() {
 	gob.RegisterName("hydra/pipeline.assignBatchV3Msg", assignBatchV3Msg{})
 	gob.RegisterName("hydra/pipeline.resultFrameV3Msg", resultFrameV3Msg{})
 	gob.RegisterName("hydra/pipeline.pointFrameV3", pointFrameV3{})
+	// Protocol v4 (sharded solves; post-handshake messages travel in gob
+	// interface envelopes, so these names are what goes on the wire).
+	// Registered after every earlier generation so the existing golden
+	// bytes — and with them v3 interoperability — cannot shift.
+	gob.RegisterName("hydra/pipeline.shardStartV4Msg", shardStartV4Msg{})
+	gob.RegisterName("hydra/pipeline.shardReadyV4Msg", shardReadyV4Msg{})
+	gob.RegisterName("hydra/pipeline.shardPlanV4Msg", shardPlanV4Msg{})
+	gob.RegisterName("hydra/pipeline.shardPointV4Msg", shardPointV4Msg{})
+	gob.RegisterName("hydra/pipeline.shardSweepV4Msg", shardSweepV4Msg{})
+	gob.RegisterName("hydra/pipeline.shardDeltaV4Msg", shardDeltaV4Msg{})
+	gob.RegisterName("hydra/pipeline.shardBlockV4Msg", shardBlockV4Msg{})
+	gob.RegisterName("hydra/pipeline.shardEndV4Msg", shardEndV4Msg{})
 
 	// Pin gob's global type-id allocation by encoding every protocol
 	// message once, v1 first, in a fixed order. The ids a fresh encoder
@@ -45,6 +57,14 @@ func init() {
 		assignBatchV3Msg{Header: &runHeaderV3Msg{}, Forget: []int64{0},
 			Indices: []int{0}, Points: []complex128{0}},
 		resultFrameV3Msg{Frames: []pointFrameV3{{Data: []complex128{0}}}},
+		shardStartV4Msg{Header: &runHeaderV3Msg{}},
+		shardReadyV4Msg{HaloCols: []int{0}},
+		shardPlanV4Msg{Boundary: []int{0}},
+		shardPointV4Msg{},
+		shardSweepV4Msg{Halo: []complex128{0}},
+		shardDeltaV4Msg{Boundary: []complex128{0}},
+		shardBlockV4Msg{Data: []complex128{0}},
+		shardEndV4Msg{},
 	} {
 		if err := enc.Encode(m); err != nil {
 			panic("pipeline: priming wire types: " + err.Error())

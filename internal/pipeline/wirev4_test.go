@@ -1,0 +1,152 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/hex"
+	"reflect"
+	"testing"
+)
+
+// shardWireCases is the canonical set of v4 shard messages used by both
+// the round-trip and golden-bytes tests: every message type, with every
+// field populated the way the protocol populates it.
+func shardWireCases() []struct {
+	name string
+	msg  any
+} {
+	header := &runHeaderV3Msg{
+		Name:    "m-4a5c9d01beef2233:passage-cdf",
+		ModelFP: "m-4a5c9d01beef2233", ModelStates: 2061,
+		Quantity: PassageCDF, Targets: []int{17},
+	}
+	return []struct {
+		name string
+		msg  any
+	}{
+		{"shardStart", shardStartV4Msg{RunID: 5, Header: header, Lo: 687, Hi: 1374}},
+		{"shardReady", shardReadyV4Msg{RunID: 5, HaloCols: []int{3, 686, 1374, 2060}}},
+		{"shardReadyRefused", shardReadyV4Msg{RunID: 5, Err: "model \"m-4a5c9d01beef2233\" on this worker has no shard constructor"}},
+		{"shardPlan", shardPlanV4Msg{RunID: 5, Boundary: []int{687, 700, 1373}}},
+		{"shardPoint", shardPointV4Msg{RunID: 5, Index: 12, S: complex(0.5, -3.25), Warm: true}},
+		{"shardSweep", shardSweepV4Msg{RunID: 5, Seq: 3, Halo: []complex128{1e-3 + 2e-6i, 2}}},
+		{"shardSweepFinish", shardSweepV4Msg{RunID: 5, Seq: 9, Halo: []complex128{1e-3 + 2e-6i}, Finish: true}},
+		{"shardDelta", shardDeltaV4Msg{RunID: 5, Seq: 3, Boundary: []complex128{3, 4}, Norm: 2.5e-9, ComputeNS: 174000}},
+		{"shardDeltaErr", shardDeltaV4Msg{RunID: 5, Err: "s-point diverged"}},
+		{"shardBlock", shardBlockV4Msg{RunID: 5, Index: 12, Data: []complex128{1e-3 + 2e-6i, 2}, ComputeNS: 174000}},
+		{"shardEnd", shardEndV4Msg{RunID: 5}},
+	}
+}
+
+// TestFleetWireV4RoundTrip checks every shard message survives the
+// framing it actually travels in: the gob interface envelope, which
+// carries the registered wire name so heterogeneous batch and shard
+// messages share one v4 stream. The decoded value must come back as the
+// same concrete type with equal contents.
+func TestFleetWireV4RoundTrip(t *testing.T) {
+	for _, c := range shardWireCases() {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			msg := c.msg
+			if err := gob.NewEncoder(&buf).Encode(&msg); err != nil {
+				t.Fatalf("envelope encode: %v", err)
+			}
+			var out any
+			if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+				t.Fatalf("envelope decode: %v", err)
+			}
+			if !reflect.DeepEqual(c.msg, out) {
+				t.Errorf("round trip changed the message:\n sent %#v\n got  %#v", c.msg, out)
+			}
+		})
+	}
+}
+
+// TestFleetWireV4GoldenBytes pins the exact enveloped gob encoding of
+// every v4 shard message as produced by a fresh encoder — descriptor,
+// registered wire name, and value. This is the format a v4 master and
+// worker meet over, so any drift must fail here before it can strand a
+// mixed fleet at runtime. If this test fails, the v4 protocol changed —
+// bump ProtocolVersion (the handshake then rejects old binaries
+// readably) and regenerate the golden strings.
+func TestFleetWireV4GoldenBytes(t *testing.T) {
+	goldens := map[string]string{
+		"shardStart":        "6210001e68796472612f706970656c696e652e7368617264537461727456344d7367ffa30301010f7368617264537461727456344d736701ffa4000104010552756e4944010400010648656164657201ff960001024c6f01040001024869010400000067ff950301010e72756e48656164657256334d736701ff9600010601044e616d65010c0001074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e7469747901040001075461726765747301ff8400010754726163654944010c00000013ff83020101055b5d696e7401ff8400010400004dffa44a010a01011e6d2d346135633964303162656566323233333a706173736167652d63646601126d2d3461356339643031626565663232333301fe101a01020101220001fe055e01fe0abc00",
+		"shardReady":        "5e10001e68796472612f706970656c696e652e7368617264526561647956344d7367ffa50301010f7368617264526561647956344d736701ffa6000103010552756e4944010400010848616c6f436f6c7301ff84000103457272010c00000013ff83020101055b5d696e7401ff84000104000012ffa60f010a010406fe055cfe0abcfe101800",
+		"shardReadyRefused": "5e10001e68796472612f706970656c696e652e7368617264526561647956344d7367ffa50301010f7368617264526561647956344d736701ffa6000103010552756e4944010400010848616c6f436f6c7301ff84000103457272010c00000013ff83020101055b5d696e7401ff8400010400004affa647010a02426d6f64656c20226d2d3461356339643031626565663232333322206f6e207468697320776f726b657220686173206e6f20736861726420636f6e7374727563746f7200",
+		"shardPlan":         "5410001d68796472612f706970656c696e652e7368617264506c616e56344d7367ffa70301010e7368617264506c616e56344d736701ffa8000102010552756e49440104000108426f756e6461727901ff8400000013ff83020101055b5d696e7401ff84000104000011ffa80e010a0103fe055efe0578fe0aba00",
+		"shardPoint":        "6110001e68796472612f706970656c696e652e7368617264506f696e7456344d7367ffa90301010f7368617264506f696e7456344d736701ffaa000104010552756e49440104000105496e646578010400010153010e0001045761726d010200000011ffaa0e010a011801fee03ffe0ac0010100",
+		"shardSweep":        "6510001e68796472612f706970656c696e652e7368617264537765657056344d7367ffab0301010f7368617264537765657056344d736701ffac000104010552756e49440104000103536571010400010448616c6f01ff9a00010646696e69736801020000001aff990201010c5b5d636f6d706c657831323801ff9a00010e00001effac1b010a01060102f8fca9f1d24d62503ff88dedb5a0f7c6c03e400000",
+		"shardSweepFinish":  "6510001e68796472612f706970656c696e652e7368617264537765657056344d7367ffab0301010f7368617264537765657056344d736701ffac000104010552756e49440104000103536571010400010448616c6f01ff9a00010646696e69736801020000001aff990201010c5b5d636f6d706c657831323801ff9a00010e00001effac1b010a01120101f8fca9f1d24d62503ff88dedb5a0f7c6c03e010100",
+		"shardDelta":        "7d10001e68796472612f706970656c696e652e736861726444656c746156344d7367ffad0301010f736861726444656c746156344d736701ffae000106010552756e494401040001035365710104000108426f756e6461727901ff9a0001044e6f726d0108000109436f6d707574654e530104000103457272010c0000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000021ffae1e010a01060102fe084000fe10400001f83a8c30e28e79253e01fd054f6000",
+		"shardDeltaErr":     "7d10001e68796472612f706970656c696e652e736861726444656c746156344d7367ffad0301010f736861726444656c746156344d736701ffae000106010552756e494401040001035365710104000108426f756e6461727901ff9a0001044e6f726d0108000109436f6d707574654e530104000103457272010c0000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000018ffae15010a0510732d706f696e7420646976657267656400",
+		"shardBlock":        "7210001e68796472612f706970656c696e652e7368617264426c6f636b56344d7367ffaf0301010f7368617264426c6f636b56344d736701ffb0000105010552756e49440104000105496e64657801040001044461746101ff9a000109436f6d707574654e530104000103457272010c0000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000023ffb020010a01180102f8fca9f1d24d62503ff88dedb5a0f7c6c03e400001fd054f6000",
+		"shardEnd":          "4410001c68796472612f706970656c696e652e7368617264456e6456344d7367ffb10301010d7368617264456e6456344d736701ffb2000101010552756e4944010400000006ffb203010a00",
+	}
+	for _, c := range shardWireCases() {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			msg := c.msg
+			if err := gob.NewEncoder(&buf).Encode(&msg); err != nil {
+				t.Fatal(err)
+			}
+			if got := hex.EncodeToString(buf.Bytes()); got != goldens[c.name] {
+				t.Errorf("wire format of %s drifted:\n got  %s\n want %s", c.name, got, goldens[c.name])
+			}
+		})
+	}
+}
+
+// TestFleetWireHelloNoShardBackCompat pins the gob property the v4
+// handshake relies on: helloV2Msg gained NoShard, and decoders match
+// fields by name — so a v3 worker's hello (no such field) decodes on a
+// v4 master with NoShard false, and a v4 worker's hello decodes on a v3
+// master with the flag simply dropped. Either mix rejects or serves
+// through the version check alone, never through a decode error.
+func TestFleetWireHelloNoShardBackCompat(t *testing.T) {
+	// The legacy shape, as compiled into v3 binaries. A local type is
+	// fine: gob matches by field name, not type identity.
+	type legacyHello struct {
+		Version    int
+		WorkerName string
+		Models     []modelAd
+	}
+
+	// v3 worker → v4 master: NoShard decodes as its zero value. The
+	// master's version gate (not this flag) is what keeps the v3 worker
+	// out of sharded runs.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&legacyHello{
+		Version: 3, WorkerName: "legacy", Models: []modelAd{{Fingerprint: "m", States: 7}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var hello helloV2Msg
+	if err := gob.NewDecoder(&buf).Decode(&hello); err != nil {
+		t.Fatalf("v4 master cannot decode a v3 hello: %v", err)
+	}
+	if hello.NoShard {
+		t.Error("absent NoShard decoded true")
+	}
+	if hello.Version != 3 || hello.WorkerName != "legacy" || len(hello.Models) != 1 {
+		t.Errorf("hello fields lost across the NoShard boundary: %+v", hello)
+	}
+
+	// v4 worker → v3 master: the announcing hello still decodes into the
+	// legacy struct, so the v3 master's version check fires and rejects
+	// readably instead of choking on the stream.
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&helloV2Msg{
+		Version: 4, WorkerName: "modern", NoShard: true,
+		Models: []modelAd{{Fingerprint: "m", States: 7}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var old legacyHello
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatalf("v3 master cannot decode a v4 hello: %v", err)
+	}
+	if old.Version != 4 || old.WorkerName != "modern" {
+		t.Errorf("hello fields lost decoding on a v3 master: %+v", old)
+	}
+}

@@ -28,6 +28,11 @@ type WorkerOptions struct {
 	// Tracer records worker-side spans, correlated with the master's by
 	// the trace ID travelling on run headers. Nil drops them.
 	Tracer *obs.Tracer
+	// NoShard announces in the fleet handshake that this worker will not
+	// host shard blocks of a partitioned solve (wire v4 sharding); it
+	// still serves whole s-point batches. Workers whose models carry no
+	// shard constructor announce it implicitly.
+	NoShard bool
 }
 
 // logger returns the configured logger or a discarding one.

@@ -147,6 +147,89 @@ func TestFleetServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFleetServeShardedEndToEnd boots hydra-serve in fleet mode with
+// Config.Shard set (the -shard N flag) and two workers, so every solve
+// splits into row blocks over wire v4 instead of farming whole
+// s-points. The client-visible promises must hold unchanged — correct
+// curve, cache hit on repeat — with the shard telemetry surfacing in
+// the job's stats JSON.
+func TestFleetServeShardedEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := pipeline.NewFleet(ln, pipeline.FleetOptions{WaitTimeout: time.Minute})
+	defer fleet.Close()
+	_, ts := newTestServer(t, Config{Backend: fleet, Shard: 2})
+
+	workerModel, err := hydra.LoadSpec(threeStateSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 2
+	workerDone := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			workerDone <- workerModel.RunWorker(ln.Addr().String(), fmt.Sprintf("shard-w%d", i), nil)
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(fleet.Snapshot().Connected) < workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d workers joined", len(fleet.Snapshot().Connected), workers)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	info := uploadSpec(t, ts.URL, "chain", threeStateSpec)
+	curveURL := fmt.Sprintf("%s/v1/models/%s/passage", ts.URL, info.ID)
+	curveReq := map[string]any{
+		"sources": []int{0}, "targets": []int{2},
+		"times": []float64{0.5, 1.0, 1.5},
+	}
+	var first JobRecord
+	if code := doJSON(t, "POST", curveURL, curveReq, &first); code != http.StatusOK {
+		t.Fatalf("sharded passage request returned %d (error %s)", code, first.Error)
+	}
+	for i, tt := range first.Result.Times {
+		want := 10.0 / 3 * (math.Exp(-2*tt) - math.Exp(-5*tt))
+		if math.Abs(first.Result.Values[i]-want) > 1e-6 {
+			t.Errorf("sharded f(%v) = %v, want %v", tt, first.Result.Values[i], want)
+		}
+	}
+	st := first.Result.Stats
+	if st.Evaluated == 0 {
+		t.Fatal("sharded request evaluated nothing")
+	}
+	if st.Shards != workers {
+		t.Errorf("stats shards = %d, want %d", st.Shards, workers)
+	}
+	if st.ShardSweeps == 0 || st.ShardExchanged == 0 {
+		t.Errorf("shard telemetry missing from stats JSON: sweeps %d, exchanged %d",
+			st.ShardSweeps, st.ShardExchanged)
+	}
+	if len(st.PerWorker) != workers {
+		t.Errorf("per_worker %v, want both shard holders credited", st.PerWorker)
+	}
+
+	// The repeat must be a pure cache hit — sharding changes where the
+	// vectors are computed, not how they are keyed.
+	var second JobRecord
+	if code := doJSON(t, "POST", curveURL, curveReq, &second); code != http.StatusOK {
+		t.Fatalf("repeat returned %d", code)
+	}
+	if second.Result.Stats.Evaluated != 0 || !second.CacheHit {
+		t.Errorf("repeat of a sharded solve not served from cache: %+v", second.Result.Stats)
+	}
+
+	fleet.Close()
+	for i := 0; i < workers; i++ {
+		if err := <-workerDone; err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}
+}
+
 // TestFleetServeWorkerLossMidRequest drives the fault path through the
 // full HTTP stack: a worker dies while a request is in flight, the
 // fleet requeues its batches onto the survivor, and the client still

@@ -42,6 +42,11 @@ type Config struct {
 	// the hydra-serve "-backend fleet" mode. The server does not own the
 	// backend; callers close the fleet themselves on shutdown.
 	Backend hydra.Backend
+	// Shard asks a fleet backend to split each solve across up to this
+	// many workers' row blocks (wire v4 sharding) instead of farming
+	// whole s-points. Zero or one leaves solves unsharded; ignored by
+	// the in-process backend. See Options.Shard for the trade-off.
+	Shard int
 	// Logger receives structured access and lifecycle logs. Nil
 	// discards them (tests stay quiet; hydra-serve wires a real one).
 	Logger *slog.Logger
@@ -94,6 +99,7 @@ func New(cfg Config) (*Server, error) {
 		tracer:   tracer,
 		logger:   logger,
 	}
+	s.sched.shard = cfg.Shard
 	metrics.registerComponentFuncs(s.registry, s.cache, s.uptimeSeconds)
 	return s, nil
 }

@@ -37,6 +37,14 @@ type RunStatsJSON struct {
 	// PerWorker maps worker name → points evaluated for fleet-backed
 	// runs (absent for the anonymous in-process pool).
 	PerWorker map[string]int `json:"per_worker,omitempty"`
+	// Shard telemetry, present only when the fleet split solves into
+	// row blocks (wire v4): how many workers held blocks, how many
+	// shard sessions were rebuilt after a member died, and the sweep /
+	// boundary-exchange volume across all sharded points.
+	Shards         int   `json:"shards,omitempty"`
+	Resharded      int   `json:"resharded,omitempty"`
+	ShardSweeps    int64 `json:"shard_sweeps,omitempty"`
+	ShardExchanged int64 `json:"shard_exchanged_values,omitempty"`
 	// Phases attributes solve time to pipeline phases (kernel_fill,
 	// solve, invert), in seconds. Phase time is summed across workers,
 	// so it can exceed wall time.
@@ -53,6 +61,8 @@ func statsJSON(s *hydra.RunStats) *RunStatsJSON {
 		Requeued:    s.Requeued,
 		WarmStarted: s.WarmStarted,
 		SweepsSaved: s.SweepsSaved,
+		Shards:      s.Shards, Resharded: s.Resharded,
+		ShardSweeps: s.ShardSweeps, ShardExchanged: s.ShardExchanged,
 	}
 	if len(s.WorkerNames) == len(s.PerWorker) && len(s.WorkerNames) > 0 {
 		out.PerWorker = make(map[string]int, len(s.WorkerNames))
@@ -143,6 +153,7 @@ type Scheduler struct {
 	cache   *ResultCache
 	workers int           // per-computation worker pool size
 	backend hydra.Backend // nil = per-computation in-process pool
+	shard   int           // Config.Shard: row-block shard hint stamped on every spec
 	slots   chan struct{} // bounds concurrent computations
 
 	mu       sync.Mutex
@@ -342,7 +353,7 @@ func (s *Scheduler) jobOptions(method string, workers int) *hydra.Options {
 	if workers < 1 {
 		workers = s.workers
 	}
-	opts := &hydra.Options{Method: method, Workers: workers, Backend: s.backend}
+	opts := &hydra.Options{Method: method, Workers: workers, Backend: s.backend, Shard: s.shard}
 	opts.Solver.WarmStart = true
 	return opts
 }

@@ -61,6 +61,39 @@ func (m *Model) fillKernelWith(lsts []complex128, dst *sparse.CMatrix) {
 	}
 }
 
+// NewKernelRowBlock allocates a matrix over rows [lo, hi) of the kernel
+// pattern for use with FillKernelRowBlockSampled. The block is addressed
+// by the full column space (global state numbers) but stores only its
+// own rows' values — the unit of distribution for a sharded solve, where
+// each worker holds 1/W of the kernel.
+func (m *Model) NewKernelRowBlock(lo, hi int) *sparse.CMatrix {
+	return m.pattern.NewRowBlock(lo, hi)
+}
+
+// FillKernelRowBlockSampled assembles rows [lo, hi) of U(s_i) from
+// pre-sampled distribution transforms into dst, which must come from
+// NewKernelRowBlock(lo, hi). It visits only the block's transition
+// terms, so a sharded worker pays 1/W of the monolithic fill per
+// s-point; the per-entry accumulation order matches FillKernelSampled
+// exactly, making block fills bitwise identical to the corresponding
+// rows of a monolithic fill.
+func (m *Model) FillKernelRowBlockSampled(lsts []complex128, lo, hi int, dst *sparse.CMatrix) {
+	if len(lsts) != len(m.dists) {
+		panic("smp: FillKernelRowBlockSampled with wrong transform count")
+	}
+	base, end := m.pattern.RowRange(lo, hi)
+	vals := dst.Values()
+	if len(vals) != end-base {
+		panic("smp: FillKernelRowBlockSampled destination does not match block")
+	}
+	for i := range vals {
+		vals[i] = 0
+	}
+	for k := m.termPtr[lo]; k < m.termPtr[hi]; k++ {
+		vals[int(m.termSlot[k])-base] += complex(m.termProb[k], 0) * lsts[m.termDist[k]]
+	}
+}
+
 // SojournLSTs returns h*_i(s) = Σ_j r*_ij(s) for every state — the LST of
 // the unconditional sojourn-time distribution in state i, needed by the
 // transient computation of Eq. (6)–(7).

@@ -1,0 +1,61 @@
+package smp
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydra/internal/dist"
+)
+
+// TestFillKernelRowBlockMatchesFull checks the sharded fill contract: a
+// row block filled by FillKernelRowBlockSampled is bitwise identical to
+// the corresponding slice of a monolithic FillKernelSampled — same
+// entries, same accumulation order.
+func TestFillKernelRowBlockMatchesFull(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(30)
+		b := NewBuilder(n)
+		pool := []dist.Distribution{
+			dist.NewExponential(0.5 + r.Float64()),
+			dist.NewErlang(1+r.Float64(), 2),
+			dist.NewDeterministic(0.3 + r.Float64()),
+		}
+		for i := 0; i < n; i++ {
+			// Two terms, possibly to the same successor, so duplicate
+			// (from, to) slots are exercised.
+			p := 0.2 + 0.6*r.Float64()
+			b.Add(i, r.Intn(n), p, pool[r.Intn(len(pool))])
+			b.Add(i, r.Intn(n), 1-p, pool[r.Intn(len(pool))])
+		}
+		m, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := complex(0.3+2*r.Float64(), 3*(r.Float64()-0.5))
+		lsts := m.DistLSTsInto(s, nil)
+		full := m.NewKernelMatrix()
+		m.FillKernelSampled(lsts, full)
+
+		lo := r.Intn(n)
+		hi := lo + 1 + r.Intn(n-lo)
+		blk := m.NewKernelRowBlock(lo, hi)
+		m.FillKernelRowBlockSampled(lsts, lo, hi, blk)
+
+		for i := lo; i < hi; i++ {
+			bc, bv := blk.RowSlices(i - lo)
+			fc, fv := full.RowSlices(i)
+			if len(bc) != len(fc) {
+				t.Fatalf("trial %d: row %d has %d block entries vs %d full", trial, i, len(bc), len(fc))
+			}
+			for e := range bc {
+				if bc[e] != fc[e] {
+					t.Fatalf("trial %d: row %d column %d vs %d", trial, i, bc[e], fc[e])
+				}
+				if bv[e] != fv[e] {
+					t.Fatalf("trial %d: row %d col %d: block %v vs full %v", trial, i, bc[e], bv[e], fv[e])
+				}
+			}
+		}
+	}
+}

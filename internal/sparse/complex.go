@@ -213,6 +213,40 @@ func (p *Pattern) NewCMatrix() *CMatrix {
 	}
 }
 
+// RowRange returns the half-open interval [start, end) of value slots
+// occupied by rows [lo, hi) of the pattern — the offsets a caller needs
+// to scatter into a row-block matrix (see NewRowBlock) from indices
+// computed against the full pattern.
+func (p *Pattern) RowRange(lo, hi int) (start, end int) {
+	if lo < 0 || hi > p.rows || lo > hi {
+		panic(fmt.Sprintf("sparse: row range [%d,%d) outside %d rows", lo, hi, p.rows))
+	}
+	return p.rowPtr[lo], p.rowPtr[hi]
+}
+
+// NewRowBlock returns a zero-valued matrix holding only rows [lo, hi) of
+// the pattern, still addressed by the full column space: the block is a
+// (hi-lo)×cols CSR matrix whose column indices are shared with the
+// pattern (global state numbers), so MulVec and friends take full-length
+// x vectors and produce block-length y vectors. Row i of the pattern is
+// row i-lo of the block. Only the value slice is freshly allocated, and
+// it covers just the block's entries — this is what lets a distributed
+// worker hold 1/W of the kernel values for an n-state model.
+func (p *Pattern) NewRowBlock(lo, hi int) *CMatrix {
+	start, end := p.RowRange(lo, hi)
+	rowPtr := make([]int, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		rowPtr[i-lo] = p.rowPtr[i] - start
+	}
+	return &CMatrix{
+		rows:   hi - lo,
+		cols:   p.cols,
+		rowPtr: rowPtr,
+		colIdx: p.colIdx[start:end],
+		val:    make([]complex128, end-start),
+	}
+}
+
 // CBuilder accumulates coordinate entries for a complex CSR matrix,
 // summing duplicates, mirroring Builder.
 type CBuilder struct {

@@ -1,0 +1,82 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNewRowBlockMatchesFullRows pins the row-block contract: a block
+// over [lo, hi) holds exactly the pattern's rows [lo, hi), addressed by
+// global columns, and its products agree entrywise with the same rows of
+// the full matrix.
+func TestNewRowBlockMatchesFullRows(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		rows := 2 + r.Intn(40)
+		cols := 2 + r.Intn(40)
+		nEnt := 1 + r.Intn(5*rows)
+		is := make([]int, nEnt)
+		js := make([]int, nEnt)
+		for k := range is {
+			is[k], js[k] = r.Intn(rows), r.Intn(cols)
+		}
+		p, idx := NewPattern(rows, cols, is, js)
+		full := p.NewCMatrix()
+		for _, slot := range idx {
+			full.val[slot] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+
+		lo := r.Intn(rows)
+		hi := lo + 1 + r.Intn(rows-lo)
+		blk := p.NewRowBlock(lo, hi)
+		if br, bc := blk.Dims(); br != hi-lo || bc != cols {
+			t.Fatalf("trial %d: block dims %dx%d, want %dx%d", trial, br, bc, hi-lo, cols)
+		}
+		start, end := p.RowRange(lo, hi)
+		if blk.NNZ() != end-start {
+			t.Fatalf("trial %d: block NNZ %d, want %d", trial, blk.NNZ(), end-start)
+		}
+		copy(blk.Values(), full.val[start:end])
+
+		x := make([]complex128, cols)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		want := make([]complex128, rows)
+		full.MulVec(x, want)
+		got := make([]complex128, hi-lo)
+		blk.MulVec(x, got)
+		for i := range got {
+			if got[i] != want[lo+i] {
+				t.Fatalf("trial %d: MulVec row %d: block %v vs full %v", trial, lo+i, got[i], want[lo+i])
+			}
+		}
+
+		// Skip-rows form: block skip flags are the full flags rebased.
+		skip := make([]bool, rows)
+		for i := range skip {
+			skip[i] = r.Intn(4) == 0
+		}
+		full.MulVecSkipRows(x, want, skip)
+		blk.MulVecSkipRows(x, got, skip[lo:hi])
+		for i := range got {
+			if got[i] != want[lo+i] {
+				t.Fatalf("trial %d: MulVecSkipRows row %d: block %v vs full %v", trial, lo+i, got[i], want[lo+i])
+			}
+		}
+
+		// RowSlices returns global column indices.
+		for i := lo; i < hi; i++ {
+			bc, bv := blk.RowSlices(i - lo)
+			fc, fv := full.RowSlices(i)
+			if len(bc) != len(fc) {
+				t.Fatalf("trial %d: row %d width %d vs %d", trial, i, len(bc), len(fc))
+			}
+			for e := range bc {
+				if bc[e] != fc[e] || bv[e] != fv[e] {
+					t.Fatalf("trial %d: row %d entry %d differs", trial, i, e)
+				}
+			}
+		}
+	}
+}
