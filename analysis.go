@@ -37,6 +37,10 @@ type Options struct {
 	CheckpointPath string
 	// Solver tunes the iterative passage-time algorithm.
 	Solver passage.Options
+	// Surface tunes the adaptive grid PassageSurface builds; the zero
+	// value selects the documented defaults. Ignored by every other
+	// entry point.
+	Surface SurfaceOptions
 	// Shard asks a fleet backend to split each solve's kernel into up to
 	// this many contiguous row blocks held by different workers (wire v4
 	// sharding) instead of farming whole s-points out — the right trade
@@ -432,11 +436,16 @@ func (m *Model) autoRun(q pipeline.Quantity, sources, targets []int, times []flo
 	if err := job.Validate(m.NumStates()); err != nil {
 		return nil, err
 	}
-	vectors, stats, err := m.backend(opts).Execute(job.Spec(), nil)
+	// Through RunSpec, not a bare Execute: RunSpec opens
+	// opts.CheckpointPath, so the probe's s-points persist and replay
+	// like every other run's — and a rerun after an Euler fallback
+	// doesn't pay for the probe twice.
+	vr, err := m.RunSpec(job.Spec(), nil, &lagOpts)
 	if err != nil {
 		return nil, err
 	}
-	values := job.ReadVectors(vectors)
+	stats := vr.Stats
+	values := job.ReadVectors(vr.Vectors)
 	decay, err := lag.CoefficientDecay(times, values)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,58 @@
+package hydra_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"hydra"
+)
+
+// TestAutoRunHonoursCheckpoint is the regression test for the Method
+// "auto" checkpoint drop: the Laguerre probe used to execute with a nil
+// cache, so CheckpointPath was never opened and a repeated auto run
+// re-evaluated every s-point. Both arms must honour the caching
+// contract like every other entry point.
+func TestAutoRunHonoursCheckpoint(t *testing.T) {
+	// Smooth density (pure exponential hop), so the probe's coefficient
+	// decay accepts the Laguerre arm and the returned stats are the
+	// probe run's own.
+	src := `
+\model{
+  \statevector{ \type{short}{a, b} }
+  \initial{ a = 1; b = 0; }
+  \transition{go}{ \condition{a > 0} \action{next->a = a-1; next->b = b+1;} \sojourntimeLT{expLT(2,s)} }
+  \transition{back}{ \condition{b > 0} \action{next->b = b-1; next->a = a+1;} \sojourntimeLT{expLT(7,s)} }
+}
+`
+	m, err := hydra.LoadSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := filepath.Join(t.TempDir(), "auto.ckpt")
+	opts := &hydra.Options{Method: "auto", CheckpointPath: ck}
+	times := []float64{0.2, 0.5, 1}
+	r1, err := m.PassageDensity([]int{0}, []int{1}, times, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Evaluated == 0 {
+		t.Fatalf("first auto run evaluated nothing (stats %+v)", r1.Stats)
+	}
+	r2, err := m.PassageDensity([]int{0}, []int{1}, times, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.FromCache == 0 {
+		t.Errorf("second auto run hit the checkpoint 0 times, want the probe's points replayed (stats %+v)", r2.Stats)
+	}
+	if r2.Stats.Evaluated != 0 {
+		t.Errorf("second auto run evaluated %d points, want 0 (checkpoint)", r2.Stats.Evaluated)
+	}
+	for i, tt := range times {
+		want := 2 * math.Exp(-2*tt)
+		if math.Abs(r2.Values[i]-want) > 1e-6 {
+			t.Errorf("f(%v) = %v, want %v", tt, r2.Values[i], want)
+		}
+	}
+}

@@ -22,6 +22,10 @@
 //	         farming, with measured and cluster-projected wall times
 //	         and the differential max|Δ|; -json writes the rows for
 //	         trend tracking
+//	serve    served quantiles: K-level batched requests answered from
+//	         one resident CDF surface vs per-level bisection searches,
+//	         over the real HTTP API with concurrent clients; -json
+//	         writes the datapoint for trend tracking
 //	fig4     voter passage density, analytic vs simulation
 //	fig5     passage CDF and the 98.58% response-time quantile
 //	fig6     failure-mode passage density, analytic vs simulation
@@ -52,7 +56,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fleet|vector|obs|resident|shard|fig4|fig5|fig6|fig7|ablations|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fleet|vector|obs|resident|shard|serve|fig4|fig5|fig6|fig7|ablations|all")
 		full     = flag.Bool("full", false, "paper-scale workloads (slower)")
 		reps     = flag.Int("reps", 0, "simulation replications override")
 		jsonPath = flag.String("json", "", "also write the experiment's rows as JSON to this file (fleet, vector, obs, resident)")
@@ -78,6 +82,7 @@ func main() {
 	run("obs", func() error { return obsOverhead(*full, *jsonPath) })
 	run("resident", func() error { return residentReuse(*full, *jsonPath) })
 	run("shard", func() error { return shardScaling(*full, *jsonPath) })
+	run("serve", func() error { return serveBench(*full, *jsonPath) })
 	run("fig4", func() error { return fig4(*full, *reps) })
 	run("fig5", func() error { return fig5(*full) })
 	run("fig6", func() error { return fig6(*reps) })
@@ -305,6 +310,48 @@ func shardScaling(full bool, jsonPath string) error {
 	}{
 		Experiment: "shard-scaling", GeneratedAt: time.Now().UTC(),
 		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), Rows: rows,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(b, '\n'), 0o644)
+}
+
+// serveBench measures the served quantile path both ways over the real
+// HTTP API — K-level batched reads from one resident CDF surface vs
+// per-level bisection searches — and optionally records the datapoint
+// as JSON for trend tracking in CI. The acceptance property is the
+// surface arm's p99 batch latency (all K levels) landing below the cost
+// of two cold bisection searches.
+func serveBench(full bool, jsonPath string) error {
+	cfg := experiments.ServeBenchConfig{}
+	if full {
+		cfg = experiments.ServeBenchConfig{CC: 30, MM: 10, NN: 3, Concurrency: 8, Rounds: 16}
+	}
+	res, err := experiments.ServeBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("arm,levels,build_ms,cold_ms,qps,p50_ms,p95_ms,p99_ms")
+	fmt.Printf("surface,%d,%.1f,,%.1f,%.2f,%.2f,%.2f\n",
+		res.Levels, res.SurfaceBuildMS, res.SurfaceQPS, res.SurfaceP50MS, res.SurfaceP95MS, res.SurfaceP99MS)
+	fmt.Printf("bisect,1,,%.1f,%.1f,%.2f,%.2f,%.2f\n",
+		res.BisectColdMS, res.BisectQPS, res.BisectP50MS, res.BisectP95MS, res.BisectP99MS)
+	fmt.Printf("# surface p99 (%d levels) = %.2f ms vs two cold searches = %.2f ms: under = %v (max rel delta %.2e)\n",
+		res.Levels, res.SurfaceP99MS, 2*res.BisectColdPerSearchMS, res.P99UnderTwoSearches, res.MaxDeltaRel)
+	if jsonPath == "" {
+		return nil
+	}
+	doc := struct {
+		Experiment  string                       `json:"experiment"`
+		GeneratedAt time.Time                    `json:"generated_at"`
+		NumCPU      int                          `json:"num_cpu"`
+		GoVersion   string                       `json:"go_version"`
+		Result      experiments.ServeBenchResult `json:"result"`
+	}{
+		Experiment: "serve-quantile", GeneratedAt: time.Now().UTC(),
+		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(), Result: res,
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -226,6 +226,21 @@ func (m *Model) RunSpec(spec *SolveSpec, cache Cache, opts *Options) (*VectorRun
 	return &VectorRun{Spec: spec, Vectors: vectors, Stats: stats}, nil
 }
 
+// PointVectorError reports a vector run whose result at one s-point has
+// the wrong width for its spec's model: the signature of a corrupt
+// checkpoint record or a cache entry written by a different model
+// version. ReadRun returns it instead of letting the short vector
+// silently drop source terms from the Eq. (5) dot product.
+type PointVectorError struct {
+	Point int // index of the offending s-point in the run
+	Len   int // the vector length found
+	Want  int // Spec.ModelStates
+}
+
+func (e *PointVectorError) Error() string {
+	return fmt.Sprintf("hydra: vector at point %d has %d entries, spec's model has %d states (corrupt checkpoint record or mixed-version cache entry?)", e.Point, e.Len, e.Want)
+}
+
 // ReadRun reduces a vector run to a scalar curve for one source
 // weighting: the α̃-weighted dot product per s-point, inverted at the
 // given times with the same inverter configuration that built the
@@ -239,9 +254,25 @@ func ReadRun(vr *VectorRun, sources []int, weights []float64, times []float64, o
 	}
 	job := &pipeline.Job{SolveSpec: *vr.Spec, Sources: sources, Weights: weights}
 	n := vr.Spec.ModelStates
-	for _, vec := range vr.Vectors {
-		if len(vec) > n {
-			n = len(vec)
+	if n > 0 {
+		// Every per-point vector must carry exactly the model's state
+		// count. A short vector (corrupt checkpoint record, a
+		// mixed-version cache entry) would otherwise make ReadPoint
+		// silently drop source terms; a structured error names the
+		// offending point instead.
+		for i, vec := range vr.Vectors {
+			if len(vec) != n {
+				return nil, &PointVectorError{Point: i, Len: len(vec), Want: n}
+			}
+		}
+	} else {
+		// Specs predating ModelStates (or hand-built ones) carry no
+		// authoritative count; fall back to the widest observed vector so
+		// source-index validation still has a bound.
+		for _, vec := range vr.Vectors {
+			if len(vec) > n {
+				n = len(vec)
+			}
 		}
 	}
 	if err := job.Validate(n); err != nil {

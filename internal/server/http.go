@@ -226,8 +226,17 @@ func readJSON(r *http.Request, v any) error {
 	return nil
 }
 
+// prewarmJSON declares one quantile surface to build at upload time:
+// the target set (and optional method) whose batched quantile traffic
+// should never pay a cold build.
+type prewarmJSON struct {
+	Targets []int  `json:"targets"`
+	Method  string `json:"method,omitempty"` // euler (default) | laguerre | talbot
+}
+
 // modelRequest uploads a model: exactly one of Spec, Voting or
-// VotingConfig.
+// VotingConfig. Prewarm optionally lists quantile surfaces to build in
+// the background as soon as the model is resident.
 type modelRequest struct {
 	Name         string `json:"name,omitempty"`
 	Spec         string `json:"spec,omitempty"`   // extended-DNAmaca source
@@ -237,6 +246,7 @@ type modelRequest struct {
 		MM int `json:"mm"`
 		NN int `json:"nn"`
 	} `json:"voting_config,omitempty"`
+	Prewarm []prewarmJSON `json:"prewarm,omitempty"`
 }
 
 func (s *Server) handleAddModel(w http.ResponseWriter, r *http.Request) {
@@ -268,6 +278,27 @@ func (s *Server) handleAddModel(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "loading model: %v", err)
 		return
+	}
+	// Surface pre-warming runs in the background: the upload returns as
+	// soon as the model is resident, and each declared surface builds
+	// under its own job record (kind "surface-prewarm") that coalesces
+	// with any query-triggered build for the same (targets, method).
+	// Poll /v1/stats surface_builds or the job list to observe
+	// completion.
+	if len(req.Prewarm) > 0 {
+		model, _, ok := s.registry.Get(info.ID)
+		if ok {
+			reqID := requestID(r.Context())
+			for _, pw := range req.Prewarm {
+				go func(pw prewarmJSON) {
+					rec := s.sched.PrewarmSurface(model, info.ID, pw.Targets, pw.Method, 0, reqID)
+					if rec.Status == StatusFailed {
+						s.logger.Warn("surface prewarm failed",
+							"request_id", reqID, "model", info.ID, "job", rec.ID, "error", rec.Error)
+					}
+				}(pw)
+			}
+		}
 	}
 	writeJSON(w, http.StatusCreated, info)
 }
@@ -398,14 +429,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeRecord(w, rec)
 }
 
-// quantileRequest asks for the time t* with F(t*) = p.
-type quantileRequest struct {
+// quantileQueryJSON is one (sources, p) question of a batched quantile
+// request.
+type quantileQueryJSON struct {
 	Sources []int   `json:"sources"`
-	Targets []int   `json:"targets"`
 	P       float64 `json:"p"`
-	Hint    float64 `json:"hint,omitempty"` // bracket seed, default 1
-	Method  string  `json:"method,omitempty"`
-	Workers int     `json:"workers,omitempty"`
+}
+
+// quantileRequest asks for the time t* with F(t*) = p — either the
+// single form (Sources + P, answered by bisection) or the batched form
+// (Queries, answered from one resident CDF surface: any number of
+// weightings and levels for one target set, each an interpolated read
+// after a single adaptive-grid solve). The two forms are mutually
+// exclusive.
+type quantileRequest struct {
+	Sources []int               `json:"sources,omitempty"`
+	Targets []int               `json:"targets"`
+	P       float64             `json:"p,omitempty"`
+	Hint    float64             `json:"hint,omitempty"` // single form: bracket seed, default 1
+	Queries []quantileQueryJSON `json:"queries,omitempty"`
+	Method  string              `json:"method,omitempty"`
+	Workers int                 `json:"workers,omitempty"`
 }
 
 func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
@@ -417,6 +461,19 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	var req quantileRequest
 	if err := readJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Queries) > 0 {
+		if len(req.Sources) > 0 || req.P != 0 || req.Hint != 0 {
+			writeError(w, http.StatusBadRequest, "queries is exclusive with sources/p/hint: the batched form carries its own (sources, p) pairs")
+			return
+		}
+		queries := make([]hydra.QuantileQuery, len(req.Queries))
+		for i, q := range req.Queries {
+			queries[i] = hydra.QuantileQuery{Sources: q.Sources, P: q.P}
+		}
+		rec := s.sched.RunQuantileBatch(model, info.ID, queries, req.Targets, req.Method, req.Workers, requestID(r.Context()))
+		writeRecord(w, rec)
 		return
 	}
 	rec := s.sched.RunQuantile(model, info.ID, req.Sources, req.Targets, req.P, req.Hint, req.Method, req.Workers, requestID(r.Context()))

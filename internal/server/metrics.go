@@ -28,6 +28,13 @@ type serverMetrics struct {
 	jobDuration    *obs.HistogramVec // kind
 	slotsInUse     *obs.Gauge
 	maxConcurrent  *obs.Gauge
+
+	// Quantile surfaces.
+	surfaceBuilds         *obs.Counter
+	surfaceBuildSeconds   *obs.Histogram
+	surfaceHits           *obs.Counter
+	surfaceInterpolations *obs.Counter
+	surfacesResident      *obs.Gauge
 }
 
 // newServerMetrics builds the instrument set on a fresh registry.
@@ -59,6 +66,16 @@ func newServerMetrics() *serverMetrics {
 			"Computation slots currently held."),
 		maxConcurrent: r.NewGauge("hydra_scheduler_max_concurrent",
 			"Computation slot bound."),
+		surfaceBuilds: r.NewCounter("hydra_surface_builds_total",
+			"Quantile CDF surfaces built (adaptive-grid solves executed)."),
+		surfaceBuildSeconds: r.NewHistogram("hydra_surface_build_seconds",
+			"Wall time to build one quantile CDF surface.", obs.DefBuckets),
+		surfaceHits: r.NewCounter("hydra_surface_hits_total",
+			"Quantile requests answered from an already-resident surface."),
+		surfaceInterpolations: r.NewCounter("hydra_surface_interpolations_total",
+			"Quantile queries answered by surface interpolation (no solver work)."),
+		surfacesResident: r.NewGauge("hydra_surfaces_resident",
+			"Quantile CDF surfaces resident in the surface LRU."),
 	}
 }
 

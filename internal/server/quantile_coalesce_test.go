@@ -60,3 +60,68 @@ func TestQuantileFingerprintIgnoresHintViaCoalescing(t *testing.T) {
 		t.Fatalf("coalesced request did not read the shared flight's value: %+v", rec.Result)
 	}
 }
+
+// [1,2] and [2,1] are the same source set — the Eq. (5) weighting is a
+// function of the set — so they are the same quantile question and must
+// share one fingerprint (and therefore one flight and one cached-search
+// hit). The fingerprint used to hash the raw order, splitting them.
+func TestQuantileFingerprintOrderInsensitive(t *testing.T) {
+	base := quantileFingerprint("m1", []int{1, 2}, []int{3, 4}, 0.5, "euler")
+	for name, fp := range map[string]string{
+		"swapped sources":    quantileFingerprint("m1", []int{2, 1}, []int{3, 4}, 0.5, "euler"),
+		"swapped targets":    quantileFingerprint("m1", []int{1, 2}, []int{4, 3}, 0.5, "euler"),
+		"duplicated sources": quantileFingerprint("m1", []int{1, 2, 1}, []int{3, 4}, 0.5, "euler"),
+		"duplicated targets": quantileFingerprint("m1", []int{1, 2}, []int{4, 3, 4}, 0.5, "euler"),
+	} {
+		if fp != base {
+			t.Errorf("%s produced a different fingerprint", name)
+		}
+	}
+	// Genuinely different sets must stay distinct.
+	if base == quantileFingerprint("m1", []int{1, 3}, []int{3, 4}, 0.5, "euler") {
+		t.Error("different source sets share a fingerprint")
+	}
+	// Golden: pins the canonical (sorted, deduplicated) hash form, so a
+	// future encoding change that silently splits equivalent requests
+	// fails here.
+	const golden = "78fd363a5ea95da1afe0a9abac30eea1"
+	if base != golden {
+		t.Errorf("fingerprint = %s, want %s", base, golden)
+	}
+}
+
+// TestQuantileCoalescesAcrossSourceOrder drives the fix end to end: pin
+// a pre-closed flight under the fingerprint of sources [0,1], then ask
+// for sources [1,0]. With canonicalization the swapped-order request
+// joins the pinned flight instead of running its own search.
+func TestQuantileCoalescesAcrossSourceOrder(t *testing.T) {
+	m, err := hydra.LoadSpec(twoStateSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewResultCache(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	s := NewScheduler(cache, 1, 2, nil, nil, nil)
+
+	fp := quantileFingerprint(m.Fingerprint(), []int{0, 1}, []int{1}, 0.5, "")
+	f := &flight{done: make(chan struct{})}
+	f.val = &hydra.Result{Values: []float64{7.0}, Stats: &hydra.RunStats{}}
+	close(f.done)
+	s.mu.Lock()
+	s.inflight[fp] = f
+	s.mu.Unlock()
+
+	rec := s.RunQuantile(m, m.Fingerprint(), []int{1, 0}, []int{1}, 0.5, 1.0, "", 1, "req-order")
+	if rec.Status != StatusDone {
+		t.Fatalf("quantile failed: %s", rec.Error)
+	}
+	if !rec.Coalesced {
+		t.Fatal("swapped-order sources did not coalesce onto the in-flight search")
+	}
+	if rec.Result == nil || rec.Result.Quantile != 7.0 {
+		t.Fatalf("swapped-order request did not read the shared flight's value: %+v", rec.Result)
+	}
+}

@@ -92,11 +92,12 @@ func (r *RunStatsJSON) addPhase(name string, d time.Duration) {
 
 // JobResult is the payload of a completed job.
 type JobResult struct {
-	Times    []float64     `json:"times,omitempty"`
-	Values   []float64     `json:"values,omitempty"`
-	Curves   [][]float64   `json:"curves,omitempty"`   // batch jobs: one curve per source set
-	Quantile float64       `json:"quantile,omitempty"` // quantile jobs only
-	Stats    *RunStatsJSON `json:"stats,omitempty"`
+	Times     []float64     `json:"times,omitempty"`
+	Values    []float64     `json:"values,omitempty"`
+	Curves    [][]float64   `json:"curves,omitempty"`    // batch jobs: one curve per source set
+	Quantile  float64       `json:"quantile,omitempty"`  // quantile jobs only
+	Quantiles []float64     `json:"quantiles,omitempty"` // batched quantile jobs: aligned with queries
+	Stats     *RunStatsJSON `json:"stats,omitempty"`
 }
 
 // JobRecord is one request's lifecycle, retained for GET /v1/jobs/{id}.
@@ -125,6 +126,13 @@ type SchedulerStats struct {
 	Coalesced      int64 `json:"coalesced"`       // requests that piggybacked on an in-flight solve
 	CacheHits      int64 `json:"cache_hits"`      // solves answered entirely from the result cache
 	MaxConcurrent  int   `json:"max_concurrent"`
+	// Quantile surface counters: builds executed, requests answered from
+	// a resident surface, interpolated quantile reads served, and
+	// surfaces currently resident in the LRU.
+	SurfaceBuilds         int64 `json:"surface_builds"`
+	SurfaceHits           int64 `json:"surface_hits"`
+	SurfaceInterpolations int64 `json:"surface_interpolations"`
+	SurfacesResident      int   `json:"surfaces_resident"`
 }
 
 // flight is one in-progress computation other requests of the same
@@ -158,6 +166,7 @@ type Scheduler struct {
 
 	mu       sync.Mutex
 	inflight map[string]*flight
+	surfaces *surfaceCache // resident quantile CDF surfaces (LRU)
 	jobs     map[string]*JobRecord
 	order    []string // job IDs, oldest first
 	maxJobs  int      // retained records
@@ -195,6 +204,7 @@ func NewScheduler(cache *ResultCache, workers, maxConcurrent int, backend hydra.
 		backend:  backend,
 		slots:    make(chan struct{}, maxConcurrent),
 		inflight: make(map[string]*flight),
+		surfaces: newSurfaceCache(64),
 		jobs:     make(map[string]*JobRecord),
 		maxJobs:  1024,
 		metrics:  metrics,
@@ -582,19 +592,23 @@ func (s *Scheduler) RunQuantile(m *hydra.Model, modelID string, sources, targets
 // hint is deliberately excluded — the search converges to the same t*
 // (within tolerance) from any positive hint, so two requests that
 // differ only in their hints are the same question and should share
-// one flight.
+// one flight. Source and target sets hash in canonical (sorted,
+// deduplicated) form: the Eq. (5) weighting is a function of the set,
+// so [1,2] and [2,1] are the same question and must coalesce — the
+// order-insensitivity the spec-level cache already has.
 func quantileFingerprint(modelID string, sources, targets []int, p float64, method string) string {
 	h := sha256.New()
 	h.Write([]byte("quantile\x00" + modelID + "\x00" + method + "\x00"))
 	write := func(v any) { _ = binary.Write(h, binary.LittleEndian, v) }
-	write(int64(len(sources)))
-	for _, v := range sources {
-		write(int64(v))
+	writeSet := func(set []int) {
+		canon := hydra.CanonicalStates(set)
+		write(int64(len(canon)))
+		for _, v := range canon {
+			write(int64(v))
+		}
 	}
-	write(int64(len(targets)))
-	for _, v := range targets {
-		write(int64(v))
-	}
+	writeSet(sources)
+	writeSet(targets)
 	write(math.Float64bits(p))
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
@@ -626,12 +640,16 @@ func (s *Scheduler) Jobs() []JobRecord {
 func (s *Scheduler) Stats() SchedulerStats {
 	m := s.metrics
 	return SchedulerStats{
-		JobsTotal:      int64(m.jobsTotal.Value()),
-		Running:        int(m.jobsRunning.Value()),
-		Computations:   int64(m.computations.Value()),
-		ComputedPoints: int64(m.computedPoints.Value()),
-		Coalesced:      int64(m.coalesced.Value()),
-		CacheHits:      int64(m.cacheHitJobs.Value()),
-		MaxConcurrent:  cap(s.slots),
+		JobsTotal:             int64(m.jobsTotal.Value()),
+		Running:               int(m.jobsRunning.Value()),
+		Computations:          int64(m.computations.Value()),
+		ComputedPoints:        int64(m.computedPoints.Value()),
+		Coalesced:             int64(m.coalesced.Value()),
+		CacheHits:             int64(m.cacheHitJobs.Value()),
+		MaxConcurrent:         cap(s.slots),
+		SurfaceBuilds:         int64(m.surfaceBuilds.Value()),
+		SurfaceHits:           int64(m.surfaceHits.Value()),
+		SurfaceInterpolations: int64(m.surfaceInterpolations.Value()),
+		SurfacesResident:      int(m.surfacesResident.Value()),
 	}
 }

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// threeStateCDF0 is the closed-form passage CDF 0→2 of threeStateSpec.
+func threeStateCDF0(t float64) float64 {
+	return 1 - (5*math.Exp(-2*t)-2*math.Exp(-5*t))/3
+}
+
+// TestQuantileBatchEndpoint: the batched form answers K (sources, p)
+// pairs from ONE adaptive-grid surface build; a second batch against
+// the same target set is a resident-surface hit that solves nothing.
+func TestQuantileBatchEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	info := uploadSpec(t, ts.URL, "chain", threeStateSpec)
+	url := fmt.Sprintf("%s/v1/models/%s/quantile", ts.URL, info.ID)
+
+	req := map[string]any{
+		"targets": []int{2},
+		"queries": []map[string]any{
+			{"sources": []int{0}, "p": 0.5},
+			{"sources": []int{0}, "p": 0.9},
+			{"sources": []int{0}, "p": 0.99},
+			{"sources": []int{1}, "p": 0.5},
+			{"sources": []int{1}, "p": 0.95},
+			{"sources": []int{0, 1}, "p": 0.75},
+			{"sources": []int{0, 1}, "p": 0.9},
+			{"sources": []int{0}, "p": 0.95},
+		},
+	}
+	var first JobRecord
+	if code := doJSON(t, "POST", url, req, &first); code != http.StatusOK {
+		t.Fatalf("batched quantile returned %d (%+v)", code, first)
+	}
+	if first.Status != StatusDone || first.Result == nil || len(first.Result.Quantiles) != 8 {
+		t.Fatalf("batch did not complete: %+v", first)
+	}
+	if first.Kind != "quantile-batch" {
+		t.Errorf("kind = %q", first.Kind)
+	}
+	// Single-source answers against the closed forms: F₀ above, and the
+	// 1→2 hop is a pure exp(5) so F₁(t) = 1 − e^{−5t}.
+	checks := []struct {
+		idx int
+		cdf func(float64) float64
+		p   float64
+	}{
+		{0, threeStateCDF0, 0.5},
+		{1, threeStateCDF0, 0.9},
+		{2, threeStateCDF0, 0.99},
+		{3, func(t float64) float64 { return 1 - math.Exp(-5*t) }, 0.5},
+		{4, func(t float64) float64 { return 1 - math.Exp(-5*t) }, 0.95},
+		{7, threeStateCDF0, 0.95},
+	}
+	for _, c := range checks {
+		got := first.Result.Quantiles[c.idx]
+		if f := c.cdf(got); math.Abs(f-c.p) > 5e-3 {
+			t.Errorf("query %d: F(%v) = %v, want %v", c.idx, got, f, c.p)
+		}
+	}
+	// Quantiles for one weighting must be monotone in p.
+	if !(first.Result.Quantiles[0] < first.Result.Quantiles[1] && first.Result.Quantiles[1] < first.Result.Quantiles[7] && first.Result.Quantiles[7] < first.Result.Quantiles[2]) {
+		t.Errorf("source-0 quantiles not monotone in p: %v", first.Result.Quantiles)
+	}
+
+	// Second batch — different queries, same (targets, method) — reads
+	// the resident surface: CacheHit, no new build.
+	req2 := map[string]any{
+		"targets": []int{2},
+		"queries": []map[string]any{
+			{"sources": []int{0}, "p": 0.75},
+			{"sources": []int{1}, "p": 0.9},
+		},
+	}
+	var second JobRecord
+	if code := doJSON(t, "POST", url, req2, &second); code != http.StatusOK {
+		t.Fatalf("second batch returned %d", code)
+	}
+	if !second.CacheHit {
+		t.Error("second batch did not report a resident-surface hit")
+	}
+	st := srv.Scheduler().Stats()
+	if st.SurfaceBuilds != 1 {
+		t.Errorf("surface builds = %d, want 1", st.SurfaceBuilds)
+	}
+	if st.SurfaceHits != 1 {
+		t.Errorf("surface hits = %d, want 1", st.SurfaceHits)
+	}
+	if st.SurfaceInterpolations != 10 {
+		t.Errorf("surface interpolations = %d, want 10", st.SurfaceInterpolations)
+	}
+	if st.SurfacesResident != 1 {
+		t.Errorf("surfaces resident = %d, want 1", st.SurfacesResident)
+	}
+}
+
+// TestQuantileBatchMatchesBisection pins the batched path to the single
+// (bisection) path over the same HTTP surface.
+func TestQuantileBatchMatchesBisection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	info := uploadSpec(t, ts.URL, "chain", threeStateSpec)
+	url := fmt.Sprintf("%s/v1/models/%s/quantile", ts.URL, info.ID)
+
+	var batch JobRecord
+	code := doJSON(t, "POST", url, map[string]any{
+		"targets": []int{2},
+		"queries": []map[string]any{{"sources": []int{0}, "p": 0.9}},
+	}, &batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch returned %d", code)
+	}
+	var single JobRecord
+	code = doJSON(t, "POST", url, map[string]any{
+		"sources": []int{0}, "targets": []int{2}, "p": 0.9,
+	}, &single)
+	if code != http.StatusOK {
+		t.Fatalf("single returned %d", code)
+	}
+	got, want := batch.Result.Quantiles[0], single.Result.Quantile
+	if rel := math.Abs(got-want) / want; rel > 5e-3 {
+		t.Errorf("batched %v vs bisection %v (rel %.2e)", got, want, rel)
+	}
+}
+
+// TestQuantileBatchValidation: malformed batches and defective
+// distributions are the client's problem — HTTP 400, never 500.
+func TestQuantileBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	info := uploadSpec(t, ts.URL, "chain", threeStateSpec)
+	url := fmt.Sprintf("%s/v1/models/%s/quantile", ts.URL, info.ID)
+
+	for name, body := range map[string]map[string]any{
+		"empty queries":  {"targets": []int{2}, "queries": []map[string]any{}},
+		"p out of range": {"targets": []int{2}, "queries": []map[string]any{{"sources": []int{0}, "p": 1.5}}},
+		"bad source":     {"targets": []int{2}, "queries": []map[string]any{{"sources": []int{99}, "p": 0.5}}},
+		"mixed forms":    {"targets": []int{2}, "sources": []int{0}, "p": 0.5, "queries": []map[string]any{{"sources": []int{0}, "p": 0.5}}},
+	} {
+		if code := doJSON(t, "POST", url, body, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: returned %d, want 400", name, code)
+		}
+	}
+
+	// Defective distribution: state 0 is unreachable from 1, so p = 0.9
+	// has no finite quantile — a loud 400 naming the query, not an
+	// extrapolated number.
+	defective := `
+\model{
+  \statevector{ \type{short}{a, b, c} }
+  \initial{ a = 1; b = 0; c = 0; }
+  \transition{leave}{ \condition{a > 0} \action{next->a = a-1; next->b = b+1;} \sojourntimeLT{expLT(3,s)} }
+  \transition{fwd}{ \condition{b > 0} \action{next->b = b-1; next->c = c+1;} \sojourntimeLT{expLT(2,s)} }
+  \transition{bwd}{ \condition{c > 0} \action{next->c = c-1; next->b = b+1;} \sojourntimeLT{expLT(4,s)} }
+}
+`
+	dinfo := uploadSpec(t, ts.URL, "defective", defective)
+	durl := fmt.Sprintf("%s/v1/models/%s/quantile", ts.URL, dinfo.ID)
+	var rec JobRecord
+	code := doJSON(t, "POST", durl, map[string]any{
+		"targets": []int{0},
+		"queries": []map[string]any{{"sources": []int{1}, "p": 0.9}},
+	}, &rec)
+	if code != http.StatusBadRequest {
+		t.Fatalf("defective quantile returned %d, want 400 (%+v)", code, rec)
+	}
+	if rec.ErrorKind != ErrInvalidRequest {
+		t.Errorf("error kind = %q", rec.ErrorKind)
+	}
+}
+
+// TestSurfaceBuildCoalesces: concurrent batched quantile requests for
+// one (model, targets, method) share a single surface build.
+func TestSurfaceBuildCoalesces(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 4})
+	info := uploadSpec(t, ts.URL, "chain", threeStateSpec)
+	url := fmt.Sprintf("%s/v1/models/%s/quantile", ts.URL, info.ID)
+
+	const n = 6
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	recs := make([]JobRecord, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = doJSON(t, "POST", url, map[string]any{
+				"targets": []int{2},
+				"queries": []map[string]any{{"sources": []int{0}, "p": 0.5 + float64(i)*0.05}},
+			}, &recs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d returned %d: %+v", i, code, recs[i])
+		}
+	}
+	if st := srv.Scheduler().Stats(); st.SurfaceBuilds != 1 {
+		t.Errorf("surface builds = %d, want 1 (coalesced)", st.SurfaceBuilds)
+	}
+}
+
+// TestPrewarmOnUpload: a model uploaded with a prewarm list builds its
+// surfaces in the background, so the first batched quantile request is
+// already a resident-surface hit.
+func TestPrewarmOnUpload(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	var info ModelInfo
+	code := doJSON(t, "POST", ts.URL+"/v1/models", map[string]any{
+		"name": "chain", "spec": threeStateSpec,
+		"prewarm": []map[string]any{{"targets": []int{2}}},
+	}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("upload with prewarm returned %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Scheduler().Stats().SurfaceBuilds == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("prewarm build never completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var rec JobRecord
+	code = doJSON(t, "POST", fmt.Sprintf("%s/v1/models/%s/quantile", ts.URL, info.ID), map[string]any{
+		"targets": []int{2},
+		"queries": []map[string]any{{"sources": []int{0}, "p": 0.9}},
+	}, &rec)
+	if code != http.StatusOK {
+		t.Fatalf("post-prewarm batch returned %d", code)
+	}
+	if !rec.CacheHit {
+		t.Error("post-prewarm batch did not hit the resident surface")
+	}
+	if f := threeStateCDF0(rec.Result.Quantiles[0]); math.Abs(f-0.9) > 5e-3 {
+		t.Errorf("F(%v) = %v, want 0.9", rec.Result.Quantiles[0], f)
+	}
+}

@@ -1,0 +1,64 @@
+package hydra_test
+
+import (
+	"errors"
+	"testing"
+
+	"hydra"
+)
+
+// TestReadRunRejectsShortVector is the regression test for the ReadRun
+// validation widening: the bound used to stretch to the LONGEST vector
+// observed, so a short/truncated vector (corrupt checkpoint record,
+// mixed-version cache entry) slid through Validate and its missing
+// source terms silently vanished from the Eq. (5) dot product. Every
+// per-point vector must now match Spec.ModelStates exactly, with a
+// structured error naming the offending point.
+func TestReadRunRejectsShortVector(t *testing.T) {
+	m, err := hydra.LoadSpec(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := m.Measures()[0].Targets
+	times := []float64{0.5, 1}
+	spec, err := m.NewPassageSpec("readrun-validate", targets, times, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := m.RunSpec(spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate one point's vector, as a corrupt record would.
+	vr.Vectors[3] = vr.Vectors[3][:1]
+	_, err = hydra.ReadRun(vr, []int{2}, []float64{1}, times, nil)
+	var pve *hydra.PointVectorError
+	if !errors.As(err, &pve) {
+		t.Fatalf("ReadRun on a truncated vector returned (%v), want *PointVectorError", err)
+	}
+	if pve.Point != 3 {
+		t.Errorf("PointVectorError.Point = %d, want 3", pve.Point)
+	}
+	if pve.Len != 1 || pve.Want != m.NumStates() {
+		t.Errorf("PointVectorError = %+v, want Len 1 Want %d", pve, m.NumStates())
+	}
+
+	// Oversized vectors are just as suspect.
+	vr2, err := m.RunSpec(spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr2.Vectors[0] = append(vr2.Vectors[0], 0)
+	if _, err := hydra.ReadRun(vr2, []int{2}, []float64{1}, times, nil); !errors.As(err, &pve) {
+		t.Fatalf("ReadRun on an oversized vector returned (%v), want *PointVectorError", err)
+	}
+
+	// An intact run still reads cleanly.
+	vr3, err := m.RunSpec(spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hydra.ReadRun(vr3, []int{2}, []float64{1}, times, nil); err != nil {
+		t.Fatalf("intact run: %v", err)
+	}
+}
