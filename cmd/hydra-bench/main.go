@@ -278,25 +278,36 @@ func residentReuse(full bool, jsonPath string) error {
 }
 
 // shardScaling measures wire v4 row-block sharding against whole-point
-// farming at equal worker counts — the projected column beating the
-// monolithic path is the sharded engine's acceptance property, and the
-// differential max|Δ| ≤ 1e-6 is enforced before any timing counts —
-// and optionally records the rows as JSON for trend tracking in CI.
+// farming at equal worker counts, one row per partition strategy
+// (lockstep / planned / planned+batched) so the boundary-vertex,
+// exchanged-value and exchange-second columns attribute the exchange
+// tax — the projected column beating the monolithic path is the
+// sharded engine's acceptance property, and the differential
+// max|Δ| ≤ 1e-6 is enforced before any timing counts — and optionally
+// records the rows as JSON for trend tracking in CI. -full adds a
+// ≥10^6-state datapoint (voting 125/50/5, 1,000,750 states) at 4
+// workers on top of the default 106k-state sweep.
 func shardScaling(full bool, jsonPath string) error {
-	cfg := experiments.ShardScalingConfig{}
-	if full {
-		cfg = experiments.ShardScalingConfig{CC: 60, MM: 25, NN: 4, Points: 2, Workers: []int{2, 4, 8}}
-	}
-	rows, err := experiments.ShardScaling(cfg)
+	rows, err := experiments.ShardScaling(experiments.ShardScalingConfig{})
 	if err != nil {
 		return err
 	}
-	fmt.Println("workers,points,states,mono_s,mono_proj_s,shard_s,shard_proj_s,proj_speedup,sweeps,exchanged,max_delta")
+	if full {
+		big, err := experiments.ShardScaling(experiments.ShardScalingConfig{
+			CC: 125, MM: 50, NN: 5, Points: 1, Workers: []int{4},
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, big...)
+	}
+	fmt.Println("workers,strategy,points,states,mono_s,mono_proj_s,shard_s,shard_proj_s,proj_speedup,sweeps,boundary,exchanged,compute_s,exchange_s,max_delta")
 	for _, r := range rows {
-		fmt.Printf("%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%.2f,%d,%d,%.2e\n",
-			r.Workers, r.Points, r.States, r.MonoSeconds, r.MonoProjSeconds,
+		fmt.Printf("%d,%s,%d,%d,%.4f,%.4f,%.4f,%.4f,%.2f,%d,%d,%d,%.4f,%.4f,%.2e\n",
+			r.Workers, r.Strategy, r.Points, r.States, r.MonoSeconds, r.MonoProjSeconds,
 			r.ShardSeconds, r.ShardProjSeconds, r.ProjSpeedup,
-			r.ShardSweeps, r.ShardExchanged, r.MaxDelta)
+			r.ShardSweeps, r.ShardBoundary, r.ShardExchanged,
+			r.ComputeSeconds, r.ExchangeSeconds, r.MaxDelta)
 	}
 	if jsonPath == "" {
 		return nil

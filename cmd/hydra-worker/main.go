@@ -53,6 +53,7 @@ func main() {
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		warm       = flag.Bool("warm", true, "warm-start iterative solves from the previous s-point of a contour batch")
 		shard      = flag.Bool("shard", true, "offer to hold row blocks of sharded solves (wire v4); false serves whole-point batches only")
+		shardExt   = flag.Bool("shard-ext", true, "announce the v4.1 shard extensions (planned boundary-minimizing blocks, overlapped halo exchange, multi-sweep batching); false pins the worker to plain v4 lock-step conduct")
 	)
 	flag.Parse()
 	if *master == "" {
@@ -86,7 +87,7 @@ func main() {
 		"model", model.Fingerprint(), "states", model.NumStates(),
 		"master", *master, "wire_version", pipeline.ProtocolVersion, "reconnect", *reconnect)
 
-	wopts := hydra.WorkerOptions{Name: *name, Logger: logger, Tracer: obs.DefaultTracer, NoShard: !*shard}
+	wopts := hydra.WorkerOptions{Name: *name, Logger: logger, Tracer: obs.DefaultTracer, NoShard: !*shard, NoShardExt: !*shardExt}
 	opts := &hydra.Options{}
 	opts.Solver.WarmStart = *warm
 	backoff := time.Second

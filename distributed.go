@@ -366,6 +366,18 @@ func (m *Model) RunWorkerWith(addr string, wopts WorkerOptions, opts *Options) e
 		NewShard: func(spec *pipeline.SolveSpec, lo, hi int) (passage.ShardMember, error) {
 			return passage.NewShardSolver(model, solverOpts, lo, hi, spec.Targets)
 		},
+		// Planned variant (wire v4.1): the worker derives its own block
+		// from the shared boundary-minimizing partition plan, so every
+		// rev-1 member computes an identical placement without the master
+		// ever holding the kernel. WorkerOptions.NoShardExt pins the
+		// worker to plain rev-0 conduct.
+		NewShardPlanned: func(spec *pipeline.SolveSpec, parts, part int) (passage.ShardMember, passage.ShardPlacement, error) {
+			sv, pl, err := passage.NewPlannedShardSolver(model, solverOpts, parts, part, spec.Targets)
+			if sv == nil || err != nil {
+				return nil, pl, err // keep the interface nil for surplus parts
+			}
+			return sv, pl, err
+		},
 	}
 	return pipeline.FleetWork(addr, []pipeline.WorkerModel{wm}, wopts)
 }

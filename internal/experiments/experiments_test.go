@@ -141,8 +141,8 @@ func TestAblationsRun(t *testing.T) {
 }
 
 // TestShardScalingRuns exercises the sharded-vs-monolithic datapoint
-// end to end on a tiny workload: both arms must complete over real
-// loopback fleets, agree within solver tolerance (enforced inside
+// end to end on a tiny workload: every strategy arm must complete over
+// real loopback fleets, agree within solver tolerance (enforced inside
 // ShardScaling), and report the shard telemetry. Speedup is not
 // asserted — the 2061-state model is deliberately in the regime where
 // the exchange tax loses, and CI records the real datapoint at scale.
@@ -151,18 +151,23 @@ func TestShardScalingRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 1 {
-		t.Fatalf("rows = %d, want 1", len(rows))
+	wantStrategies := []string{"lockstep", "planned", "planned+batched"}
+	if len(rows) != len(wantStrategies) {
+		t.Fatalf("rows = %d, want one per strategy (%d)", len(rows), len(wantStrategies))
 	}
-	r := rows[0]
-	if r.Workers != 2 || r.Points != 2 {
-		t.Errorf("row shape %+v", r)
-	}
-	if r.MonoSeconds <= 0 || r.ShardSeconds <= 0 || r.MonoProjSeconds <= 0 || r.ShardProjSeconds <= 0 {
-		t.Errorf("non-positive timings: %+v", r)
-	}
-	if r.ShardSweeps == 0 || r.ShardExchanged == 0 {
-		t.Errorf("shard telemetry missing: %+v", r)
+	for i, r := range rows {
+		if r.Strategy != wantStrategies[i] {
+			t.Errorf("row %d strategy = %q, want %q", i, r.Strategy, wantStrategies[i])
+		}
+		if r.Workers != 2 || r.Points != 2 {
+			t.Errorf("row shape %+v", r)
+		}
+		if r.MonoSeconds <= 0 || r.ShardSeconds <= 0 || r.MonoProjSeconds <= 0 || r.ShardProjSeconds <= 0 {
+			t.Errorf("non-positive timings: %+v", r)
+		}
+		if r.ShardSweeps == 0 || r.ShardExchanged == 0 || r.ShardBoundary == 0 {
+			t.Errorf("shard telemetry missing: %+v", r)
+		}
 	}
 }
 

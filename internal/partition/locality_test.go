@@ -1,0 +1,157 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydra/internal/sparse"
+)
+
+// banded builds an n-state matrix whose rows only reference a ±band
+// neighbourhood — the friendly case where contiguous identity blocks
+// already have a small boundary.
+func banded(n, band int) *sparse.CMatrix {
+	b := sparse.NewCBuilder(n, n)
+	for i := 0; i < n; i++ {
+		for d := -band; d <= band; d++ {
+			j := i + d
+			if j >= 0 && j < n {
+				b.Add(i, j, 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// scattered applies a fixed random relabelling to the banded matrix:
+// same graph, hostile index order.
+func scattered(n, band int, seed int64) *sparse.CMatrix {
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	b := sparse.NewCBuilder(n, n)
+	for i := 0; i < n; i++ {
+		for d := -band; d <= band; d++ {
+			j := i + d
+			if j >= 0 && j < n {
+				b.Add(perm[i], perm[j], 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func checkPlanCover(t *testing.T, p Plan, n int) {
+	t.Helper()
+	checkShardCover(t, p.Ranges, n)
+	if p.Order != nil {
+		seen := make([]bool, n)
+		for _, row := range p.Order {
+			if row < 0 || row >= n || seen[row] {
+				t.Fatalf("order is not a permutation at row %d", row)
+			}
+			seen[row] = true
+		}
+	}
+}
+
+// Satellite regression: with equal row weights (zero extra information),
+// planning must still prefer the boundary-minimizing ordering. On a
+// banded matrix the identity split is already near-optimal; on the same
+// graph with scattered labels the planner has to recover locality via
+// BFS + refinement rather than fall back to naive contiguous splits.
+func TestPlanBlocksPrefersBoundaryMinimizingOrder(t *testing.T) {
+	const n, band, parts = 600, 2, 4
+	mb := banded(n, band)
+	pb := PlanBlocks(MatrixGraph(mb), parts, nil, 0)
+	checkPlanCover(t, pb, n)
+	// Banded identity boundary: each internal frontier exposes ~2*band
+	// states; anything close is fine, an order-of-n boundary is not.
+	if pb.Boundary > 8*band*parts {
+		t.Fatalf("banded plan boundary = %d, want O(band*parts)", pb.Boundary)
+	}
+
+	ms := scattered(n, band, 7)
+	naiveBoundary, _ := ExchangeCost(MatrixGraph(ms), FromRanges(ShardBlocks(n, parts, nil), n))
+	ps := PlanBlocks(MatrixGraph(ms), parts, nil, 0)
+	checkPlanCover(t, ps, n)
+	if ps.Order == nil {
+		t.Fatalf("scattered matrix: planner kept identity (boundary %d, naive %d)",
+			ps.Boundary, naiveBoundary)
+	}
+	if ps.Boundary*3 > naiveBoundary {
+		t.Fatalf("scattered plan boundary %d not clearly below naive %d",
+			ps.Boundary, naiveBoundary)
+	}
+}
+
+// The reported Boundary/Cut must agree with an independent evaluation of
+// the plan's own assignment, for both strategies.
+func TestPlanBlocksCostsSelfConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + r.Intn(120)
+		parts := 1 + r.Intn(5)
+		b := sparse.NewCBuilder(n, n)
+		for k := 0; k < 4*n; k++ {
+			b.Add(r.Intn(n), r.Intn(n), 1)
+		}
+		m := b.Build()
+		var targets []int
+		for i := 0; i < n; i++ {
+			if r.Intn(6) == 0 {
+				targets = append(targets, i)
+			}
+		}
+		p := PlanBlocks(MatrixGraph(m), parts, targets, 0)
+		checkPlanCover(t, p, n)
+		boundary, cut := ExchangeCost(MatrixGraph(m), p.Assignment(n))
+		if boundary != p.Boundary || cut != p.Cut {
+			t.Fatalf("trial %d (%s): reported (%d,%d) != evaluated (%d,%d)",
+				trial, p.Strategy, p.Boundary, p.Cut, boundary, cut)
+		}
+	}
+}
+
+// Refinement must respect the row-weight imbalance cap: no block may
+// exceed its ideal share by more than the cap (plus what BalancedRows
+// itself concedes on the initial split).
+func TestPlanBlocksRespectsImbalanceCap(t *testing.T) {
+	const n, band, parts = 500, 3, 4
+	const imb = 0.05
+	m := scattered(n, band, 13)
+	p := PlanBlocks(MatrixGraph(m), parts, nil, imb)
+	checkPlanCover(t, p, n)
+	if p.Order == nil {
+		t.Skip("identity won; cap applies to the refined candidate only")
+	}
+	g := MatrixGraph(m)
+	var total float64
+	weight := func(row int) float64 {
+		deg := 0
+		g.Neighbors(row, func(int) { deg++ })
+		return float64(1 + deg)
+	}
+	for i := 0; i < n; i++ {
+		total += weight(i)
+	}
+	ideal := total / float64(len(p.Ranges))
+	for _, rg := range p.Ranges {
+		var w float64
+		for pos := rg.Lo; pos < rg.Hi; pos++ {
+			w += weight(p.Order[pos])
+		}
+		// The initial balanced split can overshoot by one unit; the cap
+		// bounds what refinement may add beyond that.
+		if w > ideal*(1+imb)+weight(p.Order[rg.Lo]) {
+			t.Fatalf("block %v weight %.0f exceeds cap %.0f", rg, w, ideal*(1+imb))
+		}
+	}
+}
+
+func TestPlanBlocksDegenerate(t *testing.T) {
+	m := banded(10, 1)
+	if p := PlanBlocks(MatrixGraph(m), 1, nil, 0); len(p.Ranges) != 1 || p.Boundary != 0 {
+		t.Fatalf("single part plan = %+v", p)
+	}
+	p := PlanBlocks(MatrixGraph(m), 25, nil, 0)
+	checkPlanCover(t, p, 10)
+}

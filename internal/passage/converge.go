@@ -46,3 +46,53 @@ func (g *convGauge) converged(m float64) bool {
 		return ok
 	}
 }
+
+// shardGauge is convGauge for the sharded conductor, aware of
+// multi-sweep batching: when an exchange covered k inner sweeps, the
+// observed norm ratio between exchanges is ρᵏ, so the MassBound tail
+// test takes the k-th root to recover the per-sweep contraction. Since
+// ρ̂ = ratio^(1/k) ≥ ratio, the bound is strictly more conservative
+// than the raw ratio — batching can never stop earlier than lock-step
+// would have. With k = 1 every decision is bitwise identical to
+// convGauge (math.Pow(x, 1) = x).
+type shardGauge struct {
+	opts  Options
+	hits  int
+	prevM float64
+}
+
+func newShardGauge(opts Options) shardGauge {
+	return shardGauge{opts: opts, prevM: math.Inf(1)}
+}
+
+// converged reports whether the iteration may stop after an exchange
+// whose final-sweep increment max-norm was m, covering k inner sweeps.
+func (g *shardGauge) converged(m float64, k int) bool {
+	switch g.opts.Criterion {
+	case PaperIncrement:
+		// Intermediate sweep norms are not observable under batching, so
+		// a k-sweep exchange counts as a single observation — consecutive
+		// hits accumulate per exchange, never faster than lock-step.
+		if m < g.opts.Epsilon {
+			g.hits++
+			return g.hits >= g.opts.ConsecutiveHits
+		}
+		g.hits = 0
+		return false
+	default: // MassBound
+		ok := false
+		if m < g.opts.Epsilon {
+			rho := 0.0
+			if g.prevM > 0 && !math.IsInf(g.prevM, 1) {
+				if ratio := m / g.prevM; ratio < 1 {
+					rho = math.Pow(ratio, 1/float64(k))
+				} else {
+					rho = ratio
+				}
+			}
+			ok = rho < 1 && m*rho/(1-rho) < g.opts.Epsilon
+		}
+		g.prevM = m
+		return ok
+	}
+}

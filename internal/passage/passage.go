@@ -83,7 +83,28 @@ type Options struct {
 	// across runs (or scatter non-adjacent s-points over one solver)
 	// should leave it off.
 	WarmStart bool
+	// ShardInnerSweeps caps how many local sweeps a shard member may
+	// run per halo exchange (multi-sweep batching, block-Jacobi with
+	// stale halos). The conductor adapts the actual count per exchange
+	// from the observed contraction rate and never exceeds this cap.
+	// 0 or 1 means lock-step: one exchange per sweep, the wire v4
+	// behaviour. Only sharded solves read it.
+	ShardInnerSweeps int
+	// ShardOverlapRows gates overlapped halo exchange (early-boundary
+	// frames shipped while interior rows sweep) by block size: overlap
+	// is used only when each member holds at least this many rows, since
+	// shipping a separate early frame per round only pays once the
+	// interior sweep is long enough to hide the relay behind. 0 means
+	// the default threshold (DefaultShardOverlapRows); a negative value
+	// disables overlap entirely. Only sharded solves read it.
+	ShardOverlapRows int
 }
+
+// DefaultShardOverlapRows is the block size above which overlapped
+// halo exchange pays for its extra per-round frame: at typical sweep
+// throughput an interior of ~10^5 rows takes long enough (~ms) to hide
+// a relay round trip behind.
+const DefaultShardOverlapRows = 100_000
 
 func (o Options) withDefaults() Options {
 	if o.Epsilon == 0 {

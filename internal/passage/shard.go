@@ -54,6 +54,28 @@ type ShardMember interface {
 	Finish(halo []complex128) ([]complex128, error)
 }
 
+// ShardMemberExt extends ShardMember with the wire v4.1 exchange
+// optimisations: a fixed-point begin (an iteration that converges from
+// any start, which multi-sweep batching with stale halos relies on) and
+// a generalised sweep that can run several local inner iterations per
+// halo exchange and ship boundary rows before interior rows are
+// computed.
+type ShardMemberExt interface {
+	ShardMember
+	// BeginPointFP prepares a new s-point for the fixed-point iteration
+	// z = e⃗ + U′·z: warm seeds the extrapolated iterate exactly like
+	// BeginPoint, cold seeds the target-indicator column e⃗. Subsequent
+	// sweeps run the pinned fixed-point update in either case.
+	BeginPointFP(s complex128, warm bool) ([]complex128, error)
+	// SweepN runs inner (≥ 1) local sweeps against one halo exchange and
+	// returns the boundary values and increment max-norm of the final
+	// sweep. inner > 1 requires a fixed-point begin. When early is
+	// non-nil it is invoked once with the final sweep's boundary values
+	// before interior rows are computed and the returned boundary slice
+	// is nil; SweepN(halo, 1, nil) is exactly Sweep(halo).
+	SweepN(halo []complex128, inner int, early func(boundary []complex128)) (boundary []complex128, norm float64, err error)
+}
+
 // ShardComputeReporter is optionally implemented by members that can
 // attribute pure compute time for their last BeginPoint/Sweep/Finish
 // call — remote members report the worker-side figure so the conductor's
@@ -73,9 +95,17 @@ type ShardSolver struct {
 	opts   Options
 	lo, hi int
 	blk    *sparse.CMatrix
-	halo   []int  // sorted global columns outside the block its rows read
-	bound  []int  // rows whose values the conductor collects
-	skip   []bool // block-local target flags
+	// pblk is set when the block lives in a permuted coordinate space
+	// (boundary-minimizing plans reorder states so blocks stay
+	// contiguous); it owns blk's values and fills them per s-point. All
+	// of lo/hi/halo/bound/x are then permuted positions, and the
+	// conductor maps the assembled answer back through the plan's order.
+	pblk  *smp.PermutedRowBlock
+	halo  []int  // sorted global columns outside the block its rows read
+	bound []int  // rows whose values the conductor collects
+	bIdx  []int  // block-local boundary row indices (bound - lo)
+	iIdx  []int  // block-local interior row indices (the complement)
+	skip  []bool // block-local target flags
 
 	lsts    []complex128
 	filledS complex128
@@ -96,7 +126,7 @@ type ShardSolver struct {
 	zHalo []complex128
 	zx    []complex128
 
-	warm bool // current point runs the warm fixed-point iteration
+	mode shardMode // iteration style of the current point
 
 	// Block-local warm-start history, mirroring prepared.dirZ* exactly:
 	// the extrapolation variants are pointwise, so per-block histories
@@ -107,10 +137,42 @@ type ShardSolver struct {
 	lastComputeNS int64
 }
 
+// shardMode is the iteration style of the current s-point.
+type shardMode int8
+
+const (
+	// modeSeries is the cold accumulator series: acc sweeps through U′
+	// while z accumulates, closed by a full U·z product.
+	modeSeries shardMode = iota
+	// modeWarm is the warm-seeded fixed-point iteration with target
+	// rows pinned to 1, closed by the warm Finish.
+	modeWarm
+	// modeFPCold is the fixed-point iteration seeded from e⃗ instead of
+	// a warm extrapolation — the batched path's cold start, converging
+	// to the same z as the series. Finish resets the warm history (a
+	// cold restart orphans the extrapolation) instead of rotating it.
+	modeFPCold
+)
+
 // NewShardSolver builds the member for rows [lo, hi) of the model with
 // the given target set. The target list is fixed per session: a sharded
 // run serves one spec.
 func NewShardSolver(m *smp.Model, opts Options, lo, hi int, targets []int) (*ShardSolver, error) {
+	return newShardSolver(m, opts, nil, lo, hi, targets)
+}
+
+// NewShardSolverPermuted builds the member for positions [lo, hi) of a
+// permuted state ordering (position → original state, the plan's
+// order). Targets are original state numbers; halo columns, boundary
+// rows and the answer block all live in permuted coordinates.
+func NewShardSolverPermuted(m *smp.Model, opts Options, order []int, lo, hi int, targets []int) (*ShardSolver, error) {
+	if order == nil {
+		return nil, fmt.Errorf("passage: permuted shard solver with nil order")
+	}
+	return newShardSolver(m, opts, order, lo, hi, targets)
+}
+
+func newShardSolver(m *smp.Model, opts Options, order []int, lo, hi int, targets []int) (*ShardSolver, error) {
 	n := m.N()
 	if lo < 0 || hi > n || lo >= hi {
 		return nil, fmt.Errorf("passage: shard block [%d,%d) outside model of %d states", lo, hi, n)
@@ -128,15 +190,37 @@ func NewShardSolver(m *smp.Model, opts Options, lo, hi int, targets []int) (*Sha
 		opts: opts.withDefaults(),
 		lo:   lo,
 		hi:   hi,
-		blk:  m.NewKernelRowBlock(lo, hi),
 		skip: make([]bool, hi-lo),
 		x:    make([]complex128, n),
 		yOwn: make([]complex128, hi-lo),
 		zOwn: make([]complex128, hi-lo),
 	}
-	for _, t := range targets {
-		if t >= lo && t < hi {
-			sv.skip[t-lo] = true
+	if order == nil {
+		sv.blk = m.NewKernelRowBlock(lo, hi)
+		for _, t := range targets {
+			if t >= lo && t < hi {
+				sv.skip[t-lo] = true
+			}
+		}
+	} else {
+		if len(order) != n {
+			return nil, fmt.Errorf("passage: shard order covers %d of %d states", len(order), n)
+		}
+		inv := make([]int, n)
+		seenPos := make([]bool, n)
+		for pos, row := range order {
+			if row < 0 || row >= n || seenPos[row] {
+				return nil, fmt.Errorf("passage: shard order is not a permutation at position %d", pos)
+			}
+			seenPos[row] = true
+			inv[row] = pos
+		}
+		sv.pblk = m.NewPermutedRowBlock(order, lo, hi)
+		sv.blk = sv.pblk.Matrix()
+		for _, t := range targets {
+			if p := inv[t]; p >= lo && p < hi {
+				sv.skip[p-lo] = true
+			}
 		}
 	}
 	seen := make(map[int]bool)
@@ -169,6 +253,20 @@ func (sv *ShardSolver) SetBoundary(rows []int) error {
 		}
 	}
 	sv.bound = append(sv.bound[:0], rows...)
+	// Precompute the block-local boundary/interior split so an
+	// overlapped sweep can compute (and ship) boundary rows first.
+	isB := make([]bool, sv.hi-sv.lo)
+	sv.bIdx = sv.bIdx[:0]
+	for _, r := range rows {
+		sv.bIdx = append(sv.bIdx, r-sv.lo)
+		isB[r-sv.lo] = true
+	}
+	sv.iIdx = sv.iIdx[:0]
+	for i := range isB {
+		if !isB[i] {
+			sv.iIdx = append(sv.iIdx, i)
+		}
+	}
 	return nil
 }
 
@@ -193,16 +291,25 @@ func (sv *ShardSolver) scatterHalo(halo []complex128) error {
 	return nil
 }
 
+func (sv *ShardSolver) fill(s complex128) {
+	if sv.filled && sv.filledS == s {
+		return
+	}
+	sv.lsts = sv.m.DistLSTsInto(s, sv.lsts)
+	if sv.pblk != nil {
+		sv.pblk.FillSampled(sv.lsts)
+	} else {
+		sv.m.FillKernelRowBlockSampled(sv.lsts, sv.lo, sv.hi, sv.blk)
+	}
+	sv.filledS = s
+	sv.filled = true
+}
+
 // BeginPoint implements ShardMember.
 func (sv *ShardSolver) BeginPoint(s complex128, warm bool) ([]complex128, error) {
 	start := time.Now()
 	defer func() { sv.lastComputeNS = time.Since(start).Nanoseconds() }()
-	if !sv.filled || sv.filledS != s {
-		sv.lsts = sv.m.DistLSTsInto(s, sv.lsts)
-		sv.m.FillKernelRowBlockSampled(sv.lsts, sv.lo, sv.hi, sv.blk)
-		sv.filledS = s
-		sv.filled = true
-	}
+	sv.fill(s)
 	if warm {
 		if !sv.zWarm || len(sv.dirZ) != sv.hi-sv.lo {
 			return nil, fmt.Errorf("passage: warm shard point requested with no converged seed")
@@ -220,7 +327,7 @@ func (sv *ShardSolver) BeginPoint(s complex128, warm bool) ([]complex128, error)
 		default:
 			copy(own, sv.dirZ)
 		}
-		sv.warm = true
+		sv.mode = modeWarm
 		return sv.boundaryVals(), nil
 	}
 	// Cold series: acc ← e⃗ over own rows, z ← e⃗.
@@ -235,45 +342,162 @@ func (sv *ShardSolver) BeginPoint(s complex128, warm bool) ([]complex128, error)
 	for i := range sv.zHalo {
 		sv.zHalo[i] = 0
 	}
-	sv.warm = false
+	sv.mode = modeSeries
 	return sv.boundaryVals(), nil
 }
 
-// Sweep implements ShardMember.
-func (sv *ShardSolver) Sweep(halo []complex128) ([]complex128, float64, error) {
+// BeginPointFP implements ShardMemberExt. A warm begin is exactly
+// BeginPoint's warm path (the warm iteration already is the fixed
+// point); a cold begin seeds e⃗ and iterates the same pinned update, so
+// inner sweeps with stale halos stay a convergent block-Jacobi scheme
+// from the first point of a contour.
+func (sv *ShardSolver) BeginPointFP(s complex128, warm bool) ([]complex128, error) {
+	if warm {
+		return sv.BeginPoint(s, true)
+	}
 	start := time.Now()
 	defer func() { sv.lastComputeNS = time.Since(start).Nanoseconds() }()
-	if err := sv.scatterHalo(halo); err != nil {
-		return nil, 0, err
+	sv.fill(s)
+	for i := range sv.skip {
+		v := complex128(0)
+		if sv.skip[i] {
+			v = 1
+		}
+		sv.x[sv.lo+i] = v
 	}
+	sv.mode = modeFPCold
+	return sv.boundaryVals(), nil
+}
+
+// rowFixedPoint computes one row of the pinned fixed-point update
+// y = U′·x with target rows pinned to 1. The entry loop matches
+// MulVecSkipRows order for order, so row-by-row computation is bitwise
+// identical to the block product.
+func (sv *ShardSolver) rowFixedPoint(i int) complex128 {
+	if sv.skip[i] {
+		return 1
+	}
+	cols, vals := sv.blk.RowSlices(i)
+	var sum complex128
+	for e, c := range cols {
+		sum += vals[e] * sv.x[c]
+	}
+	return sum
+}
+
+// rowSeries is rowFixedPoint for the cold accumulator series: target
+// rows are zero (U′), everything else the plain row product.
+func (sv *ShardSolver) rowSeries(i int) complex128 {
+	if sv.skip[i] {
+		return 0
+	}
+	cols, vals := sv.blk.RowSlices(i)
+	var sum complex128
+	for e, c := range cols {
+		sum += vals[e] * sv.x[c]
+	}
+	return sum
+}
+
+func (sv *ShardSolver) boundaryFromY() []complex128 {
+	out := make([]complex128, len(sv.bIdx))
+	for k, i := range sv.bIdx {
+		out[k] = sv.yOwn[i]
+	}
+	return out
+}
+
+// sweepOnceFixedPoint runs one pinned fixed-point sweep over the block,
+// optionally shipping boundary rows via early before interior rows are
+// computed, and returns the increment max-norm.
+func (sv *ShardSolver) sweepOnceFixedPoint(early func([]complex128)) float64 {
 	own := sv.x[sv.lo:sv.hi]
-	var m float64
-	if sv.warm {
+	if early != nil {
+		for _, i := range sv.bIdx {
+			sv.yOwn[i] = sv.rowFixedPoint(i)
+		}
+		early(sv.boundaryFromY())
+		for _, i := range sv.iIdx {
+			sv.yOwn[i] = sv.rowFixedPoint(i)
+		}
+	} else {
 		sv.blk.MulVecSkipRows(sv.x, sv.yOwn, sv.skip)
 		for i, isT := range sv.skip {
 			if isT {
 				sv.yOwn[i] = 1
 			}
 		}
-		for i := range sv.yOwn {
-			d := sv.yOwn[i] - own[i]
-			if a := math.Hypot(real(d), imag(d)); a > m {
-				m = a
-			}
+	}
+	var m float64
+	for i := range sv.yOwn {
+		d := sv.yOwn[i] - own[i]
+		if a := math.Hypot(real(d), imag(d)); a > m {
+			m = a
+		}
+	}
+	copy(own, sv.yOwn)
+	return m
+}
+
+// sweepOnceSeries runs one cold accumulator sweep (the caller has
+// already folded the received halo into zHalo).
+func (sv *ShardSolver) sweepOnceSeries(early func([]complex128)) float64 {
+	if early != nil {
+		for _, i := range sv.bIdx {
+			sv.yOwn[i] = sv.rowSeries(i)
+		}
+		early(sv.boundaryFromY())
+		for _, i := range sv.iIdx {
+			sv.yOwn[i] = sv.rowSeries(i)
 		}
 	} else {
+		sv.blk.MulVecSkipRows(sv.x, sv.yOwn, sv.skip)
+	}
+	m := maxNorm(sv.yOwn)
+	for i := range sv.yOwn {
+		sv.zOwn[i] += sv.yOwn[i]
+	}
+	copy(sv.x[sv.lo:sv.hi], sv.yOwn)
+	return m
+}
+
+// Sweep implements ShardMember.
+func (sv *ShardSolver) Sweep(halo []complex128) ([]complex128, float64, error) {
+	return sv.SweepN(halo, 1, nil)
+}
+
+// SweepN implements ShardMemberExt.
+func (sv *ShardSolver) SweepN(halo []complex128, inner int, early func([]complex128)) ([]complex128, float64, error) {
+	start := time.Now()
+	defer func() { sv.lastComputeNS = time.Since(start).Nanoseconds() }()
+	if inner < 1 {
+		inner = 1
+	}
+	if inner > 1 && sv.mode == modeSeries {
+		return nil, 0, fmt.Errorf("passage: inner-sweep batching requires a fixed-point begin")
+	}
+	if err := sv.scatterHalo(halo); err != nil {
+		return nil, 0, err
+	}
+	var m float64
+	if sv.mode == modeSeries {
 		// The received halo values are the previous accumulator, which
 		// the cold z sum needs at halo columns just as it needs own rows.
 		for k := range halo {
 			sv.zHalo[k] += halo[k]
 		}
-		sv.blk.MulVecSkipRows(sv.x, sv.yOwn, sv.skip)
-		m = maxNorm(sv.yOwn)
-		for i := range sv.yOwn {
-			sv.zOwn[i] += sv.yOwn[i]
+		m = sv.sweepOnceSeries(early)
+	} else {
+		// Inner sweeps iterate against stale halo values; only the final
+		// sweep's boundary and norm are observable outside.
+		for t := 0; t < inner-1; t++ {
+			sv.sweepOnceFixedPoint(nil)
 		}
+		m = sv.sweepOnceFixedPoint(early)
 	}
-	copy(own, sv.yOwn)
+	if early != nil {
+		return nil, m, nil
+	}
 	return sv.boundaryVals(), m, nil
 }
 
@@ -282,7 +506,7 @@ func (sv *ShardSolver) Finish(halo []complex128) ([]complex128, error) {
 	start := time.Now()
 	defer func() { sv.lastComputeNS = time.Since(start).Nanoseconds() }()
 	out := make([]complex128, sv.hi-sv.lo)
-	if sv.warm {
+	if sv.mode != modeSeries {
 		if err := sv.scatterHalo(halo); err != nil {
 			return nil, err
 		}
@@ -302,10 +526,18 @@ func (sv *ShardSolver) Finish(halo []complex128) ([]complex128, error) {
 			out[i] = sum
 		}
 		if sv.opts.WarmStart {
-			sv.dirZPrev2, sv.dirZPrev, sv.dirZ =
-				sv.dirZPrev, sv.dirZ, append(sv.dirZPrev2[:0], own...)
-			sv.zPrev2 = sv.zPrev
-			sv.zPrev = true
+			if sv.mode == modeWarm {
+				sv.dirZPrev2, sv.dirZPrev, sv.dirZ =
+					sv.dirZPrev, sv.dirZ, append(sv.dirZPrev2[:0], own...)
+				sv.zPrev2 = sv.zPrev
+				sv.zPrev = true
+			} else {
+				// A cold fixed-point restart orphans the extrapolation
+				// history, exactly like the cold series does.
+				sv.dirZ = append(sv.dirZ[:0], own...)
+				sv.zWarm = true
+				sv.zPrev, sv.zPrev2 = false, false
+			}
 		}
 		return out, nil
 	}
@@ -333,10 +565,74 @@ func (sv *ShardSolver) Finish(halo []complex128) ([]complex128, error) {
 // ShardStats counts a session's distributed work.
 type ShardStats struct {
 	Points     int   // s-points solved
-	Sweeps     int64 // lock-step sweeps across all points
+	Sweeps     int64 // sweeps across all points (inner sweeps included)
 	Exchanged  int64 // complex boundary/halo values moved between blocks
 	ComputeNS  int64 // summed member compute time
-	CriticalNS int64 // per-sweep max member compute, summed — the sharded critical path
+	CriticalNS int64 // per-round max member compute, summed — the sharded critical path
+	Boundary   int   // ledger size: states whose values cross blocks per exchange
+	ExchangeNS int64 // per-round wall beyond the slowest member's compute, summed
+}
+
+// ShardTuning selects the wire v4.1 exchange optimisations. The zero
+// value is the plain wire v4 lock-step conduct; either field requires
+// every member to implement ShardMemberExt (the session silently
+// downgrades to lock-step otherwise, so mixed-capability fleets stay
+// correct).
+type ShardTuning struct {
+	// Overlap ships each member's boundary rows before its interior
+	// rows are computed, so boundary exchange rides under interior
+	// compute instead of after it.
+	Overlap bool
+	// InnerSweeps caps how many local sweeps a member may run per halo
+	// exchange (block-Jacobi inner iterations against stale halos). The
+	// conductor adapts the actual count per exchange from the observed
+	// contraction rate; ≤ 1 means lock-step.
+	InnerSweeps int
+}
+
+func (t ShardTuning) active() bool { return t.Overlap || t.InnerSweeps > 1 }
+
+// innerPlanner adapts the inner-sweep count to the observed per-sweep
+// contraction ρ̂: from increment norm m, reaching Epsilon takes about
+// log(eps/m)/log(ρ̂) further sweeps, and the planner authorises half of
+// that (capped) per exchange — aggressive enough to collapse most round
+// trips, conservative enough that the gauge still observes the tail.
+// The endgame (m < eps) returns to lock-step so stopping decisions see
+// every sweep.
+type innerPlanner struct {
+	limit int
+	eps   float64
+	prevM float64
+}
+
+func newInnerPlanner(limit int, eps float64) innerPlanner {
+	return innerPlanner{limit: limit, eps: eps, prevM: math.NaN()}
+}
+
+// next picks the inner-sweep count for the exchange following one that
+// ran k sweeps and ended with increment norm m.
+func (p *innerPlanner) next(m float64, k int) int {
+	prev := p.prevM
+	p.prevM = m
+	if !(m > 0) || m < p.eps {
+		return 1
+	}
+	if math.IsNaN(prev) || prev <= 0 || m >= prev {
+		return 1
+	}
+	rho := math.Pow(m/prev, 1/float64(k))
+	if rho >= 1 {
+		return 1
+	}
+	sweepsLeft := math.Log(p.eps/m) / math.Log(rho)
+	next := int(sweepsLeft / 2)
+	if next < 1 {
+		return 1
+	}
+	if next > p.limit {
+		return p.limit
+	}
+	return next
 }
 
 // ShardSession conducts lock-step sweeps over a set of members whose row
@@ -356,6 +652,14 @@ type ShardSession struct {
 	haloBuf [][]complex128
 	elapsed []int64
 
+	// tuning is the effective wire v4.1 conduct; ext holds the members'
+	// extended interface (same order) when tuning is active, and
+	// earlyErrs collects per-member early-frame validation failures
+	// raised inside the fan-out callbacks.
+	tuning    ShardTuning
+	ext       []ShardMemberExt
+	earlyErrs []error
+
 	haveSeed bool
 	lastWarm bool
 	stats    ShardStats
@@ -363,8 +667,17 @@ type ShardSession struct {
 
 // NewShardSession validates that the members' blocks tile [0, n) and
 // distributes the boundary ledger: every halo column of every member is
-// routed to the block that owns it.
+// routed to the block that owns it. Conduct is plain wire v4 lock-step;
+// use NewShardSessionTuned for the v4.1 exchange optimisations.
 func NewShardSession(n int, members []ShardMember, opts Options) (*ShardSession, error) {
+	return NewShardSessionTuned(n, members, opts, ShardTuning{})
+}
+
+// NewShardSessionTuned is NewShardSession with overlap and inner-sweep
+// batching. Tuning engages only when every member implements
+// ShardMemberExt; otherwise the session downgrades to lock-step (see
+// Tuning for the effective values).
+func NewShardSessionTuned(n int, members []ShardMember, opts Options, tuning ShardTuning) (*ShardSession, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("passage: shard session with no members")
 	}
@@ -412,12 +725,37 @@ func NewShardSession(n int, members []ShardMember, opts Options) (*ShardSession,
 	}
 	for w, rows := range ss.bounds {
 		sort.Ints(rows)
+		ss.stats.Boundary += len(rows)
 		if err := ss.members[w].SetBoundary(rows); err != nil {
 			return nil, err
 		}
 	}
+	if tuning.active() {
+		ext := make([]ShardMemberExt, len(ss.members))
+		ok := true
+		for w, m := range ss.members {
+			if e, is := m.(ShardMemberExt); is {
+				ext[w] = e
+			} else {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if tuning.InnerSweeps < 1 {
+				tuning.InnerSweeps = 1
+			}
+			ss.tuning = tuning
+			ss.ext = ext
+			ss.earlyErrs = make([]error, len(ss.members))
+		}
+	}
 	return ss, nil
 }
+
+// Tuning reports the session's effective conduct — the requested tuning
+// when every member supports it, the lock-step zero value otherwise.
+func (ss *ShardSession) Tuning() ShardTuning { return ss.tuning }
 
 func (ss *ShardSession) ownerOf(row int) int {
 	return sort.Search(len(ss.his), func(w int) bool { return row < ss.his[w] })
@@ -462,20 +800,29 @@ func (ss *ShardSession) each(fn func(w int) error) error {
 
 // noteRound folds one fan-out's member timings into the stats: summed
 // compute plus the round's slowest member (the critical path). Members
-// that report their own compute time override the wall measurement.
+// that report their own compute time override the wall measurement, and
+// the gap between the round's wall (slowest member call, wire included)
+// and its slowest compute is attributed to exchange.
 func (ss *ShardSession) noteRound() {
-	var worst int64
+	var worstWall, worstCompute int64
 	for w, m := range ss.members {
-		ns := ss.elapsed[w]
+		wall := ss.elapsed[w]
+		ns := wall
 		if rep, ok := m.(ShardComputeReporter); ok {
 			ns = rep.LastComputeNS()
 		}
 		ss.stats.ComputeNS += ns
-		if ns > worst {
-			worst = ns
+		if ns > worstCompute {
+			worstCompute = ns
+		}
+		if wall > worstWall {
+			worstWall = wall
 		}
 	}
-	ss.stats.CriticalNS += worst
+	ss.stats.CriticalNS += worstCompute
+	if d := worstWall - worstCompute; d > 0 {
+		ss.stats.ExchangeNS += d
+	}
 }
 
 func (ss *ShardSession) scatterBoundary(w int, vals []complex128) error {
@@ -513,10 +860,35 @@ func (ss *ShardSession) SolvePoint(s complex128, wantWarm bool) ([]complex128, i
 	return out, r, err
 }
 
+// earlyScatter returns the callback member w uses to ship its boundary
+// rows mid-sweep. Members own disjoint boundary row sets, so concurrent
+// callbacks write disjoint ledger entries; validation failures are
+// parked in earlyErrs for the conductor to surface after the fan-out.
+func (ss *ShardSession) earlyScatter(w int) func([]complex128) {
+	ss.earlyErrs[w] = nil
+	return func(vals []complex128) {
+		if len(vals) != len(ss.bounds[w]) {
+			ss.earlyErrs[w] = fmt.Errorf("passage: member %d shipped %d early boundary values, want %d",
+				w, len(vals), len(ss.bounds[w]))
+			return
+		}
+		for k, r := range ss.bounds[w] {
+			ss.bvals[r] = vals[k]
+		}
+	}
+}
+
 func (ss *ShardSession) solvePoint(s complex128, warm bool) ([]complex128, int, error) {
+	batch := ss.tuning.InnerSweeps > 1
 	begin := make([][]complex128, len(ss.members))
 	err := ss.each(func(w int) error {
-		vals, err := ss.members[w].BeginPoint(s, warm)
+		var vals []complex128
+		var err error
+		if batch {
+			vals, err = ss.ext[w].BeginPointFP(s, warm)
+		} else {
+			vals, err = ss.members[w].BeginPoint(s, warm)
+		}
 		if err != nil {
 			return err
 		}
@@ -532,38 +904,76 @@ func (ss *ShardSession) solvePoint(s complex128, warm bool) ([]complex128, int, 
 			return nil, 0, err
 		}
 	}
-	gauge := newConvGauge(ss.opts)
+	gauge := newShardGauge(ss.opts)
+	planner := newInnerPlanner(ss.tuning.InnerSweeps, ss.opts.Epsilon)
 	norms := make([]float64, len(ss.members))
 	bounds := make([][]complex128, len(ss.members))
-	for r := 1; r <= ss.opts.MaxR; r++ {
+	sweeps, k := 0, 1
+	for sweeps < ss.opts.MaxR {
+		if k > ss.opts.MaxR-sweeps {
+			k = ss.opts.MaxR - sweeps
+		}
 		// Halos are gathered before the fan-out: the goroutines below
-		// must not touch the shared boundary ledger concurrently.
+		// must not touch the shared boundary ledger concurrently (the
+		// early callbacks write only their member's own ledger rows).
 		for w := range ss.members {
 			ss.gatherHalo(w)
 		}
-		err := ss.each(func(w int) error {
-			b, norm, err := ss.members[w].Sweep(ss.haloBuf[w])
-			if err != nil {
-				return err
-			}
-			bounds[w], norms[w] = b, norm
-			return nil
-		})
+		inner := k
+		var err error
+		if ss.tuning.active() {
+			err = ss.each(func(w int) error {
+				var early func([]complex128)
+				if ss.tuning.Overlap {
+					early = ss.earlyScatter(w)
+				}
+				b, norm, err := ss.ext[w].SweepN(ss.haloBuf[w], inner, early)
+				if err != nil {
+					return err
+				}
+				bounds[w], norms[w] = b, norm
+				return nil
+			})
+		} else {
+			err = ss.each(func(w int) error {
+				b, norm, err := ss.members[w].Sweep(ss.haloBuf[w])
+				if err != nil {
+					return err
+				}
+				bounds[w], norms[w] = b, norm
+				return nil
+			})
+		}
+		sweeps += inner
 		if err != nil {
-			return nil, r, err
+			return nil, sweeps, err
 		}
 		ss.noteRound()
-		ss.stats.Sweeps++
+		ss.stats.Sweeps += int64(inner)
 		var m float64
 		for w := range ss.members {
-			if err := ss.scatterBoundary(w, bounds[w]); err != nil {
-				return nil, r, err
+			if ss.tuning.Overlap {
+				if ss.earlyErrs[w] != nil {
+					return nil, sweeps, ss.earlyErrs[w]
+				}
+				ss.stats.Exchanged += int64(len(ss.bounds[w]))
+			} else if err := ss.scatterBoundary(w, bounds[w]); err != nil {
+				return nil, sweeps, err
 			}
 			if norms[w] > m {
 				m = norms[w]
 			}
 		}
-		if !gauge.converged(m) {
+		// A batched exchange's final sweep ran against a halo that is
+		// inner sweeps stale, so its increment norm underestimates the
+		// true residual; acceptance is gated on lock-step exchanges,
+		// whose norms are exactly the monolithic Jacobi increments. The
+		// planner returns to k = 1 once norms reach Epsilon, so the gate
+		// costs at most one extra confirmation round.
+		if !gauge.converged(m, inner) || inner > 1 {
+			if batch {
+				k = planner.next(m, inner)
+			}
 			continue
 		}
 		blocks := make([][]complex128, len(ss.members))
@@ -579,13 +989,13 @@ func (ss *ShardSession) solvePoint(s complex128, warm bool) ([]complex128, int, 
 			return nil
 		})
 		if err != nil {
-			return nil, r, err
+			return nil, sweeps, err
 		}
 		ss.noteRound()
 		out := make([]complex128, ss.n)
 		for w, blk := range blocks {
 			if len(blk) != ss.his[w]-ss.los[w] {
-				return nil, r, fmt.Errorf("passage: member %d returned %d values for block [%d,%d)",
+				return nil, sweeps, fmt.Errorf("passage: member %d returned %d values for block [%d,%d)",
 					w, len(blk), ss.los[w], ss.his[w])
 			}
 			copy(out[ss.los[w]:ss.his[w]], blk)
@@ -593,7 +1003,7 @@ func (ss *ShardSession) solvePoint(s complex128, warm bool) ([]complex128, int, 
 		ss.haveSeed = ss.opts.WarmStart
 		ss.lastWarm = warm
 		ss.stats.Points++
-		return out, r, nil
+		return out, sweeps, nil
 	}
 	if warm {
 		return nil, ss.opts.MaxR, fmt.Errorf("%w: sharded warm refinement after %d sweeps at s=%v",

@@ -1,0 +1,364 @@
+package passage
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// shardTunings enumerates the wire v4.1 conduct combinations every
+// differential test must hold under: lock-step, overlapped exchange,
+// inner-sweep batching, and both at once.
+var shardTunings = []struct {
+	name   string
+	tuning ShardTuning
+}{
+	{"lockstep", ShardTuning{}},
+	{"overlap", ShardTuning{Overlap: true}},
+	{"batch", ShardTuning{InnerSweeps: 8}},
+	{"overlap+batch", ShardTuning{Overlap: true, InnerSweeps: 8}},
+}
+
+// TestShardedPlannedMatchesMonolithicCold is the tentpole differential
+// property: the planned solve — boundary-minimizing ordering, overlap,
+// inner-sweep batching — must agree with the monolithic solver at 1e-12
+// for every partition count and tuning. Batching runs block-Jacobi with
+// stale halos, so the iterates differ mid-flight; a tight Epsilon makes
+// the converged answers land well inside the 1e-12 gate.
+func TestShardedPlannedMatchesMonolithicCold(t *testing.T) {
+	r := rand.New(rand.NewSource(1501))
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + r.Intn(20)
+		m := randomSMP(r, n)
+		targets := randomTargets(r, n)
+		points := contourPoints(r, 1+r.Intn(3))
+		opts := Options{Epsilon: 1e-13}
+		mono := NewSolver(m, opts)
+		want := make([][]complex128, len(points))
+		for i, s := range points {
+			v, _, err := mono.IterativeVectorLST(s, targets)
+			if err != nil {
+				t.Fatalf("trial %d: monolithic: %v", trial, err)
+			}
+			want[i] = v
+		}
+		for parts := 1; parts <= 4; parts++ {
+			for _, tc := range shardTunings {
+				got, stats, err := SolveShardedPlanned(m, opts, parts, targets, points, 0, tc.tuning)
+				if err != nil {
+					t.Fatalf("trial %d parts %d %s: %v", trial, parts, tc.name, err)
+				}
+				if stats.Points != len(points) {
+					t.Fatalf("trial %d parts %d %s: stats.Points = %d, want %d",
+						trial, parts, tc.name, stats.Points, len(points))
+				}
+				for i := range points {
+					for j := 0; j < n; j++ {
+						if d := cmplx.Abs(got[i][j] - want[i][j]); d > 1e-12 {
+							t.Errorf("trial %d parts %d %s point %d state %d: planned %v vs mono %v (diff %g)",
+								trial, parts, tc.name, i, j, got[i][j], want[i][j], d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedPlannedMatchesMonolithicWarm runs the same property with
+// warm starts on: the planned session's history rotation and
+// extrapolation seeding must track the monolithic solver through the
+// contour, under every tuning.
+func TestShardedPlannedMatchesMonolithicWarm(t *testing.T) {
+	r := rand.New(rand.NewSource(733))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + r.Intn(20)
+		m := randomSMP(r, n)
+		targets := randomTargets(r, n)
+		points := contourPoints(r, 3+r.Intn(3))
+		opts := Options{WarmStart: true, Epsilon: 1e-13}
+		mono := NewSolver(m, opts)
+		want := make([][]complex128, len(points))
+		for i, s := range points {
+			v, _, err := mono.VectorLST(s, targets)
+			if err != nil {
+				t.Fatalf("trial %d: monolithic: %v", trial, err)
+			}
+			want[i] = v
+		}
+		for parts := 1; parts <= 4; parts++ {
+			for _, tc := range shardTunings {
+				got, _, err := SolveShardedPlanned(m, opts, parts, targets, points, 0, tc.tuning)
+				if err != nil {
+					t.Fatalf("trial %d parts %d %s: %v", trial, parts, tc.name, err)
+				}
+				for i := range points {
+					for j := 0; j < n; j++ {
+						if d := cmplx.Abs(got[i][j] - want[i][j]); d > 1e-12 {
+							t.Errorf("trial %d parts %d %s point %d state %d: planned %v vs mono %v (diff %g)",
+								trial, parts, tc.name, i, j, got[i][j], want[i][j], d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedPlannedSegmentRestarts checks the contour-block rule under
+// the tuned path: segment boundaries restart cold even when the point
+// before used batched sweeps.
+func TestShardedPlannedSegmentRestarts(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	n := 18
+	m := randomSMP(r, n)
+	targets := []int{2, 9}
+	const segment = 3
+	points := append(contourPoints(r, segment), contourPoints(r, segment)...)
+	opts := Options{WarmStart: true, Epsilon: 1e-13}
+
+	want := make([][]complex128, len(points))
+	var mono *Solver
+	for i, s := range points {
+		if i%segment == 0 {
+			mono = NewSolver(m, opts)
+		}
+		v, _, err := mono.VectorLST(s, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	got, _, err := SolveShardedPlanned(m, opts, 3, targets, points, segment,
+		ShardTuning{Overlap: true, InnerSweeps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		for j := 0; j < n; j++ {
+			if d := cmplx.Abs(got[i][j] - want[i][j]); d > 1e-12 {
+				t.Errorf("point %d state %d: planned %v vs mono %v (diff %g)", i, j, got[i][j], want[i][j], d)
+			}
+		}
+	}
+}
+
+// TestShardedPlannedLockstepBitwise: with zero tuning the planned path
+// on an identity plan performs the identical arithmetic to SolveSharded,
+// so the answers must be bitwise equal — the planned entry point adds no
+// numerical drift of its own.
+func TestShardedPlannedLockstepBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 8; trial++ {
+		n := 6 + r.Intn(14)
+		m := randomSMP(r, n)
+		targets := randomTargets(r, n)
+		points := contourPoints(r, 2)
+		plan := PlanShardBlocks(m, 2, targets)
+		if plan.Order != nil {
+			// Locality ordering won — arithmetic order differs by design;
+			// the 1e-12 differential tests above cover this shape.
+			continue
+		}
+		want, _, err := SolveSharded(m, Options{}, 2, targets, points, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := SolveShardedPlanned(m, Options{}, 2, targets, points, 0, ShardTuning{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range points {
+			for j := 0; j < n; j++ {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("trial %d point %d state %d: planned %v vs sharded %v",
+						trial, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestSweepNLockstepEqualsSweep pins the wire v4.1 compatibility
+// contract at the member level: SweepN(halo, 1, nil) must be the same
+// operation as Sweep, sweep by sweep, on a live solve. With two members
+// each block's halo columns all live in the other block, so the values
+// one member ships (SetBoundary order) are exactly the halo the other
+// consumes (HaloColumns order).
+func TestSweepNLockstepEqualsSweep(t *testing.T) {
+	r := rand.New(rand.NewSource(414))
+	n := 14
+	m := randomSMP(r, n)
+	targets := []int{3}
+	s := complex(0.9, 0.4)
+
+	mk := func() (*ShardSolver, *ShardSolver) {
+		a, err := NewShardSolver(m, Options{}, 0, 7, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewShardSolver(m, Options{}, 7, n, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SetBoundary(b.HaloColumns()); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SetBoundary(a.HaloColumns()); err != nil {
+			t.Fatal(err)
+		}
+		return a, b
+	}
+	runSweeps := func(a, b *ShardSolver, useN bool) ([]complex128, []complex128) {
+		pa, err := a.BeginPoint(s, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.BeginPoint(s, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sw := 0; sw < 6; sw++ {
+			var na, nb []complex128
+			var err error
+			if useN {
+				na, _, err = a.SweepN(pb, 1, nil)
+			} else {
+				na, _, err = a.Sweep(pb)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if useN {
+				nb, _, err = b.SweepN(pa, 1, nil)
+			} else {
+				nb, _, err = b.Sweep(pa)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			pa, pb = na, nb
+		}
+		return pa, pb
+	}
+	a1, b1 := mk()
+	wa, wb := runSweeps(a1, b1, false)
+	a2, b2 := mk()
+	ga, gb := runSweeps(a2, b2, true)
+	for i := range wa {
+		if ga[i] != wa[i] {
+			t.Fatalf("member a boundary %d: SweepN %v vs Sweep %v", i, ga[i], wa[i])
+		}
+	}
+	for i := range wb {
+		if gb[i] != wb[i] {
+			t.Fatalf("member b boundary %d: SweepN %v vs Sweep %v", i, gb[i], wb[i])
+		}
+	}
+}
+
+// TestSessionDowngradesWithoutExt: a session built over members that do
+// not implement ShardMemberExt must silently fall back to lock-step
+// conduct, matching the v4-worker negotiation rule.
+func TestSessionDowngradesWithoutExt(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	n := 10
+	m := randomSMP(r, n)
+	targets := []int{4}
+	mk := func(lo, hi int) ShardMember {
+		sv, err := NewShardSolver(m, Options{}, lo, hi, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plainMember{sv}
+	}
+	members := []ShardMember{mk(0, 5), mk(5, 10)}
+	ss, err := NewShardSessionTuned(n, members, Options{}, ShardTuning{Overlap: true, InnerSweeps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.Tuning(); got.active() {
+		t.Fatalf("session kept tuning %+v over members without the extension", got)
+	}
+	s := complex(0.8, 0.2)
+	mono := NewSolver(m, Options{})
+	want, _, err := mono.IterativeVectorLST(s, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ss.SolvePoint(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if d := cmplx.Abs(got[j] - want[j]); d > 1e-12 {
+			t.Errorf("state %d: %v vs %v", j, got[j], want[j])
+		}
+	}
+}
+
+// plainMember hides the v4.1 extension methods, leaving only the base
+// ShardMember surface — the in-process stand-in for a rev-0 worker.
+type plainMember struct{ sv *ShardSolver }
+
+func (p plainMember) Range() (int, int)            { return p.sv.Range() }
+func (p plainMember) HaloColumns() []int           { return p.sv.HaloColumns() }
+func (p plainMember) SetBoundary(rows []int) error { return p.sv.SetBoundary(rows) }
+func (p plainMember) BeginPoint(s complex128, warm bool) ([]complex128, error) {
+	return p.sv.BeginPoint(s, warm)
+}
+func (p plainMember) Sweep(halo []complex128) ([]complex128, float64, error) {
+	return p.sv.Sweep(halo)
+}
+func (p plainMember) Finish(halo []complex128) ([]complex128, error) { return p.sv.Finish(halo) }
+
+// TestInnerPlannerAdapts pins the adaptive-k policy: no estimate or
+// rising norms mean lock-step, steady contraction grows k toward the
+// cap, and the endgame (norm below Epsilon) drops back to 1 so the
+// gauge sees the true final increment.
+func TestInnerPlannerAdapts(t *testing.T) {
+	p := newInnerPlanner(8, 1e-10)
+	if k := p.next(1e-2, 1); k != 1 {
+		t.Fatalf("first exchange: k = %d, want 1 (no estimate yet)", k)
+	}
+	// ρ = 0.5: about 25 sweeps to 1e-10 remain, so the planner should
+	// authorise a solid batch, capped at the limit.
+	k := p.next(5e-3, 1)
+	if k < 2 || k > 8 {
+		t.Fatalf("contracting: k = %d, want in [2, 8]", k)
+	}
+	if got := p.next(6e-3, k); got != 1 {
+		t.Fatalf("rising norm: k = %d, want 1", got)
+	}
+	if got := p.next(1e-11, 1); got != 1 {
+		t.Fatalf("endgame below eps: k = %d, want 1", got)
+	}
+}
+
+// TestShardedPlannedBatchingReducesExchanges: on a model where the
+// solve needs many sweeps, inner-sweep batching must move fewer
+// boundary values than lock-step — the point of the whole exercise.
+func TestShardedPlannedBatchingReducesExchanges(t *testing.T) {
+	r := rand.New(rand.NewSource(6121))
+	n := 40
+	m := randomSMP(r, n)
+	targets := []int{11, 29}
+	points := contourPoints(r, 2)
+	opts := Options{Epsilon: 1e-13}
+
+	_, lock, err := SolveShardedPlanned(m, opts, 3, targets, points, 0, ShardTuning{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, batch, err := SolveShardedPlanned(m, opts, 3, targets, points, 0, ShardTuning{InnerSweeps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lock.Sweeps < 8 {
+		t.Skipf("solve converged in %d sweeps; too short to exercise batching", lock.Sweeps)
+	}
+	if batch.Exchanged >= lock.Exchanged {
+		t.Fatalf("batching did not reduce exchange: %d values vs %d lock-step (sweeps %d vs %d)",
+			batch.Exchanged, lock.Exchanged, batch.Sweeps, lock.Sweeps)
+	}
+}

@@ -59,6 +59,13 @@ type helloV2Msg struct {
 	// v3 hellos (decoding false) — the version check alone keeps v3
 	// workers out of sharded runs.
 	NoShard bool
+	// ShardRev announces the worker's shard conduct revision within wire
+	// v4. Rev 0 (absent from older hellos, decoding zero) is the plain
+	// lock-step conduct; rev 1 adds the v4.1 exchange optimisations —
+	// plan-based placement, overlapped boundary frames, multi-sweep
+	// batching. A session's conduct is the minimum revision over its
+	// recruited members, so mixed fleets keep serving.
+	ShardRev int
 }
 
 // modelAd advertises one model a worker holds.
@@ -224,6 +231,7 @@ type fleetConn struct {
 	conn      net.Conn
 	version   int            // negotiated wire generation (3 or 4)
 	shardOK   bool           // v4 worker that will host shard blocks
+	shardRev  int            // shard conduct revision (0 lock-step, 1 = v4.1)
 	models    map[string]int // fingerprint → state count
 	started   map[int64]bool // runs this worker has the header of
 	assigned  int            // points handed to this worker (lifetime)
@@ -857,6 +865,9 @@ func (f *Fleet) serveConn(conn net.Conn) {
 		shardOK: hello.Version >= 4 && !hello.NoShard,
 		models:  make(map[string]int, len(hello.Models)),
 		started: make(map[int64]bool),
+	}
+	if c.shardOK {
+		c.shardRev = hello.ShardRev
 	}
 	kod := &fleetCodec{version: hello.Version, enc: enc, dec: dec}
 	for _, ad := range hello.Models {

@@ -56,6 +56,13 @@ func shardWorkerModel(m *smp.Model, fp string, opts passage.Options) WorkerModel
 		NewShard: func(spec *SolveSpec, lo, hi int) (passage.ShardMember, error) {
 			return passage.NewShardSolver(m, opts, lo, hi, spec.Targets)
 		},
+		NewShardPlanned: func(spec *SolveSpec, parts, part int) (passage.ShardMember, passage.ShardPlacement, error) {
+			sv, pl, err := passage.NewPlannedShardSolver(m, opts, parts, part, spec.Targets)
+			if sv == nil || err != nil {
+				return nil, pl, err
+			}
+			return sv, pl, err
+		},
 	}
 }
 
@@ -80,7 +87,10 @@ func shardSpec(m *smp.Model, fp string, points []complex128, hint int) *SolveSpe
 func TestFleetShardEquivalence(t *testing.T) {
 	m := shardTestModel(t)
 	const fp = "fp-shard-eq"
-	opts := passage.Options{WarmStart: true}
+	// ShardOverlapRows 1 forces overlapped (early-frame) exchange despite
+	// the tiny test model, so the two-frame wire path is covered with
+	// inner == 1 too.
+	opts := passage.Options{WarmStart: true, ShardOverlapRows: 1}
 	points := shardContour(6)
 	spec := shardSpec(m, fp, points, 3)
 
@@ -395,6 +405,202 @@ func TestFleetShardNoCapableWorker(t *testing.T) {
 	}
 }
 
+// TestFleetShardBatchedEquivalence is the v4.1 end-to-end differential
+// property: three rev-1 workers under multi-sweep batching (each halo
+// exchange authorizes up to 8 local sweeps) plus overlapped exchange
+// must still reproduce the monolithic solver within 1e-12. The
+// convergence gate only accepts lock-step exchanges, so stale-halo
+// batching can never smuggle in an under-converged answer.
+func TestFleetShardBatchedEquivalence(t *testing.T) {
+	m := shardTestModel(t)
+	const fp = "fp-shard-batched"
+	// Epsilon well under the 1e-12 differential gate: batched points run
+	// the fixed-point iteration, which agrees with the monolithic series
+	// only to within the convergence tolerance, not bitwise.
+	opts := passage.Options{WarmStart: true, ShardInnerSweeps: 8, Epsilon: 1e-13, ShardOverlapRows: 1}
+	points := shardContour(6)
+	spec := shardSpec(m, fp, points, 3)
+
+	mono := passage.NewSolver(m, passage.Options{WarmStart: true, Epsilon: 1e-13})
+	want := make([][]complex128, len(points))
+	for i, s := range points {
+		v, _, err := mono.VectorLST(s, spec.Targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+
+	fleet := testFleet(t, FleetOptions{Logf: t.Logf, ShardOptions: opts})
+	addr := fleet.Addr().String()
+	for _, name := range []string{"b1", "b2", "b3"} {
+		go FleetWork(addr, []WorkerModel{shardWorkerModel(m, fp, opts)}, WorkerOptions{Name: name})
+	}
+	waitForWorkers(t, fleet, 3)
+
+	values, stats, err := fleet.Execute(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		for j := 0; j < m.N(); j++ {
+			if d := cmplx.Abs(values[i][j] - want[i][j]); d > 1e-12 {
+				t.Errorf("point %d state %d: batched %v vs mono %v (diff %g)", i, j, values[i][j], want[i][j], d)
+			}
+		}
+	}
+	if stats.Shards != 3 {
+		t.Errorf("stats.Shards = %d, want 3", stats.Shards)
+	}
+	if stats.Resharded != 0 {
+		t.Errorf("healthy batched run resharded %d times", stats.Resharded)
+	}
+	if stats.ShardBoundary == 0 {
+		t.Error("sharded run reported no boundary vertices — the exchange-tax telemetry is dark")
+	}
+	if stats.ShardExchanged == 0 || stats.ShardSweeps == 0 {
+		t.Errorf("batched run recorded no distributed work: sweeps %d, exchanged %d",
+			stats.ShardSweeps, stats.ShardExchanged)
+	}
+}
+
+// killingShardExt is killingShard for the v4.1 conduct: it embeds the
+// concrete solver (so the worker still satisfies ShardMemberExt and the
+// session runs batched, overlapped sweeps) and kills the worker's
+// connection during the Nth SweepN — mid-batch, with an early boundary
+// frame possibly already on the wire.
+type killingShardExt struct {
+	*passage.ShardSolver
+	conn   net.Conn
+	after  int
+	sweeps int
+}
+
+func (k *killingShardExt) SweepN(halo []complex128, inner int, early func([]complex128)) ([]complex128, float64, error) {
+	k.sweeps++
+	if k.sweeps == k.after {
+		k.conn.Close()
+	}
+	return k.ShardSolver.SweepN(halo, inner, early)
+}
+
+// TestFleetShardBatchedFaultReshard kills a rev-1 worker in the middle
+// of a multi-sweep batch with overlapped exchange active. The conductor
+// must detect the loss (a torn early frame or a dead closing frame),
+// re-shard over the survivors, restart the in-flight point cold, and
+// still converge to the monolithic answer.
+func TestFleetShardBatchedFaultReshard(t *testing.T) {
+	m := shardTestModel(t)
+	const fp = "fp-shard-batchkill"
+	opts := passage.Options{ShardInnerSweeps: 8, Epsilon: 1e-13, ShardOverlapRows: 1}
+	points := shardContour(4)
+	spec := shardSpec(m, fp, points, 3)
+
+	mono := passage.NewSolver(m, passage.Options{Epsilon: 1e-13})
+	want := make([][]complex128, len(points))
+	for i, s := range points {
+		v, _, err := mono.IterativeVectorLST(s, spec.Targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+
+	fleet := testFleet(t, FleetOptions{Logf: t.Logf, ShardOptions: opts})
+	addr := fleet.Addr().String()
+	for _, name := range []string{"bk1", "bk2"} {
+		go FleetWork(addr, []WorkerModel{shardWorkerModel(m, fp, opts)}, WorkerOptions{Name: name})
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := WorkerModel{
+		Fingerprint: fp,
+		States:      m.N(),
+		Evaluator:   NewSolverEvaluator(m, opts),
+		NewShard: func(spec *SolveSpec, lo, hi int) (passage.ShardMember, error) {
+			return passage.NewShardSolver(m, opts, lo, hi, spec.Targets)
+		},
+		NewShardPlanned: func(spec *SolveSpec, parts, part int) (passage.ShardMember, passage.ShardPlacement, error) {
+			sv, pl, err := passage.NewPlannedShardSolver(m, opts, parts, part, spec.Targets)
+			if sv == nil || err != nil {
+				return nil, pl, err
+			}
+			return &killingShardExt{ShardSolver: sv, conn: conn, after: 2}, pl, nil
+		},
+	}
+	go FleetWorkConn(conn, []WorkerModel{doomed}, WorkerOptions{Name: "doomed-batch"})
+	waitForWorkers(t, fleet, 3)
+
+	values, stats, err := fleet.Execute(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		for j := 0; j < m.N(); j++ {
+			if d := cmplx.Abs(values[i][j] - want[i][j]); d > 1e-12 {
+				t.Errorf("point %d state %d: resharded %v vs mono %v (diff %g)", i, j, values[i][j], want[i][j], d)
+			}
+		}
+	}
+	if stats.Resharded < 1 {
+		t.Errorf("stats.Resharded = %d, want >= 1 (the doomed worker dies mid-batched-sweep)", stats.Resharded)
+	}
+	if stats.Evaluated != len(points) {
+		t.Errorf("stats.Evaluated = %d, want %d", stats.Evaluated, len(points))
+	}
+}
+
+// TestFleetShardMixedRevDowngrade pins the all-or-nothing capability
+// rule: one worker held at shard revision 0 (NoShardExt — the rollback
+// switch, indistinguishable on the wire from an old binary) drops the
+// whole session to plain v4 lock-step conduct, which must still solve
+// and match the monolithic reference. No extended frames may reach the
+// rev-0 worker — it would answer them with protocol errors.
+func TestFleetShardMixedRevDowngrade(t *testing.T) {
+	m := shardTestModel(t)
+	const fp = "fp-shard-mixedrev"
+	opts := passage.Options{ShardInnerSweeps: 8, ShardOverlapRows: 1}
+	points := shardContour(3)
+	spec := shardSpec(m, fp, points, 3)
+
+	mono := passage.NewSolver(m, passage.Options{})
+	want := make([][]complex128, len(points))
+	for i, s := range points {
+		v, _, err := mono.IterativeVectorLST(s, spec.Targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+
+	fleet := testFleet(t, FleetOptions{Logf: t.Logf, ShardOptions: opts})
+	addr := fleet.Addr().String()
+	go FleetWork(addr, []WorkerModel{shardWorkerModel(m, fp, opts)}, WorkerOptions{Name: "rev1a"})
+	go FleetWork(addr, []WorkerModel{shardWorkerModel(m, fp, opts)}, WorkerOptions{Name: "rev1b"})
+	go FleetWork(addr, []WorkerModel{shardWorkerModel(m, fp, opts)}, WorkerOptions{Name: "rev0", NoShardExt: true})
+	waitForWorkers(t, fleet, 3)
+
+	values, stats, err := fleet.Execute(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		for j := 0; j < m.N(); j++ {
+			if d := cmplx.Abs(values[i][j] - want[i][j]); d > 1e-12 {
+				t.Errorf("point %d state %d: mixed-rev %v vs mono %v (diff %g)", i, j, values[i][j], want[i][j], d)
+			}
+		}
+	}
+	if stats.Shards != 3 {
+		t.Errorf("stats.Shards = %d, want 3", stats.Shards)
+	}
+	if stats.Resharded != 0 {
+		t.Errorf("mixed-rev run resharded %d times — an extended frame likely reached the rev-0 worker", stats.Resharded)
+	}
+}
+
 // TestFleetShardSurplusMembersReleased recruits more workers than the
 // model has useful blocks for (ShardHint beyond what ShardBlocks will
 // split a tiny model into) and checks the solve still completes with
@@ -437,5 +643,28 @@ func TestFleetShardSurplusMembersReleased(t *testing.T) {
 	}
 	if stats.Shards < 1 || stats.Shards > m.N() {
 		t.Errorf("stats.Shards = %d for a %d-state model", stats.Shards, m.N())
+	}
+}
+
+// TestShardOverlapGate pins the adaptive overlap decision: early-frame
+// exchange doubles the per-round message count, so it only engages on
+// blocks big enough to hide the relay behind interior compute, with 0
+// meaning the default threshold and negative values disabling it.
+func TestShardOverlapGate(t *testing.T) {
+	cases := []struct {
+		minRows, rowsPer int
+		want             bool
+	}{
+		{0, passage.DefaultShardOverlapRows - 1, false},
+		{0, passage.DefaultShardOverlapRows, true},
+		{1, 1, true},
+		{500, 499, false},
+		{500, 500, true},
+		{-1, 1 << 30, false},
+	}
+	for _, c := range cases {
+		if got := shardOverlap(c.minRows, c.rowsPer); got != c.want {
+			t.Errorf("shardOverlap(%d, %d) = %v, want %v", c.minRows, c.rowsPer, got, c.want)
+		}
 	}
 }

@@ -20,22 +20,40 @@ import (
 // (see fleetCodec); the arithmetic itself lives in internal/passage —
 // the remote member proxy here only moves sub-vectors.
 
-// shardStartV4Msg assigns one row block [Lo, Hi) of a sharded run to a
-// worker (master → worker). Header is always set: shard membership is
-// independent of any batch assignments the worker served before.
+// shardStartV4Msg assigns one row block of a sharded run to a worker
+// (master → worker). Header is always set: shard membership is
+// independent of any batch assignments the worker served before. Plain
+// v4 masters assign the block directly as rows [Lo, Hi); a v4.1 master
+// recruiting rev-1 workers sets Plan instead, and the worker computes
+// the deterministic boundary-minimizing partition of (model, Parts,
+// targets) itself and answers with its placement — the master holds no
+// kernel, so the plan must be derivable worker-side. Absent v4.1 fields
+// decode as zero on old workers, which plain v4 conduct never reads.
 type shardStartV4Msg struct {
 	RunID  int64
 	Header *runHeaderV3Msg
 	Lo, Hi int
+	// Wire v4.1 (ShardRev >= 1): plan-based placement.
+	Parts int  // total block count of the planned partition
+	Part  int  // this worker's block index in [0, Parts)
+	Plan  bool // compute the boundary-minimizing plan; Lo/Hi are unused
 }
 
 // shardReadyV4Msg answers a shard start (worker → master): the block's
 // halo — the sorted out-of-block columns its rows read, which the
 // conductor must deliver before every sweep — or a readable refusal.
+// Under a planned start (v4.1) it also carries the worker's placement:
+// positions [Lo, Hi) of the planned ordering, with PermRows listing the
+// original state per position (nil for the identity ordering). Lo == Hi
+// reports a surplus part — the plan yielded fewer blocks than workers —
+// and the master releases the member.
 type shardReadyV4Msg struct {
 	RunID    int64
 	HaloCols []int
 	Err      string
+	// Wire v4.1: placement of a planned block.
+	Lo, Hi   int
+	PermRows []int
 }
 
 // shardPlanV4Msg distributes the boundary ledger (master → worker):
@@ -55,25 +73,36 @@ type shardPointV4Msg struct {
 	Index int
 	S     complex128
 	Warm  bool
+	// Wire v4.1: open the point for the fixed-point iteration
+	// (BeginPointFP), which multi-sweep batching requires.
+	Batch bool
 }
 
-// shardSweepV4Msg drives one lock-step sweep (master → worker): the
-// halo values gathered from the other blocks, in the member's
-// HaloCols order. Finish closes the converged point instead — the
-// worker answers with its block of the result vector rather than a
-// delta.
+// shardSweepV4Msg drives one exchange (master → worker): the halo
+// values gathered from the other blocks, in the member's HaloCols
+// order. Finish closes the converged point instead — the worker
+// answers with its block of the result vector rather than a delta.
+// Wire v4.1 adds Inner (run that many local sweeps against this one
+// halo; 0 and 1 mean lock-step) and Early (ship the final sweep's
+// boundary rows before interior rows are computed: the worker answers
+// with exactly two deltas, the early boundary frame then the closing
+// norm frame).
 type shardSweepV4Msg struct {
 	RunID  int64
 	Seq    int
 	Halo   []complex128
 	Finish bool
+	Inner  int
+	Early  bool
 }
 
 // shardDeltaV4Msg answers a point open (Seq 0) or a sweep (worker →
 // master): the block's new boundary values and its contribution to the
 // global increment max-norm — the per-sweep convergence reduction.
 // ComputeNS attributes the block's pure compute time so the master's
-// critical-path accounting excludes wire latency.
+// critical-path accounting excludes wire latency. An Early delta (wire
+// v4.1) carries only the boundary values of an overlapped sweep; its
+// closing companion carries the norm and compute time with no boundary.
 type shardDeltaV4Msg struct {
 	RunID     int64
 	Seq       int
@@ -81,6 +110,7 @@ type shardDeltaV4Msg struct {
 	Norm      float64
 	ComputeNS int64
 	Err       string
+	Early     bool
 }
 
 // shardBlockV4Msg answers a finishing sweep (worker → master): the
@@ -117,10 +147,15 @@ const maxShardAttempts = 3
 const shardRecruitWindow = 500 * time.Millisecond
 
 // shardRequest is one conductor→member exchange relayed by serveMember.
-// A nil reply channel marks fire-and-forget messages (plan, end).
+// A nil reply channel marks fire-and-forget messages (plan, end);
+// replies is how many worker messages answer this one (1 for ordinary
+// round-trips, 2 for an overlapped sweep: the early boundary frame then
+// the closing norm frame). The reply channel is buffered to replies so
+// the relay never blocks on a conductor that bailed early.
 type shardRequest struct {
-	msg   any
-	reply chan shardReply
+	msg     any
+	replies int
+	reply   chan shardReply
 }
 
 type shardReply struct {
@@ -157,14 +192,20 @@ func (smc *shardMemberConn) post(msg any) error {
 	}
 }
 
-// roundTrip sends a message and waits for the worker's reply.
-func (smc *shardMemberConn) roundTrip(msg any) (any, error) {
-	r := shardRequest{msg: msg, reply: make(chan shardReply, 1)}
+// exchange sends a message expecting the given number of reply
+// messages and returns the pending request for awaitReply calls.
+func (smc *shardMemberConn) exchange(msg any, replies int) (*shardRequest, error) {
+	r := &shardRequest{msg: msg, replies: replies, reply: make(chan shardReply, replies)}
 	select {
-	case smc.req <- r:
+	case smc.req <- *r:
+		return r, nil
 	case <-smc.done:
 		return nil, fmt.Errorf("%w: worker %q", errShardMemberLost, smc.c.name)
 	}
+}
+
+// awaitReply collects the next reply of a pending exchange.
+func (smc *shardMemberConn) awaitReply(r *shardRequest) (any, error) {
 	select {
 	case rep := <-r.reply:
 		return rep.msg, rep.err
@@ -177,6 +218,15 @@ func (smc *shardMemberConn) roundTrip(msg any) (any, error) {
 		}
 		return nil, fmt.Errorf("%w: worker %q", errShardMemberLost, smc.c.name)
 	}
+}
+
+// roundTrip sends a message and waits for the worker's single reply.
+func (smc *shardMemberConn) roundTrip(msg any) (any, error) {
+	r, err := smc.exchange(msg, 1)
+	if err != nil {
+		return nil, err
+	}
+	return smc.awaitReply(r)
 }
 
 // serveMember relays one shard membership's traffic over this worker
@@ -201,14 +251,18 @@ func (f *Fleet) serveMember(c *fleetConn, kod *fleetCodec, smc *shardMemberConn)
 		if req.reply == nil {
 			continue
 		}
-		c.conn.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout))
-		msg, err := kod.recvAny()
-		if err != nil {
-			err = fmt.Errorf("%w: worker %q: %v", errShardMemberLost, c.name, err)
-			req.reply <- shardReply{err: err}
-			return err
+		// The reply channel's buffer covers req.replies, so a conductor
+		// that stopped reading after an error can never block the relay.
+		for i := 0; i < req.replies; i++ {
+			c.conn.SetReadDeadline(time.Now().Add(f.opts.IdleTimeout))
+			msg, err := kod.recvAny()
+			if err != nil {
+				err = fmt.Errorf("%w: worker %q: %v", errShardMemberLost, c.name, err)
+				req.reply <- shardReply{err: err}
+				return err
+			}
+			req.reply <- shardReply{msg: msg}
 		}
-		req.reply <- shardReply{msg: msg}
 	}
 	return nil
 }
@@ -297,14 +351,102 @@ func (m *remoteShardMember) Finish(halo []complex128) ([]complex128, error) {
 	return b.Data, nil
 }
 
+// remoteShardMemberV2 is the wire v4.1 remote member: the plain proxy
+// plus the ShardMemberExt methods the tuned session drives (fixed-point
+// begins for multi-sweep batching, and overlapped sweeps whose boundary
+// rows arrive as an early frame while the worker still computes
+// interior rows). Only rev-1 workers are wrapped in it — the session
+// detects the extension by type assertion, so rev-0 members downgrade
+// the whole session to lock-step automatically.
+type remoteShardMemberV2 struct {
+	remoteShardMember
+}
+
+func (m *remoteShardMemberV2) BeginPointFP(s complex128, warm bool) ([]complex128, error) {
+	m.seq = 0
+	rep, err := m.smc.roundTrip(shardPointV4Msg{RunID: m.runID, Index: m.curIdx, S: s, Warm: warm, Batch: true})
+	if err != nil {
+		return nil, err
+	}
+	d, ok := rep.(shardDeltaV4Msg)
+	if !ok || d.RunID != m.runID || d.Seq != 0 {
+		return nil, m.desync(fmt.Sprintf("%T answering point open", rep))
+	}
+	if d.Err != "" {
+		return nil, fmt.Errorf("worker %q: %s", m.name, d.Err)
+	}
+	m.lastNS = d.ComputeNS
+	return d.Boundary, nil
+}
+
+func (m *remoteShardMemberV2) SweepN(halo []complex128, inner int, early func([]complex128)) ([]complex128, float64, error) {
+	if inner < 1 {
+		inner = 1
+	}
+	m.seq++
+	msg := shardSweepV4Msg{RunID: m.runID, Seq: m.seq, Halo: halo, Inner: inner, Early: early != nil}
+	if early == nil {
+		rep, err := m.smc.roundTrip(msg)
+		if err != nil {
+			return nil, 0, err
+		}
+		d, ok := rep.(shardDeltaV4Msg)
+		if !ok || d.RunID != m.runID || d.Seq != m.seq {
+			return nil, 0, m.desync(fmt.Sprintf("%T answering sweep %d", rep, m.seq))
+		}
+		if d.Err != "" {
+			return nil, 0, fmt.Errorf("worker %q: %s", m.name, d.Err)
+		}
+		m.lastNS = d.ComputeNS
+		return d.Boundary, d.Norm, nil
+	}
+	// Overlapped: the worker answers with exactly two deltas — the early
+	// boundary frame, relayed into the session's ledger via the callback
+	// while other members still compute, then the closing norm frame.
+	req, err := m.smc.exchange(msg, 2)
+	if err != nil {
+		return nil, 0, err
+	}
+	rep, err := m.smc.awaitReply(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	d, ok := rep.(shardDeltaV4Msg)
+	if !ok || d.RunID != m.runID || d.Seq != m.seq || !d.Early {
+		return nil, 0, m.desync(fmt.Sprintf("%T answering overlapped sweep %d", rep, m.seq))
+	}
+	if d.Err != "" {
+		return nil, 0, fmt.Errorf("worker %q: %s", m.name, d.Err)
+	}
+	early(d.Boundary)
+	rep, err = m.smc.awaitReply(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	fin, ok := rep.(shardDeltaV4Msg)
+	if !ok || fin.RunID != m.runID || fin.Seq != m.seq || fin.Early {
+		return nil, 0, m.desync(fmt.Sprintf("%T closing overlapped sweep %d", rep, m.seq))
+	}
+	if fin.Err != "" {
+		return nil, 0, fmt.Errorf("worker %q: %s", m.name, fin.Err)
+	}
+	m.lastNS = fin.ComputeNS
+	return nil, fin.Norm, nil
+}
+
 // fleetShardSession is one recruited set of workers conducting one
 // sharded run: the passage session plus the wire-side handles needed
-// to drive and release it.
+// to drive and release it. perm, set by planned (v4.1) recruiting with
+// a non-identity ordering, lists the original state per planned
+// position; the conductor iterates in planned space and maps each
+// converged vector back before anyone else sees it.
 type fleetShardSession struct {
 	runID   int64
 	ss      *passage.ShardSession
 	members []*remoteShardMember
 	smcs    []*shardMemberConn
+	perm    []int
+	planned bool
 }
 
 // solvePoint solves one s-point across the shards, tagging every
@@ -313,7 +455,15 @@ func (s *fleetShardSession) solvePoint(idx int, sp complex128, wantWarm bool) ([
 	for _, m := range s.members {
 		m.curIdx = idx
 	}
-	return s.ss.SolvePoint(sp, wantWarm)
+	v, sweeps, err := s.ss.SolvePoint(sp, wantWarm)
+	if err == nil && s.perm != nil {
+		mapped := make([]complex128, len(v))
+		for pos, orig := range s.perm {
+			mapped[orig] = v[pos]
+		}
+		v = mapped
+	}
+	return v, sweeps, err
 }
 
 // release ends every membership: a best-effort end message lets live
@@ -333,11 +483,19 @@ func (s *fleetShardSession) fold(stats *RunStats) {
 	stats.ShardExchanged += st.Exchanged
 	stats.ShardComputeNS += st.ComputeNS
 	stats.ShardCriticalNS += st.CriticalNS
+	stats.ShardExchangeNS += st.ExchangeNS
 	if len(s.members) > stats.Shards {
 		stats.Shards = len(s.members)
 	}
+	if st.Boundary > stats.ShardBoundary {
+		stats.ShardBoundary = st.Boundary
+	}
 	fleetShardSweeps.Add(float64(st.Sweeps))
 	fleetShardExchanged.Add(float64(st.Exchanged))
+	shardBoundaryVertices.Set(float64(st.Boundary))
+	shardExchangedValues.Add(float64(st.Exchanged))
+	shardExchangeSeconds.Add(float64(st.ExchangeNS) / 1e9)
+	shardComputeSeconds.Add(float64(st.ComputeNS) / 1e9)
 }
 
 // finishRecruit closes an open recruit: it leaves the recruit list,
@@ -426,6 +584,20 @@ collect:
 		}
 	}
 
+	// Session capability is the minimum shard revision over the recruits,
+	// all-or-nothing: one rev-0 worker drops the whole session to plain
+	// v4 lock-step conduct, so every member speaks the frames it will see.
+	planned := true
+	for _, smc := range smcs {
+		if smc.c.shardRev < 1 {
+			planned = false
+			break
+		}
+	}
+	if planned {
+		return f.recruitPlanned(spec, runID, smcs, header)
+	}
+
 	// More volunteers than blocks is possible on tiny models: ShardBlocks
 	// never returns empty blocks, so surplus members are released.
 	ranges := partition.ShardBlocks(spec.ModelStates, len(smcs), spec.Targets)
@@ -462,6 +634,133 @@ collect:
 	}
 	fleetShardSessions.Inc()
 	return &fleetShardSession{runID: runID, ss: ss, members: members, smcs: smcs}, nil
+}
+
+// recruitPlanned finishes recruiting over rev-1 workers (wire v4.1):
+// every member computes the deterministic boundary-minimizing plan of
+// (model, parts, targets) itself and reports its placement; the master
+// — which holds no kernel — only validates that the placements tile the
+// state space and assembles the permutation. The resulting session runs
+// with overlapped exchange and, when the fleet's ShardOptions ask for
+// it, multi-sweep batching.
+func (f *Fleet) recruitPlanned(spec *SolveSpec, runID int64, smcs []*shardMemberConn, header *runHeaderV3Msg) (*fleetShardSession, error) {
+	parts := len(smcs)
+	live := make(map[*shardMemberConn]bool, parts)
+	for _, smc := range smcs {
+		live[smc] = true
+	}
+	release := func(smc *shardMemberConn) {
+		smc.post(shardEndV4Msg{RunID: runID})
+		close(smc.req)
+		delete(live, smc)
+	}
+	fail := func(err error) (*fleetShardSession, error) {
+		for _, smc := range smcs {
+			if live[smc] {
+				release(smc)
+			}
+		}
+		return nil, err
+	}
+	type placed struct {
+		smc   *shardMemberConn
+		ready shardReadyV4Msg
+	}
+	var placements []placed
+	for w, smc := range smcs {
+		rep, err := smc.roundTrip(shardStartV4Msg{RunID: runID, Header: header, Parts: parts, Part: w, Plan: true})
+		if err != nil {
+			return fail(err)
+		}
+		ready, ok := rep.(shardReadyV4Msg)
+		if !ok || ready.RunID != runID {
+			return fail(fmt.Errorf("%w: worker %q answered shard start with %T", errShardMemberLost, smc.c.name, rep))
+		}
+		if ready.Err != "" {
+			return fail(fmt.Errorf("pipeline: worker %q cannot host block %d/%d of model %q: %s",
+				smc.c.name, w, parts, spec.ModelFP, ready.Err))
+		}
+		if ready.Lo == ready.Hi {
+			// Surplus part: the plan yielded fewer blocks than workers.
+			release(smc)
+			continue
+		}
+		placements = append(placements, placed{smc: smc, ready: ready})
+	}
+	if len(placements) == 0 {
+		return fail(fmt.Errorf("pipeline: planned shard recruiting of model %q produced no blocks", spec.ModelFP))
+	}
+	sort.Slice(placements, func(i, j int) bool { return placements[i].ready.Lo < placements[j].ready.Lo })
+
+	// The workers computed their plans independently; a divergence (a
+	// version skew, a corrupted model) must fail loudly here, not as a
+	// silently wrong answer.
+	n := spec.ModelStates
+	permuted := placements[0].ready.PermRows != nil
+	pos := 0
+	var perm []int
+	if permuted {
+		perm = make([]int, 0, n)
+	}
+	for _, p := range placements {
+		if p.ready.Lo != pos || p.ready.Hi <= p.ready.Lo {
+			return fail(fmt.Errorf("pipeline: planned shard placements do not tile model %q (gap at position %d)", spec.ModelFP, pos))
+		}
+		if (p.ready.PermRows != nil) != permuted || (permuted && len(p.ready.PermRows) != p.ready.Hi-p.ready.Lo) {
+			return fail(fmt.Errorf("pipeline: worker %q answered an inconsistent planned ordering for model %q", p.smc.c.name, spec.ModelFP))
+		}
+		pos = p.ready.Hi
+		if permuted {
+			perm = append(perm, p.ready.PermRows...)
+		}
+	}
+	if pos != n {
+		return fail(fmt.Errorf("pipeline: planned shard placements cover %d of %d states of model %q", pos, n, spec.ModelFP))
+	}
+	if permuted {
+		seen := make([]bool, n)
+		for _, orig := range perm {
+			if orig < 0 || orig >= n || seen[orig] {
+				return fail(fmt.Errorf("pipeline: planned shard ordering of model %q is not a permutation", spec.ModelFP))
+			}
+			seen[orig] = true
+		}
+	}
+
+	members := make([]*remoteShardMember, len(placements))
+	ifaces := make([]passage.ShardMember, len(placements))
+	keep := make([]*shardMemberConn, len(placements))
+	for w, p := range placements {
+		v2 := &remoteShardMemberV2{remoteShardMember{
+			smc: p.smc, runID: runID, name: p.smc.c.name,
+			lo: p.ready.Lo, hi: p.ready.Hi, halo: p.ready.HaloCols,
+		}}
+		members[w] = &v2.remoteShardMember
+		ifaces[w] = v2
+		keep[w] = p.smc
+	}
+	tuning := passage.ShardTuning{
+		Overlap:     shardOverlap(f.opts.ShardOptions.ShardOverlapRows, n/len(placements)),
+		InnerSweeps: f.opts.ShardOptions.ShardInnerSweeps,
+	}
+	ss, err := passage.NewShardSessionTuned(n, ifaces, f.opts.ShardOptions, tuning)
+	if err != nil {
+		return fail(err)
+	}
+	fleetShardSessions.Inc()
+	return &fleetShardSession{runID: runID, ss: ss, members: members, smcs: keep, perm: perm, planned: true}, nil
+}
+
+// shardOverlap decides whether a planned session uses overlapped halo
+// exchange: the early frame doubles the per-round message count, so it
+// only pays when each member's interior sweep is long enough to hide
+// the relay behind (see passage.DefaultShardOverlapRows). minRows 0
+// takes the default threshold; negative disables overlap.
+func shardOverlap(minRows, rowsPerMember int) bool {
+	if minRows == 0 {
+		minRows = passage.DefaultShardOverlapRows
+	}
+	return minRows > 0 && rowsPerMember >= minRows
 }
 
 // executeSharded is Execute's wire-v4 path: instead of farming whole
@@ -513,11 +812,19 @@ func (f *Fleet) executeSharded(spec *SolveSpec, cache Cache) ([][]complex128, *R
 	defer span.End()
 
 	var sess *fleetShardSession
+	strategy := "lockstep"
 	defer func() {
 		if sess != nil {
 			sess.fold(stats)
 			sess.release()
 		}
+		// Runs before the deferred span.End: the exchange/compute split,
+		// measurable per solve without scraping /metrics.
+		span.SetAttr("strategy", strategy).
+			SetAttr("boundary_vertices", strconv.Itoa(stats.ShardBoundary)).
+			SetAttr("exchanged_values", strconv.FormatInt(stats.ShardExchanged, 10)).
+			SetAttr("exchange_seconds", strconv.FormatFloat(float64(stats.ShardExchangeNS)/1e9, 'g', 6, 64)).
+			SetAttr("compute_seconds", strconv.FormatFloat(float64(stats.ShardComputeNS)/1e9, 'g', 6, 64))
 	}()
 	perWorker := make(map[string]int)
 	attempts := 0
@@ -546,6 +853,12 @@ solve:
 					break solve
 				}
 				sess = s2
+				if s2.planned {
+					strategy = "planned"
+					if t := s2.ss.Tuning(); t.InnerSweeps > 1 {
+						strategy = "planned+batched"
+					}
+				}
 			}
 			// Warm only continues a contiguous contour walk, and never
 			// across a segment boundary (the s-value jumps there).

@@ -37,6 +37,17 @@ type WorkerModel struct {
 	// models shard announces NoShard and serves only whole-point
 	// batches. RunWorkerWith wires passage.NewShardSolver in here.
 	NewShard func(spec *SolveSpec, lo, hi int) (passage.ShardMember, error)
+
+	// NewShardPlanned builds the member for block part of the
+	// deterministic boundary-minimizing partition into parts blocks —
+	// the wire v4.1 placement, computed worker-side because the master
+	// holds no kernel. The returned placement reports the block's
+	// position in the planned ordering (and the ordering itself); a nil
+	// member with a nil error marks a surplus part. Nil disables rev 1:
+	// the worker announces ShardRev 0 and serves plain lock-step
+	// sharding only. RunWorkerWith wires passage.NewPlannedShardSolver
+	// in here.
+	NewShardPlanned func(spec *SolveSpec, parts, part int) (passage.ShardMember, passage.ShardPlacement, error)
 }
 
 // FleetWork connects to a fleet master (wire protocol v4), advertises
@@ -86,7 +97,20 @@ func FleetWorkConn(conn net.Conn, models []WorkerModel, opts WorkerOptions) erro
 			}
 		}
 	}
-	hello := helloV2Msg{Version: ProtocolVersion, WorkerName: opts.Name, NoShard: noShard}
+	// Shard conduct revision: rev 1 (plan-based placement, overlapped
+	// frames, batching) needs a planned constructor and survives the
+	// operator's NoShardExt rollback switch; otherwise the worker
+	// announces rev 0 and serves plain lock-step sharding.
+	shardRev := 0
+	if !noShard && !opts.NoShardExt {
+		for _, m := range models {
+			if m.NewShardPlanned != nil {
+				shardRev = 1
+				break
+			}
+		}
+	}
+	hello := helloV2Msg{Version: ProtocolVersion, WorkerName: opts.Name, NoShard: noShard, ShardRev: shardRev}
 	for _, m := range models {
 		hello.Models = append(hello.Models, modelAd{Fingerprint: m.Fingerprint, States: m.States})
 	}
@@ -213,7 +237,9 @@ func specFromHeader(h *runHeaderV3Msg) *SolveSpec {
 }
 
 // handleShardStart accepts (or readably refuses) hosting one row block
-// of a sharded solve.
+// of a sharded solve — assigned directly as [Lo, Hi) by a plain v4
+// master, or derived from the worker-side boundary-minimizing plan
+// under a v4.1 planned start.
 func (w *fleetWorker) handleShardStart(m shardStartV4Msg) error {
 	refuse := func(reason string) error {
 		return w.send(shardReadyV4Msg{RunID: m.RunID, Err: reason})
@@ -225,10 +251,32 @@ func (w *fleetWorker) handleShardStart(m shardStartV4Msg) error {
 	if err != nil {
 		return refuse(err.Error())
 	}
+	spec := specFromHeader(m.Header)
+	if m.Plan {
+		if wm.NewShardPlanned == nil {
+			return refuse(fmt.Sprintf("model %q on this worker has no planned shard constructor", m.Header.ModelFP))
+		}
+		member, placement, err := wm.NewShardPlanned(spec, m.Parts, m.Part)
+		if err != nil {
+			return refuse(err.Error())
+		}
+		if member == nil {
+			// Surplus part: the plan yielded fewer blocks than workers.
+			return w.send(shardReadyV4Msg{RunID: m.RunID})
+		}
+		w.shards[m.RunID] = &workerShardRun{member: member, spec: spec}
+		w.log.Info("hosting planned shard block",
+			"worker", w.opts.Name, "trace_id", spec.TraceID, "spec", spec.Name,
+			"part", m.Part, "parts", m.Parts, "lo", placement.Lo, "hi", placement.Hi,
+			"halo", len(member.HaloColumns()), "permuted", placement.Perm != nil)
+		return w.send(shardReadyV4Msg{
+			RunID: m.RunID, HaloCols: member.HaloColumns(),
+			Lo: placement.Lo, Hi: placement.Hi, PermRows: placement.Perm,
+		})
+	}
 	if wm.NewShard == nil {
 		return refuse(fmt.Sprintf("model %q on this worker has no shard constructor", m.Header.ModelFP))
 	}
-	spec := specFromHeader(m.Header)
 	member, err := wm.NewShard(spec, m.Lo, m.Hi)
 	if err != nil {
 		return refuse(err.Error())
@@ -237,7 +285,7 @@ func (w *fleetWorker) handleShardStart(m shardStartV4Msg) error {
 	w.log.Info("hosting shard block",
 		"worker", w.opts.Name, "trace_id", spec.TraceID, "spec", spec.Name,
 		"lo", m.Lo, "hi", m.Hi, "halo", len(member.HaloColumns()))
-	return w.send(shardReadyV4Msg{RunID: m.RunID, HaloCols: member.HaloColumns()})
+	return w.send(shardReadyV4Msg{RunID: m.RunID, HaloCols: member.HaloColumns(), Lo: m.Lo, Hi: m.Hi})
 }
 
 // handleShardPoint opens one s-point on the local block and answers the
@@ -251,7 +299,17 @@ func (w *fleetWorker) handleShardPoint(m shardPointV4Msg) error {
 		return w.send(shardDeltaV4Msg{RunID: m.RunID, Err: "boundary plan failed: " + sr.planErr})
 	}
 	sr.curIdx = m.Index
-	boundary, err := sr.member.BeginPoint(m.S, m.Warm)
+	var boundary []complex128
+	var err error
+	if m.Batch {
+		ext, ok := sr.member.(passage.ShardMemberExt)
+		if !ok {
+			return w.send(shardDeltaV4Msg{RunID: m.RunID, Err: "master requested a batched point open but this member has no multi-sweep support"})
+		}
+		boundary, err = ext.BeginPointFP(m.S, m.Warm)
+	} else {
+		boundary, err = sr.member.BeginPoint(m.S, m.Warm)
+	}
 	if err != nil {
 		workerPointErrors.Inc()
 		return w.send(shardDeltaV4Msg{RunID: m.RunID, Err: err.Error()})
@@ -279,12 +337,65 @@ func (w *fleetWorker) handleShardSweep(m shardSweepV4Msg) error {
 		workerPoints.Inc()
 		return w.send(shardBlockV4Msg{RunID: m.RunID, Index: sr.curIdx, Data: data, ComputeNS: sr.computeNS()})
 	}
+	if m.Inner > 1 || m.Early {
+		return w.handleShardSweepExt(sr, m)
+	}
 	boundary, norm, err := sr.member.Sweep(m.Halo)
 	if err != nil {
 		workerPointErrors.Inc()
 		return w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq, Err: err.Error()})
 	}
 	return w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq, Boundary: boundary, Norm: norm, ComputeNS: sr.computeNS()})
+}
+
+// handleShardSweepExt serves the v4.1 sweep shapes: multi-sweep batches
+// (Inner > 1) and overlapped exchanges (Early), where the boundary rows
+// ship in an early frame while the interior still sweeps. An Early
+// request is always answered with exactly two deltas — the early frame
+// first, then the closing frame carrying the increment norm — even when
+// the member errors, so the master's reply accounting never desyncs.
+func (w *fleetWorker) handleShardSweepExt(sr *workerShardRun, m shardSweepV4Msg) error {
+	ext, ok := sr.member.(passage.ShardMemberExt)
+	if !ok {
+		err := w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq, Early: m.Early,
+			Err: "master requested a v4.1 sweep but this member has no multi-sweep support"})
+		if err != nil || !m.Early {
+			return err
+		}
+		return w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq,
+			Err: "master requested a v4.1 sweep but this member has no multi-sweep support"})
+	}
+	inner := m.Inner
+	if inner < 1 {
+		inner = 1
+	}
+	if !m.Early {
+		boundary, norm, err := ext.SweepN(m.Halo, inner, nil)
+		if err != nil {
+			workerPointErrors.Inc()
+			return w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq, Err: err.Error()})
+		}
+		return w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq, Boundary: boundary, Norm: norm, ComputeNS: sr.computeNS()})
+	}
+	earlySent := false
+	var sendErr error
+	_, norm, err := ext.SweepN(m.Halo, inner, func(b []complex128) {
+		earlySent = true
+		sendErr = w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq, Boundary: b, Early: true})
+	})
+	if sendErr != nil {
+		return sendErr // transport failure: the relay is gone anyway
+	}
+	if err != nil {
+		workerPointErrors.Inc()
+		if !earlySent {
+			if serr := w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq, Early: true, Err: err.Error()}); serr != nil {
+				return serr
+			}
+		}
+		return w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq, Err: err.Error()})
+	}
+	return w.send(shardDeltaV4Msg{RunID: m.RunID, Seq: m.Seq, Norm: norm, ComputeNS: sr.computeNS()})
 }
 
 // handleBatch evaluates one assignment batch, streaming each point's

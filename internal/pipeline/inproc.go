@@ -26,6 +26,8 @@ type RunStats struct {
 	ShardExchanged  int64 // complex boundary/halo values moved between blocks
 	ShardComputeNS  int64 // summed member compute time (ns)
 	ShardCriticalNS int64 // per-sweep max member compute, summed (ns) — the sharded critical path
+	ShardExchangeNS int64 // per-round wall beyond the slowest member's compute, summed (ns) — the exchange tax
+	ShardBoundary   int   // boundary vertices whose values cross blocks per exchange (max across sessions)
 	// Phases attributes the run's evaluator time: summed across
 	// workers, keyed "kernel_fill" and "solve" here, with the read-time
 	// "invert" phase added by callers that run the inverter. Summed CPU
@@ -75,8 +77,12 @@ func (s *RunStats) Merge(o *RunStats) {
 	s.ShardExchanged += o.ShardExchanged
 	s.ShardComputeNS += o.ShardComputeNS
 	s.ShardCriticalNS += o.ShardCriticalNS
+	s.ShardExchangeNS += o.ShardExchangeNS
 	if o.Shards > s.Shards {
 		s.Shards = o.Shards
+	}
+	if o.ShardBoundary > s.ShardBoundary {
+		s.ShardBoundary = o.ShardBoundary
 	}
 	for name, d := range o.Phases {
 		s.AddPhase(name, d)

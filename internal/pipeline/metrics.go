@@ -56,6 +56,16 @@ var (
 		"Complex boundary/halo values exchanged between shard blocks.")
 	fleetShardReshards = obs.Default.NewCounter("hydra_fleet_shard_reshards_total",
 		"Shard sessions rebuilt after losing a member mid-run.")
+	// The exchange tax, measurable in production: how much of a sharded
+	// solve is moving sub-vectors versus sweeping rows.
+	shardBoundaryVertices = obs.Default.NewGauge("hydra_shard_boundary_vertices",
+		"Boundary vertices (states whose values cross blocks each exchange) of the latest shard session.")
+	shardExchangedValues = obs.Default.NewCounter("hydra_shard_exchanged_values_total",
+		"Complex sub-vector values exchanged between shard blocks.")
+	shardExchangeSeconds = obs.Default.NewCounter("hydra_shard_exchange_seconds_total",
+		"Wall seconds sharded solves spent on halo exchange beyond the slowest member's compute.")
+	shardComputeSeconds = obs.Default.NewCounter("hydra_shard_compute_seconds_total",
+		"Summed member compute seconds inside sharded solves.")
 
 	// Fleet worker process (the other end of the wire).
 	workerAssignments = obs.Default.NewCounter("hydra_worker_assignments_total",

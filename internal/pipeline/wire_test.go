@@ -155,10 +155,12 @@ func TestFleetWireV3GoldenBytes(t *testing.T) {
 			{Fingerprint: "m-4a5c9d01beef2233", States: 2061},
 			{Fingerprint: "voting-1", States: 106540},
 		}},
-			// Regenerated when helloV2Msg gained NoShard (wire v4): the
-			// descriptor grew a field, which gob back-compat tolerates in
-			// both directions (TestFleetWireHelloNoShardBackCompat).
-			"4bff8b0301010a68656c6c6f56324d736701ff8c000104010756657273696f6e010400010a576f726b65724e616d65010c0001064d6f64656c7301ff900001074e6f5368617264010200000021ff8f020101125b5d706970656c696e652e6d6f64656c416401ff900001ff8e000030ff8d030101076d6f64656c416401ff8e000102010b46696e6765727072696e74010c000106537461746573010400000038ff8c010601066e6f64652d37010201126d2d3461356339643031626565663232333301fe101a000108766f74696e672d3101fd0340580000"},
+			// Regenerated when helloV2Msg gained NoShard (wire v4) and again
+			// when it gained ShardRev (wire v4.1): the descriptor grew
+			// fields, which gob back-compat tolerates in both directions
+			// (TestFleetWireHelloNoShardBackCompat,
+			// TestFleetWireHelloShardRevBackCompat).
+			"58ff8b0301010a68656c6c6f56324d736701ff8c000105010756657273696f6e010400010a576f726b65724e616d65010c0001064d6f64656c7301ff900001074e6f536861726401020001085368617264526576010400000021ff8f020101125b5d706970656c696e652e6d6f64656c416401ff900001ff8e000030ff8d030101076d6f64656c416401ff8e000102010b46696e6765727072696e74010c000106537461746573010400000038ff8c010601066e6f64652d37010201126d2d3461356339643031626565663232333301fe101a000108766f74696e672d3101fd0340580000"},
 		{"welcomeAccept", &welcomeMsg{Version: 3},
 			"3fff910301010a77656c636f6d654d736701ff92000103010756657273696f6e010400010b4d6f64656c537461746573010400010652656a656374010c00000005ff92010600"},
 		{"welcomeReject", &welcomeMsg{Version: 3, ModelStates: -1,

@@ -25,13 +25,18 @@ func shardWireCases() []struct {
 		msg  any
 	}{
 		{"shardStart", shardStartV4Msg{RunID: 5, Header: header, Lo: 687, Hi: 1374}},
+		{"shardStartPlanned", shardStartV4Msg{RunID: 5, Header: header, Parts: 3, Part: 1, Plan: true}},
 		{"shardReady", shardReadyV4Msg{RunID: 5, HaloCols: []int{3, 686, 1374, 2060}}},
+		{"shardReadyPlanned", shardReadyV4Msg{RunID: 5, HaloCols: []int{3, 686}, Lo: 687, Hi: 1374, PermRows: []int{2, 0, 1}}},
 		{"shardReadyRefused", shardReadyV4Msg{RunID: 5, Err: "model \"m-4a5c9d01beef2233\" on this worker has no shard constructor"}},
 		{"shardPlan", shardPlanV4Msg{RunID: 5, Boundary: []int{687, 700, 1373}}},
 		{"shardPoint", shardPointV4Msg{RunID: 5, Index: 12, S: complex(0.5, -3.25), Warm: true}},
+		{"shardPointBatched", shardPointV4Msg{RunID: 5, Index: 12, S: complex(0.5, -3.25), Warm: true, Batch: true}},
 		{"shardSweep", shardSweepV4Msg{RunID: 5, Seq: 3, Halo: []complex128{1e-3 + 2e-6i, 2}}},
+		{"shardSweepInnerEarly", shardSweepV4Msg{RunID: 5, Seq: 3, Halo: []complex128{1e-3 + 2e-6i, 2}, Inner: 4, Early: true}},
 		{"shardSweepFinish", shardSweepV4Msg{RunID: 5, Seq: 9, Halo: []complex128{1e-3 + 2e-6i}, Finish: true}},
 		{"shardDelta", shardDeltaV4Msg{RunID: 5, Seq: 3, Boundary: []complex128{3, 4}, Norm: 2.5e-9, ComputeNS: 174000}},
+		{"shardDeltaEarly", shardDeltaV4Msg{RunID: 5, Seq: 3, Boundary: []complex128{3, 4}, Early: true}},
 		{"shardDeltaErr", shardDeltaV4Msg{RunID: 5, Err: "s-point diverged"}},
 		{"shardBlock", shardBlockV4Msg{RunID: 5, Index: 12, Data: []complex128{1e-3 + 2e-6i, 2}, ComputeNS: 174000}},
 		{"shardEnd", shardEndV4Msg{RunID: 5}},
@@ -66,22 +71,34 @@ func TestFleetWireV4RoundTrip(t *testing.T) {
 // every v4 shard message as produced by a fresh encoder — descriptor,
 // registered wire name, and value. This is the format a v4 master and
 // worker meet over, so any drift must fail here before it can strand a
-// mixed fleet at runtime. If this test fails, the v4 protocol changed —
-// bump ProtocolVersion (the handshake then rejects old binaries
-// readably) and regenerate the golden strings.
+// mixed fleet at runtime. The v4.1 shard extensions (planned starts,
+// batched opens, inner sweeps, early frames) are FIELD ADDITIONS to
+// these same messages, deliberately not a version bump: gob matches
+// fields by name, so a rev-0 binary decodes a v4.1 message with the new
+// fields dropped and a v4.1 binary decodes a rev-0 message with them
+// zero (TestFleetWireV41AbsentFieldBackCompat). If this test fails,
+// decide which kind of change you made — a field addition regenerates
+// the goldens and extends the back-compat tests; anything else (field
+// rename, type change, new message) must bump ProtocolVersion so the
+// handshake rejects old binaries readably.
 func TestFleetWireV4GoldenBytes(t *testing.T) {
 	goldens := map[string]string{
-		"shardStart":        "6210001e68796472612f706970656c696e652e7368617264537461727456344d7367ffa30301010f7368617264537461727456344d736701ffa4000104010552756e4944010400010648656164657201ff960001024c6f01040001024869010400000067ff950301010e72756e48656164657256334d736701ff9600010601044e616d65010c0001074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e7469747901040001075461726765747301ff8400010754726163654944010c00000013ff83020101055b5d696e7401ff8400010400004dffa44a010a01011e6d2d346135633964303162656566323233333a706173736167652d63646601126d2d3461356339643031626565663232333301fe101a01020101220001fe055e01fe0abc00",
-		"shardReady":        "5e10001e68796472612f706970656c696e652e7368617264526561647956344d7367ffa50301010f7368617264526561647956344d736701ffa6000103010552756e4944010400010848616c6f436f6c7301ff84000103457272010c00000013ff83020101055b5d696e7401ff84000104000012ffa60f010a010406fe055cfe0abcfe101800",
-		"shardReadyRefused": "5e10001e68796472612f706970656c696e652e7368617264526561647956344d7367ffa50301010f7368617264526561647956344d736701ffa6000103010552756e4944010400010848616c6f436f6c7301ff84000103457272010c00000013ff83020101055b5d696e7401ff8400010400004affa647010a02426d6f64656c20226d2d3461356339643031626565663232333322206f6e207468697320776f726b657220686173206e6f20736861726420636f6e7374727563746f7200",
-		"shardPlan":         "5410001d68796472612f706970656c696e652e7368617264506c616e56344d7367ffa70301010e7368617264506c616e56344d736701ffa8000102010552756e49440104000108426f756e6461727901ff8400000013ff83020101055b5d696e7401ff84000104000011ffa80e010a0103fe055efe0578fe0aba00",
-		"shardPoint":        "6110001e68796472612f706970656c696e652e7368617264506f696e7456344d7367ffa90301010f7368617264506f696e7456344d736701ffaa000104010552756e49440104000105496e646578010400010153010e0001045761726d010200000011ffaa0e010a011801fee03ffe0ac0010100",
-		"shardSweep":        "6510001e68796472612f706970656c696e652e7368617264537765657056344d7367ffab0301010f7368617264537765657056344d736701ffac000104010552756e49440104000103536571010400010448616c6f01ff9a00010646696e69736801020000001aff990201010c5b5d636f6d706c657831323801ff9a00010e00001effac1b010a01060102f8fca9f1d24d62503ff88dedb5a0f7c6c03e400000",
-		"shardSweepFinish":  "6510001e68796472612f706970656c696e652e7368617264537765657056344d7367ffab0301010f7368617264537765657056344d736701ffac000104010552756e49440104000103536571010400010448616c6f01ff9a00010646696e69736801020000001aff990201010c5b5d636f6d706c657831323801ff9a00010e00001effac1b010a01120101f8fca9f1d24d62503ff88dedb5a0f7c6c03e010100",
-		"shardDelta":        "7d10001e68796472612f706970656c696e652e736861726444656c746156344d7367ffad0301010f736861726444656c746156344d736701ffae000106010552756e494401040001035365710104000108426f756e6461727901ff9a0001044e6f726d0108000109436f6d707574654e530104000103457272010c0000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000021ffae1e010a01060102fe084000fe10400001f83a8c30e28e79253e01fd054f6000",
-		"shardDeltaErr":     "7d10001e68796472612f706970656c696e652e736861726444656c746156344d7367ffad0301010f736861726444656c746156344d736701ffae000106010552756e494401040001035365710104000108426f756e6461727901ff9a0001044e6f726d0108000109436f6d707574654e530104000103457272010c0000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000018ffae15010a0510732d706f696e7420646976657267656400",
-		"shardBlock":        "7210001e68796472612f706970656c696e652e7368617264426c6f636b56344d7367ffaf0301010f7368617264426c6f636b56344d736701ffb0000105010552756e49440104000105496e64657801040001044461746101ff9a000109436f6d707574654e530104000103457272010c0000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000023ffb020010a01180102f8fca9f1d24d62503ff88dedb5a0f7c6c03e400001fd054f6000",
-		"shardEnd":          "4410001c68796472612f706970656c696e652e7368617264456e6456344d7367ffb10301010d7368617264456e6456344d736701ffb2000101010552756e4944010400000006ffb203010a00",
+		"shardStart":           "7e10001e68796472612f706970656c696e652e7368617264537461727456344d7367ffa30301010f7368617264537461727456344d736701ffa4000107010552756e4944010400010648656164657201ff960001024c6f01040001024869010400010550617274730104000104506172740104000104506c616e010200000067ff950301010e72756e48656164657256334d736701ff9600010601044e616d65010c0001074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e7469747901040001075461726765747301ff8400010754726163654944010c00000013ff83020101055b5d696e7401ff8400010400004dffa44a010a01011e6d2d346135633964303162656566323233333a706173736167652d63646601126d2d3461356339643031626565663232333301fe101a01020101220001fe055e01fe0abc00",
+		"shardStartPlanned":    "7e10001e68796472612f706970656c696e652e7368617264537461727456344d7367ffa30301010f7368617264537461727456344d736701ffa4000107010552756e4944010400010648656164657201ff960001024c6f01040001024869010400010550617274730104000104506172740104000104506c616e010200000067ff950301010e72756e48656164657256334d736701ff9600010601044e616d65010c0001074d6f64656c4650010c00010b4d6f64656c53746174657301040001085175616e7469747901040001075461726765747301ff8400010754726163654944010c00000013ff83020101055b5d696e7401ff8400010400004bffa448010a01011e6d2d346135633964303162656566323233333a706173736167652d63646601126d2d3461356339643031626565663232333301fe101a01020101220003060102010100",
+		"shardReady":           "7a10001e68796472612f706970656c696e652e7368617264526561647956344d7367ffa50301010f7368617264526561647956344d736701ffa6000106010552756e4944010400010848616c6f436f6c7301ff84000103457272010c0001024c6f0104000102486901040001085065726d526f777301ff8400000013ff83020101055b5d696e7401ff84000104000012ffa60f010a010406fe055cfe0abcfe101800",
+		"shardReadyPlanned":    "7a10001e68796472612f706970656c696e652e7368617264526561647956344d7367ffa50301010f7368617264526561647956344d736701ffa6000106010552756e4944010400010848616c6f436f6c7301ff84000103457272010c0001024c6f0104000102486901040001085065726d526f777301ff8400000013ff83020101055b5d696e7401ff84000104000019ffa616010a010206fe055c02fe055e01fe0abc010304000200",
+		"shardReadyRefused":    "7a10001e68796472612f706970656c696e652e7368617264526561647956344d7367ffa50301010f7368617264526561647956344d736701ffa6000106010552756e4944010400010848616c6f436f6c7301ff84000103457272010c0001024c6f0104000102486901040001085065726d526f777301ff8400000013ff83020101055b5d696e7401ff8400010400004affa647010a02426d6f64656c20226d2d3461356339643031626565663232333322206f6e207468697320776f726b657220686173206e6f20736861726420636f6e7374727563746f7200",
+		"shardPlan":            "5410001d68796472612f706970656c696e652e7368617264506c616e56344d7367ffa70301010e7368617264506c616e56344d736701ffa8000102010552756e49440104000108426f756e6461727901ff8400000013ff83020101055b5d696e7401ff84000104000011ffa80e010a0103fe055efe0578fe0aba00",
+		"shardPoint":           "6b10001e68796472612f706970656c696e652e7368617264506f696e7456344d7367ffa90301010f7368617264506f696e7456344d736701ffaa000105010552756e49440104000105496e646578010400010153010e0001045761726d01020001054261746368010200000011ffaa0e010a011801fee03ffe0ac0010100",
+		"shardPointBatched":    "6b10001e68796472612f706970656c696e652e7368617264506f696e7456344d7367ffa90301010f7368617264506f696e7456344d736701ffaa000105010552756e49440104000105496e646578010400010153010e0001045761726d01020001054261746368010200000013ffaa10010a011801fee03ffe0ac00101010100",
+		"shardSweep":           "7910001e68796472612f706970656c696e652e7368617264537765657056344d7367ffab0301010f7368617264537765657056344d736701ffac000106010552756e49440104000103536571010400010448616c6f01ff9a00010646696e6973680102000105496e6e657201040001054561726c7901020000001aff990201010c5b5d636f6d706c657831323801ff9a00010e00001effac1b010a01060102f8fca9f1d24d62503ff88dedb5a0f7c6c03e400000",
+		"shardSweepInnerEarly": "7910001e68796472612f706970656c696e652e7368617264537765657056344d7367ffab0301010f7368617264537765657056344d736701ffac000106010552756e49440104000103536571010400010448616c6f01ff9a00010646696e6973680102000105496e6e657201040001054561726c7901020000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000022ffac1f010a01060102f8fca9f1d24d62503ff88dedb5a0f7c6c03e40000208010100",
+		"shardSweepFinish":     "7910001e68796472612f706970656c696e652e7368617264537765657056344d7367ffab0301010f7368617264537765657056344d736701ffac000106010552756e49440104000103536571010400010448616c6f01ff9a00010646696e6973680102000105496e6e657201040001054561726c7901020000001aff990201010c5b5d636f6d706c657831323801ff9a00010e00001effac1b010a01120101f8fca9f1d24d62503ff88dedb5a0f7c6c03e010100",
+		"shardDelta":           "ff8710001e68796472612f706970656c696e652e736861726444656c746156344d7367ffad0301010f736861726444656c746156344d736701ffae000107010552756e494401040001035365710104000108426f756e6461727901ff9a0001044e6f726d0108000109436f6d707574654e530104000103457272010c0001054561726c7901020000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000021ffae1e010a01060102fe084000fe10400001f83a8c30e28e79253e01fd054f6000",
+		"shardDeltaEarly":      "ff8710001e68796472612f706970656c696e652e736861726444656c746156344d7367ffad0301010f736861726444656c746156344d736701ffae000107010552756e494401040001035365710104000108426f756e6461727901ff9a0001044e6f726d0108000109436f6d707574654e530104000103457272010c0001054561726c7901020000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000014ffae11010a01060102fe084000fe104000040100",
+		"shardDeltaErr":        "ff8710001e68796472612f706970656c696e652e736861726444656c746156344d7367ffad0301010f736861726444656c746156344d736701ffae000107010552756e494401040001035365710104000108426f756e6461727901ff9a0001044e6f726d0108000109436f6d707574654e530104000103457272010c0001054561726c7901020000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000018ffae15010a0510732d706f696e7420646976657267656400",
+		"shardBlock":           "7210001e68796472612f706970656c696e652e7368617264426c6f636b56344d7367ffaf0301010f7368617264426c6f636b56344d736701ffb0000105010552756e49440104000105496e64657801040001044461746101ff9a000109436f6d707574654e530104000103457272010c0000001aff990201010c5b5d636f6d706c657831323801ff9a00010e000023ffb020010a01180102f8fca9f1d24d62503ff88dedb5a0f7c6c03e400001fd054f6000",
+		"shardEnd":             "4410001c68796472612f706970656c696e652e7368617264456e6456344d7367ffb10301010d7368617264456e6456344d736701ffb2000101010552756e4944010400000006ffb203010a00",
 	}
 	for _, c := range shardWireCases() {
 		t.Run(c.name, func(t *testing.T) {
@@ -149,4 +166,153 @@ func TestFleetWireHelloNoShardBackCompat(t *testing.T) {
 	if old.Version != 4 || old.WorkerName != "modern" {
 		t.Errorf("hello fields lost decoding on a v3 master: %+v", old)
 	}
+}
+
+// TestFleetWireHelloShardRevBackCompat pins the property the wire v4.1
+// capability negotiation rests on: helloV2Msg gained ShardRev as a
+// field addition. A rev-0 worker's hello (no such field) decodes on a
+// v4.1 master with ShardRev 0, which is exactly the lock-step conduct
+// that worker speaks; a v4.1 worker's hello decodes on a plain v4
+// master with the field dropped, and the master simply never sends the
+// extended shapes. Neither mix needs a version bump.
+func TestFleetWireHelloShardRevBackCompat(t *testing.T) {
+	// The plain v4 shape, as compiled into pre-v4.1 binaries.
+	type v4Hello struct {
+		Version    int
+		WorkerName string
+		Models     []modelAd
+		NoShard    bool
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v4Hello{
+		Version: 4, WorkerName: "rev0", Models: []modelAd{{Fingerprint: "m", States: 7}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var hello helloV2Msg
+	if err := gob.NewDecoder(&buf).Decode(&hello); err != nil {
+		t.Fatalf("v4.1 master cannot decode a plain v4 hello: %v", err)
+	}
+	if hello.ShardRev != 0 {
+		t.Errorf("absent ShardRev decoded as %d, want 0", hello.ShardRev)
+	}
+
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&helloV2Msg{
+		Version: 4, WorkerName: "rev1", ShardRev: 1,
+		Models: []modelAd{{Fingerprint: "m", States: 7}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var old v4Hello
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatalf("plain v4 master cannot decode a v4.1 hello: %v", err)
+	}
+	if old.Version != 4 || old.WorkerName != "rev1" {
+		t.Errorf("hello fields lost decoding on a plain v4 master: %+v", old)
+	}
+}
+
+// TestFleetWireV41AbsentFieldBackCompat pins the field-addition
+// compatibility the v4.1 shard extensions rely on, in both directions:
+// a plain v4 binary (whose message structs lack the new fields) decodes
+// every extended message with the additions dropped, and a v4.1 binary
+// decodes plain v4 bytes with the additions zero. The local legacy
+// struct shapes below are the v4 definitions as compiled into rev-0
+// binaries; gob matches fields by name, not type identity, so they
+// stand in for a real old worker.
+func TestFleetWireV41AbsentFieldBackCompat(t *testing.T) {
+	type legacyStart struct {
+		RunID  int64
+		Header *runHeaderV3Msg
+		Lo, Hi int
+	}
+	type legacyReady struct {
+		RunID    int64
+		HaloCols []int
+		Err      string
+	}
+	type legacyPoint struct {
+		RunID int64
+		Index int
+		S     complex128
+		Warm  bool
+	}
+	type legacySweep struct {
+		RunID  int64
+		Seq    int
+		Halo   []complex128
+		Finish bool
+	}
+	type legacyDelta struct {
+		RunID     int64
+		Seq       int
+		Boundary  []complex128
+		Norm      float64
+		ComputeNS int64
+		Err       string
+	}
+
+	roundTrip := func(t *testing.T, in, out any) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+			t.Fatalf("encode %T: %v", in, err)
+		}
+		if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+			t.Fatalf("decode %T from %T: %v", out, in, err)
+		}
+	}
+
+	t.Run("v41_to_v4_drops_additions", func(t *testing.T) {
+		var start legacyStart
+		roundTrip(t, &shardStartV4Msg{RunID: 5, Parts: 3, Part: 1, Plan: true}, &start)
+		if start.RunID != 5 || start.Lo != 0 || start.Hi != 0 {
+			t.Errorf("planned start decoded wrong on a v4 worker: %+v", start)
+		}
+		var point legacyPoint
+		roundTrip(t, &shardPointV4Msg{RunID: 5, Index: 2, S: 1i, Warm: true, Batch: true}, &point)
+		if point.RunID != 5 || point.Index != 2 || !point.Warm {
+			t.Errorf("batched point decoded wrong on a v4 worker: %+v", point)
+		}
+		var sweep legacySweep
+		roundTrip(t, &shardSweepV4Msg{RunID: 5, Seq: 3, Halo: []complex128{1}, Inner: 4, Early: true}, &sweep)
+		if sweep.Seq != 3 || len(sweep.Halo) != 1 || sweep.Finish {
+			t.Errorf("extended sweep decoded wrong on a v4 worker: %+v", sweep)
+		}
+		var delta legacyDelta
+		roundTrip(t, &shardDeltaV4Msg{RunID: 5, Seq: 3, Boundary: []complex128{2}, Early: true}, &delta)
+		if delta.Seq != 3 || len(delta.Boundary) != 1 {
+			t.Errorf("early delta decoded wrong on a v4 master: %+v", delta)
+		}
+	})
+
+	t.Run("v4_to_v41_zeroes_additions", func(t *testing.T) {
+		var start shardStartV4Msg
+		roundTrip(t, &legacyStart{RunID: 5, Lo: 7, Hi: 14}, &start)
+		if start.Plan || start.Parts != 0 || start.Lo != 7 || start.Hi != 14 {
+			t.Errorf("legacy start decoded wrong on a v4.1 worker: %+v", start)
+		}
+		var ready shardReadyV4Msg
+		roundTrip(t, &legacyReady{RunID: 5, HaloCols: []int{3}}, &ready)
+		if ready.Lo != 0 || ready.Hi != 0 || ready.PermRows != nil || len(ready.HaloCols) != 1 {
+			t.Errorf("legacy ready decoded wrong on a v4.1 master: %+v", ready)
+		}
+		var point shardPointV4Msg
+		roundTrip(t, &legacyPoint{RunID: 5, Index: 2, Warm: true}, &point)
+		if point.Batch || !point.Warm {
+			t.Errorf("legacy point decoded wrong on a v4.1 worker: %+v", point)
+		}
+		var sweep shardSweepV4Msg
+		roundTrip(t, &legacySweep{RunID: 5, Seq: 3, Halo: []complex128{1}}, &sweep)
+		if sweep.Inner != 0 || sweep.Early {
+			t.Errorf("legacy sweep decoded wrong on a v4.1 worker: %+v", sweep)
+		}
+		var delta shardDeltaV4Msg
+		roundTrip(t, &legacyDelta{RunID: 5, Seq: 3, Norm: 2.5e-9}, &delta)
+		if delta.Early || delta.Norm != 2.5e-9 {
+			t.Errorf("legacy delta decoded wrong on a v4.1 master: %+v", delta)
+		}
+	})
 }

@@ -33,6 +33,12 @@ type WorkerOptions struct {
 	// still serves whole s-point batches. Workers whose models carry no
 	// shard constructor announce it implicitly.
 	NoShard bool
+	// NoShardExt pins the worker to shard revision 0 (plain lock-step v4
+	// conduct) even when its models carry planned shard constructors. It
+	// is the operational rollback switch for the v4.1 extensions and the
+	// test double for a genuinely old worker; the hello bytes are
+	// identical to a rev-0 worker's, since gob omits zero fields.
+	NoShardExt bool
 }
 
 // logger returns the configured logger or a discarding one.

@@ -45,6 +45,14 @@ type RunStatsJSON struct {
 	Resharded      int   `json:"resharded,omitempty"`
 	ShardSweeps    int64 `json:"shard_sweeps,omitempty"`
 	ShardExchanged int64 `json:"shard_exchanged_values,omitempty"`
+	// The exchange/compute split of sharded solves: boundary vertices
+	// crossing blocks per exchange, summed member compute seconds, and
+	// the exchange tax — per-round wall beyond the slowest member's
+	// compute. exchange_seconds ≈ compute_seconds/shards means the wire
+	// dominates; raise -shard-inner or recruit fewer, larger blocks.
+	ShardBoundary   int     `json:"shard_boundary_vertices,omitempty"`
+	ShardComputeSec float64 `json:"shard_compute_seconds,omitempty"`
+	ShardExchgSec   float64 `json:"shard_exchange_seconds,omitempty"`
 	// Phases attributes solve time to pipeline phases (kernel_fill,
 	// solve, invert), in seconds. Phase time is summed across workers,
 	// so it can exceed wall time.
@@ -63,6 +71,9 @@ func statsJSON(s *hydra.RunStats) *RunStatsJSON {
 		SweepsSaved: s.SweepsSaved,
 		Shards:      s.Shards, Resharded: s.Resharded,
 		ShardSweeps: s.ShardSweeps, ShardExchanged: s.ShardExchanged,
+		ShardBoundary:   s.ShardBoundary,
+		ShardComputeSec: float64(s.ShardComputeNS) / 1e9,
+		ShardExchgSec:   float64(s.ShardExchangeNS) / 1e9,
 	}
 	if len(s.WorkerNames) == len(s.PerWorker) && len(s.WorkerNames) > 0 {
 		out.PerWorker = make(map[string]int, len(s.WorkerNames))

@@ -1,0 +1,115 @@
+package smp
+
+import (
+	"fmt"
+	"sort"
+
+	"hydra/internal/sparse"
+)
+
+// KernelCols calls fn for every distinct kernel column of state i in
+// ascending order — the sparsity adjacency a partition planner consumes
+// without needing a filled matrix.
+func (m *Model) KernelCols(i int, fn func(j int)) { m.pattern.Row(i, fn) }
+
+// PermutedRowBlock holds kernel rows {order[lo], …, order[hi-1]} in
+// permuted coordinates: block row r is original state order[lo+r], and
+// every column index is renumbered through the inverse permutation, so
+// a sharded solve can iterate entirely in permuted space (where a
+// boundary-minimizing plan makes blocks contiguous) while the conductor
+// maps results back through the order.
+type PermutedRowBlock struct {
+	mat *sparse.CMatrix
+	// Per transition term of the block, in block-row order: the value
+	// slot it accumulates into and its probability/distribution, copied
+	// out of the model for a tight branch-free fill loop.
+	slots []int32
+	probs []float64
+	dids  []int32
+	nd    int
+}
+
+// NewPermutedRowBlock builds the block for positions [lo, hi) of the
+// given state ordering (position → original state). The order must be a
+// permutation of all model states; cross-worker agreement on the order
+// is the caller's contract.
+func (m *Model) NewPermutedRowBlock(order []int, lo, hi int) *PermutedRowBlock {
+	n := m.n
+	if len(order) != n {
+		panic(fmt.Sprintf("smp: permuted block order covers %d of %d states", len(order), n))
+	}
+	if lo < 0 || hi > n || lo >= hi {
+		panic(fmt.Sprintf("smp: permuted block range [%d,%d) outside %d states", lo, hi, n))
+	}
+	inv := make([]int32, n)
+	seen := make([]bool, n)
+	for pos, row := range order {
+		if row < 0 || row >= n || seen[row] {
+			panic(fmt.Sprintf("smp: permuted block order is not a permutation at position %d", pos))
+		}
+		seen[row] = true
+		inv[row] = int32(pos)
+	}
+
+	rows := hi - lo
+	rowPtr := make([]int, rows+1)
+	for r := 0; r < rows; r++ {
+		rowPtr[r+1] = rowPtr[r] + m.pattern.RowNNZ(order[lo+r])
+	}
+	colIdx := make([]int, rowPtr[rows])
+
+	b := &PermutedRowBlock{nd: len(m.dists)}
+	type colEntry struct{ col, ent int32 }
+	var entries []colEntry
+	var posOf []int32
+	for r := 0; r < rows; r++ {
+		i := order[lo+r]
+		entries = entries[:0]
+		m.pattern.Row(i, func(j int) {
+			entries = append(entries, colEntry{col: inv[j], ent: int32(len(entries))})
+		})
+		// Pattern columns are distinct, so sorting the permuted columns
+		// is deterministic and restores the ascending order CSR wants.
+		sort.Slice(entries, func(a, c int) bool { return entries[a].col < entries[c].col })
+		if cap(posOf) < len(entries) {
+			posOf = make([]int32, len(entries))
+		}
+		posOf = posOf[:len(entries)]
+		base := rowPtr[r]
+		for t, ce := range entries {
+			colIdx[base+t] = int(ce.col)
+			posOf[ce.ent] = int32(base + t)
+		}
+		// Terms keep their model order, so duplicate (from,to) slots
+		// accumulate in the same sequence as a monolithic fill and the
+		// block values stay bitwise equal to the permuted full rows.
+		start, _ := m.pattern.RowRange(i, i+1)
+		for k := m.termPtr[i]; k < m.termPtr[i+1]; k++ {
+			b.slots = append(b.slots, posOf[int(m.termSlot[k])-start])
+			b.probs = append(b.probs, m.termProb[k])
+			b.dids = append(b.dids, m.termDist[k])
+		}
+	}
+	b.mat = sparse.NewCSRMatrix(rows, n, rowPtr, colIdx)
+	return b
+}
+
+// Matrix returns the block's CSR matrix: (hi-lo) rows over the full
+// permuted column space. Refreshed in place by FillSampled.
+func (b *PermutedRowBlock) Matrix() *sparse.CMatrix { return b.mat }
+
+// FillSampled assembles the block's kernel values from a pre-sampled
+// distribution table (see DistLSTsInto), the permuted counterpart of
+// FillKernelRowBlockSampled.
+func (b *PermutedRowBlock) FillSampled(lsts []complex128) {
+	if len(lsts) != b.nd {
+		panic("smp: PermutedRowBlock.FillSampled with wrong transform count")
+	}
+	vals := b.mat.Values()
+	for i := range vals {
+		vals[i] = 0
+	}
+	for t, slot := range b.slots {
+		vals[slot] += complex(b.probs[t], 0) * lsts[b.dids[t]]
+	}
+}

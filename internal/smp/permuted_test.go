@@ -1,0 +1,91 @@
+package smp
+
+import (
+	"math/rand"
+	"testing"
+
+	"hydra/internal/dist"
+)
+
+// TestPermutedRowBlockMatchesFull: a permuted block's row r must hold
+// exactly the entries of full row order[lo+r], with every column mapped
+// through the inverse permutation, bitwise equal values included.
+func TestPermutedRowBlockMatchesFull(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(30)
+		b := NewBuilder(n)
+		pool := []dist.Distribution{
+			dist.NewExponential(0.5 + r.Float64()),
+			dist.NewErlang(1+r.Float64(), 2),
+			dist.NewDeterministic(0.3 + r.Float64()),
+		}
+		for i := 0; i < n; i++ {
+			p := 0.2 + 0.6*r.Float64()
+			b.Add(i, r.Intn(n), p, pool[r.Intn(len(pool))])
+			b.Add(i, r.Intn(n), 1-p, pool[r.Intn(len(pool))])
+		}
+		m, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := complex(0.3+2*r.Float64(), 3*(r.Float64()-0.5))
+		lsts := m.DistLSTsInto(s, nil)
+		full := m.NewKernelMatrix()
+		m.FillKernelSampled(lsts, full)
+
+		order := r.Perm(n)
+		inv := make([]int, n)
+		for pos, row := range order {
+			inv[row] = pos
+		}
+		lo := r.Intn(n)
+		hi := lo + 1 + r.Intn(n-lo)
+		blk := m.NewPermutedRowBlock(order, lo, hi)
+		blk.FillSampled(lsts)
+		mat := blk.Matrix()
+
+		for rr := 0; rr < hi-lo; rr++ {
+			orig := order[lo+rr]
+			want := 0
+			full.Row(orig, func(j int, v complex128) {
+				want++
+				if got := mat.At(rr, inv[j]); got != v {
+					t.Fatalf("trial %d: row %d col %d: block %v vs full %v",
+						trial, orig, j, got, v)
+				}
+			})
+			if got := mat.RowNNZ(rr); got != want {
+				t.Fatalf("trial %d: row %d has %d block entries vs %d full", trial, orig, got, want)
+			}
+		}
+	}
+}
+
+// Identity order, full range must reproduce the monolithic kernel
+// exactly (structure and values).
+func TestPermutedRowBlockIdentityIsMonolithic(t *testing.T) {
+	b := NewBuilder(4)
+	e := dist.NewExponential(1.5)
+	b.Add(0, 1, 1, e)
+	b.Add(1, 2, 0.5, e)
+	b.Add(1, 0, 0.5, dist.NewDeterministic(0.7))
+	b.Add(2, 3, 1, e)
+	b.Add(3, 0, 1, e)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsts := m.DistLSTsInto(0.4+0.9i, nil)
+	full := m.NewKernelMatrix()
+	m.FillKernelSampled(lsts, full)
+	blk := m.NewPermutedRowBlock([]int{0, 1, 2, 3}, 0, 4)
+	blk.FillSampled(lsts)
+	for i := 0; i < 4; i++ {
+		full.Row(i, func(j int, v complex128) {
+			if got := blk.Matrix().At(i, j); got != v {
+				t.Fatalf("(%d,%d): block %v vs full %v", i, j, got, v)
+			}
+		})
+	}
+}

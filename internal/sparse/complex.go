@@ -197,6 +197,18 @@ func NewPattern(rows, cols int, is, js []int) (p *Pattern, idx []int) {
 // NNZ returns the number of positions in the pattern.
 func (p *Pattern) NNZ() int { return len(p.colIdx) }
 
+// Row calls fn for every column j of pattern row i, in column order —
+// the adjacency view a partition planner consumes (distinct
+// destinations, no values needed).
+func (p *Pattern) Row(i int, fn func(j int)) {
+	for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
+		fn(p.colIdx[k])
+	}
+}
+
+// RowNNZ returns the number of positions in pattern row i.
+func (p *Pattern) RowNNZ(i int) int { return p.rowPtr[i+1] - p.rowPtr[i] }
+
 // Dims returns the pattern dimensions.
 func (p *Pattern) Dims() (rows, cols int) { return p.rows, p.cols }
 
@@ -244,6 +256,38 @@ func (p *Pattern) NewRowBlock(lo, hi int) *CMatrix {
 		rowPtr: rowPtr,
 		colIdx: p.colIdx[start:end],
 		val:    make([]complex128, end-start),
+	}
+}
+
+// NewCSRMatrix wraps pre-assembled CSR structure arrays in a
+// zero-valued matrix; ownership of rowPtr and colIdx transfers to the
+// matrix. It exists for callers that compute a custom structure directly
+// (e.g. a permuted kernel row block) instead of going through a
+// Pattern. Column indices must lie in [0, cols); per-row column order is
+// the caller's responsibility (At requires ascending order).
+func NewCSRMatrix(rows, cols int, rowPtr, colIdx []int) *CMatrix {
+	if rows < 0 || cols < 0 {
+		panic("sparse: negative dimension")
+	}
+	if len(rowPtr) != rows+1 || rowPtr[0] != 0 || rowPtr[rows] != len(colIdx) {
+		panic("sparse: NewCSRMatrix malformed row structure")
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			panic(fmt.Sprintf("sparse: NewCSRMatrix row %d has negative extent", i))
+		}
+	}
+	for _, j := range colIdx {
+		if j < 0 || j >= cols {
+			panic(fmt.Sprintf("sparse: NewCSRMatrix column %d outside %d columns", j, cols))
+		}
+	}
+	return &CMatrix{
+		rows:   rows,
+		cols:   cols,
+		rowPtr: rowPtr,
+		colIdx: colIdx,
+		val:    make([]complex128, len(colIdx)),
 	}
 }
 
